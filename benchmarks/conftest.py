@@ -1,0 +1,20 @@
+"""Shared configuration for the figure/table benchmarks.
+
+Each benchmark regenerates one artifact of the paper's evaluation at
+``BENCH_SCALE`` (reduced node count and trace length; see DESIGN.md) and
+prints the reproduced series so a benchmark run doubles as a results
+report.  ``benchmark.pedantic(rounds=1)`` is used throughout: a full
+trace-driven simulation sweep is the unit of work, not a microsecond
+kernel.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.configs import BENCH_SCALE, ExperimentScale
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> ExperimentScale:
+    return BENCH_SCALE

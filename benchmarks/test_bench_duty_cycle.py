@@ -1,0 +1,64 @@
+"""Robustness benchmark: sensitivity to device duty cycle.
+
+Real deployments scan intermittently; missing sightings thin the contact
+trace.  This sweep thins the MIT-like trace (keeping each contact with
+probability f) and measures how gracefully the intentional scheme and
+NoCache degrade.  The expectation — intentional retains its lead at
+every duty cycle, and both degrade monotonically-ish with connectivity —
+is asserted loosely.
+"""
+
+from repro.caching.intentional import IntentionalCaching, IntentionalConfig
+from repro.caching.nocache import NoCache
+from repro.experiments.configs import BENCH_SCALE, load_scaled_trace
+from repro.experiments.runner import run_single
+from repro.traces.catalog import TRACE_PRESETS
+from repro.traces.toolkit import thin_contacts
+from repro.units import MEGABIT
+from repro.workload.config import WorkloadConfig
+
+FRACTIONS = (1.0, 0.6, 0.3)
+
+
+def test_bench_duty_cycle(benchmark):
+    preset = TRACE_PRESETS["mit_reality"]
+    base_trace = load_scaled_trace("mit_reality", BENCH_SCALE)
+    workload = WorkloadConfig(
+        mean_data_lifetime=base_trace.duration * 0.12,
+        mean_data_size=60 * MEGABIT,
+    )
+
+    def run():
+        rows = []
+        for fraction in FRACTIONS:
+            trace = (
+                base_trace
+                if fraction == 1.0
+                else thin_contacts(base_trace, fraction, seed=2)
+            )
+            intentional = run_single(
+                trace,
+                IntentionalCaching(
+                    IntentionalConfig(
+                        num_ncls=preset.default_num_ncls,
+                        ncl_time_budget=preset.ncl_time_budget,
+                    )
+                ),
+                workload,
+                seed=7,
+            )
+            nocache = run_single(trace, NoCache(), workload, seed=7)
+            rows.append((fraction, intentional.successful_ratio, nocache.successful_ratio))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(f"{'duty':>5s} {'intentional':>12s} {'nocache':>8s}")
+    for fraction, intentional_ratio, nocache_ratio in rows:
+        print(f"{fraction:5.1f} {intentional_ratio:12.3f} {nocache_ratio:8.3f}")
+
+    # intentional keeps its lead at every duty cycle
+    for _, intentional_ratio, nocache_ratio in rows:
+        assert intentional_ratio >= nocache_ratio * 0.9
+    # heavy thinning hurts overall delivery
+    assert rows[-1][1] <= rows[0][1] + 0.05

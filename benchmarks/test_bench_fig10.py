@@ -1,0 +1,35 @@
+"""Benchmark: regenerate Fig. 10 (performance vs. data lifetime, 5 schemes).
+
+Paper shapes asserted: every scheme's successful ratio improves with the
+data lifetime, the intentional scheme leads NoCache, and NoCache caches
+nothing.
+"""
+
+from repro.experiments.figures import fig10
+from repro.experiments.report import render_figure
+
+LIFETIME_FRACTIONS = (0.08, 0.2, 0.5)
+
+
+def run(bench_scale):
+    return fig10(bench_scale, lifetime_fractions=LIFETIME_FRACTIONS)
+
+
+def test_bench_fig10(benchmark, bench_scale):
+    figures = benchmark.pedantic(run, args=(bench_scale,), rounds=1, iterations=1)
+    print()
+    for suffix in ("a", "b", "c"):
+        print(render_figure(figures[suffix], chart=False))
+
+    ratio = {s.label: s.y for s in figures["a"].series}
+    copies = {s.label: s.y for s in figures["c"].series}
+
+    # shape: ratio improves as T_L grows (first vs last sweep point)
+    for label, values in ratio.items():
+        assert values[-1] >= values[0], f"{label} ratio should improve with T_L"
+    # shape: intentional beats NoCache at the longest lifetime
+    assert ratio["intentional"][-1] > ratio["nocache"][-1]
+    # NoCache never caches
+    assert all(v == 0.0 for v in copies["nocache"])
+    # intentional maintains cached copies
+    assert copies["intentional"][-1] > 0.0

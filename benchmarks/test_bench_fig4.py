@@ -1,0 +1,21 @@
+"""Benchmark: regenerate Fig. 4 (NCL metric skew across the four traces)."""
+
+import numpy as np
+
+from repro.experiments.figures import fig4
+from repro.experiments.report import render_figure
+
+
+def test_bench_fig4(benchmark, bench_scale):
+    result = benchmark.pedantic(fig4, args=(bench_scale,), rounds=1, iterations=1)
+    print()
+    # print only the head of each series: top-5 metric values per trace
+    for series in result.series:
+        print(f"{series.label}: top metrics {np.round(series.y[:5], 3)}")
+    # paper shape: "the metric values of a few nodes are much higher than
+    # that of other nodes" — compare the top node against the bottom decile
+    for series in result.series:
+        values = np.array(series.y)
+        assert values[0] == values.max()  # sorted descending
+        bottom_decile = values[int(0.9 * len(values))]
+        assert values[0] > 1.3 * max(bottom_decile, 1e-9), series.label

@@ -1,0 +1,34 @@
+"""Benchmark: regenerate Figs. 7 and 9 (illustration + setup figures)."""
+
+import pytest
+
+from repro.experiments.figures import fig7, fig9a, fig9b
+from repro.experiments.report import render_figure
+
+
+def test_bench_fig7(benchmark):
+    result = benchmark.pedantic(fig7, rounds=1, iterations=1)
+    series = result.series[0]
+    # Eq. (4) boundary conditions and monotonicity
+    assert series.y[0] == pytest.approx(0.45)
+    assert series.y[-1] == pytest.approx(0.8)
+    assert series.y == sorted(series.y)
+
+
+def test_bench_fig9a(benchmark, bench_scale):
+    result = benchmark.pedantic(fig9a, args=(bench_scale,), rounds=1, iterations=1)
+    print()
+    print(render_figure(result, chart=False))
+    generated = next(s for s in result.series if "generated" in s.label)
+    # paper shape: fewer generation rounds at longer lifetimes
+    assert generated.y[0] > generated.y[-1]
+
+
+def test_bench_fig9b(benchmark):
+    result = benchmark.pedantic(fig9b, kwargs={"num_items": 50}, rounds=1, iterations=1)
+    print()
+    print(render_figure(result, chart=False))
+    by_label = {s.label: s for s in result.series}
+    assert by_label["s=1.5"].y[0] > by_label["s=1"].y[0] > by_label["s=0.5"].y[0]
+    for series in result.series:
+        assert sum(series.y) == pytest.approx(1.0)

@@ -1,0 +1,56 @@
+"""Microbenchmarks of the computational kernels.
+
+Unlike the figure benchmarks (whole simulation sweeps, pedantic
+single-round), these measure the hot inner loops with normal
+pytest-benchmark statistics: the Eq. (2) path weight, the single-source
+opportunistic-path computation, the Eq. (3) metric over a full graph,
+and the Eq. (7) knapsack under realistic buffer sizes.
+"""
+
+import numpy as np
+
+from repro.core.knapsack import KnapsackItem, solve_knapsack
+from repro.core.ncl import ncl_metrics
+from repro.graph.contact_graph import ContactGraph
+from repro.graph.paths import shortest_paths_from
+from repro.mathutils.hypoexponential import hypoexponential_cdf
+from repro.traces.catalog import TRACE_PRESETS
+from repro.traces.synthetic import generate_synthetic_trace
+from repro.units import MEGABIT, WEEK
+
+
+def _mit_graph():
+    config = TRACE_PRESETS["mit_reality"].synthetic_config(
+        seed=1, node_factor=0.6, time_factor=0.12
+    )
+    return ContactGraph.from_trace(generate_synthetic_trace(config))
+
+
+def test_bench_kernel_path_weight(benchmark):
+    rates = [1 / 3600.0, 1 / 7200.0, 1 / 1800.0, 1 / 5400.0]
+    value = benchmark(hypoexponential_cdf, rates, 6 * 3600.0)
+    assert 0.0 < value < 1.0
+
+
+def test_bench_kernel_single_source_paths(benchmark):
+    graph = _mit_graph()
+    paths = benchmark(shortest_paths_from, graph, 0, 1 * WEEK)
+    assert len(paths) >= 1
+
+
+def test_bench_kernel_ncl_metrics(benchmark):
+    graph = _mit_graph()
+    metrics = benchmark.pedantic(
+        ncl_metrics, args=(graph, 1 * WEEK), rounds=2, iterations=1
+    )
+    assert len(metrics) == graph.num_nodes
+
+
+def test_bench_kernel_knapsack(benchmark):
+    rng = np.random.default_rng(3)
+    items = [
+        KnapsackItem(i, float(rng.random()), int(rng.uniform(20, 200) * MEGABIT))
+        for i in range(24)
+    ]
+    solution = benchmark(solve_knapsack, items, 400 * MEGABIT)
+    assert solution.total_size <= 400 * MEGABIT

@@ -1,0 +1,53 @@
+"""Ablation benchmark: NCL selection strategy (Sec. IV's core claim).
+
+The paper argues that *appropriate* NCL selection — the Eq. (3)
+probabilistic metric — is what makes intentional caching effective.
+This ablation swaps the selection strategy (metric / degree / aggregate
+contact rate / random) inside the otherwise-identical scheme and
+compares outcomes: random placement should trail the informed
+strategies.
+"""
+
+from repro.caching.intentional import IntentionalCaching, IntentionalConfig
+from repro.core.ncl import SELECTION_STRATEGIES
+from repro.experiments.configs import BENCH_SCALE, load_scaled_trace
+from repro.experiments.runner import run_single
+from repro.traces.catalog import TRACE_PRESETS
+from repro.units import MEGABIT
+from repro.workload.config import WorkloadConfig
+
+
+def test_bench_ablation_ncl_selection(benchmark):
+    preset = TRACE_PRESETS["mit_reality"]
+    trace = load_scaled_trace("mit_reality", BENCH_SCALE)
+    workload = WorkloadConfig(
+        mean_data_lifetime=trace.duration * 0.1,
+        mean_data_size=100 * MEGABIT,
+    )
+
+    def run():
+        results = {}
+        for strategy in SELECTION_STRATEGIES:
+            scheme = IntentionalCaching(
+                IntentionalConfig(
+                    num_ncls=preset.default_num_ncls,
+                    ncl_time_budget=preset.ncl_time_budget,
+                    selection_strategy=strategy,
+                )
+            )
+            results[strategy] = run_single(trace, scheme, workload, seed=7)
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    for strategy, result in results.items():
+        print(
+            f"{strategy:16s} ratio={result.successful_ratio:.3f} "
+            f"copies={result.caching_overhead:.2f}"
+        )
+    # informed selection should not lose to random placement
+    informed = max(
+        results["metric"].successful_ratio,
+        results["aggregate_rate"].successful_ratio,
+    )
+    assert informed >= results["random"].successful_ratio * 0.95

@@ -1,0 +1,14 @@
+"""Benchmark: regenerate Table I (trace summary statistics)."""
+
+from repro.experiments.figures import table1
+from repro.experiments.report import render_table
+
+
+def test_bench_table1(benchmark, bench_scale):
+    result = benchmark.pedantic(table1, args=(bench_scale,), rounds=1, iterations=1)
+    print()
+    print(render_table(result))
+    assert len(result.rows) == 4
+    for row in result.rows:
+        assert row["contacts"] > 0
+        assert row["devices"] >= 2

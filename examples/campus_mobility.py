@@ -1,0 +1,77 @@
+#!/usr/bin/env python
+"""Scenario: campus content sharing on a *mobility-derived* trace.
+
+Where the other examples replay calibrated contact statistics, this one
+generates contacts from first principles: a working-day mobility model
+(students commuting between homes and shared lab buildings) is sampled
+into a contact trace, the paper's exponential inter-contact assumption
+is checked on that trace (Sec. III-B), and the caching schemes are then
+compared on it.
+
+Run:
+    python examples/campus_mobility.py
+"""
+
+from repro import (
+    BundleCache,
+    IntentionalCaching,
+    IntentionalConfig,
+    NoCache,
+    Simulator,
+    SimulatorConfig,
+    WorkloadConfig,
+)
+from repro.traces.analysis import exponential_fit_report
+from repro.traces.mobility import WorkingDayModel, contacts_from_mobility
+from repro.units import DAY, HOUR, MEGABIT
+
+
+def main() -> None:
+    # 40 students, 4 lab buildings, 10 simulated days.
+    model = WorkingDayModel(
+        num_nodes=40,
+        area=(1500.0, 1500.0),
+        num_offices=4,
+        seed=11,
+    )
+    trace = contacts_from_mobility(
+        model,
+        duration=10 * DAY,
+        radio_range=12.0,        # Bluetooth-class
+        sample_period=300.0,     # 5-minute scans, like MIT Reality
+        name="campus-wdm",
+    )
+    print(f"mobility-derived trace: {trace}")
+
+    report = exponential_fit_report(trace, min_samples=5)
+    print("exponential inter-contact fit (Sec. III-B check):")
+    for key, value in report.as_row().items():
+        print(f"  {key}: {value}")
+    print(
+        "  -> a strict daily schedule gives periodic (not exponential)\n"
+        "     inter-contacts; the paper's Poisson model is an approximation\n"
+        "     whose fit quality is exactly what this report quantifies."
+    )
+
+    workload = WorkloadConfig(
+        mean_data_lifetime=1 * DAY,
+        mean_data_size=30 * MEGABIT,
+    )
+    print(f"\n{'scheme':14s} {'ratio':>7s} {'delay':>9s} {'copies/item':>12s}")
+    schemes = {
+        "intentional": lambda: IntentionalCaching(
+            IntentionalConfig(num_ncls=4, ncl_time_budget=12 * HOUR)
+        ),
+        "nocache": NoCache,
+        "bundlecache": BundleCache,
+    }
+    for label, factory in schemes.items():
+        result = Simulator(trace, factory(), workload, SimulatorConfig(seed=7)).run()
+        print(
+            f"{label:14s} {result.successful_ratio:7.3f} "
+            f"{result.mean_access_delay / HOUR:8.1f}h {result.caching_overhead:12.2f}"
+        )
+
+
+if __name__ == "__main__":
+    main()

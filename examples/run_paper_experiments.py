@@ -1,0 +1,100 @@
+#!/usr/bin/env python
+"""Regenerate every table and figure of the paper's evaluation.
+
+Runs the full experiment harness (Table I, Figs. 4, 9-13) and writes
+rendered tables, ASCII charts, and CSVs under ``results/``.  The numbers
+recorded in EXPERIMENTS.md come from this script at ``--scale paper``.
+
+Run:
+    python examples/run_paper_experiments.py --scale bench   # minutes
+    python examples/run_paper_experiments.py --scale paper   # ~an hour
+"""
+
+import argparse
+import time
+from pathlib import Path
+
+from repro.experiments.configs import BENCH_SCALE, PAPER_SCALE, SMOKE_SCALE
+from repro.experiments.figures import (
+    fig4,
+    fig7,
+    fig9a,
+    fig9b,
+    fig10,
+    fig11,
+    fig12,
+    fig13,
+    table1,
+)
+from repro.experiments.report import (
+    render_figure,
+    render_markdown,
+    render_table,
+    results_to_csv,
+    table_to_csv,
+    table_to_markdown,
+)
+
+SCALES = {"smoke": SMOKE_SCALE, "bench": BENCH_SCALE, "paper": PAPER_SCALE}
+
+
+def save_figure(outdir: Path, figures, stem: str, report: list) -> None:
+    if not isinstance(figures, dict):
+        figures = {"": figures}
+    for suffix, figure in figures.items():
+        name = f"{stem}{suffix}"
+        (outdir / f"{name}.txt").write_text(render_figure(figure, chart=True))
+        (outdir / f"{name}.csv").write_text(results_to_csv(figure))
+        report.append(render_markdown(figure))
+        print(render_figure(figure, chart=False))
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", choices=sorted(SCALES), default="bench")
+    parser.add_argument("--outdir", default="results")
+    parser.add_argument(
+        "--only",
+        nargs="*",
+        default=None,
+        help="subset of experiments, e.g. --only table1 fig10",
+    )
+    args = parser.parse_args()
+    scale = SCALES[args.scale]
+    outdir = Path(args.outdir)
+    outdir.mkdir(parents=True, exist_ok=True)
+
+    experiments = {
+        "table1": lambda: table1(scale),
+        "fig4": lambda: fig4(scale),
+        "fig7": lambda: fig7(),
+        "fig9a": lambda: fig9a(scale),
+        "fig9b": lambda: fig9b(),
+        "fig10": lambda: fig10(scale),
+        "fig11": lambda: fig11(scale),
+        "fig12": lambda: fig12(scale),
+        "fig13": lambda: fig13(scale),
+    }
+    selected = args.only or list(experiments)
+
+    report: list = [f"# Reproduced results (scale: {scale.name})\n"]
+    for name in selected:
+        if name not in experiments:
+            raise SystemExit(f"unknown experiment {name!r}; pick from {list(experiments)}")
+        start = time.time()
+        print(f"=== {name} (scale={scale.name}) ===")
+        result = experiments[name]()
+        if name == "table1":
+            (outdir / "table1.txt").write_text(render_table(result))
+            (outdir / "table1.csv").write_text(table_to_csv(result))
+            report.append(table_to_markdown(result))
+            print(render_table(result))
+        else:
+            save_figure(outdir, result, name, report)
+        print(f"--- {name} done in {time.time() - start:.1f}s\n")
+    (outdir / "REPORT.md").write_text("\n".join(report))
+    print(f"combined markdown report: {outdir / 'REPORT.md'}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""Scenario: smartphone content sharing at a conference.
+
+The paper's introduction motivates cooperative caching with smartphone
+users finding "interesting digital content from their nearby peers".
+This example models that setting on an Infocom06-like conference trace:
+short-lived content (talks' slides, demos — 3 h lifetime), Bluetooth
+links, and K = 5 NCLs (the paper's Fig. 13 sweet spot).
+
+It then compares the three probabilistic response strategies of
+Sec. V-C — the Eq. (4) sigmoid, the path-aware p_CR variant, and the
+always-respond ablation — showing the accessibility/overhead trade-off
+the paper optimises: always-respond emits the most data copies, the
+sigmoid cuts copies while keeping the successful ratio close.
+
+Run:
+    python examples/smartphone_content_sharing.py
+"""
+
+from repro import (
+    IntentionalCaching,
+    IntentionalConfig,
+    Simulator,
+    SimulatorConfig,
+    WorkloadConfig,
+    load_preset_trace,
+)
+from repro.units import HOUR, MEGABIT
+
+
+def main() -> None:
+    trace = load_preset_trace("infocom06", seed=1, node_factor=1.0, time_factor=0.3)
+    print(f"conference trace: {trace}")
+
+    workload = WorkloadConfig(
+        mean_data_lifetime=3 * HOUR,   # live conference content
+        mean_data_size=50 * MEGABIT,   # slide decks / short clips
+    )
+
+    print(
+        f"\n{'response strategy':20s} {'ratio':>7s} {'delay':>9s} "
+        f"{'responses sent':>15s} {'delivered':>10s}"
+    )
+    for strategy in ("always", "sigmoid", "path_aware"):
+        scheme = IntentionalCaching(
+            IntentionalConfig(
+                num_ncls=5,
+                ncl_time_budget=1 * HOUR,
+                response_strategy=strategy,
+            )
+        )
+        result = Simulator(trace, scheme, workload, SimulatorConfig(seed=7)).run()
+        print(
+            f"{strategy:20s} {result.successful_ratio:7.3f} "
+            f"{result.mean_access_delay / HOUR:8.2f}h "
+            f"{result.responses_emitted:15d} {result.responses_delivered:10d}"
+        )
+
+    print(
+        "\nThe sigmoid and path-aware strategies trim emitted data copies "
+        "(each costs a ~50 Mb transfer) while keeping the successful ratio "
+        "close to the always-respond ceiling — the Sec. V-C trade-off."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,103 @@
+"""repro — Cooperative caching in Disruption Tolerant Networks.
+
+A faithful, trace-driven reproduction of *"Supporting Cooperative Caching
+in Disruption Tolerant Networks"* (Gao, Cao, Iyengar, Srivatsa — ICDCS
+2011): Network Central Location (NCL) selection, intentional push/pull
+caching, probabilistic response, utility-knapsack cache replacement, the
+four baselines the paper compares against, and a benchmark harness that
+regenerates every table and figure of its evaluation.
+
+Quickstart
+----------
+>>> from repro import (
+...     IntentionalCaching, IntentionalConfig, Simulator, WorkloadConfig,
+...     load_preset_trace,
+... )
+>>> trace = load_preset_trace("mit_reality", node_factor=0.3, time_factor=0.1)
+>>> scheme = IntentionalCaching(IntentionalConfig(num_ncls=4))
+>>> result = Simulator(trace, scheme, WorkloadConfig()).run()
+>>> 0.0 <= result.successful_ratio <= 1.0
+True
+"""
+
+from repro.caching import (
+    BundleCache,
+    CacheData,
+    CachingScheme,
+    IntentionalCaching,
+    IntentionalConfig,
+    NoCache,
+    RandomCache,
+    scheme_by_name,
+)
+from repro.core import (
+    CacheBuffer,
+    DataItem,
+    FIFOPolicy,
+    GreedyDualSizePolicy,
+    LRUPolicy,
+    NCLSelection,
+    PopularityEstimator,
+    Query,
+    UtilityKnapsackPolicy,
+    ncl_metrics,
+    select_ncls,
+)
+from repro.graph import ContactGraph, OpportunisticPath, PathMode, shortest_path
+from repro.metrics import AggregateResult, SimulationResult, aggregate_results
+from repro.sim import Simulator, SimulatorConfig
+from repro.traces import (
+    ContactTrace,
+    SyntheticTraceConfig,
+    TRACE_PRESETS,
+    generate_synthetic_trace,
+    load_preset_trace,
+    summarize_trace,
+)
+from repro.workload import WorkloadConfig
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # schemes
+    "CachingScheme",
+    "IntentionalCaching",
+    "IntentionalConfig",
+    "NoCache",
+    "RandomCache",
+    "CacheData",
+    "BundleCache",
+    "scheme_by_name",
+    # core
+    "CacheBuffer",
+    "DataItem",
+    "Query",
+    "NCLSelection",
+    "ncl_metrics",
+    "select_ncls",
+    "PopularityEstimator",
+    "UtilityKnapsackPolicy",
+    "LRUPolicy",
+    "FIFOPolicy",
+    "GreedyDualSizePolicy",
+    # graph
+    "ContactGraph",
+    "OpportunisticPath",
+    "PathMode",
+    "shortest_path",
+    # simulation
+    "Simulator",
+    "SimulatorConfig",
+    "WorkloadConfig",
+    "SimulationResult",
+    "AggregateResult",
+    "aggregate_results",
+    # traces
+    "ContactTrace",
+    "SyntheticTraceConfig",
+    "generate_synthetic_trace",
+    "load_preset_trace",
+    "summarize_trace",
+    "TRACE_PRESETS",
+]

@@ -1,0 +1,201 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``traces``
+    Print the Table I summary of the four synthetic preset traces.
+``ncl``
+    Select NCLs on a preset trace and print the metric ranking.
+``simulate``
+    Run one scheme on a preset trace and print the headline metrics.
+``compare``
+    Run all five schemes head-to-head on a preset trace.
+``fit``
+    Check the exponential inter-contact assumption on a preset trace.
+``figure``
+    Regenerate one of the paper's tables/figures at a chosen scale.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.caching import scheme_by_name
+from repro.caching.intentional import IntentionalCaching, IntentionalConfig
+from repro.experiments.report import render_table
+from repro.experiments.figures import TableResult
+from repro.graph.contact_graph import ContactGraph
+from repro.core.ncl import select_ncls
+from repro.metrics.results import SimulationResult
+from repro.sim.simulator import Simulator, SimulatorConfig
+from repro.traces.analysis import exponential_fit_report
+from repro.traces.catalog import TRACE_PRESETS, load_preset_trace
+from repro.traces.stats import summarize_trace
+from repro.units import HOUR, MEGABIT
+from repro.workload.config import WorkloadConfig
+
+SCHEMES = ("intentional", "nocache", "randomcache", "cachedata", "bundlecache")
+
+
+def _add_trace_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--trace", choices=sorted(TRACE_PRESETS), default="mit_reality")
+    parser.add_argument("--node-factor", type=float, default=0.6)
+    parser.add_argument("--time-factor", type=float, default=0.15)
+    parser.add_argument("--trace-seed", type=int, default=1)
+
+
+def _load_trace(args: argparse.Namespace):
+    return load_preset_trace(
+        args.trace,
+        seed=args.trace_seed,
+        node_factor=args.node_factor,
+        time_factor=args.time_factor,
+    )
+
+
+def _result_line(result: SimulationResult) -> str:
+    delay = (
+        f"{result.mean_access_delay / HOUR:8.1f}h"
+        if result.queries_satisfied
+        else "     n/a"
+    )
+    return (
+        f"{result.name:14s} ratio={result.successful_ratio:6.3f} "
+        f"delay={delay} copies/item={result.caching_overhead:5.2f} "
+        f"queries={result.queries_issued}"
+    )
+
+
+def cmd_traces(args: argparse.Namespace) -> int:
+    rows = []
+    for key in TRACE_PRESETS:
+        trace = load_preset_trace(
+            key, seed=args.trace_seed, node_factor=args.node_factor, time_factor=args.time_factor
+        )
+        rows.append(summarize_trace(trace).as_row())
+    print(render_table(TableResult("table1", "Trace summary (Table I)", rows)))
+    return 0
+
+
+def cmd_ncl(args: argparse.Namespace) -> int:
+    trace = _load_trace(args)
+    preset = TRACE_PRESETS[args.trace]
+    graph = ContactGraph.from_trace(trace)
+    selection = select_ncls(graph, args.k, preset.ncl_time_budget)
+    print(f"trace: {trace}")
+    print(f"time budget T = {preset.ncl_time_budget / HOUR:.0f}h; top {args.k} NCLs:")
+    for rank, node in enumerate(selection.central_nodes):
+        print(f"  #{rank + 1}: node {node}  C_i = {selection.metrics[node]:.4f}")
+    return 0
+
+
+def _run_one(args: argparse.Namespace, scheme_name: str) -> SimulationResult:
+    trace = _load_trace(args)
+    preset = TRACE_PRESETS[args.trace]
+    workload = WorkloadConfig(
+        mean_data_lifetime=args.lifetime_hours * HOUR,
+        mean_data_size=int(args.size_mb * MEGABIT),
+    )
+    if scheme_name == "intentional":
+        scheme = IntentionalCaching(
+            IntentionalConfig(
+                num_ncls=args.k, ncl_time_budget=preset.ncl_time_budget
+            )
+        )
+    else:
+        scheme = scheme_by_name(scheme_name)
+    return Simulator(trace, scheme, workload, SimulatorConfig(seed=args.seed)).run()
+
+
+def cmd_simulate(args: argparse.Namespace) -> int:
+    result = _run_one(args, args.scheme)
+    print(_result_line(result))
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    for scheme_name in SCHEMES:
+        print(_result_line(_run_one(args, scheme_name)))
+    return 0
+
+
+def cmd_fit(args: argparse.Namespace) -> int:
+    trace = _load_trace(args)
+    report = exponential_fit_report(trace)
+    print(f"trace: {trace}")
+    for key, value in report.as_row().items():
+        print(f"  {key}: {value}")
+    return 0
+
+
+def cmd_figure(args: argparse.Namespace) -> int:
+    from repro.experiments.configs import BENCH_SCALE, PAPER_SCALE, SMOKE_SCALE
+    from repro.experiments.figures import ALL_EXPERIMENTS, TableResult
+    from repro.experiments.report import render_figure
+
+    scales = {"smoke": SMOKE_SCALE, "bench": BENCH_SCALE, "paper": PAPER_SCALE}
+    runner = ALL_EXPERIMENTS.get(args.name)
+    if runner is None:
+        print(
+            f"unknown experiment {args.name!r}; available: {sorted(ALL_EXPERIMENTS)}",
+            file=sys.stderr,
+        )
+        return 2
+    import inspect
+
+    parameters = inspect.signature(runner).parameters
+    result = runner(scales[args.scale]) if "scale" in parameters else runner()
+    if isinstance(result, TableResult):
+        print(render_table(result))
+    elif isinstance(result, dict):
+        for figure in result.values():
+            print(render_figure(figure, chart=args.chart))
+    else:
+        print(render_figure(result, chart=args.chart))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_traces = sub.add_parser("traces", help="Table I summary of the preset traces")
+    _add_trace_args(p_traces)
+    p_traces.set_defaults(func=cmd_traces)
+
+    p_ncl = sub.add_parser("ncl", help="NCL selection on a preset trace")
+    _add_trace_args(p_ncl)
+    p_ncl.add_argument("-k", type=int, default=5)
+    p_ncl.set_defaults(func=cmd_ncl)
+
+    for name, func in (("simulate", cmd_simulate), ("compare", cmd_compare)):
+        p = sub.add_parser(name, help=f"{name} scheme(s) on a preset trace")
+        _add_trace_args(p)
+        p.add_argument("--scheme", choices=SCHEMES, default="intentional")
+        p.add_argument("-k", type=int, default=5)
+        p.add_argument("--lifetime-hours", type=float, default=72.0)
+        p.add_argument("--size-mb", type=float, default=100.0)
+        p.add_argument("--seed", type=int, default=7)
+        p.set_defaults(func=func)
+
+    p_fit = sub.add_parser("fit", help="exponential inter-contact fit report")
+    _add_trace_args(p_fit)
+    p_fit.set_defaults(func=cmd_fit)
+
+    p_fig = sub.add_parser("figure", help="regenerate a paper table/figure")
+    p_fig.add_argument("name", help="table1, fig4, fig7, fig9a, fig10, ...")
+    p_fig.add_argument("--scale", choices=("smoke", "bench", "paper"), default="smoke")
+    p_fig.add_argument("--chart", action="store_true", help="include ASCII charts")
+    p_fig.set_defaults(func=cmd_figure)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

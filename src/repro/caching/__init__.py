@@ -1,0 +1,50 @@
+"""Caching schemes: the paper's intentional NCL scheme and its baselines.
+
+Evaluated head-to-head in Sec. VI:
+
+* :class:`~repro.caching.intentional.IntentionalCaching` — the paper's
+  contribution (push to NCLs, probabilistic pull, utility-knapsack
+  replacement).
+* :class:`~repro.caching.nocache.NoCache` — queries answered only by the
+  data source.
+* :class:`~repro.caching.randomcache.RandomCache` — every requester
+  caches what it receives.
+* :class:`~repro.caching.cachedata.CacheData` — incidental caching of
+  popular pass-by data (wireless ad-hoc cooperative caching, [29]).
+* :class:`~repro.caching.bundlecache.BundleCache` — contact-pattern-aware
+  incidental bundle caching ([23]).
+"""
+
+from repro.caching.base import CachingScheme, SchemeServices
+from repro.caching.bundlecache import BundleCache
+from repro.caching.cachedata import CacheData
+from repro.caching.intentional import IntentionalCaching, IntentionalConfig
+from repro.caching.nocache import NoCache
+from repro.caching.randomcache import RandomCache
+
+__all__ = [
+    "CachingScheme",
+    "SchemeServices",
+    "IntentionalCaching",
+    "IntentionalConfig",
+    "NoCache",
+    "RandomCache",
+    "CacheData",
+    "BundleCache",
+]
+
+
+def scheme_by_name(name: str, **kwargs) -> CachingScheme:
+    """Factory used by experiment configs: build a scheme from its name."""
+    registry = {
+        IntentionalCaching.name: IntentionalCaching,
+        NoCache.name: NoCache,
+        RandomCache.name: RandomCache,
+        CacheData.name: CacheData,
+        BundleCache.name: BundleCache,
+    }
+    try:
+        cls = registry[name]
+    except KeyError:
+        raise KeyError(f"unknown scheme {name!r}; available: {sorted(registry)}") from None
+    return cls(**kwargs)

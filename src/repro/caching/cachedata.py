@@ -1,0 +1,52 @@
+"""CacheData baseline — cooperative caching for wireless ad-hoc networks
+(Yin & Cao [29]), transplanted to DTNs as the paper does (Sec. VI).
+
+In CacheData, intermediate nodes on the reply path cache pass-by data
+*if it is popular enough* by their locally observed query history.  The
+paper's point is that this works poorly in DTNs: queries and replies take
+different opportunistic routes, so relays see a fragmentary query history
+and mis-estimate popularity.
+
+Reimplementation (documented in DESIGN.md): a relay taking over a
+response bundle caches the data iff it has itself observed at least
+``popularity_threshold`` distinct queries for it; eviction is LRU, as in
+the original CacheData design.
+"""
+
+from __future__ import annotations
+
+from repro.core.data import DataItem
+from repro.core.replacement import LRUPolicy
+from repro.errors import ConfigurationError
+from repro.sim.bundles import ResponseBundle
+from repro.sim.node import Node
+from repro.caching.incidental import IncidentalScheme
+
+__all__ = ["CacheData"]
+
+
+class CacheData(IncidentalScheme):
+    """Relays cache pass-by reply data when locally observed popularity
+    passes a threshold."""
+
+    name = "cachedata"
+
+    def __init__(self, popularity_threshold: int = 2):
+        super().__init__()
+        if popularity_threshold < 1:
+            raise ConfigurationError("popularity_threshold must be >= 1")
+        self.popularity_threshold = int(popularity_threshold)
+        self._lru = LRUPolicy()
+
+    def _is_popular(self, node: Node, data: DataItem) -> bool:
+        return (
+            node.popularity.request_count(data.data_id) >= self.popularity_threshold
+        )
+
+    def on_response_relayed(self, relay: Node, bundle: ResponseBundle, now: float) -> None:
+        if relay.find_data(bundle.data.data_id, now) is not None:
+            return
+        if self._is_popular(relay, bundle.data):
+            self._lru.record_access(bundle.data.data_id, now)
+            self._lru.admit(relay.buffer, bundle.data, now)
+            self.answer_pending_queries(relay, bundle.data.data_id, now)

@@ -1,0 +1,19 @@
+"""NoCache baseline (Sec. VI): "caching is not used for data access, and
+each query result is returned only by the data source."
+
+Queries flood the network; only the source holds the data (nothing is
+ever cached), so every response originates there.  This is the floor the
+paper reports a ~200% successful-ratio improvement over.
+"""
+
+from __future__ import annotations
+
+from repro.caching.incidental import IncidentalScheme
+
+__all__ = ["NoCache"]
+
+
+class NoCache(IncidentalScheme):
+    """No caching anywhere; the origin store is the only data holder."""
+
+    name = "nocache"

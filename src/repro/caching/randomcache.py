@@ -1,0 +1,32 @@
+"""RandomCache baseline (Sec. VI): "every requester caches the received
+data to facilitate data access in the future", with LRU replacement.
+
+Requesters are randomly distributed, so the cached copies end up at
+random network locations — the paper's argument for why this scheme
+burns the most buffer (≈5 copies per item at T_L = 3 months in
+Fig. 10c) while helping little.
+"""
+
+from __future__ import annotations
+
+from repro.core.data import DataItem, Query
+from repro.core.replacement import LRUPolicy
+from repro.sim.node import Node
+from repro.caching.incidental import IncidentalScheme
+
+__all__ = ["RandomCache"]
+
+
+class RandomCache(IncidentalScheme):
+    """Requesters cache what they receive; LRU eviction."""
+
+    name = "randomcache"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._lru = LRUPolicy()
+
+    def on_data_delivered(self, node: Node, data: DataItem, query: Query, now: float) -> None:
+        self._lru.record_access(data.data_id, now)
+        self._lru.admit(node.buffer, data, now)
+        self.answer_pending_queries(node, data.data_id, now)

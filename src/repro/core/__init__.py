@@ -1,0 +1,54 @@
+"""Core contribution of the paper: NCL caching building blocks.
+
+* :mod:`repro.core.data` — data items and queries.
+* :mod:`repro.core.ncl` — NCL selection metric and top-K selection (Eq. 3).
+* :mod:`repro.core.popularity` — Poisson data-popularity estimation (Eq. 5–6).
+* :mod:`repro.core.response` — probabilistic response strategies (Sec. V-C).
+* :mod:`repro.core.knapsack` — 0/1 knapsack DP for Eq. (7).
+* :mod:`repro.core.buffer` — node cache buffers.
+* :mod:`repro.core.replacement` — cache-replacement policies, including
+  the paper's utility-knapsack policy with Algorithm 1.
+"""
+
+from repro.core.buffer import CacheBuffer
+from repro.core.data import DataItem, Query
+from repro.core.knapsack import KnapsackItem, KnapsackSolution, solve_knapsack
+from repro.core.ncl import NCLSelection, ncl_metric, ncl_metrics, select_ncls
+from repro.core.popularity import PopularityEstimator, PopularityTable
+from repro.core.response import (
+    PathAwareResponse,
+    ResponseDecision,
+    SigmoidResponse,
+    AlwaysRespond,
+)
+from repro.core.replacement import (
+    FIFOPolicy,
+    GreedyDualSizePolicy,
+    LRUPolicy,
+    ReplacementPolicy,
+    UtilityKnapsackPolicy,
+)
+
+__all__ = [
+    "CacheBuffer",
+    "DataItem",
+    "Query",
+    "KnapsackItem",
+    "KnapsackSolution",
+    "solve_knapsack",
+    "NCLSelection",
+    "ncl_metric",
+    "ncl_metrics",
+    "select_ncls",
+    "PopularityEstimator",
+    "PopularityTable",
+    "ResponseDecision",
+    "PathAwareResponse",
+    "SigmoidResponse",
+    "AlwaysRespond",
+    "ReplacementPolicy",
+    "FIFOPolicy",
+    "LRUPolicy",
+    "GreedyDualSizePolicy",
+    "UtilityKnapsackPolicy",
+]

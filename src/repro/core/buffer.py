@@ -1,0 +1,136 @@
+"""Per-node cache buffer.
+
+Each node has a finite caching buffer (paper Sec. III-C; sizes uniform in
+[200 Mb, 600 Mb] in the evaluation).  The buffer tracks occupancy in
+bits, insertion order (FIFO), and last-access times (LRU), and evicts
+expired items eagerly.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Iterator, List, Optional
+
+from repro.core.data import DataItem
+from repro.errors import BufferError_
+
+__all__ = ["CacheBuffer"]
+
+
+class CacheBuffer:
+    """A size-bounded container of :class:`DataItem`s.
+
+    The buffer never silently evicts to make room — callers (replacement
+    policies) own that decision; :meth:`put` simply refuses when the item
+    does not fit.
+    """
+
+    def __init__(self, capacity: int):
+        if capacity <= 0:
+            raise BufferError_(f"buffer capacity must be positive, got {capacity}")
+        self._capacity = int(capacity)
+        self._items: Dict[int, DataItem] = {}
+        self._used = 0
+        self._sequence = itertools.count()
+        self._inserted_at: Dict[int, int] = {}   # data_id -> insertion seq no
+        self._accessed_at: Dict[int, int] = {}   # data_id -> last access seq no
+
+    # --- capacity accounting ---------------------------------------------
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    @property
+    def used(self) -> int:
+        return self._used
+
+    @property
+    def free(self) -> int:
+        return self._capacity - self._used
+
+    def fits(self, item: DataItem) -> bool:
+        return item.size <= self.free
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __contains__(self, data_id: int) -> bool:
+        return data_id in self._items
+
+    def __iter__(self) -> Iterator[DataItem]:
+        return iter(list(self._items.values()))
+
+    def data_ids(self) -> List[int]:
+        return list(self._items.keys())
+
+    def items(self) -> List[DataItem]:
+        return list(self._items.values())
+
+    # --- mutation ----------------------------------------------------------
+
+    def put(self, item: DataItem) -> bool:
+        """Insert *item*; returns ``False`` (buffer unchanged) if it does
+        not fit.  Re-inserting an already-cached item refreshes nothing
+        and returns ``True``."""
+        if item.data_id in self._items:
+            return True
+        if item.size > self.free:
+            return False
+        seq = next(self._sequence)
+        self._items[item.data_id] = item
+        self._inserted_at[item.data_id] = seq
+        self._accessed_at[item.data_id] = seq
+        self._used += item.size
+        return True
+
+    def get(self, data_id: int) -> Optional[DataItem]:
+        """Fetch an item and mark it accessed (for LRU)."""
+        item = self._items.get(data_id)
+        if item is not None:
+            self._accessed_at[data_id] = next(self._sequence)
+        return item
+
+    def peek(self, data_id: int) -> Optional[DataItem]:
+        """Fetch without touching access metadata."""
+        return self._items.get(data_id)
+
+    def remove(self, data_id: int) -> Optional[DataItem]:
+        item = self._items.pop(data_id, None)
+        if item is not None:
+            self._used -= item.size
+            self._inserted_at.pop(data_id, None)
+            self._accessed_at.pop(data_id, None)
+        return item
+
+    def clear(self) -> List[DataItem]:
+        """Remove and return every cached item (used by exchange)."""
+        items = self.items()
+        self._items.clear()
+        self._inserted_at.clear()
+        self._accessed_at.clear()
+        self._used = 0
+        return items
+
+    def evict_expired(self, now: float) -> List[DataItem]:
+        """Drop all items expired at *now*; returns what was dropped."""
+        expired = [item for item in self._items.values() if item.is_expired(now)]
+        for item in expired:
+            self.remove(item.data_id)
+        return expired
+
+    # --- ordering views (for FIFO/LRU policies) ------------------------
+
+    def insertion_order(self) -> List[DataItem]:
+        """Items oldest-inserted first (FIFO eviction order)."""
+        return sorted(self._items.values(), key=lambda d: self._inserted_at[d.data_id])
+
+    def access_order(self) -> List[DataItem]:
+        """Items least-recently-accessed first (LRU eviction order)."""
+        return sorted(self._items.values(), key=lambda d: self._accessed_at[d.data_id])
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"CacheBuffer(capacity={self._capacity}, used={self._used}, "
+            f"items={len(self._items)})"
+        )

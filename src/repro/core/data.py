@@ -1,0 +1,114 @@
+"""Data items and queries (paper Sec. III-C).
+
+Each node may generate data with a globally unique identifier, a size,
+and a finite lifetime, and may request data by issuing queries carrying a
+finite time constraint.  Both objects are immutable value types; all
+mutable bookkeeping (where copies live, whether a query was satisfied)
+belongs to the simulator and metrics layers.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import ClassVar
+
+from repro.errors import ConfigurationError
+
+__all__ = ["DataItem", "Query"]
+
+
+@dataclass(frozen=True)
+class DataItem:
+    """An immutable data item.
+
+    Attributes
+    ----------
+    data_id:
+        Globally unique identifier.
+    source:
+        Node id of the generator.
+    size:
+        Size in bits (integral, for the knapsack DP).
+    created_at / expires_at:
+        Lifetime bounds in simulation seconds.
+    """
+
+    data_id: int
+    source: int
+    size: int
+    created_at: float
+    expires_at: float
+
+    def __post_init__(self) -> None:
+        if self.size <= 0:
+            raise ConfigurationError(f"data size must be positive, got {self.size}")
+        if self.expires_at <= self.created_at:
+            raise ConfigurationError(
+                f"data {self.data_id} expires at {self.expires_at} "
+                f"<= creation {self.created_at}"
+            )
+
+    @property
+    def lifetime(self) -> float:
+        return self.expires_at - self.created_at
+
+    def is_expired(self, now: float) -> bool:
+        return now >= self.expires_at
+
+    def remaining_lifetime(self, now: float) -> float:
+        return max(0.0, self.expires_at - now)
+
+
+@dataclass(frozen=True)
+class Query:
+    """A query for one data item, with a finite time constraint.
+
+    The paper's evaluation sets the constraint to half the average data
+    lifetime (Sec. VI-A2); the constraint is carried on the query so each
+    relay can compute the elapsed/remaining time of Sec. V-C.
+    """
+
+    query_id: int
+    requester: int
+    data_id: int
+    created_at: float
+    time_constraint: float
+
+    _id_counter: ClassVar[itertools.count] = itertools.count()
+
+    def __post_init__(self) -> None:
+        if self.time_constraint <= 0:
+            raise ConfigurationError("query time constraint must be positive")
+
+    @classmethod
+    def create(
+        cls,
+        requester: int,
+        data_id: int,
+        created_at: float,
+        time_constraint: float,
+    ) -> "Query":
+        """Create a query with a fresh process-unique id."""
+        return cls(
+            query_id=next(cls._id_counter),
+            requester=requester,
+            data_id=data_id,
+            created_at=created_at,
+            time_constraint=time_constraint,
+        )
+
+    @property
+    def expires_at(self) -> float:
+        return self.created_at + self.time_constraint
+
+    def is_expired(self, now: float) -> bool:
+        return now >= self.expires_at
+
+    def elapsed(self, now: float) -> float:
+        """Elapsed query time t₀ (clamped to [0, T_q])."""
+        return min(max(0.0, now - self.created_at), self.time_constraint)
+
+    def remaining(self, now: float) -> float:
+        """Remaining time T_q − t₀ before the constraint expires."""
+        return self.time_constraint - self.elapsed(now)

@@ -1,0 +1,121 @@
+"""0/1 knapsack solver for cache replacement (paper Eq. 7).
+
+When two caching nodes meet, the higher-priority node selects which items
+from the joint selection pool to keep, maximising total utility under its
+buffer capacity — a 0/1 knapsack solved "in pseudo-polynomial time
+O(n · S_A) by dynamic programming" (Sec. V-D2).
+
+Buffer capacities in this library are in **bits** (hundreds of megabits),
+so a literal O(n · S_A) table is infeasible; the solver first quantises
+sizes to a resolution chosen so the capacity axis has at most
+``max_capacity_units`` cells.  Item sizes are rounded **up** and the
+capacity **down**, so a quantised solution never overfills the real
+buffer (it may only be slightly conservative — the error is bounded by
+one resolution unit per item and covered by property tests).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Hashable, List, Sequence, Tuple
+
+from repro.errors import KnapsackError
+
+__all__ = ["KnapsackItem", "KnapsackSolution", "solve_knapsack"]
+
+
+@dataclass(frozen=True)
+class KnapsackItem:
+    """One candidate item: an opaque key, a non-negative value (utility),
+    and a positive integral size (bits)."""
+
+    key: Hashable
+    value: float
+    size: int
+
+    def __post_init__(self) -> None:
+        if self.size <= 0:
+            raise KnapsackError(f"item {self.key!r} has non-positive size {self.size}")
+        if not math.isfinite(self.value) or self.value < 0:
+            raise KnapsackError(f"item {self.key!r} has invalid value {self.value}")
+
+
+@dataclass(frozen=True)
+class KnapsackSolution:
+    """Selected items plus totals; `selected` preserves input order."""
+
+    selected: Tuple[KnapsackItem, ...]
+    total_value: float
+    total_size: int
+
+    @property
+    def keys(self) -> Tuple[Hashable, ...]:
+        return tuple(item.key for item in self.selected)
+
+
+def _resolution_for(capacity: int, max_capacity_units: int) -> int:
+    if capacity <= max_capacity_units:
+        return 1
+    return math.ceil(capacity / max_capacity_units)
+
+
+def solve_knapsack(
+    items: Sequence[KnapsackItem],
+    capacity: int,
+    max_capacity_units: int = 4096,
+) -> KnapsackSolution:
+    """Solve the 0/1 knapsack over *items* with buffer *capacity* (bits).
+
+    Returns the utility-maximising subset under quantisation (see module
+    docstring).  Deterministic: ties are resolved by preferring items
+    earlier in the input sequence.
+    """
+    if capacity < 0:
+        raise KnapsackError(f"capacity must be non-negative, got {capacity}")
+    if max_capacity_units < 1:
+        raise KnapsackError("max_capacity_units must be >= 1")
+    items = list(items)
+    if not items or capacity == 0:
+        return KnapsackSolution(selected=(), total_value=0.0, total_size=0)
+
+    resolution = _resolution_for(capacity, max_capacity_units)
+    cap_units = capacity // resolution
+    sizes = [math.ceil(item.size / resolution) for item in items]
+
+    feasible = [
+        (item, size) for item, size in zip(items, sizes) if size <= cap_units
+    ]
+    if not feasible:
+        return KnapsackSolution(selected=(), total_value=0.0, total_size=0)
+
+    n = len(feasible)
+    width = cap_units + 1
+    # value[w] = best value with capacity w; keep[i][w] = item i taken at w.
+    values = [0.0] * width
+    keep: List[List[bool]] = []
+    for i, (item, size) in enumerate(feasible):
+        keep_row = [False] * width
+        # Iterate capacity descending: classic 1-D 0/1 knapsack update.
+        for w in range(cap_units, size - 1, -1):
+            candidate = values[w - size] + item.value
+            if candidate > values[w]:
+                values[w] = candidate
+                keep_row[w] = True
+        keep.append(keep_row)
+
+    # Traceback from full capacity.
+    selected_indices: List[int] = []
+    w = cap_units
+    for i in range(n - 1, -1, -1):
+        if keep[i][w]:
+            selected_indices.append(i)
+            w -= feasible[i][1]
+    selected_indices.reverse()
+
+    selected = tuple(feasible[i][0] for i in selected_indices)
+    return KnapsackSolution(
+        selected=selected,
+        total_value=sum(item.value for item in selected),
+        total_size=sum(item.size for item in selected),
+    )

@@ -1,0 +1,112 @@
+"""Data-popularity estimation (paper Sec. V-D1, Eq. 5–6).
+
+The occurrences of past requests to a data item are modelled as a Poisson
+process with rate λ_d = k / (t_k − t₁) estimated from the k requests
+observed in [t₁, t_k] (Eq. 5).  The *popularity* of the item is the
+probability it is requested at least once more before it expires at t_e
+(Eq. 6):
+
+    w = 1 − e^{−λ_d · (t_e − t_k)}.
+
+A node needs only a counter and two timestamps per item — the negligible
+space overhead the paper claims — which is exactly what
+:class:`repro.mathutils.poisson.RateEstimator` stores with the
+``first_event`` anchor.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Tuple
+
+from repro.mathutils.poisson import RateEstimator, poisson_probability_at_least_one
+
+__all__ = ["PopularityEstimator", "PopularityTable"]
+
+
+class PopularityEstimator:
+    """Popularity of a single data item from its observed request history."""
+
+    __slots__ = ("_rates",)
+
+    def __init__(self) -> None:
+        self._rates = RateEstimator(anchor="first_event")
+
+    @property
+    def request_count(self) -> int:
+        return self._rates.count
+
+    def record_request(self, timestamp: float) -> None:
+        """Record one observed request (query) for the item."""
+        self._rates.record(timestamp)
+
+    def request_rate(self) -> float:
+        """λ_d of Eq. (5); 0 until two distinct request times exist."""
+        return self._rates.rate(now=0.0)  # 'first_event' anchor ignores now
+
+    def popularity(self, expires_at: float) -> float:
+        """w of Eq. (6): P(another request before *expires_at*).
+
+        The horizon runs from the last observed request t_k to the data's
+        expiration t_e.  Items never requested (or requested once, so no
+        rate is estimable) get popularity 0 — the paper's footnote 3:
+        newly created data initially has low utility.
+        """
+        rate = self.request_rate()
+        if rate <= 0.0:
+            return 0.0
+        horizon = expires_at - self._rates.last_event_time
+        return poisson_probability_at_least_one(rate, horizon)
+
+    def merge(self, other: "PopularityEstimator") -> None:
+        """Fold another node's observed history into this estimator.
+
+        Caching nodes exchange request-history summaries during cache
+        replacement so both sides score data on the union of what they
+        have seen.
+        """
+        self._rates.merge_counts(other._rates)
+
+
+class PopularityTable:
+    """Per-node table of :class:`PopularityEstimator`s keyed by data id."""
+
+    def __init__(self) -> None:
+        self._estimators: Dict[int, PopularityEstimator] = {}
+
+    def __len__(self) -> int:
+        return len(self._estimators)
+
+    def __contains__(self, data_id: int) -> bool:
+        return data_id in self._estimators
+
+    def items(self) -> Iterator[Tuple[int, PopularityEstimator]]:
+        return iter(self._estimators.items())
+
+    def estimator(self, data_id: int) -> PopularityEstimator:
+        """The estimator for *data_id*, created on first access."""
+        est = self._estimators.get(data_id)
+        if est is None:
+            est = PopularityEstimator()
+            self._estimators[data_id] = est
+        return est
+
+    def record_request(self, data_id: int, timestamp: float) -> None:
+        self.estimator(data_id).record_request(timestamp)
+
+    def popularity(self, data_id: int, expires_at: float) -> float:
+        est = self._estimators.get(data_id)
+        return est.popularity(expires_at) if est else 0.0
+
+    def request_count(self, data_id: int) -> int:
+        est = self._estimators.get(data_id)
+        return est.request_count if est else 0
+
+    def merge_from(self, other: "PopularityTable") -> None:
+        """Merge another node's table into this one (both directions are
+        applied by the caller during a contact)."""
+        for data_id, est in other._estimators.items():
+            self.estimator(data_id).merge(est)
+
+    def forget(self, data_id: int) -> None:
+        """Drop the history of an expired item to bound memory."""
+        self._estimators.pop(data_id, None)

@@ -1,0 +1,56 @@
+"""Exception hierarchy for the ``repro`` package.
+
+Every error raised by this library derives from :class:`ReproError`, so a
+caller can catch a single base class at an API boundary.  Subclasses are
+deliberately fine-grained: each corresponds to a distinct failure mode a
+downstream user may want to handle differently (bad configuration vs. a
+malformed trace file vs. an impossible buffer operation).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class ConfigurationError(ReproError):
+    """A simulation, workload, or scheme parameter is invalid.
+
+    Raised eagerly at construction time so that misconfiguration is
+    reported before a potentially long simulation starts.
+    """
+
+
+class TraceFormatError(ReproError):
+    """A contact-trace file or record could not be parsed."""
+
+
+class TraceConsistencyError(ReproError):
+    """A trace violates an invariant (e.g. contact ends before it starts)."""
+
+
+class BufferError_(ReproError):
+    """A cache-buffer operation is impossible (e.g. item larger than buffer).
+
+    Named with a trailing underscore to avoid shadowing the Python builtin
+    :class:`BufferError`.
+    """
+
+
+class RoutingError(ReproError):
+    """A routing operation referenced an unknown node or endpoint."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulation reached an inconsistent state."""
+
+
+class PathError(ReproError):
+    """An opportunistic-path computation was requested between unknown or
+    disconnected endpoints where a result is mandatory."""
+
+
+class KnapsackError(ReproError):
+    """Invalid input to the knapsack solver (negative sizes, mismatched
+    value/size vectors, non-integral capacities)."""

@@ -1,0 +1,61 @@
+"""Experiment harness: regenerates every table and figure of the paper.
+
+* :mod:`repro.experiments.configs` — experiment scales (smoke / bench /
+  paper) and scheme factories.
+* :mod:`repro.experiments.runner` — seeded multi-run execution and
+  sweeps.
+* :mod:`repro.experiments.figures` — one entry point per paper artifact:
+  ``table1``, ``fig4``, ``fig9a``, ``fig9b``, ``fig10``, ``fig11``,
+  ``fig12``, ``fig13``.
+* :mod:`repro.experiments.report` — ASCII rendering and CSV export of
+  results.
+"""
+
+from repro.experiments.configs import (
+    BENCH_SCALE,
+    PAPER_SCALE,
+    SMOKE_SCALE,
+    ExperimentScale,
+    scheme_factories,
+)
+from repro.experiments.figures import (
+    FigureResult,
+    Series,
+    TableResult,
+    fig4,
+    fig7,
+    fig9a,
+    fig9b,
+    fig10,
+    fig11,
+    fig12,
+    fig13,
+    table1,
+)
+from repro.experiments.runner import run_comparison, run_single
+from repro.experiments.report import render_figure, render_table, results_to_csv
+
+__all__ = [
+    "ExperimentScale",
+    "SMOKE_SCALE",
+    "BENCH_SCALE",
+    "PAPER_SCALE",
+    "scheme_factories",
+    "Series",
+    "FigureResult",
+    "TableResult",
+    "table1",
+    "fig4",
+    "fig7",
+    "fig9a",
+    "fig9b",
+    "fig10",
+    "fig11",
+    "fig12",
+    "fig13",
+    "run_single",
+    "run_comparison",
+    "render_figure",
+    "render_table",
+    "results_to_csv",
+]

@@ -1,0 +1,117 @@
+"""Experiment scales and scheme factories.
+
+The paper runs on the full CRAWDAD traces; regenerating every figure at
+that scale takes hours in a pure-Python simulator.  Each experiment
+therefore accepts an :class:`ExperimentScale`:
+
+* ``SMOKE_SCALE`` — seconds; integration tests.
+* ``BENCH_SCALE`` — tens of seconds per figure; the pytest-benchmark
+  targets.
+* ``PAPER_SCALE`` — full node counts, quarter-length traces, multiple
+  seeds; the numbers recorded in EXPERIMENTS.md
+  (``examples/run_paper_experiments.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
+from repro.caching import (
+    BundleCache,
+    CacheData,
+    CachingScheme,
+    IntentionalCaching,
+    IntentionalConfig,
+    NoCache,
+    RandomCache,
+)
+from repro.core.replacement import (
+    FIFOPolicy,
+    GreedyDualSizePolicy,
+    LRUPolicy,
+    ReplacementPolicy,
+    UtilityKnapsackPolicy,
+)
+from repro.errors import ConfigurationError
+from repro.traces.catalog import TRACE_PRESETS
+from repro.traces.contact import ContactTrace
+from repro.traces.synthetic import generate_synthetic_trace
+
+__all__ = [
+    "ExperimentScale",
+    "SMOKE_SCALE",
+    "BENCH_SCALE",
+    "PAPER_SCALE",
+    "scheme_factories",
+    "replacement_factories",
+    "load_scaled_trace",
+]
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    """How large to run an experiment."""
+
+    name: str
+    node_factor: float
+    time_factor: float
+    seeds: tuple
+    trace_seed: int = 1
+
+    def __post_init__(self) -> None:
+        if not self.seeds:
+            raise ConfigurationError("at least one simulation seed is required")
+        if self.node_factor <= 0 or self.time_factor <= 0:
+            raise ConfigurationError("scale factors must be positive")
+
+
+SMOKE_SCALE = ExperimentScale("smoke", node_factor=0.35, time_factor=0.08, seeds=(7,))
+BENCH_SCALE = ExperimentScale("bench", node_factor=0.6, time_factor=0.12, seeds=(7,))
+PAPER_SCALE = ExperimentScale("paper", node_factor=1.0, time_factor=0.25, seeds=(7, 11, 13))
+
+
+def load_scaled_trace(preset_key: str, scale: ExperimentScale) -> ContactTrace:
+    """The synthetic stand-in for *preset_key* at the given scale."""
+    preset = TRACE_PRESETS[preset_key]
+    config = preset.synthetic_config(
+        seed=scale.trace_seed,
+        node_factor=scale.node_factor,
+        time_factor=scale.time_factor,
+    )
+    return generate_synthetic_trace(config)
+
+
+SchemeFactory = Callable[[], CachingScheme]
+
+
+def scheme_factories(
+    num_ncls: int,
+    ncl_time_budget: float,
+    replacement: Optional[Callable[[], ReplacementPolicy]] = None,
+) -> Dict[str, SchemeFactory]:
+    """The five schemes of Sec. VI, ready to instantiate per run."""
+
+    def intentional() -> CachingScheme:
+        return IntentionalCaching(
+            IntentionalConfig(num_ncls=num_ncls, ncl_time_budget=ncl_time_budget),
+            replacement=replacement() if replacement else None,
+        )
+
+    return {
+        "intentional": intentional,
+        "nocache": NoCache,
+        "randomcache": RandomCache,
+        "cachedata": CacheData,
+        "bundlecache": BundleCache,
+    }
+
+
+def replacement_factories() -> Dict[str, Callable[[], ReplacementPolicy]]:
+    """The four replacement policies compared in Fig. 12."""
+    return {
+        "utility_knapsack": lambda: UtilityKnapsackPolicy(probabilistic=True),
+        "fifo": FIFOPolicy,
+        "lru": LRUPolicy,
+        "gds": GreedyDualSizePolicy,
+    }

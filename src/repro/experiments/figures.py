@@ -1,0 +1,475 @@
+"""One entry point per table/figure of the paper's evaluation.
+
+Every function takes an :class:`ExperimentScale` and returns a
+structured result (:class:`TableResult` or :class:`FigureResult`) that
+:mod:`repro.experiments.report` can render as ASCII or CSV.
+
+Sweep axes that the paper expresses in absolute time (data lifetime up
+to 3 months on a 246-day trace) are expressed here as fractions of the
+scaled trace's evaluation window, so the *shape* of each curve — who
+wins, how metrics trend along the axis, where they flatten — is
+preserved at every scale.  Absolute parameter values are recorded in
+each result's ``params``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.ncl import calibrate_time_budget, ncl_metrics
+from repro.experiments.configs import (
+    ExperimentScale,
+    load_scaled_trace,
+    replacement_factories,
+    scheme_factories,
+)
+from repro.experiments.runner import run_comparison, run_repeated
+from repro.graph.contact_graph import ContactGraph
+from repro.mathutils.zipf import ZipfDistribution
+from repro.metrics.results import AggregateResult
+from repro.rng import SeedSequenceFactory
+from repro.traces.catalog import TRACE_PRESETS
+from repro.traces.stats import summarize_trace
+from repro.units import HOUR, MEGABIT
+from repro.workload.config import WorkloadConfig
+from repro.workload.generator import WorkloadProcess
+
+__all__ = [
+    "Series",
+    "FigureResult",
+    "TableResult",
+    "table1",
+    "fig4",
+    "fig7",
+    "fig9a",
+    "fig9b",
+    "fig10",
+    "fig11",
+    "fig12",
+    "fig13",
+    "ALL_EXPERIMENTS",
+]
+
+
+@dataclass(frozen=True)
+class Series:
+    """One labelled line of a figure."""
+
+    label: str
+    x: List[float]
+    y: List[float]
+
+    def __post_init__(self) -> None:
+        if len(self.x) != len(self.y):
+            raise ValueError(f"series {self.label!r}: x and y lengths differ")
+
+
+@dataclass(frozen=True)
+class FigureResult:
+    """A reproduced figure: several series over a shared x-axis meaning."""
+
+    figure_id: str
+    title: str
+    x_label: str
+    y_label: str
+    series: List[Series]
+    params: Dict[str, object] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class TableResult:
+    """A reproduced table."""
+
+    table_id: str
+    title: str
+    rows: List[Dict[str, object]]
+    params: Dict[str, object] = field(default_factory=dict)
+
+
+# --- Table I -----------------------------------------------------------------
+
+
+def table1(scale: ExperimentScale) -> TableResult:
+    """Table I: summary statistics of the four (synthetic) traces."""
+    rows = []
+    for key in TRACE_PRESETS:
+        trace = load_scaled_trace(key, scale)
+        rows.append(summarize_trace(trace).as_row())
+    return TableResult(
+        table_id="table1",
+        title="Trace summary (synthetic stand-ins for Table I)",
+        rows=rows,
+        params={"scale": scale.name},
+    )
+
+
+# --- Fig. 4: NCL metric skew ----------------------------------------------
+
+
+def fig4(
+    scale: ExperimentScale,
+    traces: Optional[Sequence[str]] = None,
+    adaptive_t: bool = True,
+) -> FigureResult:
+    """Fig. 4: the distribution of NCL selection metric values per trace.
+
+    One series per trace: nodes sorted by descending Eq. (3) metric,
+    x = node rank / N (so traces of different sizes share an axis).
+
+    The paper chooses T "adaptively ... to ensure the differentiation of
+    the NCL selection metric values" (Sec. IV-B); with ``adaptive_t``
+    (default) the budget is calibrated per trace by
+    :func:`repro.core.ncl.calibrate_time_budget`, otherwise each
+    preset's published T is used verbatim.
+    """
+    series: List[Series] = []
+    budgets: Dict[str, float] = {}
+    for key in traces or list(TRACE_PRESETS):
+        preset = TRACE_PRESETS[key]
+        trace = load_scaled_trace(key, scale)
+        graph = ContactGraph.from_trace(trace)
+        if adaptive_t:
+            budget = calibrate_time_budget(
+                graph, sample_sources=min(40, graph.num_nodes)
+            )
+        else:
+            budget = preset.ncl_time_budget
+        budgets[key] = budget / HOUR
+        metrics = np.sort(ncl_metrics(graph, budget))[::-1]
+        # Resample onto a shared 100-point rank-percentile grid so traces
+        # of different sizes align (and export to one rectangular CSV).
+        grid = np.linspace(0.01, 1.0, 100)
+        n = len(metrics)
+        own_x = (np.arange(n) + 1) / n
+        resampled = np.interp(grid, own_x, metrics)
+        series.append(
+            Series(
+                label=key,
+                x=[float(v) for v in grid],
+                y=[float(v) for v in resampled],
+            )
+        )
+    return FigureResult(
+        figure_id="fig4",
+        title="NCL selection metric distribution (Fig. 4)",
+        x_label="node rank / N",
+        y_label="metric C_i",
+        series=series,
+        params={"scale": scale.name, "adaptive_t": adaptive_t, "T_hours": budgets},
+    )
+
+
+# --- Fig. 9: experiment setup ------------------------------------------------
+
+
+def _eval_window(scale: ExperimentScale, preset_key: str = "mit_reality") -> float:
+    trace = load_scaled_trace(preset_key, scale)
+    return trace.duration / 2.0
+
+
+def fig9a(scale: ExperimentScale, lifetime_fractions: Sequence[float] = (0.05, 0.1, 0.2, 0.4, 0.8)) -> FigureResult:
+    """Fig. 9a: the amount of data in the network vs. data lifetime T_L.
+
+    Runs the workload process standalone over the MIT-like evaluation
+    window for each T_L and reports both total generated items and the
+    time-averaged number of live items.
+    """
+    trace = load_scaled_trace("mit_reality", scale)
+    eval_window = trace.duration / 2.0
+    start = trace.duration / 2.0
+    lifetimes = [f * eval_window for f in lifetime_fractions]
+    generated: List[float] = []
+    live: List[float] = []
+    for lifetime in lifetimes:
+        workload = WorkloadConfig(mean_data_lifetime=lifetime)
+        factory = SeedSequenceFactory(scale.seeds[0])
+        process = WorkloadProcess(workload, trace.num_nodes, factory.generator("workload"))
+        own: Dict[int, float] = {}  # node -> expiry of its live item
+        live_samples: List[int] = []
+        t = start
+        while t < start + eval_window:
+            has_live = [own.get(node, 0.0) > t for node in range(trace.num_nodes)]
+            for item in process.data_round(t, has_live):
+                own[item.source] = item.expires_at
+            live_samples.append(len(process.live_items(t)))
+            t += workload.data_generation_period
+        generated.append(float(len(process.generated_items)))
+        live.append(float(np.mean(live_samples)))
+    x = [lifetime / HOUR for lifetime in lifetimes]
+    return FigureResult(
+        figure_id="fig9a",
+        title="Generated data vs. data lifetime (Fig. 9a)",
+        x_label="mean data lifetime T_L (hours)",
+        y_label="data items",
+        series=[
+            Series(label="generated (total)", x=x, y=generated),
+            Series(label="live (time average)", x=x, y=live),
+        ],
+        params={"scale": scale.name, "p_G": 0.2},
+    )
+
+
+def fig7(
+    p_min: float = 0.45,
+    p_max: float = 0.8,
+    time_constraint: float = 10 * HOUR,
+    num_points: int = 60,
+) -> FigureResult:
+    """Fig. 7: the probabilistic-response sigmoid p_R(t) (Eq. 4).
+
+    The paper plots p_min = 0.45, p_max = 0.8, T_q = 10 hours.
+    """
+    from repro.mathutils.sigmoid import ResponseSigmoid
+
+    sigmoid = ResponseSigmoid(p_min, p_max, time_constraint)
+    xs = [time_constraint * i / (num_points - 1) for i in range(num_points)]
+    return FigureResult(
+        figure_id="fig7",
+        title="Probability for deciding data response (Fig. 7)",
+        x_label="elapsed query time t (hours)",
+        y_label="p_R(t)",
+        series=[
+            Series(
+                label=f"p_min={p_min:g}, p_max={p_max:g}",
+                x=[t / HOUR for t in xs],
+                y=[sigmoid(t) for t in xs],
+            )
+        ],
+        params={"T_q_hours": time_constraint / HOUR},
+    )
+
+
+def fig9b(num_items: int = 50, exponents: Sequence[float] = (0.5, 1.0, 1.5)) -> FigureResult:
+    """Fig. 9b: the Zipf query pmf P_j for several exponents (Eq. 8)."""
+    series = []
+    for s in exponents:
+        pmf = ZipfDistribution(num_items, s).pmf_vector()
+        series.append(
+            Series(
+                label=f"s={s:g}",
+                x=[float(j) for j in range(1, num_items + 1)],
+                y=[float(p) for p in pmf],
+            )
+        )
+    return FigureResult(
+        figure_id="fig9b",
+        title="Zipf query distribution (Fig. 9b)",
+        x_label="data rank j",
+        y_label="P_j",
+        series=series,
+        params={"num_items": num_items},
+    )
+
+
+# --- shared sweep machinery for Figs. 10-13 ------------------------------
+
+
+_METRIC_AXES = (
+    ("successful_ratio", "successful ratio"),
+    ("mean_access_delay_hours", "data access delay (hours)"),
+    ("caching_overhead", "cached copies per item"),
+)
+
+
+def _axis_value(result: AggregateResult, metric: str) -> float:
+    if metric == "mean_access_delay_hours":
+        return result.mean_access_delay / HOUR
+    return float(getattr(result, metric))
+
+
+def _sweep_figures(
+    figure_id: str,
+    title: str,
+    x_label: str,
+    x_values: Sequence[float],
+    results: Dict[str, List[AggregateResult]],
+    params: Dict[str, object],
+) -> Dict[str, FigureResult]:
+    """Build the (a) ratio, (b) delay, (c) overhead sub-figures."""
+    figures: Dict[str, FigureResult] = {}
+    for suffix, (metric, y_label) in zip(("a", "b", "c"), _METRIC_AXES):
+        series = [
+            Series(
+                label=name,
+                x=list(x_values),
+                y=[_axis_value(r, metric) for r in sweep],
+            )
+            for name, sweep in results.items()
+        ]
+        figures[suffix] = FigureResult(
+            figure_id=f"{figure_id}{suffix}",
+            title=f"{title} — {y_label}",
+            x_label=x_label,
+            y_label=y_label,
+            series=series,
+            params=dict(params),
+        )
+    return figures
+
+
+def fig10(
+    scale: ExperimentScale,
+    lifetime_fractions: Sequence[float] = (0.05, 0.1, 0.2, 0.4, 0.8),
+) -> Dict[str, FigureResult]:
+    """Fig. 10: performance vs. data lifetime T_L on the MIT-like trace.
+
+    Five schemes, K = 8, s_avg = 100 Mb; T_L swept as fractions of the
+    evaluation window (12 h → 3 months in the paper).
+    """
+    preset = TRACE_PRESETS["mit_reality"]
+    trace = load_scaled_trace("mit_reality", scale)
+    eval_window = trace.duration / 2.0
+    factories = scheme_factories(
+        num_ncls=preset.default_num_ncls, ncl_time_budget=preset.ncl_time_budget
+    )
+    results: Dict[str, List[AggregateResult]] = {name: [] for name in factories}
+    lifetimes = [f * eval_window for f in lifetime_fractions]
+    for lifetime in lifetimes:
+        workload = WorkloadConfig(mean_data_lifetime=lifetime, mean_data_size=100 * MEGABIT)
+        comparison = run_comparison(trace, factories, workload, scale.seeds)
+        for name, agg in comparison.items():
+            results[name].append(agg)
+    return _sweep_figures(
+        "fig10",
+        "Performance vs. data lifetime (Fig. 10)",
+        "data lifetime T_L (hours)",
+        [lifetime / HOUR for lifetime in lifetimes],
+        results,
+        {"scale": scale.name, "trace": "mit_reality", "K": preset.default_num_ncls},
+    )
+
+
+def fig11(
+    scale: ExperimentScale,
+    sizes_mb: Sequence[float] = (20, 60, 100, 150, 200),
+    lifetime_fraction: float = 0.2,
+) -> Dict[str, FigureResult]:
+    """Fig. 11: performance vs. average data size s_avg (node buffer
+    conditions) on the MIT-like trace.  T_L = 1 week in the paper."""
+    preset = TRACE_PRESETS["mit_reality"]
+    trace = load_scaled_trace("mit_reality", scale)
+    lifetime = lifetime_fraction * trace.duration / 2.0
+    factories = scheme_factories(
+        num_ncls=preset.default_num_ncls, ncl_time_budget=preset.ncl_time_budget
+    )
+    results: Dict[str, List[AggregateResult]] = {name: [] for name in factories}
+    for size_mb in sizes_mb:
+        workload = WorkloadConfig(
+            mean_data_lifetime=lifetime, mean_data_size=int(size_mb * MEGABIT)
+        )
+        comparison = run_comparison(trace, factories, workload, scale.seeds)
+        for name, agg in comparison.items():
+            results[name].append(agg)
+    return _sweep_figures(
+        "fig11",
+        "Performance vs. average data size (Fig. 11)",
+        "average data size s_avg (Mb)",
+        list(sizes_mb),
+        results,
+        {"scale": scale.name, "trace": "mit_reality", "K": preset.default_num_ncls},
+    )
+
+
+def fig12(
+    scale: ExperimentScale,
+    sizes_mb: Sequence[float] = (20, 60, 100, 150, 200),
+    lifetime_fraction: float = 0.2,
+) -> Dict[str, FigureResult]:
+    """Fig. 12: cache-replacement strategies inside the intentional scheme
+    (ours vs FIFO / LRU / Greedy-Dual-Size) vs. average data size.
+
+    Sub-figure (c) reports replacement overhead (items replaced per
+    generated data item) instead of cached copies.
+    """
+    preset = TRACE_PRESETS["mit_reality"]
+    trace = load_scaled_trace("mit_reality", scale)
+    lifetime = lifetime_fraction * trace.duration / 2.0
+    results: Dict[str, List[AggregateResult]] = {}
+    for policy_name, policy_factory in replacement_factories().items():
+        sweep: List[AggregateResult] = []
+        for size_mb in sizes_mb:
+            workload = WorkloadConfig(
+                mean_data_lifetime=lifetime, mean_data_size=int(size_mb * MEGABIT)
+            )
+            factory = scheme_factories(
+                num_ncls=preset.default_num_ncls,
+                ncl_time_budget=preset.ncl_time_budget,
+                replacement=policy_factory,
+            )["intentional"]
+            sweep.append(run_repeated(trace, factory, workload, scale.seeds))
+        results[policy_name] = sweep
+    figures = _sweep_figures(
+        "fig12",
+        "Cache replacement strategies (Fig. 12)",
+        "average data size s_avg (Mb)",
+        list(sizes_mb),
+        results,
+        {"scale": scale.name, "trace": "mit_reality"},
+    )
+    figures["c"] = FigureResult(
+        figure_id="fig12c",
+        title="Cache replacement strategies (Fig. 12) — replacement overhead",
+        x_label="average data size s_avg (Mb)",
+        y_label="items replaced per generated item",
+        series=[
+            Series(
+                label=name,
+                x=list(sizes_mb),
+                y=[r.replacement_overhead for r in sweep],
+            )
+            for name, sweep in results.items()
+        ],
+        params={"scale": scale.name, "trace": "mit_reality"},
+    )
+    return figures
+
+
+def fig13(
+    scale: ExperimentScale,
+    ncl_counts: Sequence[int] = (1, 2, 3, 5, 8, 10),
+    sizes_mb: Sequence[float] = (50, 100, 200),
+    lifetime_fraction: float = 0.1,
+) -> Dict[str, FigureResult]:
+    """Fig. 13: impact of the number of NCLs (K) on the Infocom06-like
+    trace, one curve per buffer condition (s_avg).  T_L = 3 h in the
+    paper."""
+    preset = TRACE_PRESETS["infocom06"]
+    trace = load_scaled_trace("infocom06", scale)
+    lifetime = lifetime_fraction * trace.duration / 2.0
+    results: Dict[str, List[AggregateResult]] = {}
+    for size_mb in sizes_mb:
+        workload = WorkloadConfig(
+            mean_data_lifetime=lifetime, mean_data_size=int(size_mb * MEGABIT)
+        )
+        sweep: List[AggregateResult] = []
+        for k in ncl_counts:
+            factory = scheme_factories(
+                num_ncls=k, ncl_time_budget=preset.ncl_time_budget
+            )["intentional"]
+            sweep.append(run_repeated(trace, factory, workload, scale.seeds))
+        results[f"s_avg={size_mb:g}Mb"] = sweep
+    return _sweep_figures(
+        "fig13",
+        "Impact of the number of NCLs (Fig. 13)",
+        "number of NCLs K",
+        [float(k) for k in ncl_counts],
+        results,
+        {"scale": scale.name, "trace": "infocom06"},
+    )
+
+
+#: registry used by the paper-experiments example and the benchmarks
+ALL_EXPERIMENTS: Dict[str, Callable] = {
+    "table1": table1,
+    "fig4": fig4,
+    "fig7": fig7,
+    "fig9a": fig9a,
+    "fig9b": fig9b,
+    "fig10": fig10,
+    "fig11": fig11,
+    "fig12": fig12,
+    "fig13": fig13,
+}

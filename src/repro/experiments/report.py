@@ -1,0 +1,169 @@
+"""Rendering of experiment results: ASCII tables, ASCII charts, CSV.
+
+The paper presents its evaluation as figures; a terminal-first
+reproduction renders the same series as aligned tables plus a compact
+ASCII chart so trends are visible without plotting dependencies.
+"""
+
+from __future__ import annotations
+
+import io
+import math
+from typing import Sequence
+
+from repro.experiments.figures import FigureResult, Series, TableResult
+
+__all__ = [
+    "render_table",
+    "render_figure",
+    "render_ascii_chart",
+    "render_markdown",
+    "results_to_csv",
+]
+
+
+def _format_cell(value: object) -> str:
+    if isinstance(value, float):
+        if math.isnan(value):
+            return "nan"
+        if value and (abs(value) < 0.01 or abs(value) >= 10000):
+            return f"{value:.3g}"
+        return f"{value:.3f}".rstrip("0").rstrip(".")
+    return str(value)
+
+
+def render_table(result: TableResult) -> str:
+    """Aligned ASCII rendering of a :class:`TableResult`."""
+    if not result.rows:
+        return f"{result.title}\n(no rows)"
+    columns = list(result.rows[0].keys())
+    cells = [[_format_cell(row.get(col, "")) for col in columns] for row in result.rows]
+    widths = [
+        max(len(col), *(len(row[i]) for row in cells)) for i, col in enumerate(columns)
+    ]
+    out = io.StringIO()
+    out.write(f"{result.title}\n")
+    header = "  ".join(col.ljust(widths[i]) for i, col in enumerate(columns))
+    out.write(header + "\n")
+    out.write("-" * len(header) + "\n")
+    for row in cells:
+        out.write("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)) + "\n")
+    return out.getvalue()
+
+
+def render_ascii_chart(
+    series: Sequence[Series], width: int = 64, height: int = 16
+) -> str:
+    """A compact ASCII line chart of several series (marker per series)."""
+    markers = "*o+x#@%&"
+    xs = [x for s in series for x in s.x]
+    ys = [y for s in series for y in s.y if not math.isnan(y)]
+    if not xs or not ys:
+        return "(no data)"
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    if x_hi == x_lo:
+        x_hi = x_lo + 1.0
+    if y_hi == y_lo:
+        y_hi = y_lo + 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for index, s in enumerate(series):
+        marker = markers[index % len(markers)]
+        for x, y in zip(s.x, s.y):
+            if math.isnan(y):
+                continue
+            col = int((x - x_lo) / (x_hi - x_lo) * (width - 1))
+            row = int((y - y_lo) / (y_hi - y_lo) * (height - 1))
+            grid[height - 1 - row][col] = marker
+    out = io.StringIO()
+    out.write(f"{y_hi:>10.3g} ┤" + "".join(grid[0]) + "\n")
+    for line in grid[1:-1]:
+        out.write(" " * 10 + " │" + "".join(line) + "\n")
+    out.write(f"{y_lo:>10.3g} ┤" + "".join(grid[-1]) + "\n")
+    out.write(" " * 12 + f"{x_lo:<.3g}".ljust(width // 2) + f"{x_hi:>.3g}".rjust(width // 2) + "\n")
+    legend = "   ".join(
+        f"{markers[i % len(markers)]} {s.label}" for i, s in enumerate(series)
+    )
+    out.write(" " * 12 + legend + "\n")
+    return out.getvalue()
+
+
+def render_figure(result: FigureResult, chart: bool = True) -> str:
+    """Render a figure as a value table plus an optional ASCII chart."""
+    out = io.StringIO()
+    out.write(f"{result.figure_id}: {result.title}\n")
+    out.write(f"x = {result.x_label}; y = {result.y_label}\n")
+    header = ["x"] + [s.label for s in result.series]
+    widths = [max(10, len(h)) for h in header]
+    out.write("  ".join(h.ljust(w) for h, w in zip(header, widths)) + "\n")
+    x_values = result.series[0].x if result.series else []
+    for i, x in enumerate(x_values):
+        row = [f"{x:.4g}"] + [
+            _format_cell(s.y[i]) if i < len(s.y) else "" for s in result.series
+        ]
+        out.write("  ".join(c.ljust(w) for c, w in zip(row, widths)) + "\n")
+    if chart:
+        out.write("\n" + render_ascii_chart(result.series) + "\n")
+    return out.getvalue()
+
+
+def results_to_csv(result: FigureResult) -> str:
+    """CSV export: one row per x value, one column per series.
+
+    Rows follow the *longest* series' x axis; shorter series leave their
+    trailing cells empty rather than being truncated.
+    """
+    out = io.StringIO()
+    out.write("x," + ",".join(s.label for s in result.series) + "\n")
+    x_values = max((s.x for s in result.series), key=len, default=[])
+    for i, x in enumerate(x_values):
+        row = [f"{x}"] + [
+            str(s.y[i]) if i < len(s.y) else "" for s in result.series
+        ]
+        out.write(",".join(row) + "\n")
+    return out.getvalue()
+
+
+def table_to_csv(result: TableResult) -> str:
+    """CSV export of a table result."""
+    if not result.rows:
+        return ""
+    columns = list(result.rows[0].keys())
+    out = io.StringIO()
+    out.write(",".join(columns) + "\n")
+    for row in result.rows:
+        out.write(",".join(str(row.get(col, "")) for col in columns) + "\n")
+    return out.getvalue()
+
+
+def render_markdown(result: FigureResult, precision: int = 4) -> str:
+    """GitHub-flavoured markdown table of a figure (for docs/reports)."""
+    header = "| x | " + " | ".join(s.label for s in result.series) + " |"
+    rule = "|" + "---|" * (len(result.series) + 1)
+    lines = [f"**{result.figure_id}** — {result.title}", "", header, rule]
+    x_values = result.series[0].x if result.series else []
+    for i, x in enumerate(x_values):
+        cells = [f"{x:.{precision}g}"]
+        for s in result.series:
+            value = s.y[i] if i < len(s.y) else float("nan")
+            cells.append("nan" if math.isnan(value) else f"{value:.{precision}g}")
+        lines.append("| " + " | ".join(cells) + " |")
+    return "\n".join(lines) + "\n"
+
+
+def table_to_markdown(result: TableResult) -> str:
+    """GitHub-flavoured markdown rendering of a table result."""
+    if not result.rows:
+        return f"**{result.table_id}** — {result.title}\n\n(no rows)\n"
+    columns = list(result.rows[0].keys())
+    lines = [
+        f"**{result.table_id}** — {result.title}",
+        "",
+        "| " + " | ".join(columns) + " |",
+        "|" + "---|" * len(columns),
+    ]
+    for row in result.rows:
+        lines.append(
+            "| " + " | ".join(_format_cell(row.get(col, "")) for col in columns) + " |"
+        )
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,50 @@
+"""Seeded execution helpers for the experiment harness."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Sequence
+
+from repro.caching.base import CachingScheme
+from repro.metrics.results import AggregateResult, SimulationResult, aggregate_results
+from repro.sim.simulator import Simulator, SimulatorConfig
+from repro.traces.contact import ContactTrace
+from repro.workload.config import WorkloadConfig
+
+__all__ = ["run_single", "run_repeated", "run_comparison"]
+
+
+def run_single(
+    trace: ContactTrace,
+    scheme: CachingScheme,
+    workload: WorkloadConfig,
+    seed: int = 0,
+) -> SimulationResult:
+    """One seeded simulation run."""
+    return Simulator(trace, scheme, workload, SimulatorConfig(seed=seed)).run()
+
+
+def run_repeated(
+    trace: ContactTrace,
+    scheme_factory: Callable[[], CachingScheme],
+    workload: WorkloadConfig,
+    seeds: Sequence[int],
+) -> AggregateResult:
+    """The paper's repetition protocol: same trace and scheme, several
+    seeds for data/query randomness, aggregated with CIs."""
+    results = [
+        run_single(trace, scheme_factory(), workload, seed=seed) for seed in seeds
+    ]
+    return aggregate_results(results)
+
+
+def run_comparison(
+    trace: ContactTrace,
+    factories: Dict[str, Callable[[], CachingScheme]],
+    workload: WorkloadConfig,
+    seeds: Sequence[int],
+) -> Dict[str, AggregateResult]:
+    """All schemes on an identical trace + workload (paired comparison)."""
+    return {
+        name: run_repeated(trace, factory, workload, seeds)
+        for name, factory in factories.items()
+    }

@@ -1,0 +1,30 @@
+"""Network contact graph G(V, E) and opportunistic paths (paper Sec. III-B, IV-A).
+
+* :mod:`repro.graph.contact_graph` — the weighted undirected graph whose
+  edge weights are pairwise Poisson contact rates λᵢⱼ.
+* :mod:`repro.graph.estimator` — online, time-averaged estimation of the
+  rates from observed contacts ("calculated at real-time from the
+  cumulative contacts ... in a time-average manner").
+* :mod:`repro.graph.paths` — opportunistic paths, their hypoexponential
+  weights p_AB(T) (Eq. 2), and shortest-path computation.
+"""
+
+from repro.graph.contact_graph import ContactGraph
+from repro.graph.estimator import OnlineContactGraphEstimator
+from repro.graph.paths import (
+    OpportunisticPath,
+    PathMode,
+    shortest_path,
+    shortest_path_weights_from,
+    shortest_paths_from,
+)
+
+__all__ = [
+    "ContactGraph",
+    "OnlineContactGraphEstimator",
+    "OpportunisticPath",
+    "PathMode",
+    "shortest_path",
+    "shortest_paths_from",
+    "shortest_path_weights_from",
+]

@@ -1,0 +1,29 @@
+"""Mathematical kernel underpinning the caching scheme.
+
+* :mod:`repro.mathutils.hypoexponential` — the distribution of a sum of
+  independent exponential inter-contact times (paper Eq. 1–2).
+* :mod:`repro.mathutils.zipf` — the query popularity distribution
+  (paper Eq. 8, Fig. 9b).
+* :mod:`repro.mathutils.poisson` — contact/request rate estimation.
+* :mod:`repro.mathutils.sigmoid` — the probabilistic-response sigmoid
+  (paper Eq. 4, Fig. 7).
+"""
+
+from repro.mathutils.hypoexponential import (
+    Hypoexponential,
+    hypoexponential_cdf,
+    path_delivery_probability,
+)
+from repro.mathutils.poisson import RateEstimator, poisson_probability_at_least_one
+from repro.mathutils.sigmoid import ResponseSigmoid
+from repro.mathutils.zipf import ZipfDistribution
+
+__all__ = [
+    "Hypoexponential",
+    "hypoexponential_cdf",
+    "path_delivery_probability",
+    "RateEstimator",
+    "poisson_probability_at_least_one",
+    "ResponseSigmoid",
+    "ZipfDistribution",
+]

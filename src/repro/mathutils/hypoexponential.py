@@ -1,0 +1,215 @@
+"""Hypoexponential distribution of multi-hop opportunistic delays.
+
+Paper context (Sec. IV-A).  The inter-contact time of each hop *k* on an
+opportunistic path is exponential with rate λₖ, so the end-to-end delay
+``Y = X₁ + … + X_r`` follows a *hypoexponential* distribution.  Eq. (1)
+of the paper gives its density as a signed mixture of the per-hop
+exponentials,
+
+    p_Y(x) = Σₖ C_k^{(r)} λₖ e^{-λₖ x},
+    C_k^{(r)} = Π_{s≠k} λ_s / (λ_s − λₖ),
+
+and Eq. (2) integrates it into the **path weight** — the probability the
+data traverses the path within time T:
+
+    p(T) = Σₖ C_k^{(r)} (1 − e^{-λₖ T}).
+
+The closed form requires pairwise-distinct rates and is numerically
+catastrophic when rates nearly coincide (the coefficients blow up with
+alternating signs).  Real contact traces produce many near-equal rates, so
+this module provides a robust evaluation strategy:
+
+* distinct, well-separated rates → the closed form (fast path);
+* repeated or clustered rates → the matrix-exponential formulation.  A
+  hypoexponential is a phase-type distribution whose generator is the
+  bidiagonal matrix with −λₖ on the diagonal and λₖ on the superdiagonal;
+  ``CDF(t) = 1 − [exp(Q t) · 1]₀`` evaluated with :func:`scipy.linalg.expm`.
+
+Both agree to ~1e-10 on well-separated inputs (covered by property tests).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List, Sequence
+
+import numpy as np
+from scipy.linalg import expm
+
+__all__ = [
+    "Hypoexponential",
+    "hypoexponential_cdf",
+    "path_delivery_probability",
+]
+
+#: Minimum relative gap between two rates for the closed form to be trusted.
+_DISTINCT_RTOL = 1e-6
+
+
+def _validate_rates(rates: Sequence[float]) -> List[float]:
+    rates = [float(r) for r in rates]
+    if not rates:
+        raise ValueError("at least one rate is required")
+    for rate in rates:
+        if not math.isfinite(rate) or rate <= 0.0:
+            raise ValueError(f"rates must be positive and finite, got {rate}")
+    return rates
+
+
+def _rates_well_separated(rates: Sequence[float]) -> bool:
+    ordered = sorted(rates)
+    for a, b in zip(ordered, ordered[1:]):
+        if b - a <= _DISTINCT_RTOL * b:
+            return False
+    return True
+
+
+def _closed_form_cdf(rates: Sequence[float], t: float) -> float:
+    """Eq. (2) of the paper, valid for pairwise-distinct rates."""
+    total = 0.0
+    for k, lam_k in enumerate(rates):
+        coeff = 1.0
+        for s, lam_s in enumerate(rates):
+            if s == k:
+                continue
+            coeff *= lam_s / (lam_s - lam_k)
+        total += coeff * (1.0 - math.exp(-lam_k * t))
+    return total
+
+
+def _cluster_rates(rates: Sequence[float], rtol: float = 1e-9) -> List[float]:
+    """Snap rates that agree to within *rtol* onto their cluster mean.
+
+    A pair of rates differing by less than float precision makes every
+    evaluation method ill-conditioned (the analytic term is a difference
+    quotient whose numerator underflows), while *exactly* repeated rates
+    are numerically benign.  Replacing near-duplicates by their mean
+    changes the distribution by O(rtol) and restores stability.
+    """
+    ordered = sorted(range(len(rates)), key=lambda i: rates[i])
+    clustered = list(rates)
+    cluster = [ordered[0]]
+    for index in ordered[1:]:
+        if rates[index] - rates[cluster[-1]] <= rtol * rates[index]:
+            cluster.append(index)
+        else:
+            if len(cluster) > 1:
+                mean = sum(rates[i] for i in cluster) / len(cluster)
+                for i in cluster:
+                    clustered[i] = mean
+            cluster = [index]
+    if len(cluster) > 1:
+        mean = sum(rates[i] for i in cluster) / len(cluster)
+        for i in cluster:
+            clustered[i] = mean
+    return clustered
+
+
+def _generator_matrix(rates: Sequence[float]) -> np.ndarray:
+    """Sub-generator of the phase-type representation (absorbing chain)."""
+    r = len(rates)
+    q = np.zeros((r, r))
+    for k, lam in enumerate(rates):
+        q[k, k] = -lam
+        if k + 1 < r:
+            q[k, k + 1] = lam
+    return q
+
+
+def _matrix_cdf(rates: Sequence[float], t: float) -> float:
+    q = _generator_matrix(rates)
+    survival = expm(q * t).sum(axis=1)[0]
+    return float(1.0 - survival)
+
+
+def hypoexponential_cdf(rates: Sequence[float], t: float) -> float:
+    """P(X₁ + … + X_r ≤ t) for independent exponentials with given rates.
+
+    Automatically selects the closed form (Eq. 2) or the
+    matrix-exponential evaluation depending on rate separation, and clamps
+    the result into [0, 1] to absorb floating-point round-off.
+    """
+    rates = _validate_rates(rates)
+    if t <= 0.0:
+        return 0.0
+    if len(rates) == 1:
+        return 1.0 - math.exp(-rates[0] * t)
+    if _rates_well_separated(rates):
+        value = _closed_form_cdf(rates, t)
+        # The alternating-sign sum can still lose precision for long paths;
+        # fall back whenever the result strays outside the unit interval.
+        if -1e-9 <= value <= 1.0 + 1e-9:
+            return min(1.0, max(0.0, value))
+    return min(1.0, max(0.0, _matrix_cdf(_cluster_rates(rates), t)))
+
+
+def path_delivery_probability(rates: Iterable[float], time_budget: float) -> float:
+    """Paper Eq. (2): the weight of an opportunistic path.
+
+    The probability that a data item is opportunistically relayed across
+    all hops (with contact rates *rates*) within *time_budget* seconds.
+    An empty rate list denotes the trivial zero-hop path (source is the
+    destination) and has probability 1 for any non-negative budget.
+    """
+    rates = list(rates)
+    if time_budget < 0:
+        raise ValueError("time budget must be non-negative")
+    if not rates:
+        return 1.0
+    return hypoexponential_cdf(rates, time_budget)
+
+
+class Hypoexponential:
+    """Distribution object for a fixed sequence of hop rates.
+
+    Provides cdf/pdf/mean/variance and sampling; used by the path-weight
+    computation, by tests, and by the analytical sanity checks in the
+    benchmark harness.
+    """
+
+    def __init__(self, rates: Sequence[float]):
+        self._rates = _validate_rates(rates)
+
+    @property
+    def rates(self) -> List[float]:
+        return list(self._rates)
+
+    @property
+    def mean(self) -> float:
+        """E[Y] = Σ 1/λₖ."""
+        return sum(1.0 / lam for lam in self._rates)
+
+    @property
+    def variance(self) -> float:
+        """Var[Y] = Σ 1/λₖ² (independent exponentials)."""
+        return sum(1.0 / lam**2 for lam in self._rates)
+
+    def cdf(self, t: float) -> float:
+        return hypoexponential_cdf(self._rates, t)
+
+    def sf(self, t: float) -> float:
+        """Survival function P(Y > t)."""
+        return 1.0 - self.cdf(t)
+
+    def pdf(self, t: float, eps: float = 1e-6) -> float:
+        """Density via a central difference of the robust CDF.
+
+        The closed-form density (Eq. 1) suffers the same degeneracy as the
+        CDF; a derivative of the robust CDF is accurate enough for every
+        use in this library (plots and tests).
+        """
+        if t <= 0.0:
+            return 0.0
+        h = max(eps, eps * t)
+        lo = max(0.0, t - h)
+        return (self.cdf(t + h) - self.cdf(lo)) / (t + h - lo)
+
+    def sample(self, rng: np.random.Generator, size: int = 1) -> np.ndarray:
+        """Draw *size* end-to-end delays by summing per-hop exponentials."""
+        draws = np.zeros(size)
+        for lam in self._rates:
+            draws = draws + rng.exponential(1.0 / lam, size=size)
+        return draws
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Hypoexponential(rates={self._rates!r})"

@@ -1,0 +1,120 @@
+"""Poisson-process rate estimation.
+
+Two places in the paper estimate a Poisson rate from observed event
+timestamps:
+
+* **Contact rates** (Sec. III-B): λ̂ᵢⱼ is "calculated at real-time from the
+  cumulative contacts between nodes i and j in a time-average manner" —
+  i.e. count / elapsed time since the network started.
+* **Data popularity** (Sec. V-D1, Eq. 5): the request process of a data
+  item has rate λ_d = k / (t_k − t_1) from the past k request occurrences
+  in [t₁, t_k]; only two time values plus a counter are kept per item.
+
+:class:`RateEstimator` implements both conventions behind one interface.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["RateEstimator", "poisson_probability_at_least_one"]
+
+
+def poisson_probability_at_least_one(rate: float, horizon: float) -> float:
+    """P(≥1 event in *horizon*) for a Poisson process with *rate*.
+
+    This is the popularity formula of paper Eq. (6):
+    ``w = 1 − e^{−λ_d (t_e − t_k)}``.
+    """
+    if rate < 0:
+        raise ValueError("rate must be non-negative")
+    if horizon <= 0:
+        return 0.0
+    return 1.0 - math.exp(-rate * horizon)
+
+
+class RateEstimator:
+    """Online estimator of a Poisson event rate from event timestamps.
+
+    Parameters
+    ----------
+    origin:
+        Reference start time.  With ``anchor='origin'`` the rate is
+        count / (now − origin) — the paper's time-average contact-rate
+        convention.  With ``anchor='first_event'`` the rate is
+        (count) / (t_last − t_first) — the paper's data-popularity
+        convention (Eq. 5, λ_d = k / (t_k − t₁)).
+    """
+
+    __slots__ = ("_origin", "_anchor", "_count", "_first", "_last")
+
+    def __init__(self, origin: float = 0.0, anchor: str = "origin"):
+        if anchor not in ("origin", "first_event"):
+            raise ValueError("anchor must be 'origin' or 'first_event'")
+        self._origin = float(origin)
+        self._anchor = anchor
+        self._count = 0
+        self._first = math.nan
+        self._last = math.nan
+
+    @property
+    def count(self) -> int:
+        """Number of events recorded so far."""
+        return self._count
+
+    @property
+    def first_event_time(self) -> float:
+        return self._first
+
+    @property
+    def last_event_time(self) -> float:
+        return self._last
+
+    def record(self, timestamp: float) -> None:
+        """Record one event occurrence at *timestamp* (non-decreasing)."""
+        if self._count and timestamp < self._last:
+            raise ValueError(
+                f"event timestamps must be non-decreasing: {timestamp} < {self._last}"
+            )
+        if not self._count:
+            self._first = timestamp
+        self._last = timestamp
+        self._count += 1
+
+    def rate(self, now: float) -> float:
+        """Current rate estimate at time *now* (events per second).
+
+        Returns 0.0 until enough observations exist: one event for the
+        ``origin`` anchor, two distinct event times for ``first_event``.
+        """
+        if self._anchor == "origin":
+            elapsed = now - self._origin
+            if self._count == 0 or elapsed <= 0:
+                return 0.0
+            return self._count / elapsed
+        # 'first_event' anchor: λ = k / (t_k − t₁) per paper Eq. (5).
+        if self._count < 2 or self._last <= self._first:
+            return 0.0
+        return self._count / (self._last - self._first)
+
+    def merge_counts(self, other: "RateEstimator") -> None:
+        """Fold another estimator's observations into this one.
+
+        Used when caching nodes exchange query-history summaries on
+        contact.  Only counts and boundary timestamps are needed, matching
+        the paper's "two time values" space bound.
+        """
+        if other._count == 0:
+            return
+        if self._count == 0:
+            self._first, self._last, self._count = other._first, other._last, other._count
+            return
+        self._count += other._count
+        self._first = min(self._first, other._first)
+        self._last = max(self._last, other._last)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"RateEstimator(anchor={self._anchor!r}, count={self._count}, "
+            f"first={self._first}, last={self._last})"
+        )

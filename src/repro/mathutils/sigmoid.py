@@ -1,0 +1,90 @@
+"""Probabilistic-response sigmoid (paper Eq. 4, Fig. 7).
+
+When a caching node cannot estimate its opportunistic-path weight to the
+requester, it decides whether to return a cached copy using only the
+query's elapsed time t₀ (out of the constraint T_q).  The paper requires
+
+    p_R(0)   = p_min ∈ (p_max/2, p_max)   — fresh query, many other copies
+                                             may still make it, respond
+                                             conservatively;
+    p_R(T_q) = p_max ∈ (0, 1]             — query nearly expired, this may
+                                             be the last chance, respond
+                                             aggressively;
+
+realised by the sigmoid ``p_R(t) = k₁ / (1 + e^{−k₂ t})`` with
+``k₁ = 2 p_min`` and ``k₂ = ln(p_max / (2 p_min − p_max)) / T_q``.
+
+Note on the argument: the paper's prose says the probability should be
+"inversely proportional to T_q − t₀" (the *remaining* time) while the
+boundary conditions are stated at t = 0 and t = T_q; the two statements
+are consistent exactly when t is the **elapsed** time t₀, which is what
+this class implements (see DESIGN.md interpretation notes).
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["ResponseSigmoid"]
+
+
+class ResponseSigmoid:
+    """The paper's Eq. (4) with validated parameters.
+
+    >>> sigmoid = ResponseSigmoid(p_min=0.45, p_max=0.8, time_constraint=36000)
+    >>> round(sigmoid(0.0), 2)
+    0.45
+    >>> round(sigmoid(36000.0), 2)
+    0.8
+    """
+
+    def __init__(self, p_min: float, p_max: float, time_constraint: float):
+        if not 0.0 < p_max <= 1.0:
+            raise ValueError(f"p_max must be in (0, 1], got {p_max}")
+        if not p_max / 2.0 < p_min < p_max:
+            raise ValueError(
+                f"p_min must be in (p_max/2, p_max) = ({p_max / 2}, {p_max}), got {p_min}"
+            )
+        if time_constraint <= 0:
+            raise ValueError("time_constraint must be positive")
+        self._p_min = float(p_min)
+        self._p_max = float(p_max)
+        self._time_constraint = float(time_constraint)
+        self._k1 = 2.0 * p_min
+        self._k2 = math.log(p_max / (2.0 * p_min - p_max)) / time_constraint
+
+    @property
+    def p_min(self) -> float:
+        return self._p_min
+
+    @property
+    def p_max(self) -> float:
+        return self._p_max
+
+    @property
+    def time_constraint(self) -> float:
+        return self._time_constraint
+
+    @property
+    def k1(self) -> float:
+        return self._k1
+
+    @property
+    def k2(self) -> float:
+        return self._k2
+
+    def __call__(self, elapsed: float) -> float:
+        """Response probability after *elapsed* seconds of query lifetime.
+
+        Values outside [0, T_q] are clamped: a query cannot have negative
+        elapsed time, and once past its constraint the caller should have
+        dropped it, but clamping keeps the function total.
+        """
+        elapsed = min(max(elapsed, 0.0), self._time_constraint)
+        return self._k1 / (1.0 + math.exp(-self._k2 * elapsed))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"ResponseSigmoid(p_min={self._p_min}, p_max={self._p_max}, "
+            f"time_constraint={self._time_constraint})"
+        )

@@ -1,0 +1,88 @@
+"""Zipf query-popularity distribution (paper Eq. 8, Fig. 9b).
+
+The paper models the probability that data item *j* (rank-ordered) is
+requested as
+
+    P_j = (1/j^s) / Σ_{i=1..M} (1/i^s),
+
+with exponent *s* controlling skew.  Fig. 9(b) plots P_j for
+s ∈ {0.5, 1, 1.5}; the evaluation itself uses s = 1.
+
+The catalogue of data items in a running simulation grows over time, so
+:class:`ZipfDistribution` supports cheap re-normalisation as M changes.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+__all__ = ["ZipfDistribution"]
+
+
+class ZipfDistribution:
+    """Finite Zipf distribution over ranks 1..M."""
+
+    def __init__(self, num_items: int, exponent: float = 1.0):
+        if num_items < 1:
+            raise ValueError("num_items must be >= 1")
+        if exponent < 0:
+            raise ValueError("exponent must be non-negative")
+        self._exponent = float(exponent)
+        self._num_items = int(num_items)
+        self._weights = self._compute_weights(self._num_items, self._exponent)
+        self._normalizer = float(self._weights.sum())
+
+    @staticmethod
+    def _compute_weights(num_items: int, exponent: float) -> np.ndarray:
+        ranks = np.arange(1, num_items + 1, dtype=float)
+        return ranks**-exponent
+
+    @property
+    def num_items(self) -> int:
+        return self._num_items
+
+    @property
+    def exponent(self) -> float:
+        return self._exponent
+
+    def resize(self, num_items: int) -> None:
+        """Change the catalogue size M, keeping the exponent."""
+        if num_items < 1:
+            raise ValueError("num_items must be >= 1")
+        if num_items == self._num_items:
+            return
+        self._num_items = int(num_items)
+        self._weights = self._compute_weights(self._num_items, self._exponent)
+        self._normalizer = float(self._weights.sum())
+
+    def pmf(self, rank: int) -> float:
+        """P_j for 1-based rank *rank* (paper Eq. 8)."""
+        if not 1 <= rank <= self._num_items:
+            raise ValueError(f"rank must be in [1, {self._num_items}], got {rank}")
+        return float(self._weights[rank - 1] / self._normalizer)
+
+    def pmf_vector(self) -> np.ndarray:
+        """The full probability vector (P_1, …, P_M)."""
+        return self._weights / self._normalizer
+
+    def sample_rank(self, rng: np.random.Generator) -> int:
+        """Draw one 1-based rank."""
+        return int(rng.choice(self._num_items, p=self.pmf_vector())) + 1
+
+    def sample_ranks(self, rng: np.random.Generator, size: int) -> List[int]:
+        """Draw *size* i.i.d. 1-based ranks."""
+        draws = rng.choice(self._num_items, p=self.pmf_vector(), size=size)
+        return [int(d) + 1 for d in draws]
+
+    @staticmethod
+    def pmf_series(num_items: int, exponents: Sequence[float]) -> dict:
+        """P_j vectors for several exponents — the series of Fig. 9(b)."""
+        return {
+            float(s): ZipfDistribution(num_items, s).pmf_vector()
+            for s in exponents
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"ZipfDistribution(num_items={self._num_items}, exponent={self._exponent})"

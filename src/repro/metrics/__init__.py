@@ -1,0 +1,18 @@
+"""Evaluation metrics (paper Sec. VI).
+
+* :mod:`repro.metrics.collector` — per-run collection of the paper's
+  three headline metrics (successful ratio, data access delay, caching
+  overhead) plus the replacement overhead of Fig. 12(c).
+* :mod:`repro.metrics.results` — immutable result records and
+  aggregation across repeated seeded runs (mean ± confidence interval).
+"""
+
+from repro.metrics.collector import MetricsCollector
+from repro.metrics.results import AggregateResult, SimulationResult, aggregate_results
+
+__all__ = [
+    "MetricsCollector",
+    "SimulationResult",
+    "AggregateResult",
+    "aggregate_results",
+]

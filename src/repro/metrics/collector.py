@@ -1,0 +1,132 @@
+"""Per-run metric collection.
+
+The paper's metrics (Sec. VI):
+
+* **Successful ratio** — fraction of issued queries satisfied with the
+  requested data before their time constraint expires.
+* **Data access delay** — mean delay of *satisfied* queries (delay of a
+  query is the time from issue to first data copy received).
+* **Caching overhead** — "the average number of data copies being cached
+  in the network": sampled periodically as cached copies per live data
+  item and averaged over samples.
+* **Replacement overhead** (Fig. 12c) — "the average number for data
+  items to be replaced before expiration": items that changed holder
+  during pairwise exchanges, normalised by data items generated.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.core.data import DataItem, Query
+from repro.metrics.results import SimulationResult
+
+__all__ = ["MetricsCollector"]
+
+
+class MetricsCollector:
+    """Accumulates events during one simulation run."""
+
+    def __init__(self) -> None:
+        self._queries: Dict[int, Query] = {}
+        self._satisfied_at: Dict[int, float] = {}
+        self._data_generated = 0
+        self._copy_samples: List[float] = []
+        self._replaced_items = 0
+        self._exchanges = 0
+        self._responses_emitted = 0
+        self._responses_delivered = 0
+        self._bits_transferred = 0
+        self._pushes_completed = 0
+
+    # --- queries --------------------------------------------------------
+
+    def on_query_created(self, query: Query) -> None:
+        self._queries[query.query_id] = query
+
+    def on_query_satisfied(self, query: Query, now: float) -> bool:
+        """Record a delivery; returns True iff this is the first (useful)
+        copy and it arrived within the constraint."""
+        if query.query_id in self._satisfied_at:
+            return False
+        if now > query.expires_at:
+            return False
+        if query.query_id not in self._queries:
+            # Defensive: deliveries for unknown queries indicate a scheme
+            # bug; count nothing rather than corrupt ratios.
+            return False
+        self._satisfied_at[query.query_id] = now
+        return True
+
+    def is_satisfied(self, query_id: int) -> bool:
+        return query_id in self._satisfied_at
+
+    # --- data and caching ----------------------------------------------
+
+    def on_data_generated(self, item: DataItem) -> None:
+        self._data_generated += 1
+
+    def on_push_completed(self) -> None:
+        self._pushes_completed += 1
+
+    def sample_copies_per_item(self, cached_copies: int, live_items: int) -> None:
+        """One caching-overhead sample: copies currently cached network-wide
+        divided by currently live data items."""
+        if live_items > 0:
+            self._copy_samples.append(cached_copies / live_items)
+
+    def on_exchange(self, moved_items: int, bits: int) -> None:
+        self._exchanges += 1
+        self._replaced_items += moved_items
+        self._bits_transferred += bits
+
+    def on_response_emitted(self) -> None:
+        self._responses_emitted += 1
+
+    def on_response_delivered(self) -> None:
+        self._responses_delivered += 1
+
+    def on_transfer(self, bits: int) -> None:
+        self._bits_transferred += bits
+
+    # --- summary -----------------------------------------------------------
+
+    @property
+    def queries_issued(self) -> int:
+        return len(self._queries)
+
+    @property
+    def queries_satisfied(self) -> int:
+        return len(self._satisfied_at)
+
+    def finalize(self, name: str, seed: int) -> SimulationResult:
+        """Freeze the run into a :class:`SimulationResult`."""
+        delays = [
+            self._satisfied_at[qid] - self._queries[qid].created_at
+            for qid in self._satisfied_at
+        ]
+        issued = len(self._queries)
+        return SimulationResult(
+            name=name,
+            seed=seed,
+            queries_issued=issued,
+            queries_satisfied=len(self._satisfied_at),
+            successful_ratio=(len(self._satisfied_at) / issued) if issued else 0.0,
+            mean_access_delay=(sum(delays) / len(delays)) if delays else float("nan"),
+            caching_overhead=(
+                sum(self._copy_samples) / len(self._copy_samples)
+                if self._copy_samples
+                else 0.0
+            ),
+            data_generated=self._data_generated,
+            replaced_items=self._replaced_items,
+            replacement_overhead=(
+                self._replaced_items / self._data_generated
+                if self._data_generated
+                else 0.0
+            ),
+            exchanges=self._exchanges,
+            responses_emitted=self._responses_emitted,
+            responses_delivered=self._responses_delivered,
+            bits_transferred=self._bits_transferred,
+        )

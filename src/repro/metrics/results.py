@@ -1,0 +1,118 @@
+"""Result records and cross-seed aggregation.
+
+The paper repeats each simulation "multiple times with randomly generated
+data and queries for statistical convergence"; :func:`aggregate_results`
+mirrors that by averaging :class:`SimulationResult`s over seeds and
+attaching normal-approximation confidence intervals.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Sequence
+
+__all__ = ["SimulationResult", "AggregateResult", "aggregate_results"]
+
+
+@dataclass(frozen=True)
+class SimulationResult:
+    """Metrics of a single seeded run."""
+
+    name: str
+    seed: int
+    queries_issued: int
+    queries_satisfied: int
+    successful_ratio: float
+    mean_access_delay: float      # seconds; NaN when nothing was satisfied
+    caching_overhead: float       # mean cached copies per live data item
+    data_generated: int
+    replaced_items: int
+    replacement_overhead: float   # replaced items per generated data item
+    exchanges: int
+    responses_emitted: int
+    responses_delivered: int
+    bits_transferred: int
+
+    def as_row(self) -> Dict[str, object]:
+        """Flat dict for report tables."""
+        return {
+            "scheme": self.name,
+            "seed": self.seed,
+            "queries": self.queries_issued,
+            "satisfied": self.queries_satisfied,
+            "ratio": round(self.successful_ratio, 4),
+            "delay_h": (
+                round(self.mean_access_delay / 3600.0, 2)
+                if not math.isnan(self.mean_access_delay)
+                else float("nan")
+            ),
+            "copies_per_item": round(self.caching_overhead, 3),
+            "repl_overhead": round(self.replacement_overhead, 3),
+        }
+
+
+@dataclass(frozen=True)
+class AggregateResult:
+    """Mean ± half-width (95% normal CI) over repeated seeded runs."""
+
+    name: str
+    runs: int
+    successful_ratio: float
+    successful_ratio_ci: float
+    mean_access_delay: float
+    mean_access_delay_ci: float
+    caching_overhead: float
+    caching_overhead_ci: float
+    replacement_overhead: float
+    queries_issued: float
+
+    def as_row(self) -> Dict[str, object]:
+        return {
+            "scheme": self.name,
+            "runs": self.runs,
+            "ratio": round(self.successful_ratio, 4),
+            "ratio_ci": round(self.successful_ratio_ci, 4),
+            "delay_h": round(self.mean_access_delay / 3600.0, 2),
+            "delay_ci_h": round(self.mean_access_delay_ci / 3600.0, 2),
+            "copies_per_item": round(self.caching_overhead, 3),
+            "repl_overhead": round(self.replacement_overhead, 3),
+        }
+
+
+def _mean_and_ci(values: Sequence[float]) -> tuple:
+    finite = [v for v in values if not math.isnan(v)]
+    if not finite:
+        return float("nan"), float("nan")
+    mean = sum(finite) / len(finite)
+    if len(finite) < 2:
+        return mean, 0.0
+    variance = sum((v - mean) ** 2 for v in finite) / (len(finite) - 1)
+    half_width = 1.96 * math.sqrt(variance / len(finite))
+    return mean, half_width
+
+
+def aggregate_results(results: Sequence[SimulationResult]) -> AggregateResult:
+    """Aggregate repeated runs of the *same* scheme configuration."""
+    if not results:
+        raise ValueError("cannot aggregate an empty result set")
+    names = {r.name for r in results}
+    if len(names) > 1:
+        raise ValueError(f"refusing to aggregate across schemes: {sorted(names)}")
+    ratio, ratio_ci = _mean_and_ci([r.successful_ratio for r in results])
+    delay, delay_ci = _mean_and_ci([r.mean_access_delay for r in results])
+    copies, copies_ci = _mean_and_ci([r.caching_overhead for r in results])
+    repl, _ = _mean_and_ci([r.replacement_overhead for r in results])
+    queries, _ = _mean_and_ci([float(r.queries_issued) for r in results])
+    return AggregateResult(
+        name=results[0].name,
+        runs=len(results),
+        successful_ratio=ratio,
+        successful_ratio_ci=ratio_ci,
+        mean_access_delay=delay,
+        mean_access_delay_ci=delay_ci,
+        caching_overhead=copies,
+        caching_overhead_ci=copies_ci,
+        replacement_overhead=repl,
+        queries_issued=queries,
+    )

@@ -1,0 +1,97 @@
+"""Time-series metric collection.
+
+The headline metrics of Sec. VI are scalars per run; for analysis and
+debugging it is often more useful to watch them evolve over simulated
+time — how quickly the NCLs warm up with copies, when the successful
+ratio stabilises, how buffer occupancy breathes with data churn.
+:class:`TimelineRecorder` accumulates periodic samples the simulator's
+``SAMPLE_METRICS`` events can feed, and exports them as
+:class:`repro.experiments.figures.Series`-compatible columns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+__all__ = ["TimelinePoint", "TimelineRecorder"]
+
+
+@dataclass(frozen=True)
+class TimelinePoint:
+    """One snapshot of the running system."""
+
+    time: float
+    live_items: int
+    cached_copies: int
+    queries_issued: int
+    queries_satisfied: int
+    mean_buffer_occupancy: float
+
+    @property
+    def copies_per_item(self) -> float:
+        return self.cached_copies / self.live_items if self.live_items else 0.0
+
+    @property
+    def running_ratio(self) -> float:
+        return (
+            self.queries_satisfied / self.queries_issued if self.queries_issued else 0.0
+        )
+
+
+class TimelineRecorder:
+    """Accumulates :class:`TimelinePoint`s in time order."""
+
+    def __init__(self) -> None:
+        self._points: List[TimelinePoint] = []
+
+    def record(
+        self,
+        time: float,
+        live_items: int,
+        cached_copies: int,
+        queries_issued: int,
+        queries_satisfied: int,
+        mean_buffer_occupancy: float,
+    ) -> None:
+        if self._points and time < self._points[-1].time:
+            raise ValueError("timeline samples must be time-ordered")
+        self._points.append(
+            TimelinePoint(
+                time=time,
+                live_items=live_items,
+                cached_copies=cached_copies,
+                queries_issued=queries_issued,
+                queries_satisfied=queries_satisfied,
+                mean_buffer_occupancy=mean_buffer_occupancy,
+            )
+        )
+
+    def __len__(self) -> int:
+        return len(self._points)
+
+    @property
+    def points(self) -> Sequence[TimelinePoint]:
+        return tuple(self._points)
+
+    def column(self, name: str) -> List[float]:
+        """Extract one column by attribute/property name."""
+        if not self._points:
+            return []
+        if not hasattr(self._points[0], name):
+            raise AttributeError(f"timeline points have no column {name!r}")
+        return [float(getattr(p, name)) for p in self._points]
+
+    def as_dict(self) -> Dict[str, List[float]]:
+        """All columns, keyed by name (ready for CSV/plotting)."""
+        names = (
+            "time",
+            "live_items",
+            "cached_copies",
+            "copies_per_item",
+            "queries_issued",
+            "queries_satisfied",
+            "running_ratio",
+            "mean_buffer_occupancy",
+        )
+        return {name: self.column(name) for name in names}

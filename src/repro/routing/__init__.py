@@ -1,0 +1,36 @@
+"""Data-forwarding strategies used by the caching schemes.
+
+The paper builds on standard DTN forwarding primitives rather than
+inventing new ones (Sec. V-A/V-B): pushes ride a *gradient* of
+opportunistic-path weights toward each central node, queries are
+*multicast* to the central nodes (one gradient copy per NCL) and
+*broadcast* within an NCL, and responses return "by any existing data
+forwarding protocol".  This package implements those primitives:
+
+* :mod:`repro.routing.base` — router protocol and decision records;
+* :mod:`repro.routing.gradient` — forward to nodes with a higher path
+  weight to the destination (delegation/greedy routing);
+* :mod:`repro.routing.epidemic` — unconditional replication;
+* :mod:`repro.routing.direct` — source-only delivery (lower bound);
+* :mod:`repro.routing.spray` — binary Spray-and-Wait (extension, used by
+  ablations).
+"""
+
+from repro.routing.base import ForwardDecision, Router
+from repro.routing.direct import DirectDeliveryRouter
+from repro.routing.rate_gradient import RateGradientRouter
+from repro.routing.epidemic import EpidemicRouter
+from repro.routing.gradient import GradientRouter
+from repro.routing.prophet import ProphetRouter
+from repro.routing.spray import SprayAndWaitRouter
+
+__all__ = [
+    "Router",
+    "ForwardDecision",
+    "GradientRouter",
+    "EpidemicRouter",
+    "DirectDeliveryRouter",
+    "RateGradientRouter",
+    "ProphetRouter",
+    "SprayAndWaitRouter",
+]

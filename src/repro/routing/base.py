@@ -1,0 +1,59 @@
+"""Router protocol shared by all forwarding strategies."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Protocol
+
+from repro.graph.contact_graph import ContactGraph
+
+__all__ = ["ForwardAction", "ForwardDecision", "Router"]
+
+
+class ForwardAction(Enum):
+    """What the carrier should do with a bundle when meeting a peer."""
+
+    KEEP = "keep"            # carrier retains its copy, peer gets nothing
+    HANDOVER = "handover"    # peer receives the bundle, carrier deletes it
+    REPLICATE = "replicate"  # peer receives a copy, carrier keeps its own
+
+
+@dataclass(frozen=True)
+class ForwardDecision:
+    """A router's verdict plus the score that produced it (for tests)."""
+
+    action: ForwardAction
+    carrier_score: float = 0.0
+    peer_score: float = 0.0
+
+    @property
+    def transfers(self) -> bool:
+        return self.action is not ForwardAction.KEEP
+
+
+class Router(Protocol):
+    """A forwarding strategy for one bundle class.
+
+    Routers are stateless with respect to individual bundles except where
+    the strategy itself demands per-bundle state (e.g. spray counters,
+    which are carried on the bundle by the caller).
+    """
+
+    name: str
+
+    def decide(
+        self,
+        carrier: int,
+        peer: int,
+        destination: int,
+        graph: ContactGraph,
+        time_budget: float,
+    ) -> ForwardDecision:
+        """Decide the action when *carrier* meets *peer* while holding a
+        bundle destined for *destination*.
+
+        ``time_budget`` is the remaining useful lifetime of the bundle —
+        the horizon at which path weights are evaluated.
+        """
+        ...

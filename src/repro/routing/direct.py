@@ -1,0 +1,32 @@
+"""Direct delivery: hand the bundle only to its destination.
+
+The cheapest (single-copy, zero-relay) strategy and the delay upper
+bound; useful as an experimental lower bound and in tests.
+"""
+
+from __future__ import annotations
+
+from repro.graph.contact_graph import ContactGraph
+from repro.routing.base import ForwardAction, ForwardDecision
+
+__all__ = ["DirectDeliveryRouter"]
+
+
+class DirectDeliveryRouter:
+    """Keep the bundle until the carrier meets the destination itself."""
+
+    name = "direct"
+
+    def decide(
+        self,
+        carrier: int,
+        peer: int,
+        destination: int,
+        graph: ContactGraph,
+        time_budget: float,
+    ) -> ForwardDecision:
+        if peer == destination:
+            return ForwardDecision(
+                action=ForwardAction.HANDOVER, carrier_score=0.0, peer_score=1.0
+            )
+        return ForwardDecision(action=ForwardAction.KEEP)

@@ -1,0 +1,35 @@
+"""Epidemic routing [Vahdat & Becker]: replicate to every encountered node.
+
+The performance ceiling (and cost ceiling) of DTN forwarding; used here
+for query dissemination in the incidental-caching baselines and as the
+within-NCL broadcast primitive of the intentional scheme (Sec. V-B).
+"""
+
+from __future__ import annotations
+
+from repro.graph.contact_graph import ContactGraph
+from repro.routing.base import ForwardAction, ForwardDecision
+
+__all__ = ["EpidemicRouter"]
+
+
+class EpidemicRouter:
+    """Replicate a bundle to every peer that does not already hold it.
+
+    Duplicate suppression is the caller's job (the simulator tracks which
+    nodes have seen which bundle); the router itself is stateless.
+    """
+
+    name = "epidemic"
+
+    def decide(
+        self,
+        carrier: int,
+        peer: int,
+        destination: int,
+        graph: ContactGraph,
+        time_budget: float,
+    ) -> ForwardDecision:
+        return ForwardDecision(
+            action=ForwardAction.REPLICATE, carrier_score=1.0, peer_score=1.0
+        )

@@ -1,0 +1,105 @@
+"""Weight-gradient (delegation) forwarding — the paper's push/pull relay rule.
+
+Sec. V-A: "we use the opportunistic path weight to the central node as
+the relay selection metric ... A relay forwards data to another node with
+higher metric than itself, and deletes its own data copy afterwards",
+which probabilistically shortens the remaining delay at every hop.
+
+Each node maintains its shortest-opportunistic-path weight to every
+destination it routes toward (the paper's nodes maintain exactly this for
+the central nodes).  The router caches one weight vector per destination
+per graph snapshot; :meth:`update_graph` invalidates the cache when the
+estimator publishes fresh rates.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.graph.contact_graph import ContactGraph
+from repro.graph.paths import PathMode, shortest_path_weights_from
+from repro.routing.base import ForwardAction, ForwardDecision
+
+__all__ = ["GradientRouter"]
+
+
+class GradientRouter:
+    """Unicast by climbing the path-weight gradient toward the destination.
+
+    Parameters
+    ----------
+    horizon:
+        Time budget T at which path weights are evaluated (the paper uses
+        a per-trace T, Sec. IV-B).  Weights are *maintained tables*, so
+        the horizon is fixed per router rather than per bundle.
+    mode:
+        Shortest-path objective (see :class:`repro.graph.paths.PathMode`).
+    replicate:
+        When ``True`` the carrier keeps its copy after forwarding
+        (multi-copy gradient); the paper's push deletes the carrier copy,
+        so the default is single-copy handover.
+    """
+
+    name = "gradient"
+
+    def __init__(
+        self,
+        horizon: float,
+        mode: PathMode = PathMode.EXPECTED_DELAY,
+        replicate: bool = False,
+    ):
+        if horizon <= 0:
+            raise ConfigurationError("gradient horizon must be positive")
+        self._horizon = float(horizon)
+        self._mode = mode
+        self._replicate = replicate
+        self._graph: Optional[ContactGraph] = None
+        self._weights: Dict[int, np.ndarray] = {}
+
+    @property
+    def horizon(self) -> float:
+        return self._horizon
+
+    def update_graph(self, graph: ContactGraph) -> None:
+        """Install a fresh rate snapshot, invalidating cached weights."""
+        if graph is not self._graph:
+            self._graph = graph
+            self._weights.clear()
+
+    def weight_to(self, node: int, destination: int, graph: ContactGraph) -> float:
+        """The maintained path weight from *node* to *destination*."""
+        self.update_graph(graph)
+        weights = self._weights.get(destination)
+        if weights is None:
+            weights = shortest_path_weights_from(
+                graph, destination, self._horizon, self._mode
+            )
+            self._weights[destination] = weights
+        return float(weights[node])
+
+    def decide(
+        self,
+        carrier: int,
+        peer: int,
+        destination: int,
+        graph: ContactGraph,
+        time_budget: float,
+    ) -> ForwardDecision:
+        if peer == destination:
+            return ForwardDecision(
+                action=ForwardAction.HANDOVER, carrier_score=0.0, peer_score=1.0
+            )
+        carrier_score = self.weight_to(carrier, destination, graph)
+        peer_score = self.weight_to(peer, destination, graph)
+        if peer_score > carrier_score:
+            action = (
+                ForwardAction.REPLICATE if self._replicate else ForwardAction.HANDOVER
+            )
+        else:
+            action = ForwardAction.KEEP
+        return ForwardDecision(
+            action=action, carrier_score=carrier_score, peer_score=peer_score
+        )

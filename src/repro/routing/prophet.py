@@ -1,0 +1,118 @@
+"""PRoPHET: Probabilistic Routing Protocol using History of Encounters
+and Transitivity (Lindgren, Doria, Schelén).
+
+A classic DTN router, included as an alternative transport substrate:
+each node maintains a delivery predictability P(a, b) ∈ [0, 1] toward
+every other node, updated by three rules:
+
+* **encounter** — when a meets b:  P(a,b) ← P(a,b) + (1 − P(a,b)) · P_init
+* **aging** — over k time units:   P(a,b) ← P(a,b) · γᵏ
+* **transitivity** — via b:        P(a,c) ← max(P(a,c), P(a,b) · P(b,c) · β)
+
+A carrier forwards a bundle to a peer whose predictability toward the
+destination is strictly higher.  Unlike the stateless routers in this
+package, PRoPHET owns per-node state and must be fed encounters via
+:meth:`on_encounter` — the simulator does so through the scheme layer if
+configured; tests drive it directly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.graph.contact_graph import ContactGraph
+from repro.routing.base import ForwardAction, ForwardDecision
+
+__all__ = ["ProphetRouter"]
+
+
+class ProphetRouter:
+    """PRoPHET delivery-predictability routing with canonical defaults."""
+
+    name = "prophet"
+
+    def __init__(
+        self,
+        num_nodes: int,
+        p_init: float = 0.75,
+        beta: float = 0.25,
+        gamma: float = 0.98,
+        aging_unit: float = 3600.0,
+        replicate: bool = True,
+    ):
+        if num_nodes < 2:
+            raise ConfigurationError("PRoPHET needs at least two nodes")
+        if not 0.0 < p_init <= 1.0:
+            raise ConfigurationError("p_init must be in (0, 1]")
+        if not 0.0 <= beta <= 1.0:
+            raise ConfigurationError("beta must be in [0, 1]")
+        if not 0.0 < gamma <= 1.0:
+            raise ConfigurationError("gamma must be in (0, 1]")
+        if aging_unit <= 0:
+            raise ConfigurationError("aging_unit must be positive")
+        self.num_nodes = int(num_nodes)
+        self.p_init = float(p_init)
+        self.beta = float(beta)
+        self.gamma = float(gamma)
+        self.aging_unit = float(aging_unit)
+        self._replicate = replicate
+        self._p = np.zeros((num_nodes, num_nodes))
+        self._last_aged = np.zeros(num_nodes)
+
+    # --- state maintenance -------------------------------------------------
+
+    def predictability(self, a: int, b: int) -> float:
+        return float(self._p[a, b])
+
+    def _age(self, node: int, now: float) -> None:
+        elapsed = now - self._last_aged[node]
+        if elapsed <= 0:
+            return
+        self._p[node] *= self.gamma ** (elapsed / self.aging_unit)
+        self._last_aged[node] = now
+
+    def on_encounter(self, a: int, b: int, now: float) -> None:
+        """Apply the encounter + transitivity updates for a meeting."""
+        if not (0 <= a < self.num_nodes and 0 <= b < self.num_nodes) or a == b:
+            raise ConfigurationError(f"bad encounter pair ({a}, {b})")
+        self._age(a, now)
+        self._age(b, now)
+        for x, y in ((a, b), (b, a)):
+            self._p[x, y] += (1.0 - self._p[x, y]) * self.p_init
+        # transitivity: each partner learns the other's table
+        for x, y in ((a, b), (b, a)):
+            via = self._p[x, y] * self.beta
+            candidate = via * self._p[y]
+            improved = candidate > self._p[x]
+            self._p[x, improved] = candidate[improved]
+            self._p[x, x] = 0.0
+            self._p[x, y] = max(self._p[x, y], 0.0)
+
+    # --- Router protocol ---------------------------------------------------
+
+    def decide(
+        self,
+        carrier: int,
+        peer: int,
+        destination: int,
+        graph: ContactGraph,
+        time_budget: float,
+    ) -> ForwardDecision:
+        if peer == destination:
+            return ForwardDecision(
+                action=ForwardAction.HANDOVER, carrier_score=0.0, peer_score=1.0
+            )
+        carrier_score = self.predictability(carrier, destination)
+        peer_score = self.predictability(peer, destination)
+        if peer_score > carrier_score:
+            action = (
+                ForwardAction.REPLICATE if self._replicate else ForwardAction.HANDOVER
+            )
+        else:
+            action = ForwardAction.KEEP
+        return ForwardDecision(
+            action=action, carrier_score=carrier_score, peer_score=peer_score
+        )

@@ -1,0 +1,54 @@
+"""Binary Spray-and-Wait [Spyropoulos et al.] — bounded-copy forwarding.
+
+Not used by the paper's scheme itself, but included as the multicast
+transport ablation: query multicast can ride spray instead of gradient
+copies, trading delivery probability against overhead.  The per-bundle
+copy counter lives on the bundle (``copies`` argument), keeping the
+router stateless.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.graph.contact_graph import ContactGraph
+from repro.routing.base import ForwardAction, ForwardDecision
+
+__all__ = ["SprayAndWaitRouter"]
+
+
+class SprayAndWaitRouter:
+    """Binary spray: while a bundle carries >1 copies, half are handed to
+    each encountered peer; with a single copy it waits for the
+    destination (direct delivery)."""
+
+    name = "spray_and_wait"
+
+    def __init__(self, initial_copies: int = 8):
+        if initial_copies < 1:
+            raise ConfigurationError("initial_copies must be >= 1")
+        self.initial_copies = int(initial_copies)
+
+    def split(self, copies: int) -> int:
+        """Copies handed to the peer under binary spray."""
+        return copies // 2
+
+    def decide(
+        self,
+        carrier: int,
+        peer: int,
+        destination: int,
+        graph: ContactGraph,
+        time_budget: float,
+        copies: int = 1,
+    ) -> ForwardDecision:
+        if peer == destination:
+            return ForwardDecision(
+                action=ForwardAction.HANDOVER, carrier_score=0.0, peer_score=1.0
+            )
+        if copies > 1:
+            return ForwardDecision(
+                action=ForwardAction.REPLICATE,
+                carrier_score=float(copies - self.split(copies)),
+                peer_score=float(self.split(copies)),
+            )
+        return ForwardDecision(action=ForwardAction.KEEP)

@@ -1,0 +1,45 @@
+"""Trace-driven discrete-event DTN simulator.
+
+* :mod:`repro.sim.events` / :mod:`repro.sim.engine` — generic DES core.
+* :mod:`repro.sim.bundles` — in-transit message types (pushes, queries,
+  responses).
+* :mod:`repro.sim.node` — per-node state: cache buffer, own data, carried
+  bundles, query history.
+* :mod:`repro.sim.network` — per-contact transfer budgets (2.1 Mb/s
+  Bluetooth EDR links, Sec. VI-A).
+* :mod:`repro.sim.simulator` — the orchestrator: warm-up on the first
+  half of the trace, workload + caching scheme on the second half,
+  metrics collection throughout.
+"""
+
+from repro.sim.bundles import Bundle, PushBundle, QueryBundle, ResponseBundle
+from repro.sim.engine import EventEngine
+from repro.sim.events import Event, EventKind
+from repro.sim.network import TransferBudget
+from repro.sim.invariants import check_node, check_nodes
+from repro.sim.node import Node
+
+
+def __getattr__(name):
+    # Simulator imports the caching-scheme interface, whose package in
+    # turn imports bundle/node types from here; loading it lazily keeps
+    # `from repro.sim.bundles import ...` free of that cycle.
+    if name in ("Simulator", "SimulatorConfig"):
+        from repro.sim import simulator
+
+        return getattr(simulator, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+__all__ = [
+    "Event",
+    "EventKind",
+    "EventEngine",
+    "Bundle",
+    "PushBundle",
+    "QueryBundle",
+    "ResponseBundle",
+    "TransferBudget",
+    "Node",
+    "Simulator",
+    "SimulatorConfig",
+]

@@ -1,0 +1,136 @@
+"""In-transit message types ("bundles", DTN terminology).
+
+Three bundle classes move through the network:
+
+* :class:`PushBundle` — a copy of newly generated data travelling toward
+  one central node (Sec. V-A).  The data itself resides in the current
+  relay's cache buffer ("the relays carrying the data are considered as
+  the temporal caching locations"); the bundle records the onward target.
+* :class:`QueryBundle` — one multicast copy of a query travelling toward
+  a central node, or broadcasting within an NCL after reaching it
+  (Sec. V-B), or flooding epidemically for the incidental baselines.
+* :class:`ResponseBundle` — a cached/origin copy of the data returning to
+  the requester (Sec. V-C).
+
+Each bundle has a dedup key so a node never stores two copies of the
+same logical bundle, and a transfer cost in bits for the per-contact
+budget (queries are small control messages; pushes and responses cost the
+data size).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Hashable, Optional, Tuple
+
+from repro.core.data import DataItem, Query
+
+__all__ = [
+    "QUERY_BUNDLE_SIZE_BITS",
+    "Bundle",
+    "PushBundle",
+    "QueryBundle",
+    "ResponseBundle",
+]
+
+#: Control-message size for a query bundle: a query carries an id, a data
+#: id, a requester id and a deadline — negligible next to 20–200 Mb data,
+#: but charged against the contact budget for fidelity.
+QUERY_BUNDLE_SIZE_BITS: int = 1_000
+
+_response_sequence = itertools.count()
+
+
+@dataclass
+class Bundle:
+    """Base bundle: creation time plus the expiry after which relays drop it."""
+
+    created_at: float
+    expires_at: float
+
+    def is_expired(self, now: float) -> bool:
+        return now >= self.expires_at
+
+    @property
+    def key(self) -> Hashable:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+    @property
+    def size_bits(self) -> int:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+
+@dataclass
+class PushBundle(Bundle):
+    """A data copy being pushed toward ``target_central`` (Sec. V-A).
+
+    ``owns_copy`` records whether the current carrier cached the data *on
+    behalf of this push* (a temporal caching location) — only then does a
+    handover remove the carrier's copy.  A carrier that held the data
+    already (the source's origin copy, a completed push from another NCL,
+    or a replacement-placed copy) keeps it when the bundle moves on.
+    """
+
+    data: DataItem = None  # type: ignore[assignment]
+    target_central: int = -1
+    owns_copy: bool = False
+    #: set once the central node itself was reached but could not cache
+    #: (full buffer): the copy now spills to "another node near the
+    #: central node" (Sec. V, Fig. 2) — any member of the target NCL with
+    #: room.
+    spilling: bool = False
+
+    @property
+    def key(self) -> Tuple[str, int, int]:
+        return ("push", self.data.data_id, self.target_central)
+
+    @property
+    def size_bits(self) -> int:
+        return self.data.size
+
+
+@dataclass
+class QueryBundle(Bundle):
+    """A query copy.
+
+    ``target_central`` is the NCL this multicast copy aims for (``None``
+    for epidemic flooding in the baselines).  ``broadcasting`` flips to
+    True once the copy has reached its central node and starts the
+    within-NCL broadcast of Sec. V-B.
+    """
+
+    query: Query = None  # type: ignore[assignment]
+    target_central: Optional[int] = None
+    broadcasting: bool = False
+
+    @property
+    def key(self) -> Tuple[str, int, object]:
+        return ("query", self.query.query_id, self.target_central)
+
+    @property
+    def size_bits(self) -> int:
+        return QUERY_BUNDLE_SIZE_BITS
+
+
+@dataclass
+class ResponseBundle(Bundle):
+    """A data copy returning to ``query.requester`` (Sec. V-C).
+
+    Each emitted response is a distinct physical copy, so the key carries
+    a process-unique sequence number (two NCLs answering the same query
+    are different bundles, per the paper's overhead discussion).
+    """
+
+    data: DataItem = None  # type: ignore[assignment]
+    query: Query = None  # type: ignore[assignment]
+    responder: int = -1
+    sequence: int = field(default_factory=lambda: next(_response_sequence))
+
+    @property
+    def key(self) -> Tuple[str, int, int]:
+        return ("response", self.query.query_id, self.sequence)
+
+    @property
+    def size_bits(self) -> int:
+        return self.data.size

@@ -1,0 +1,109 @@
+"""Minimal deterministic discrete-event engine.
+
+A binary heap of :class:`Event`s plus a handler table keyed by
+:class:`EventKind`.  The engine is intentionally tiny — the simulator
+(one level up) owns all domain logic — but enforces the invariants a DES
+core must guarantee: monotone simulated time, total event order, and
+safe scheduling of new events from inside handlers (only at or after the
+current time).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.errors import SimulationError
+from repro.sim.events import Event, EventKind
+
+__all__ = ["EventEngine"]
+
+Handler = Callable[[Event], None]
+
+
+class EventEngine:
+    """Priority-queue event loop."""
+
+    def __init__(self) -> None:
+        self._heap: List[Event] = []
+        self._sequence = itertools.count()
+        self._handlers: Dict[EventKind, Handler] = {}
+        self._now = float("-inf")
+        self._processed = 0
+        self._running = False
+
+    # --- configuration ---------------------------------------------------
+
+    def register(self, kind: EventKind, handler: Handler) -> None:
+        """Install *handler* for *kind* (one handler per kind)."""
+        if kind in self._handlers:
+            raise SimulationError(f"handler already registered for {kind!r}")
+        self._handlers[kind] = handler
+
+    # --- scheduling ------------------------------------------------------
+
+    def schedule(
+        self,
+        time: float,
+        kind: EventKind,
+        payload: Any = None,
+        priority: Optional[int] = None,
+    ) -> Event:
+        """Queue an event; inside a running loop, *time* must be >= now."""
+        if self._running and time < self._now:
+            raise SimulationError(
+                f"cannot schedule event at {time} before current time {self._now}"
+            )
+        event = Event(
+            time=float(time),
+            priority=int(kind) if priority is None else priority,
+            sequence=next(self._sequence),
+            kind=kind,
+            payload=payload,
+        )
+        heapq.heappush(self._heap, event)
+        return event
+
+    # --- execution ---------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    @property
+    def pending(self) -> int:
+        return len(self._heap)
+
+    @property
+    def processed(self) -> int:
+        return self._processed
+
+    def run(self, until: Optional[float] = None) -> int:
+        """Process events in order until the queue drains (or *until*).
+
+        Returns the number of events processed by this call.  Events at
+        exactly *until* are still processed; later ones stay queued.
+        """
+        processed_before = self._processed
+        self._running = True
+        try:
+            while self._heap:
+                if until is not None and self._heap[0].time > until:
+                    break
+                event = heapq.heappop(self._heap)
+                if event.time < self._now:
+                    raise SimulationError(
+                        f"time went backwards: {event.time} < {self._now}"
+                    )
+                self._now = event.time
+                handler = self._handlers.get(event.kind)
+                if handler is None:
+                    raise SimulationError(f"no handler for event kind {event.kind!r}")
+                handler(event)
+                self._processed += 1
+        finally:
+            self._running = False
+        if until is not None and self._now < until:
+            self._now = until
+        return self._processed - processed_before

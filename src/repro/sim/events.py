@@ -1,0 +1,41 @@
+"""Event model for the discrete-event engine.
+
+Events are ordered by ``(time, priority, sequence)``: priority breaks
+same-instant ties deterministically (e.g. data generation is applied
+before the queries of the same instant can reference it), and the
+monotone sequence number makes the order total and stable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import IntEnum
+from typing import Any
+
+__all__ = ["Event", "EventKind"]
+
+
+class EventKind(IntEnum):
+    """Built-in event kinds, in same-instant execution order."""
+
+    GRAPH_REFRESH = 0      # publish a fresh contact-graph snapshot
+    DATA_GENERATION = 1    # periodic data-generation decision round
+    QUERY_GENERATION = 2   # periodic query-generation round
+    CONTACT = 3            # pairwise contact from the trace
+    SAMPLE_METRICS = 4     # periodic caching-overhead sampling
+    CUSTOM = 9             # extension hook for user events
+
+
+@dataclass(frozen=True, order=True)
+class Event:
+    """One scheduled event.
+
+    ``payload`` is compared never (sequence numbers already make ordering
+    total), so it can hold arbitrary data.
+    """
+
+    time: float
+    priority: int
+    sequence: int
+    kind: EventKind = field(compare=False)
+    payload: Any = field(compare=False, default=None)

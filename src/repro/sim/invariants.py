@@ -1,0 +1,84 @@
+"""Runtime invariant checking for the simulator (opt-in sanitizer).
+
+With ``SimulatorConfig(validate_invariants=True)`` the simulator audits
+node state after every contact it processes.  The checks are the
+structural truths every caching scheme must preserve; a violation
+raises :class:`SimulationError` at the event that introduced it, rather
+than surfacing later as a silently wrong metric.
+
+The checks cost a few microseconds per node per contact — off by
+default, on in the test suite's integration runs.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.errors import SimulationError
+from repro.sim.bundles import PushBundle, QueryBundle, ResponseBundle
+from repro.sim.node import Node
+
+__all__ = ["check_node", "check_nodes"]
+
+
+def check_node(node: Node, now: float) -> None:
+    """Audit one node's state; raises :class:`SimulationError` on breach."""
+    buffer = node.buffer
+    items = buffer.items()
+
+    # --- buffer accounting ----------------------------------------------
+    used = sum(d.size for d in items)
+    if used != buffer.used:
+        raise SimulationError(
+            f"node {node.node_id}: buffer accounting drift "
+            f"(sum of sizes {used} != used {buffer.used})"
+        )
+    if buffer.used > buffer.capacity:
+        raise SimulationError(
+            f"node {node.node_id}: buffer over capacity "
+            f"({buffer.used} > {buffer.capacity})"
+        )
+    ids = [d.data_id for d in items]
+    if len(set(ids)) != len(ids):
+        raise SimulationError(f"node {node.node_id}: duplicate cached data ids {ids}")
+
+    # --- bundle sanity ---------------------------------------------------
+    seen_keys = set()
+    for bundle in node.bundles:
+        if bundle.key in seen_keys:
+            raise SimulationError(
+                f"node {node.node_id}: duplicate bundle key {bundle.key!r}"
+            )
+        seen_keys.add(bundle.key)
+        if isinstance(bundle, PushBundle):
+            if bundle.data.is_expired(now):
+                raise SimulationError(
+                    f"node {node.node_id}: carries push for expired data "
+                    f"{bundle.data.data_id}"
+                )
+        elif isinstance(bundle, QueryBundle):
+            if bundle.query.is_expired(now) and not bundle.is_expired(now):
+                raise SimulationError(
+                    f"node {node.node_id}: query bundle outlives its query "
+                    f"{bundle.query.query_id}"
+                )
+        elif isinstance(bundle, ResponseBundle):
+            if bundle.expires_at > bundle.query.expires_at:
+                raise SimulationError(
+                    f"node {node.node_id}: response outlives query "
+                    f"{bundle.query.query_id}"
+                )
+
+    # --- query-history sanity ------------------------------------------
+    for query_id, query in node.active_queries.items():
+        if query.query_id != query_id:
+            raise SimulationError(
+                f"node {node.node_id}: query table key mismatch "
+                f"({query_id} != {query.query_id})"
+            )
+
+
+def check_nodes(nodes: Iterable[Node], now: float) -> None:
+    """Audit several nodes (the two parties of a contact, typically)."""
+    for node in nodes:
+        check_node(node, now)

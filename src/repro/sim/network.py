@@ -1,0 +1,70 @@
+"""Per-contact link model.
+
+Every contact is a bidirectional wireless link of fixed capacity
+(2.1 Mb/s Bluetooth EDR in the paper's evaluation, Sec. VI-A); the total
+volume transferable during one contact is capacity × contact duration.
+:class:`TransferBudget` meters that volume: every bundle transfer and
+cache-replacement exchange during the contact draws from the same pot,
+and transfers that no longer fit simply wait for a later contact.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.units import BLUETOOTH_EDR_BITS_PER_SECOND, transfer_budget_bits
+
+__all__ = ["TransferBudget"]
+
+
+class TransferBudget:
+    """Remaining transferable bits within one contact."""
+
+    __slots__ = ("_initial", "_remaining", "_consumed_transfers")
+
+    def __init__(self, bits: int):
+        if bits < 0:
+            raise ConfigurationError("transfer budget must be non-negative")
+        self._initial = int(bits)
+        self._remaining = int(bits)
+        self._consumed_transfers = 0
+
+    @classmethod
+    def for_contact(
+        cls,
+        duration_seconds: float,
+        capacity_bits_per_second: float = BLUETOOTH_EDR_BITS_PER_SECOND,
+    ) -> "TransferBudget":
+        return cls(transfer_budget_bits(capacity_bits_per_second, duration_seconds))
+
+    @property
+    def initial(self) -> int:
+        return self._initial
+
+    @property
+    def remaining(self) -> int:
+        return self._remaining
+
+    @property
+    def consumed(self) -> int:
+        return self._initial - self._remaining
+
+    @property
+    def transfer_count(self) -> int:
+        return self._consumed_transfers
+
+    def can_afford(self, bits: int) -> bool:
+        return bits <= self._remaining
+
+    def try_consume(self, bits: int) -> bool:
+        """Atomically consume *bits* if affordable; returns success."""
+        if bits < 0:
+            raise ConfigurationError("cannot consume a negative volume")
+        if bits > self._remaining:
+            return False
+        self._remaining -= bits
+        if bits > 0:
+            self._consumed_transfers += 1
+        return True
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"TransferBudget(remaining={self._remaining}/{self._initial})"

@@ -1,0 +1,135 @@
+"""Per-node simulation state.
+
+A node owns:
+
+* a bounded **cache buffer** (the paper's limited caching buffer);
+* an **origin store** of the data it generated itself — a source always
+  holds its own live data (it is the fallback responder in the NoCache
+  baseline) without competing against cached copies for buffer space;
+* carried **bundles** (in-transit pushes/queries/responses);
+* a **query history** (popularity table) fed by every query the node
+  observes, which drives utility-based cache replacement (Sec. V-D);
+* the set of **active queries** it has seen and may still respond to —
+  "each caching node at the NCLs is able to maintain the up-to-date
+  information about the query history" (Sec. V-B).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Optional, Set
+
+from repro.core.buffer import CacheBuffer
+from repro.core.data import DataItem, Query
+from repro.core.popularity import PopularityTable
+from repro.sim.bundles import Bundle
+
+__all__ = ["Node"]
+
+
+class Node:
+    """State container for one mobile node."""
+
+    def __init__(self, node_id: int, buffer_capacity: int):
+        self.node_id = node_id
+        self.buffer = CacheBuffer(buffer_capacity)
+        self.origin: Dict[int, DataItem] = {}
+        self.popularity = PopularityTable()
+        self.active_queries: Dict[int, Query] = {}
+        self.responded_queries: Set[int] = set()
+        self._bundles: Dict[Hashable, Bundle] = {}
+        self._seen_bundles: Set[Hashable] = set()
+
+    # --- data availability ----------------------------------------------
+
+    def generate_data(self, item: DataItem) -> None:
+        """Register data this node generated (kept in the origin store)."""
+        self.origin[item.data_id] = item
+
+    def live_own_data(self, now: float) -> List[DataItem]:
+        """This node's own unexpired data items."""
+        return [d for d in self.origin.values() if not d.is_expired(now)]
+
+    def has_live_own_data(self, now: float) -> bool:
+        return any(not d.is_expired(now) for d in self.origin.values())
+
+    def find_data(self, data_id: int, now: float) -> Optional[DataItem]:
+        """Return the item if this node can serve it (origin or cache)."""
+        item = self.origin.get(data_id)
+        if item is not None and not item.is_expired(now):
+            return item
+        item = self.buffer.peek(data_id)
+        if item is not None and not item.is_expired(now):
+            return item
+        return None
+
+    def expire_data(self, now: float) -> List[DataItem]:
+        """Drop expired origin data and cached items."""
+        dropped = [d for d in self.origin.values() if d.is_expired(now)]
+        for item in dropped:
+            del self.origin[item.data_id]
+            self.popularity.forget(item.data_id)
+        dropped.extend(self.buffer.evict_expired(now))
+        return dropped
+
+    # --- query history -----------------------------------------------------
+
+    def observe_query(self, query: Query, now: float) -> None:
+        """Record a query sighting: popularity history + active set."""
+        if query.query_id not in self.active_queries and not query.is_expired(now):
+            self.active_queries[query.query_id] = query
+            self.popularity.record_request(query.data_id, now)
+
+    def expire_queries(self, now: float) -> None:
+        expired = [
+            qid for qid, q in self.active_queries.items() if q.is_expired(now)
+        ]
+        for qid in expired:
+            del self.active_queries[qid]
+            self.responded_queries.discard(qid)
+
+    def pending_queries_for(self, data_id: int, now: float) -> List[Query]:
+        """Active observed queries for *data_id* this node has not yet
+        answered — the push/pull conjunction point of Sec. V."""
+        return [
+            q
+            for q in self.active_queries.values()
+            if q.data_id == data_id
+            and not q.is_expired(now)
+            and q.query_id not in self.responded_queries
+        ]
+
+    # --- bundle carriage ---------------------------------------------------
+
+    @property
+    def bundles(self) -> List[Bundle]:
+        return list(self._bundles.values())
+
+    def carries(self, key: Hashable) -> bool:
+        return key in self._bundles
+
+    def has_seen(self, key: Hashable) -> bool:
+        """Whether this node ever carried the bundle (epidemic dedup)."""
+        return key in self._seen_bundles
+
+    def store_bundle(self, bundle: Bundle) -> bool:
+        """Start carrying *bundle*; returns False if already carried."""
+        if bundle.key in self._bundles:
+            return False
+        self._bundles[bundle.key] = bundle
+        self._seen_bundles.add(bundle.key)
+        return True
+
+    def drop_bundle(self, key: Hashable) -> Optional[Bundle]:
+        return self._bundles.pop(key, None)
+
+    def drop_expired_bundles(self, now: float) -> List[Bundle]:
+        expired = [b for b in self._bundles.values() if b.is_expired(now)]
+        for bundle in expired:
+            del self._bundles[bundle.key]
+        return expired
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"Node(id={self.node_id}, cached={len(self.buffer)}, "
+            f"own={len(self.origin)}, bundles={len(self._bundles)})"
+        )

@@ -1,0 +1,287 @@
+"""Simulation orchestrator (paper Sec. VI-A experiment setup).
+
+One :class:`Simulator` run executes the paper's protocol:
+
+1. **Warm-up** — the first half of the trace only feeds the online
+   contact-rate estimator ("the first half of the trace is used as the
+   warm-up period for the accumulation of network information and
+   subsequent NCL selection").
+2. **Setup** — at the midpoint the scheme receives the graph snapshot and
+   its :meth:`on_warmup_complete` hook runs (NCL selection for the
+   intentional scheme).  Node buffers are drawn uniform in
+   [buffer_min, buffer_max].
+3. **Evaluation** — the second half replays contacts as discrete events
+   interleaved with periodic data rounds (every T_L), query rounds
+   (every T_L/2), caching-overhead samples, and contact-graph refreshes.
+
+The run is a pure function of (trace, scheme, workload config, seed):
+every random decision draws from a named child stream of the root seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set
+
+from repro.caching.base import CachingScheme, SchemeServices
+from repro.core.data import DataItem, Query
+from repro.errors import ConfigurationError
+from repro.graph.estimator import OnlineContactGraphEstimator
+from repro.metrics.collector import MetricsCollector
+from repro.metrics.results import SimulationResult
+from repro.metrics.timeline import TimelineRecorder
+from repro.rng import SeedSequenceFactory
+from repro.sim.engine import EventEngine
+from repro.sim.events import Event, EventKind
+from repro.sim.invariants import check_nodes
+from repro.sim.network import TransferBudget
+from repro.sim.node import Node
+from repro.traces.contact import Contact, ContactTrace
+from repro.units import BLUETOOTH_EDR_BITS_PER_SECOND
+from repro.workload.config import WorkloadConfig
+from repro.workload.generator import WorkloadProcess
+
+__all__ = ["SimulatorConfig", "Simulator"]
+
+
+@dataclass(frozen=True)
+class SimulatorConfig:
+    """Run-level knobs independent of workload and scheme.
+
+    Attributes
+    ----------
+    seed:
+        Root seed; derives independent streams for buffers, workload, and
+        scheme decisions.
+    link_capacity:
+        Contact link capacity in bits/second (2.1 Mb/s Bluetooth EDR).
+    graph_refresh_period:
+        Spacing of fresh contact-graph snapshots pushed to the scheme
+        during evaluation; ``None`` picks 1/20 of the evaluation window.
+    sample_period:
+        Spacing of caching-overhead samples; ``None`` picks the workload's
+        query period.
+    min_contacts_for_rate:
+        Pairs observed fewer times get rate 0 in snapshots.
+    validate_invariants:
+        Audit node state after every contact (sanitizer mode; see
+        :mod:`repro.sim.invariants`).  Off by default.
+    """
+
+    seed: int = 0
+    link_capacity: float = BLUETOOTH_EDR_BITS_PER_SECOND
+    graph_refresh_period: Optional[float] = None
+    sample_period: Optional[float] = None
+    min_contacts_for_rate: int = 1
+    validate_invariants: bool = False
+
+    def __post_init__(self) -> None:
+        if self.link_capacity <= 0:
+            raise ConfigurationError("link capacity must be positive")
+        if self.graph_refresh_period is not None and self.graph_refresh_period <= 0:
+            raise ConfigurationError("graph_refresh_period must be positive")
+        if self.sample_period is not None and self.sample_period <= 0:
+            raise ConfigurationError("sample_period must be positive")
+
+
+class Simulator:
+    """One trace-driven run of a caching scheme under a workload."""
+
+    def __init__(
+        self,
+        trace: ContactTrace,
+        scheme: CachingScheme,
+        workload: WorkloadConfig,
+        config: Optional[SimulatorConfig] = None,
+    ):
+        if trace.num_contacts == 0:
+            raise ConfigurationError("cannot simulate an empty trace")
+        self.trace = trace
+        self.scheme = scheme
+        self.workload = workload
+        self.config = config or SimulatorConfig()
+
+        self._factory = SeedSequenceFactory(self.config.seed)
+        self.metrics = MetricsCollector()
+        self.timeline = TimelineRecorder()
+        self.engine = EventEngine()
+        self.estimator = OnlineContactGraphEstimator(
+            num_nodes=trace.num_nodes,
+            origin=trace.start_time,
+            min_contacts=self.config.min_contacts_for_rate,
+        )
+
+        buffer_rng = self._factory.generator("buffers")
+        self.nodes: List[Node] = [
+            Node(
+                node_id=i,
+                buffer_capacity=int(
+                    buffer_rng.uniform(workload.buffer_min, workload.buffer_max)
+                ),
+            )
+            for i in range(trace.num_nodes)
+        ]
+        self.workload_process = WorkloadProcess(
+            workload, trace.num_nodes, self._factory.generator("workload")
+        )
+        self._ran = False
+
+    # --- derived times ---------------------------------------------------
+
+    @property
+    def warmup_end(self) -> float:
+        return self.trace.start_time + self.trace.duration / 2.0
+
+    @property
+    def eval_duration(self) -> float:
+        return self.trace.end_time - self.warmup_end
+
+    # --- event handlers ----------------------------------------------------
+
+    def _handle_contact(self, event: Event) -> None:
+        contact: Contact = event.payload
+        self.estimator.record_contact(contact.node_a, contact.node_b, contact.start)
+        budget = TransferBudget.for_contact(contact.duration, self.config.link_capacity)
+        self.scheme.on_contact(
+            self.nodes[contact.node_a],
+            self.nodes[contact.node_b],
+            contact.start,
+            budget,
+        )
+        if self.config.validate_invariants:
+            check_nodes(
+                (self.nodes[contact.node_a], self.nodes[contact.node_b]),
+                contact.start,
+            )
+
+    def _handle_data_round(self, event: Event) -> None:
+        now = event.time
+        has_live = [node.has_live_own_data(now) for node in self.nodes]
+        for item in self.workload_process.data_round(now, has_live):
+            node = self.nodes[item.source]
+            node.generate_data(item)
+            self.metrics.on_data_generated(item)
+            self.scheme.on_data_generated(node, item, now)
+
+    def _handle_query_round(self, event: Event) -> None:
+        now = event.time
+        holdings: Dict[int, Set[int]] = {}
+        for node in self.nodes:
+            held = set(node.origin.keys())
+            held.update(node.buffer.data_ids())
+            holdings[node.node_id] = held
+        for query in self.workload_process.query_round(now, holdings):
+            self.metrics.on_query_created(query)
+            self.scheme.on_query_generated(self.nodes[query.requester], query, now)
+
+    def _handle_graph_refresh(self, event: Event) -> None:
+        graph = self.estimator.snapshot(event.time, force=True)
+        self.scheme.on_graph_updated(graph, event.time)
+
+    def _handle_sample(self, event: Event) -> None:
+        now = event.time
+        live = self.workload_process.live_items(now)
+        cached = 0
+        occupancy = 0.0
+        for node in self.nodes:
+            cached += sum(1 for d in node.buffer.items() if not d.is_expired(now))
+            occupancy += node.buffer.used / node.buffer.capacity
+        self.metrics.sample_copies_per_item(cached, len(live))
+        self.timeline.record(
+            time=now,
+            live_items=len(live),
+            cached_copies=cached,
+            queries_issued=self.metrics.queries_issued,
+            queries_satisfied=self.metrics.queries_satisfied,
+            mean_buffer_occupancy=occupancy / len(self.nodes),
+        )
+
+    # --- run ------------------------------------------------------------
+
+    def run(self) -> SimulationResult:
+        """Execute the full protocol and return the run's metrics."""
+        if self._ran:
+            raise ConfigurationError("a Simulator instance runs exactly once")
+        self._ran = True
+
+        warmup_end = self.warmup_end
+        # Phase 1: warm-up — estimator only, no discrete events needed.
+        eval_contacts: List[Contact] = []
+        for contact in self.trace:
+            if contact.start < warmup_end:
+                self.estimator.record_contact(
+                    contact.node_a, contact.node_b, contact.start
+                )
+            else:
+                eval_contacts.append(contact)
+
+        # Phase 2: setup at the midpoint.
+        services = SchemeServices(
+            nodes=self.nodes,
+            rng=self._factory.generator("scheme"),
+            metrics=self.metrics,
+            deliver=self._deliver,
+            lookup_data=self._lookup_data,
+            response_horizon=self.workload.query_time_constraint,
+        )
+        self.scheme.attach(services)
+        snapshot = self.estimator.snapshot(warmup_end, force=True)
+        self.scheme.on_graph_updated(snapshot, warmup_end)
+        self.scheme.on_warmup_complete(warmup_end)
+
+        # Phase 3: evaluation events.
+        engine = self.engine
+        engine.register(EventKind.CONTACT, self._handle_contact)
+        engine.register(EventKind.DATA_GENERATION, self._handle_data_round)
+        engine.register(EventKind.QUERY_GENERATION, self._handle_query_round)
+        engine.register(EventKind.GRAPH_REFRESH, self._handle_graph_refresh)
+        engine.register(EventKind.SAMPLE_METRICS, self._handle_sample)
+
+        for contact in eval_contacts:
+            engine.schedule(contact.start, EventKind.CONTACT, contact)
+
+        end = self.trace.end_time
+        data_period = self.workload.data_generation_period
+        t = warmup_end
+        while t < end:
+            engine.schedule(t, EventKind.DATA_GENERATION)
+            t += data_period
+
+        query_period = self.workload.query_generation_period
+        # Queries start one period after the first data round so the first
+        # pushes have had a chance to leave the sources (Sec. VI-A issues
+        # data and queries throughout the second half; the offset choice
+        # is documented in DESIGN.md).
+        t = warmup_end + query_period
+        while t < end:
+            engine.schedule(t, EventKind.QUERY_GENERATION)
+            t += query_period
+
+        refresh_period = self.config.graph_refresh_period or max(
+            self.eval_duration / 20.0, 1.0
+        )
+        t = warmup_end + refresh_period
+        while t < end:
+            engine.schedule(t, EventKind.GRAPH_REFRESH)
+            t += refresh_period
+
+        sample_period = self.config.sample_period or query_period
+        t = warmup_end + sample_period
+        while t < end:
+            engine.schedule(t, EventKind.SAMPLE_METRICS)
+            t += sample_period
+
+        engine.run()
+        return self.metrics.finalize(name=self.scheme.name, seed=self.config.seed)
+
+    # --- scheme callbacks -------------------------------------------------
+
+    def _lookup_data(self, data_id: int) -> Optional[DataItem]:
+        """Global data catalogue (source addressing for the baselines)."""
+        return self.workload_process.item_by_id(data_id)
+
+    def _deliver(self, query: Query, data: DataItem, now: float) -> None:
+        first = self.metrics.on_query_satisfied(query, now)
+        if first:
+            requester = self.nodes[query.requester]
+            self.scheme.on_data_delivered(requester, data, query, now)

@@ -1,0 +1,75 @@
+"""Contact traces: containers, loaders, synthesis, and statistics.
+
+The paper's evaluation is entirely trace-driven: four CRAWDAD traces
+(Infocom05, Infocom06, MIT Reality, UCSD — Table I) supply the contact
+process.  Those datasets are not redistributable, so this package ships
+
+* :mod:`repro.traces.contact` — the in-memory trace model;
+* :mod:`repro.traces.loaders` — parsers for common published formats
+  (CRAWDAD imote contact lists, ONE simulator connectivity reports, CSV),
+  for users who have obtained the originals;
+* :mod:`repro.traces.synthetic` — seeded generators reproducing each
+  trace's Table I statistics and heterogeneous node-popularity structure;
+* :mod:`repro.traces.catalog` — named presets for the four paper traces;
+* :mod:`repro.traces.stats` — the Table I summary computation.
+"""
+
+from repro.traces.analysis import (
+    ExponentialFit,
+    aggregate_intercontact_ccdf,
+    exponential_fit_report,
+    fit_exponential,
+    pair_intercontact_samples,
+)
+from repro.traces.catalog import TRACE_PRESETS, TracePreset, load_preset_trace
+from repro.traces.contact import Contact, ContactTrace
+from repro.traces.loaders import (
+    load_crawdad_imote,
+    load_csv_contacts,
+    load_one_connectivity,
+)
+from repro.traces.mobility import (
+    RandomWaypointModel,
+    WorkingDayModel,
+    contacts_from_mobility,
+)
+from repro.traces.stats import TraceSummary, summarize_trace
+from repro.traces.synthetic import SyntheticTraceConfig, generate_synthetic_trace
+from repro.traces.toolkit import (
+    filter_nodes,
+    merge_traces,
+    most_active_nodes,
+    shift_time,
+    thin_contacts,
+)
+
+__all__ = [
+    "Contact",
+    "ContactTrace",
+    "TracePreset",
+    "TRACE_PRESETS",
+    "load_preset_trace",
+    "load_crawdad_imote",
+    "load_one_connectivity",
+    "load_csv_contacts",
+    "TraceSummary",
+    "summarize_trace",
+    "SyntheticTraceConfig",
+    "generate_synthetic_trace",
+    # analysis
+    "ExponentialFit",
+    "fit_exponential",
+    "pair_intercontact_samples",
+    "aggregate_intercontact_ccdf",
+    "exponential_fit_report",
+    # mobility
+    "RandomWaypointModel",
+    "WorkingDayModel",
+    "contacts_from_mobility",
+    # toolkit
+    "filter_nodes",
+    "merge_traces",
+    "most_active_nodes",
+    "shift_time",
+    "thin_contacts",
+]

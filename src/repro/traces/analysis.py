@@ -1,0 +1,171 @@
+"""Inter-contact time analysis: validating the paper's network model.
+
+The whole analytical machinery of Sec. IV rests on the assumption that
+pairwise inter-contact times are exponentially distributed (Sec. III-B,
+citing the characterisation debate of [2], [5], [18]).  This module
+provides the tools to check that assumption on any trace — real or
+synthetic:
+
+* :func:`pair_intercontact_samples` — the raw inter-contact gaps of one
+  node pair;
+* :func:`fit_exponential` — the MLE exponential fit with a
+  Kolmogorov–Smirnov distance as goodness-of-fit;
+* :func:`aggregate_intercontact_ccdf` — the network-wide CCDF on a log
+  grid (the classic "power law with exponential tail" plot of the
+  inter-contact literature);
+* :func:`exponential_fit_report` — per-pair fit quality across the whole
+  trace, summarised.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.traces.contact import ContactTrace
+
+__all__ = [
+    "pair_intercontact_samples",
+    "ExponentialFit",
+    "fit_exponential",
+    "aggregate_intercontact_ccdf",
+    "FitReport",
+    "exponential_fit_report",
+]
+
+
+def pair_intercontact_samples(
+    trace: ContactTrace, node_a: int, node_b: int
+) -> List[float]:
+    """Inter-contact gaps of one pair: start-of-next minus end-of-previous.
+
+    Overlapping or touching sightings contribute no gap.
+    """
+    pair = (min(node_a, node_b), max(node_a, node_b))
+    meetings = sorted(
+        (c.start, c.end) for c in trace if c.pair == pair
+    )
+    gaps: List[float] = []
+    for (_, prev_end), (next_start, _) in zip(meetings, meetings[1:]):
+        gap = next_start - prev_end
+        if gap > 0.0:
+            gaps.append(gap)
+    return gaps
+
+
+@dataclass(frozen=True)
+class ExponentialFit:
+    """MLE exponential fit of a sample plus a KS goodness measure."""
+
+    rate: float                  # λ̂ = 1 / mean
+    sample_size: int
+    ks_distance: float           # sup |F_empirical - F_exponential|
+
+    @property
+    def mean_intercontact(self) -> float:
+        return 1.0 / self.rate if self.rate > 0 else float("inf")
+
+    def is_plausible(self, threshold: float = 0.2) -> bool:
+        """Loose plausibility check: KS distance below *threshold*.
+
+        The paper's model needs the exponential to be a workable
+        approximation, not to pass a strict hypothesis test.
+        """
+        return self.ks_distance <= threshold
+
+
+def fit_exponential(samples: Sequence[float]) -> Optional[ExponentialFit]:
+    """Fit Exp(λ) by maximum likelihood; ``None`` for fewer than 2 gaps."""
+    samples = np.asarray([s for s in samples if s > 0], dtype=float)
+    if samples.size < 2:
+        return None
+    rate = 1.0 / samples.mean()
+    ordered = np.sort(samples)
+    n = ordered.size
+    model_cdf = 1.0 - np.exp(-rate * ordered)
+    empirical_hi = np.arange(1, n + 1) / n
+    empirical_lo = np.arange(0, n) / n
+    ks = float(
+        np.maximum(np.abs(empirical_hi - model_cdf), np.abs(model_cdf - empirical_lo)).max()
+    )
+    return ExponentialFit(rate=rate, sample_size=int(n), ks_distance=ks)
+
+
+def aggregate_intercontact_ccdf(
+    trace: ContactTrace,
+    num_points: int = 50,
+    min_gap: float = 1.0,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Network-wide inter-contact CCDF on a log-spaced grid.
+
+    Returns ``(grid, ccdf)`` where ``ccdf[i]`` is the fraction of all
+    pairwise inter-contact gaps exceeding ``grid[i]``.
+    """
+    all_gaps: List[float] = []
+    seen_pairs = set()
+    for contact in trace:
+        if contact.pair in seen_pairs:
+            continue
+        seen_pairs.add(contact.pair)
+        all_gaps.extend(pair_intercontact_samples(trace, *contact.pair))
+    if not all_gaps:
+        return np.array([]), np.array([])
+    gaps = np.sort(np.asarray(all_gaps))
+    lo = max(min_gap, float(gaps[0]))
+    hi = float(gaps[-1])
+    if hi <= lo:
+        hi = lo * 10.0
+    grid = np.logspace(math.log10(lo), math.log10(hi), num_points)
+    ccdf = np.array([(gaps > g).mean() for g in grid])
+    return grid, ccdf
+
+
+@dataclass(frozen=True)
+class FitReport:
+    """Summary of exponential-fit quality across a trace's node pairs."""
+
+    pairs_fitted: int
+    pairs_skipped: int            # too few gaps to fit
+    median_ks: float
+    fraction_plausible: float     # KS <= 0.2
+    rate_range: Tuple[float, float]
+
+    def as_row(self) -> Dict[str, object]:
+        return {
+            "pairs_fitted": self.pairs_fitted,
+            "pairs_skipped": self.pairs_skipped,
+            "median_ks": round(self.median_ks, 3),
+            "plausible_frac": round(self.fraction_plausible, 3),
+            "rate_min_per_day": round(self.rate_range[0] * 86400, 4),
+            "rate_max_per_day": round(self.rate_range[1] * 86400, 2),
+        }
+
+
+def exponential_fit_report(trace: ContactTrace, min_samples: int = 5) -> FitReport:
+    """Fit every pair with at least *min_samples* gaps; summarise."""
+    fits: List[ExponentialFit] = []
+    skipped = 0
+    for pair in trace.pair_contact_counts():
+        gaps = pair_intercontact_samples(trace, *pair)
+        if len(gaps) < min_samples:
+            skipped += 1
+            continue
+        fit = fit_exponential(gaps)
+        if fit is None:
+            skipped += 1
+            continue
+        fits.append(fit)
+    if not fits:
+        return FitReport(0, skipped, float("nan"), 0.0, (0.0, 0.0))
+    ks_values = np.array([f.ks_distance for f in fits])
+    rates = np.array([f.rate for f in fits])
+    return FitReport(
+        pairs_fitted=len(fits),
+        pairs_skipped=skipped,
+        median_ks=float(np.median(ks_values)),
+        fraction_plausible=float(np.mean([f.is_plausible() for f in fits])),
+        rate_range=(float(rates.min()), float(rates.max())),
+    )

@@ -1,0 +1,136 @@
+"""Presets for the four traces of the paper's Table I.
+
+Each preset records the published Table I statistics together with the
+NCL-metric time budget T the paper uses for the trace (Sec. IV-B) and the
+default number of NCLs its evaluation picks (Sec. VI-B / VI-D).  Loading a
+preset produces a seeded synthetic trace calibrated to those statistics
+(see :mod:`repro.traces.synthetic` and the substitution table in
+DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.traces.contact import ContactTrace
+from repro.traces.synthetic import SyntheticTraceConfig, generate_synthetic_trace
+from repro.units import DAY, HOUR, WEEK
+
+__all__ = ["TracePreset", "TRACE_PRESETS", "load_preset_trace"]
+
+
+@dataclass(frozen=True)
+class TracePreset:
+    """Published statistics and paper parameters for one Table I trace."""
+
+    key: str
+    network_type: str
+    num_devices: int
+    num_contacts: int
+    duration_days: float
+    granularity_seconds: float
+    pairwise_contact_frequency_per_day: float
+    ncl_time_budget: float  # T in Eq. (3), per Sec. IV-B
+    default_num_ncls: int
+    #: community count used by the synthetic stand-in (labs / interest
+    #: groups); chosen near the paper's per-trace NCL sweet spot.
+    num_communities: int = 8
+
+    def synthetic_config(
+        self,
+        seed: int = 0,
+        node_factor: float = 1.0,
+        time_factor: float = 1.0,
+    ) -> SyntheticTraceConfig:
+        """Synthetic configuration calibrated to this preset.
+
+        ``node_factor``/``time_factor`` scale the trace down for fast test
+        and benchmark runs while preserving per-pair contact density.
+        """
+        config = SyntheticTraceConfig(
+            name=self.key,
+            num_nodes=self.num_devices,
+            duration=self.duration_days * DAY,
+            total_contacts=self.num_contacts,
+            granularity=self.granularity_seconds,
+            num_communities=self.num_communities,
+            seed=seed,
+        )
+        if node_factor != 1.0 or time_factor != 1.0:
+            config = config.scaled(node_factor=node_factor, time_factor=time_factor)
+        return config
+
+
+#: Table I of the paper, verbatim.
+TRACE_PRESETS: Dict[str, TracePreset] = {
+    "infocom05": TracePreset(
+        key="infocom05",
+        network_type="Bluetooth",
+        num_devices=41,
+        num_contacts=22_459,
+        duration_days=3,
+        granularity_seconds=120,
+        pairwise_contact_frequency_per_day=4.6,
+        ncl_time_budget=1 * HOUR,
+        default_num_ncls=5,
+        num_communities=4,
+    ),
+    "infocom06": TracePreset(
+        key="infocom06",
+        network_type="Bluetooth",
+        num_devices=78,
+        num_contacts=182_951,
+        duration_days=4,
+        granularity_seconds=120,
+        pairwise_contact_frequency_per_day=6.7,
+        ncl_time_budget=1 * HOUR,
+        default_num_ncls=5,
+        num_communities=5,
+    ),
+    "mit_reality": TracePreset(
+        key="mit_reality",
+        network_type="Bluetooth",
+        num_devices=97,
+        num_contacts=114_046,
+        duration_days=246,
+        granularity_seconds=300,
+        pairwise_contact_frequency_per_day=0.024,
+        ncl_time_budget=1 * WEEK,
+        default_num_ncls=8,
+        num_communities=8,
+    ),
+    "ucsd": TracePreset(
+        key="ucsd",
+        network_type="WiFi",
+        num_devices=275,
+        num_contacts=123_225,
+        duration_days=77,
+        granularity_seconds=20,
+        pairwise_contact_frequency_per_day=0.036,
+        ncl_time_budget=3 * DAY,
+        default_num_ncls=8,
+        num_communities=12,
+    ),
+}
+
+
+def load_preset_trace(
+    key: str,
+    seed: int = 0,
+    node_factor: float = 1.0,
+    time_factor: float = 1.0,
+) -> ContactTrace:
+    """Generate the synthetic stand-in for one of the paper's traces.
+
+    Raises ``KeyError`` listing the available presets for an unknown key.
+    """
+    try:
+        preset = TRACE_PRESETS[key]
+    except KeyError:
+        raise KeyError(
+            f"unknown trace preset {key!r}; available: {sorted(TRACE_PRESETS)}"
+        ) from None
+    return generate_synthetic_trace(
+        preset.synthetic_config(seed=seed, node_factor=node_factor, time_factor=time_factor)
+    )

@@ -1,0 +1,296 @@
+"""Mobility-model contact generation: traces from simulated movement.
+
+The paper's traces were recorded from *physical mobility* (people
+walking around conferences and campuses).  Besides the statistical
+generator of :mod:`repro.traces.synthetic`, this module derives contact
+traces from an explicit spatial simulation, the classic methodology of
+DTN evaluations:
+
+* :class:`RandomWaypointModel` — nodes pick a uniform destination in a
+  rectangular area, move there at a uniform-random speed, pause, repeat.
+  The baseline mobility model of the MANET/DTN literature.
+* :class:`WorkingDayModel` — a light-weight home/office pattern: each
+  node commutes between its home point and a shared office hotspot on a
+  daily rhythm, producing the community structure and recurring contacts
+  of campus traces.
+
+Positions are sampled every ``sample_period`` seconds; two nodes are in
+contact while within ``radio_range`` metres (Bluetooth-class, ~10 m).
+Sampling runs on a spatial grid, so a step costs O(nodes + close pairs)
+instead of O(nodes²).
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Protocol, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.rng import SeedSequenceFactory
+from repro.traces.contact import Contact, ContactTrace
+from repro.units import DAY, HOUR
+
+__all__ = [
+    "MobilityModel",
+    "RandomWaypointModel",
+    "WorkingDayModel",
+    "contacts_from_mobility",
+]
+
+
+class MobilityModel(Protocol):
+    """A positional process: positions(t) for every node."""
+
+    num_nodes: int
+
+    def positions(self, t: float) -> np.ndarray:
+        """(num_nodes, 2) array of coordinates at time *t* (t >= 0,
+        non-decreasing across calls)."""
+        ...
+
+
+@dataclass
+class _Leg:
+    """One movement leg: from *origin* to *target*, then pause."""
+
+    start_time: float
+    origin: np.ndarray
+    target: np.ndarray
+    speed: float
+    pause: float
+
+    @property
+    def travel_time(self) -> float:
+        distance = float(np.linalg.norm(self.target - self.origin))
+        return distance / self.speed if self.speed > 0 else 0.0
+
+    @property
+    def end_time(self) -> float:
+        return self.start_time + self.travel_time + self.pause
+
+    def position(self, t: float) -> np.ndarray:
+        elapsed = t - self.start_time
+        travel = self.travel_time
+        if travel <= 0 or elapsed >= travel:
+            return self.target
+        fraction = max(0.0, elapsed / travel)
+        return self.origin + fraction * (self.target - self.origin)
+
+
+class RandomWaypointModel:
+    """Random waypoint mobility over a rectangular area.
+
+    Parameters follow the classic formulation: uniform destination,
+    speed uniform in [min_speed, max_speed] (strictly positive to avoid
+    the well-known speed-decay pathology), pause uniform in
+    [0, max_pause].
+    """
+
+    def __init__(
+        self,
+        num_nodes: int,
+        area: Tuple[float, float] = (1000.0, 1000.0),
+        min_speed: float = 0.5,
+        max_speed: float = 1.5,
+        max_pause: float = 120.0,
+        seed: int = 0,
+    ):
+        if num_nodes < 2:
+            raise ConfigurationError("mobility needs at least two nodes")
+        if min_speed <= 0 or max_speed < min_speed:
+            raise ConfigurationError("need 0 < min_speed <= max_speed")
+        if max_pause < 0:
+            raise ConfigurationError("max_pause must be non-negative")
+        self.num_nodes = int(num_nodes)
+        self.area = (float(area[0]), float(area[1]))
+        self.min_speed = float(min_speed)
+        self.max_speed = float(max_speed)
+        self.max_pause = float(max_pause)
+        self._rng = SeedSequenceFactory(seed).generator("rwp")
+        self._legs: List[_Leg] = [
+            self._new_leg(0.0, self._random_point()) for _ in range(self.num_nodes)
+        ]
+
+    def _random_point(self) -> np.ndarray:
+        return np.array(
+            [
+                self._rng.uniform(0.0, self.area[0]),
+                self._rng.uniform(0.0, self.area[1]),
+            ]
+        )
+
+    def _new_leg(self, start_time: float, origin: np.ndarray) -> _Leg:
+        return _Leg(
+            start_time=start_time,
+            origin=origin,
+            target=self._random_point(),
+            speed=float(self._rng.uniform(self.min_speed, self.max_speed)),
+            pause=float(self._rng.uniform(0.0, self.max_pause)),
+        )
+
+    def positions(self, t: float) -> np.ndarray:
+        coords = np.zeros((self.num_nodes, 2))
+        for node in range(self.num_nodes):
+            leg = self._legs[node]
+            while leg.end_time <= t:
+                leg = self._new_leg(leg.end_time, leg.target)
+                self._legs[node] = leg
+            coords[node] = leg.position(t)
+        return coords
+
+
+class WorkingDayModel:
+    """Home/office commuting: campus-like recurring contact structure.
+
+    Each node owns a fixed *home* point; nodes are partitioned over
+    ``num_offices`` shared office hotspots.  A node is at its office
+    during work hours (with per-node jittered start), at home otherwise,
+    and moves between the two at walking speed.  Office co-location
+    creates the strong intra-community contact rates of real campus
+    traces; a shared *cafeteria* visited around midday (staggered per
+    node) creates the cross-community mixing without which the campus
+    would decompose into disconnected cliques.
+    """
+
+    def __init__(
+        self,
+        num_nodes: int,
+        area: Tuple[float, float] = (2000.0, 2000.0),
+        num_offices: int = 4,
+        work_start: float = 9 * HOUR,
+        work_hours: float = 8 * HOUR,
+        speed: float = 1.2,
+        jitter: float = 0.5 * HOUR,
+        lunch_duration: float = 0.5 * HOUR,
+        seed: int = 0,
+    ):
+        if num_nodes < 2:
+            raise ConfigurationError("mobility needs at least two nodes")
+        if num_offices < 1:
+            raise ConfigurationError("need at least one office")
+        if not 0 <= work_start < DAY or work_hours <= 0 or work_start + work_hours > DAY:
+            raise ConfigurationError("work period must fit within one day")
+        if speed <= 0:
+            raise ConfigurationError("speed must be positive")
+        self.num_nodes = int(num_nodes)
+        self.area = (float(area[0]), float(area[1]))
+        self.speed = float(speed)
+        self.work_start = float(work_start)
+        self.work_hours = float(work_hours)
+        rng = SeedSequenceFactory(seed).generator("wdm")
+        self._homes = rng.uniform((0, 0), self.area, size=(self.num_nodes, 2))
+        # Office hotspots spread on a coarse grid with small extent each.
+        self._offices = rng.uniform(
+            (0.2 * self.area[0], 0.2 * self.area[1]),
+            (0.8 * self.area[0], 0.8 * self.area[1]),
+            size=(num_offices, 2),
+        )
+        self._office_of = rng.integers(0, num_offices, size=self.num_nodes)
+        # Per-node desk offset inside the office (radio-range scale).
+        self._desk_offsets = rng.normal(0.0, 4.0, size=(self.num_nodes, 2))
+        self._jitter = rng.uniform(-jitter, jitter, size=self.num_nodes)
+        # Shared cafeteria at the area centre; staggered lunch starts in
+        # the middle third of the work period keep it busy for hours
+        # while every sitting overlaps with many others.
+        self._cafeteria = np.array([0.5 * self.area[0], 0.5 * self.area[1]])
+        self._lunch_duration = float(max(0.0, lunch_duration))
+        lunch_lo = self.work_start + 0.33 * self.work_hours
+        lunch_hi = self.work_start + 0.67 * self.work_hours - self._lunch_duration
+        self._lunch_start = rng.uniform(
+            lunch_lo, max(lunch_lo, lunch_hi), size=self.num_nodes
+        )
+        self._table_offsets = rng.normal(0.0, 3.0, size=(self.num_nodes, 2))
+
+    def _office_point(self, node: int) -> np.ndarray:
+        return self._offices[self._office_of[node]] + self._desk_offsets[node]
+
+    def positions(self, t: float) -> np.ndarray:
+        coords = np.zeros((self.num_nodes, 2))
+        time_of_day = t % DAY
+        for node in range(self.num_nodes):
+            start = self.work_start + float(self._jitter[node])
+            end = start + self.work_hours
+            home = self._homes[node]
+            office = self._office_point(node)
+            commute = float(np.linalg.norm(office - home)) / self.speed
+            lunch_start = float(self._lunch_start[node])
+            lunch_end = lunch_start + self._lunch_duration
+            if self._lunch_duration > 0 and lunch_start <= time_of_day < lunch_end:
+                coords[node] = self._cafeteria + self._table_offsets[node]
+            elif start <= time_of_day < end:
+                # commuting in at the start of the window
+                progress = (time_of_day - start) / commute if commute > 0 else 1.0
+                coords[node] = home + min(1.0, progress) * (office - home)
+            elif end <= time_of_day < end + commute:
+                progress = (time_of_day - end) / commute
+                coords[node] = office + min(1.0, progress) * (home - office)
+            else:
+                coords[node] = home
+        return coords
+
+
+def contacts_from_mobility(
+    model: MobilityModel,
+    duration: float,
+    radio_range: float = 10.0,
+    sample_period: float = 60.0,
+    name: str = "mobility",
+) -> ContactTrace:
+    """Sample a mobility model into a :class:`ContactTrace`.
+
+    Two nodes are in contact while within *radio_range* at consecutive
+    samples; a contact interval opens at the first such sample and
+    closes at the first sample where they separate (granularity =
+    ``sample_period``, like real sampled traces).
+    """
+    if duration <= 0:
+        raise ConfigurationError("duration must be positive")
+    if radio_range <= 0 or sample_period <= 0:
+        raise ConfigurationError("radio_range and sample_period must be positive")
+
+    open_since: Dict[Tuple[int, int], float] = {}
+    contacts: List[Contact] = []
+    cell = radio_range  # grid cell size = range → neighbors in 3x3 cells
+
+    t = 0.0
+    while t <= duration:
+        coords = model.positions(t)
+        # spatial hash
+        grid: Dict[Tuple[int, int], List[int]] = {}
+        for node in range(model.num_nodes):
+            key = (int(coords[node, 0] // cell), int(coords[node, 1] // cell))
+            grid.setdefault(key, []).append(node)
+        near_now = set()
+        for (cx, cy), members in grid.items():
+            neighborhood: List[int] = []
+            for dx in (-1, 0, 1):
+                for dy in (-1, 0, 1):
+                    neighborhood.extend(grid.get((cx + dx, cy + dy), ()))
+            for a in members:
+                for b in neighborhood:
+                    if b <= a:
+                        continue
+                    if np.linalg.norm(coords[a] - coords[b]) <= radio_range:
+                        near_now.add((a, b))
+        # open new contacts
+        for pair in near_now:
+            open_since.setdefault(pair, t)
+        # close departed contacts
+        for pair in list(open_since):
+            if pair not in near_now:
+                start = open_since.pop(pair)
+                contacts.append(Contact(start, t, pair[0], pair[1]))
+        t += sample_period
+    for pair, start in open_since.items():
+        contacts.append(Contact(start, min(t, duration + sample_period), pair[0], pair[1]))
+
+    return ContactTrace(
+        contacts,
+        num_nodes=model.num_nodes,
+        granularity=sample_period,
+        name=name,
+    )

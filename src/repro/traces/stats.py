@@ -1,0 +1,90 @@
+"""Trace summary statistics — the reproduction of the paper's Table I.
+
+:func:`summarize_trace` computes, for any :class:`ContactTrace`, the same
+columns Table I reports: device count, total internal contacts, duration
+in days, collection granularity, and the average pairwise contact
+frequency per day.  The pairwise frequency is reported two ways because
+the paper does not pin down its denominator:
+
+* ``pairwise_frequency_all`` — contacts / (all node pairs × days);
+* ``pairwise_frequency_met`` — contacts / (pairs that ever met × days).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+import numpy as np
+
+from repro.traces.contact import ContactTrace
+from repro.units import DAY
+
+__all__ = ["TraceSummary", "summarize_trace"]
+
+
+@dataclass(frozen=True)
+class TraceSummary:
+    """One row of the reproduced Table I, plus auxiliary statistics."""
+
+    name: str
+    num_devices: int
+    num_contacts: int
+    duration_days: float
+    granularity_seconds: float
+    pairwise_frequency_all: float
+    pairwise_frequency_met: float
+    fraction_pairs_met: float
+    mean_contact_duration: float
+    median_contact_duration: float
+    mean_contacts_per_node_per_day: float
+
+    def as_row(self) -> Dict[str, object]:
+        """Flat dict for table rendering / CSV export."""
+        return {
+            "trace": self.name,
+            "devices": self.num_devices,
+            "contacts": self.num_contacts,
+            "duration_days": round(self.duration_days, 1),
+            "granularity_s": self.granularity_seconds,
+            "pair_freq_all_per_day": round(self.pairwise_frequency_all, 4),
+            "pair_freq_met_per_day": round(self.pairwise_frequency_met, 4),
+            "pairs_met_frac": round(self.fraction_pairs_met, 3),
+            "mean_contact_dur_s": round(self.mean_contact_duration, 1),
+        }
+
+
+def summarize_trace(trace: ContactTrace) -> TraceSummary:
+    """Compute the Table I summary row for *trace*."""
+    n = trace.num_nodes
+    num_pairs = n * (n - 1) // 2
+    duration_days = max(trace.duration / DAY, 1e-12)
+    pair_counts = trace.pair_contact_counts()
+    pairs_met = len(pair_counts)
+    durations = np.array([c.duration for c in trace.contacts]) if len(trace) else np.array([0.0])
+
+    per_node_contacts = np.zeros(n)
+    for contact in trace:
+        per_node_contacts[contact.node_a] += 1
+        per_node_contacts[contact.node_b] += 1
+
+    return TraceSummary(
+        name=trace.name,
+        num_devices=n,
+        num_contacts=trace.num_contacts,
+        duration_days=trace.duration / DAY,
+        granularity_seconds=trace.granularity,
+        pairwise_frequency_all=trace.num_contacts / (num_pairs * duration_days),
+        pairwise_frequency_met=(
+            trace.num_contacts / (pairs_met * duration_days) if pairs_met else 0.0
+        ),
+        fraction_pairs_met=pairs_met / num_pairs if num_pairs else 0.0,
+        mean_contact_duration=float(durations.mean()),
+        median_contact_duration=float(np.median(durations)),
+        mean_contacts_per_node_per_day=float(per_node_contacts.mean()) / duration_days,
+    )
+
+
+def summarize_traces(traces: List[ContactTrace]) -> List[TraceSummary]:
+    """Summary rows for several traces (the full Table I)."""
+    return [summarize_trace(trace) for trace in traces]

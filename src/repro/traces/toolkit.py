@@ -1,0 +1,137 @@
+"""Trace manipulation toolkit.
+
+Utilities a practitioner needs when preparing contact traces for
+experiments: restricting to a node subset (e.g. the participants who
+carried devices for the whole study), merging traces collected in
+parallel, shifting time origins, thinning contacts for sensitivity
+studies, and splitting along time.  All operations return new
+:class:`ContactTrace` objects; traces are immutable.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError, TraceConsistencyError
+from repro.rng import SeedSequenceFactory
+from repro.traces.contact import Contact, ContactTrace
+
+__all__ = [
+    "filter_nodes",
+    "merge_traces",
+    "shift_time",
+    "thin_contacts",
+    "most_active_nodes",
+]
+
+
+def filter_nodes(
+    trace: ContactTrace,
+    keep: Iterable[int],
+    name: Optional[str] = None,
+) -> ContactTrace:
+    """Restrict a trace to the nodes in *keep* (ids are remapped to a
+    contiguous 0..K-1 range, preserving relative order)."""
+    kept = sorted(set(keep))
+    if len(kept) < 2:
+        raise ConfigurationError("need at least two surviving nodes")
+    for node in kept:
+        if not 0 <= node < trace.num_nodes:
+            raise ConfigurationError(f"node {node} not in trace of {trace.num_nodes}")
+    remap: Dict[int, int] = {orig: new for new, orig in enumerate(kept)}
+    contacts = [
+        Contact(c.start, c.end, remap[c.node_a], remap[c.node_b])
+        for c in trace
+        if c.node_a in remap and c.node_b in remap
+    ]
+    return ContactTrace(
+        contacts,
+        num_nodes=len(kept),
+        granularity=trace.granularity,
+        name=name or f"{trace.name}:filtered",
+    )
+
+
+def most_active_nodes(trace: ContactTrace, count: int) -> List[int]:
+    """The *count* nodes participating in the most contacts."""
+    if not 1 <= count <= trace.num_nodes:
+        raise ConfigurationError(
+            f"count must be in [1, {trace.num_nodes}], got {count}"
+        )
+    participation = np.zeros(trace.num_nodes)
+    for contact in trace:
+        participation[contact.node_a] += 1
+        participation[contact.node_b] += 1
+    order = sorted(range(trace.num_nodes), key=lambda n: (-participation[n], n))
+    return order[:count]
+
+
+def shift_time(trace: ContactTrace, offset: float, name: Optional[str] = None) -> ContactTrace:
+    """Translate all contacts by *offset* seconds (must stay >= 0)."""
+    if trace.num_contacts and trace.start_time + offset < 0:
+        raise TraceConsistencyError("shift would move contacts before t=0")
+    contacts = [
+        Contact(c.start + offset, c.end + offset, c.node_a, c.node_b) for c in trace
+    ]
+    return ContactTrace(
+        contacts,
+        num_nodes=trace.num_nodes,
+        granularity=trace.granularity,
+        name=name or f"{trace.name}:shifted",
+    )
+
+
+def merge_traces(
+    traces: Sequence[ContactTrace],
+    name: str = "merged",
+) -> ContactTrace:
+    """Union several traces over a *shared node universe*.
+
+    All traces must declare the same ``num_nodes`` (they describe the
+    same population, e.g. Bluetooth and WiFi sightings of one study);
+    contacts are pooled and re-sorted.
+    """
+    if not traces:
+        raise ConfigurationError("nothing to merge")
+    num_nodes = traces[0].num_nodes
+    for trace in traces[1:]:
+        if trace.num_nodes != num_nodes:
+            raise ConfigurationError(
+                "merge requires a shared node universe "
+                f"({trace.num_nodes} != {num_nodes})"
+            )
+    contacts: List[Contact] = []
+    for trace in traces:
+        contacts.extend(trace.contacts)
+    granularity = min(t.granularity for t in traces if t.granularity > 0.0) if any(
+        t.granularity > 0.0 for t in traces
+    ) else 0.0
+    return ContactTrace(
+        contacts, num_nodes=num_nodes, granularity=granularity, name=name
+    )
+
+
+def thin_contacts(
+    trace: ContactTrace,
+    keep_fraction: float,
+    seed: int = 0,
+    name: Optional[str] = None,
+) -> ContactTrace:
+    """Keep each contact independently with probability *keep_fraction*.
+
+    A sensitivity tool: how do results change when the device duty
+    cycle halves?  Deterministic per seed.
+    """
+    if not 0.0 < keep_fraction <= 1.0:
+        raise ConfigurationError("keep_fraction must be in (0, 1]")
+    rng = SeedSequenceFactory(seed).generator("thin", trace.name)
+    draws = rng.random(trace.num_contacts)
+    contacts = [c for c, u in zip(trace.contacts, draws) if u < keep_fraction]
+    return ContactTrace(
+        contacts,
+        num_nodes=trace.num_nodes,
+        granularity=trace.granularity,
+        name=name or f"{trace.name}:thin{keep_fraction:g}",
+    )

@@ -1,0 +1,13 @@
+"""Workload generation (paper Sec. VI-A).
+
+* :mod:`repro.workload.config` — parameters: generation probability
+  p_G = 0.2, mean lifetime T_L, mean size s_avg, Zipf exponent s, node
+  buffer range [200 Mb, 600 Mb].
+* :mod:`repro.workload.generator` — the periodic data-generation and
+  query-generation rounds the simulator executes.
+"""
+
+from repro.workload.config import WorkloadConfig
+from repro.workload.generator import WorkloadProcess
+
+__all__ = ["WorkloadConfig", "WorkloadProcess"]

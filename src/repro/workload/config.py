@@ -1,0 +1,66 @@
+"""Workload parameters (paper Sec. VI-A).
+
+Defaults reproduce the evaluation setup: p_G = 0.2; data lifetime uniform
+in [0.5·T_L, 1.5·T_L] with decision period T_L; data size uniform in
+[0.5·s_avg, 1.5·s_avg]; node caching buffers uniform in [200 Mb, 600 Mb];
+queries follow a Zipf(s) law over the live data catalogue, are issued
+every T_L/2, and carry the fixed time constraint T_L/2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.units import MEGABIT, WEEK
+
+__all__ = ["WorkloadConfig"]
+
+
+@dataclass(frozen=True)
+class WorkloadConfig:
+    """All knobs of the paper's synthetic workload."""
+
+    mean_data_lifetime: float = 1 * WEEK          # T_L
+    mean_data_size: int = 100 * MEGABIT           # s_avg
+    generation_probability: float = 0.2           # p_G
+    zipf_exponent: float = 1.0                    # s
+    buffer_min: int = 200 * MEGABIT
+    buffer_max: int = 600 * MEGABIT
+
+    def __post_init__(self) -> None:
+        if self.mean_data_lifetime <= 0:
+            raise ConfigurationError("mean_data_lifetime must be positive")
+        if self.mean_data_size <= 0:
+            raise ConfigurationError("mean_data_size must be positive")
+        if not 0.0 <= self.generation_probability <= 1.0:
+            raise ConfigurationError("generation_probability must be in [0, 1]")
+        if self.zipf_exponent < 0:
+            raise ConfigurationError("zipf_exponent must be non-negative")
+        if not 0 < self.buffer_min <= self.buffer_max:
+            raise ConfigurationError("buffer range must satisfy 0 < min <= max")
+
+    @property
+    def data_generation_period(self) -> float:
+        """Decision period for data generation — set to T_L (Sec. VI-A1)."""
+        return self.mean_data_lifetime
+
+    @property
+    def query_generation_period(self) -> float:
+        """Query-round period — every T_L/2 (Sec. VI-A2)."""
+        return self.mean_data_lifetime / 2.0
+
+    @property
+    def query_time_constraint(self) -> float:
+        """The fixed per-query constraint T_q = T_L/2 (Sec. VI-A2)."""
+        return self.mean_data_lifetime / 2.0
+
+    @property
+    def lifetime_bounds(self) -> tuple:
+        """Uniform lifetime support [0.5·T_L, 1.5·T_L]."""
+        return (0.5 * self.mean_data_lifetime, 1.5 * self.mean_data_lifetime)
+
+    @property
+    def size_bounds(self) -> tuple:
+        """Uniform size support [0.5·s_avg, 1.5·s_avg]."""
+        return (0.5 * self.mean_data_size, 1.5 * self.mean_data_size)

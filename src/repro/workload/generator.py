@@ -1,0 +1,153 @@
+"""Periodic data- and query-generation rounds (paper Sec. VI-A).
+
+**Data rounds** run every T_L: each node that has no unexpired data of
+its own generates a new item with probability p_G, with lifetime uniform
+in [0.5·T_L, 1.5·T_L] and size uniform in [0.5·s_avg, 1.5·s_avg].
+
+**Query rounds** run every T_L/2: each node walks the live data
+catalogue and requests the item of Zipf rank j with probability P_j
+(Eq. 8).  Every item draws a *permanent popularity key* at creation, and
+live items are rank-ordered by that key: the catalogue stays Zipf-shaped
+as items churn, while a freshly generated item can land anywhere in the
+popularity order — which is precisely why the paper pushes new data to
+the NCLs before any query arrives.  A node does not request data it
+generated or currently caches.  Each query carries the fixed time
+constraint T_L/2.
+
+The process draws from its own RNG stream, so two schemes simulated with
+the same seed face an *identical* workload (paired comparison).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.core.data import DataItem, Query
+from repro.mathutils.zipf import ZipfDistribution
+from repro.workload.config import WorkloadConfig
+
+__all__ = ["WorkloadProcess"]
+
+
+class WorkloadProcess:
+    """Stateful generator of the paper's workload rounds."""
+
+    def __init__(
+        self,
+        config: WorkloadConfig,
+        num_nodes: int,
+        rng: np.random.Generator,
+    ):
+        self.config = config
+        self.num_nodes = int(num_nodes)
+        self._rng = rng
+        self._data_ids = itertools.count()
+        self._generated: List[DataItem] = []
+        self._by_id: Dict[int, DataItem] = {}
+        self._popularity_key: Dict[int, float] = {}
+        self._queries_issued = 0
+
+    # --- bookkeeping ------------------------------------------------------
+
+    @property
+    def generated_items(self) -> Sequence[DataItem]:
+        """Every data item generated so far, in creation order."""
+        return tuple(self._generated)
+
+    @property
+    def queries_issued(self) -> int:
+        return self._queries_issued
+
+    def live_items(self, now: float) -> List[DataItem]:
+        """Unexpired items in Zipf rank order (most popular first)."""
+        live = [
+            d
+            for d in self._generated
+            if not d.is_expired(now) and d.created_at <= now
+        ]
+        live.sort(key=lambda d: self._popularity_key[d.data_id])
+        return live
+
+    def popularity_rank(self, data_id: int, now: float) -> "int | None":
+        """1-based Zipf rank of a live item (None if not live/unknown)."""
+        for rank, item in enumerate(self.live_items(now), start=1):
+            if item.data_id == data_id:
+                return rank
+        return None
+
+    def item_by_id(self, data_id: int) -> "DataItem | None":
+        """Catalogue lookup by data id."""
+        return self._by_id.get(data_id)
+
+    # --- data round ------------------------------------------------------
+
+    def data_round(self, now: float, nodes_with_live_data: Sequence[bool]) -> List[DataItem]:
+        """One generation round at time *now*.
+
+        ``nodes_with_live_data[i]`` tells whether node *i* still owns
+        unexpired data (such nodes skip generation this round).
+        """
+        if len(nodes_with_live_data) != self.num_nodes:
+            raise ValueError("nodes_with_live_data must cover every node")
+        lo_life, hi_life = self.config.lifetime_bounds
+        lo_size, hi_size = self.config.size_bounds
+        new_items: List[DataItem] = []
+        for node in range(self.num_nodes):
+            if nodes_with_live_data[node]:
+                continue
+            if self._rng.random() >= self.config.generation_probability:
+                continue
+            lifetime = self._rng.uniform(lo_life, hi_life)
+            size = int(self._rng.uniform(lo_size, hi_size))
+            item = DataItem(
+                data_id=next(self._data_ids),
+                source=node,
+                size=max(1, size),
+                created_at=now,
+                expires_at=now + lifetime,
+            )
+            self._generated.append(item)
+            self._by_id[item.data_id] = item
+            self._popularity_key[item.data_id] = float(self._rng.random())
+            new_items.append(item)
+        return new_items
+
+    # --- query round ---------------------------------------------------
+
+    def query_round(
+        self,
+        now: float,
+        holdings: Dict[int, set],
+    ) -> List[Query]:
+        """One query round at time *now*.
+
+        ``holdings[node]`` is the set of data ids node already holds
+        (own or cached); the node will not request those.
+        """
+        live = self.live_items(now)
+        if not live:
+            return []
+        zipf = ZipfDistribution(len(live), self.config.zipf_exponent)
+        probabilities = zipf.pmf_vector()
+        queries: List[Query] = []
+        for node in range(self.num_nodes):
+            held = holdings.get(node, frozenset())
+            draws = self._rng.random(len(live))
+            for rank_index, item in enumerate(live):
+                if draws[rank_index] >= probabilities[rank_index]:
+                    continue
+                if item.source == node or item.data_id in held:
+                    continue
+                queries.append(
+                    Query.create(
+                        requester=node,
+                        data_id=item.data_id,
+                        created_at=now,
+                        time_constraint=self.config.query_time_constraint,
+                    )
+                )
+        self._queries_issued += len(queries)
+        return queries

@@ -1,0 +1,121 @@
+"""Unit tests for the shared scheme machinery in ``caching.base``."""
+
+import pytest
+
+from repro.caching.nocache import NoCache
+from repro.sim.bundles import ResponseBundle
+from repro.units import HOUR, MEGABIT
+from tests.caching.conftest import SchemeHarness
+from tests.conftest import make_item, make_query
+
+
+class TestTryRespond:
+    def test_requester_holding_data_is_delivered_directly(self, hub_spoke_graph):
+        harness = SchemeHarness(NoCache(), hub_spoke_graph)
+        item = make_item(data_id=1, source=2, size=10 * MEGABIT)
+        harness.nodes[2].generate_data(item)
+        query = make_query(query_id=1, requester=2, data_id=1, created_at=0.0)
+        harness.metrics.on_query_created(query)
+        assert harness.scheme.try_respond(harness.nodes[2], query, now=1.0)
+        assert harness.metrics.is_satisfied(1)
+        assert not harness.nodes[2].bundles  # no bundle for self-delivery
+
+    def test_no_data_no_response(self, hub_spoke_graph):
+        harness = SchemeHarness(NoCache(), hub_spoke_graph)
+        query = make_query(query_id=1, requester=2, data_id=1, created_at=0.0)
+        assert not harness.scheme.try_respond(harness.nodes[0], query, now=1.0)
+
+    def test_expired_query_refused(self, hub_spoke_graph):
+        harness = SchemeHarness(NoCache(), hub_spoke_graph)
+        item = make_item(data_id=1, source=0, size=10 * MEGABIT)
+        harness.nodes[0].generate_data(item)
+        query = make_query(
+            query_id=1, requester=2, data_id=1, created_at=0.0, time_constraint=10.0
+        )
+        assert not harness.scheme.try_respond(harness.nodes[0], query, now=99.0)
+
+    def test_decision_is_final_per_node(self, hub_spoke_graph):
+        harness = SchemeHarness(NoCache(), hub_spoke_graph)
+        item = make_item(data_id=1, source=0, size=10 * MEGABIT)
+        harness.nodes[0].generate_data(item)
+        query = make_query(query_id=1, requester=2, data_id=1, created_at=0.0)
+        harness.metrics.on_query_created(query)
+        assert harness.scheme.try_respond(harness.nodes[0], query, now=1.0)
+        # second attempt refused (already responded)
+        assert not harness.scheme.try_respond(harness.nodes[0], query, now=2.0)
+        assert len(harness.nodes[0].bundles) == 1
+
+
+class TestProcessResponses:
+    def _responding_setup(self, hub_spoke_graph):
+        harness = SchemeHarness(NoCache(), hub_spoke_graph)
+        item = make_item(data_id=1, source=0, size=10 * MEGABIT)
+        harness.nodes[0].generate_data(item)
+        query = make_query(
+            query_id=1, requester=4, data_id=1, created_at=0.0, time_constraint=12 * HOUR
+        )
+        harness.metrics.on_query_created(query)
+        harness.nodes[0].observe_query(query, 0.0)
+        harness.scheme.try_respond(harness.nodes[0], query, now=1.0)
+        return harness, query, item
+
+    def test_delivery_charges_budget(self, hub_spoke_graph):
+        harness, query, item = self._responding_setup(hub_spoke_graph)
+        budget = harness.contact(0, 4, now=5.0)
+        assert harness.metrics.is_satisfied(1)
+        assert budget.consumed >= item.size
+
+    def test_delivery_blocked_by_budget(self, hub_spoke_graph):
+        harness, query, item = self._responding_setup(hub_spoke_graph)
+        harness.contact(0, 4, now=5.0, budget_bits=100)
+        assert not harness.metrics.is_satisfied(1)
+        # bundle survives for a later, longer contact
+        assert any(isinstance(b, ResponseBundle) for b in harness.nodes[0].bundles)
+        harness.contact(0, 4, now=6.0)
+        assert harness.metrics.is_satisfied(1)
+
+    def test_relay_forwarding_toward_requester(self, hub_spoke_graph):
+        """Responder 4's reply reaches requester 1 via 5 and the hub."""
+        harness = SchemeHarness(NoCache(), hub_spoke_graph)
+        item = make_item(data_id=1, source=4, size=10 * MEGABIT)
+        harness.nodes[4].generate_data(item)
+        query = make_query(
+            query_id=1, requester=1, data_id=1, created_at=0.0, time_constraint=12 * HOUR
+        )
+        harness.metrics.on_query_created(query)
+        harness.nodes[4].observe_query(query, 0.0)
+        harness.scheme.try_respond(harness.nodes[4], query, now=1.0)
+        harness.contact(4, 5, now=2.0)
+        assert any(isinstance(b, ResponseBundle) for b in harness.nodes[5].bundles)
+        harness.contact(5, 0, now=3.0)
+        harness.contact(0, 1, now=4.0)
+        assert harness.metrics.is_satisfied(1)
+
+    def test_satisfied_queries_prune_in_flight_responses(self, hub_spoke_graph):
+        harness, query, item = self._responding_setup(hub_spoke_graph)
+        harness.contact(0, 4, now=5.0)  # delivered
+        # forge a second response still in flight at node 5
+        stale = ResponseBundle(
+            created_at=2.0, expires_at=query.expires_at, data=item, query=query, responder=0
+        )
+        harness.nodes[5].store_bundle(stale)
+        harness.contact(5, 0, now=8.0)
+        assert not any(
+            isinstance(b, ResponseBundle) for b in harness.nodes[5].bundles
+        )
+
+
+class TestHelpers:
+    def test_cached_copy_count(self, hub_spoke_graph):
+        harness = SchemeHarness(NoCache(), hub_spoke_graph)
+        harness.nodes[0].buffer.put(make_item(data_id=1, size=10 * MEGABIT))
+        harness.nodes[1].buffer.put(make_item(data_id=2, size=10 * MEGABIT))
+        harness.nodes[2].buffer.put(
+            make_item(data_id=3, size=10 * MEGABIT, lifetime=5.0)
+        )
+        assert harness.scheme.cached_copy_count(now=100.0) == 2  # expired excluded
+
+    def test_scheme_unusable_before_attach(self, hub_spoke_graph):
+        scheme = NoCache()
+        with pytest.raises(RuntimeError):
+            scheme._require_services()

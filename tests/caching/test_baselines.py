@@ -1,0 +1,208 @@
+"""Unit tests for the four incidental-caching baselines (Sec. VI)."""
+
+import pytest
+
+from repro.caching.bundlecache import BundleCache
+from repro.caching.cachedata import CacheData
+from repro.caching.nocache import NoCache
+from repro.caching.randomcache import RandomCache
+from repro.errors import ConfigurationError
+from repro.sim.bundles import QueryBundle, ResponseBundle
+from repro.units import HOUR, MEGABIT
+from tests.caching.conftest import SchemeHarness
+from tests.conftest import make_item, make_query
+
+
+class TestNoCache:
+    def test_source_answers_query(self, hub_spoke_graph):
+        harness = SchemeHarness(NoCache(), hub_spoke_graph)
+        item = make_item(data_id=1, source=0, size=10 * MEGABIT)
+        harness.add_data(item)
+        query = make_query(query_id=1, requester=2, data_id=1, created_at=0.0)
+        harness.add_query(query)
+        harness.contact(2, 0, now=5.0)  # query reaches the source
+        responses = [
+            b for b in harness.nodes[0].bundles if isinstance(b, ResponseBundle)
+        ]
+        assert len(responses) == 1
+        harness.contact(0, 2, now=10.0)
+        assert harness.metrics.is_satisfied(1)
+
+    def test_nothing_is_ever_cached(self, hub_spoke_graph):
+        harness = SchemeHarness(NoCache(), hub_spoke_graph)
+        item = make_item(data_id=1, source=0, size=10 * MEGABIT)
+        harness.add_data(item)
+        query = make_query(query_id=1, requester=2, data_id=1, created_at=0.0)
+        harness.add_query(query)
+        harness.contact(2, 0, now=5.0)
+        harness.contact(0, 2, now=10.0)
+        assert all(len(node.buffer) == 0 for node in harness.nodes)
+
+    def test_query_for_unknown_data_is_dropped(self, hub_spoke_graph):
+        harness = SchemeHarness(NoCache(), hub_spoke_graph)
+        query = make_query(query_id=1, requester=2, data_id=42, created_at=0.0)
+        harness.add_query(query)
+        assert not harness.nodes[2].bundles  # no catalogue entry -> no bundle
+
+
+class TestRandomCache:
+    def test_requester_caches_received_data(self, hub_spoke_graph):
+        harness = SchemeHarness(RandomCache(), hub_spoke_graph)
+        item = make_item(data_id=1, source=0, size=10 * MEGABIT)
+        harness.add_data(item)
+        query = make_query(query_id=1, requester=2, data_id=1, created_at=0.0)
+        harness.add_query(query)
+        harness.contact(2, 0, now=5.0)
+        harness.contact(0, 2, now=10.0)
+        assert harness.metrics.is_satisfied(1)
+        assert item.data_id in harness.nodes[2].buffer
+
+    def test_cached_copy_answers_later_queries(self, hub_spoke_graph):
+        harness = SchemeHarness(RandomCache(), hub_spoke_graph)
+        item = make_item(data_id=1, source=0, size=10 * MEGABIT)
+        harness.add_data(item)
+        first = make_query(query_id=1, requester=2, data_id=1, created_at=0.0)
+        harness.add_query(first)
+        harness.contact(2, 0, now=5.0)
+        harness.contact(0, 2, now=10.0)
+        # a later query routed through node 2 is intercepted from cache
+        second = make_query(query_id=2, requester=2, data_id=1, created_at=20.0)
+        harness.add_query(second)
+        assert harness.metrics.is_satisfied(2)  # requester holds it now
+
+
+class TestCacheData:
+    def test_relay_caches_popular_passby_data(self, hub_spoke_graph):
+        harness = SchemeHarness(CacheData(popularity_threshold=2), hub_spoke_graph)
+        relay = harness.nodes[0]
+        item = make_item(data_id=1, source=4, size=10 * MEGABIT)
+        harness.catalog[1] = item
+        # the relay has observed two queries for the item
+        relay.popularity.record_request(1, 0.0)
+        relay.popularity.record_request(1, 1.0)
+        bundle = ResponseBundle(
+            created_at=0.0,
+            expires_at=12 * HOUR,
+            data=item,
+            query=make_query(query_id=9, requester=2, data_id=1),
+            responder=4,
+        )
+        harness.scheme.on_response_relayed(relay, bundle, now=2.0)
+        assert item.data_id in relay.buffer
+
+    def test_unpopular_passby_data_not_cached(self, hub_spoke_graph):
+        harness = SchemeHarness(CacheData(popularity_threshold=2), hub_spoke_graph)
+        relay = harness.nodes[0]
+        item = make_item(data_id=1, source=4, size=10 * MEGABIT)
+        relay.popularity.record_request(1, 0.0)  # only one sighting
+        bundle = ResponseBundle(
+            created_at=0.0,
+            expires_at=12 * HOUR,
+            data=item,
+            query=make_query(query_id=9, requester=2, data_id=1),
+            responder=4,
+        )
+        harness.scheme.on_response_relayed(relay, bundle, now=2.0)
+        assert item.data_id not in relay.buffer
+
+    def test_threshold_validation(self):
+        with pytest.raises(ConfigurationError):
+            CacheData(popularity_threshold=0)
+
+
+class TestBundleCache:
+    def test_hub_relay_caches_passby_data(self, hub_spoke_graph):
+        harness = SchemeHarness(BundleCache(), hub_spoke_graph)
+        hub = harness.nodes[0]
+        item = make_item(data_id=1, source=4, size=10 * MEGABIT)
+        bundle = ResponseBundle(
+            created_at=0.0,
+            expires_at=12 * HOUR,
+            data=item,
+            query=make_query(query_id=9, requester=2, data_id=1),
+            responder=4,
+        )
+        harness.scheme.on_response_relayed(hub, bundle, now=2.0)
+        assert item.data_id in hub.buffer
+
+    def test_peripheral_relay_does_not_cache(self, hub_spoke_graph):
+        harness = SchemeHarness(BundleCache(connectivity_quantile=0.9), hub_spoke_graph)
+        leaf = harness.nodes[1]
+        item = make_item(data_id=1, source=4, size=10 * MEGABIT)
+        bundle = ResponseBundle(
+            created_at=0.0,
+            expires_at=12 * HOUR,
+            data=item,
+            query=make_query(query_id=9, requester=2, data_id=1),
+            responder=4,
+        )
+        harness.scheme.on_response_relayed(leaf, bundle, now=2.0)
+        assert item.data_id not in leaf.buffer
+
+    def test_quantile_validation(self):
+        with pytest.raises(ConfigurationError):
+            BundleCache(connectivity_quantile=0.0)
+
+
+class TestSharedForwarding:
+    def test_query_routes_toward_source_via_hub(self, hub_spoke_graph):
+        """Query from leaf 1 to a source at leaf 4 climbs: 1 -> 0 -> 5 -> 4."""
+        harness = SchemeHarness(NoCache(), hub_spoke_graph)
+        item = make_item(data_id=1, source=4, size=10 * MEGABIT)
+        harness.add_data(item)
+        query = make_query(
+            query_id=1, requester=1, data_id=1, created_at=0.0, time_constraint=12 * HOUR
+        )
+        harness.add_query(query)
+        harness.contact(1, 0, now=1.0)
+        assert any(isinstance(b, QueryBundle) for b in harness.nodes[0].bundles)
+        harness.contact(0, 5, now=2.0)
+        assert any(isinstance(b, QueryBundle) for b in harness.nodes[5].bundles)
+        harness.contact(5, 4, now=3.0)
+        # the source answered; response heads back
+        assert any(isinstance(b, ResponseBundle) for b in harness.nodes[4].bundles)
+        harness.contact(4, 5, now=4.0)
+        harness.contact(5, 0, now=5.0)
+        harness.contact(0, 1, now=6.0)
+        assert harness.metrics.is_satisfied(1)
+
+
+class TestRandomCacheEviction:
+    def test_lru_cycling_under_small_buffer(self, hub_spoke_graph):
+        """A requester with a tiny buffer keeps only its most recent data."""
+        harness = SchemeHarness(
+            RandomCache(), hub_spoke_graph, buffer_capacity=25 * MEGABIT
+        )
+        for i, (data_id, t0) in enumerate([(1, 0.0), (2, 100.0), (3, 200.0)]):
+            item = make_item(data_id=data_id, source=0, size=10 * MEGABIT)
+            harness.add_data(item)
+            query = make_query(
+                query_id=i, requester=2, data_id=data_id, created_at=t0
+            )
+            harness.add_query(query)
+            harness.contact(2, 0, now=t0 + 1.0)
+            harness.contact(0, 2, now=t0 + 2.0)
+        buffer_ids = set(harness.nodes[2].buffer.data_ids())
+        assert 3 in buffer_ids            # newest survives
+        assert len(buffer_ids) <= 2       # capacity bound (25 Mb / 10 Mb)
+
+
+class TestCacheDataThresholds:
+    @pytest.mark.parametrize("threshold,cached", [(1, True), (3, False)])
+    def test_threshold_gates_caching(self, hub_spoke_graph, threshold, cached):
+        harness = SchemeHarness(
+            CacheData(popularity_threshold=threshold), hub_spoke_graph
+        )
+        relay = harness.nodes[0]
+        item = make_item(data_id=1, source=4, size=10 * MEGABIT)
+        relay.popularity.record_request(1, 0.0)
+        relay.popularity.record_request(1, 1.0)  # two observed requests
+        bundle = ResponseBundle(
+            created_at=0.0,
+            expires_at=12 * HOUR,
+            data=item,
+            query=make_query(query_id=9, requester=2, data_id=1),
+            responder=4,
+        )
+        harness.scheme.on_response_relayed(relay, bundle, now=2.0)
+        assert (item.data_id in relay.buffer) is cached

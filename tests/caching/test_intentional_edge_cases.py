@@ -1,0 +1,161 @@
+"""Edge-case tests for the intentional scheme's protocol machinery."""
+
+import pytest
+
+from repro.caching.intentional import IntentionalCaching, IntentionalConfig
+from repro.sim.bundles import PushBundle, QueryBundle, ResponseBundle
+from repro.units import HOUR, MEGABIT
+from tests.caching.conftest import SchemeHarness
+from tests.conftest import make_item, make_query
+
+
+def make_scheme(k=1, response="always", **kwargs):
+    return IntentionalCaching(
+        IntentionalConfig(
+            num_ncls=k,
+            ncl_time_budget=2 * HOUR,
+            response_strategy=response,
+            **kwargs,
+        )
+    )
+
+
+class TestOrphanedPushes:
+    def test_push_dies_when_carrier_loses_data(self, hub_spoke_graph):
+        harness = SchemeHarness(make_scheme(k=1), hub_spoke_graph)
+        item = make_item(data_id=1, source=4, size=10 * MEGABIT)
+        harness.add_data(item)
+        harness.contact(4, 5, now=10.0)  # copy + bundle now at relay 5
+        assert item.data_id in harness.nodes[5].buffer
+        # replacement (simulated externally) moves the data away
+        harness.nodes[5].buffer.remove(item.data_id)
+        harness.contact(5, 0, now=20.0)
+        # the push could not proceed and was dropped
+        assert not any(
+            isinstance(b, PushBundle) for b in harness.nodes[5].bundles
+        )
+        assert item.data_id not in harness.nodes[0].buffer
+
+    def test_expired_push_dropped(self, hub_spoke_graph):
+        harness = SchemeHarness(make_scheme(k=1), hub_spoke_graph)
+        item = make_item(data_id=1, source=1, size=10 * MEGABIT, lifetime=100.0)
+        harness.add_data(item)
+        harness.contact(1, 0, now=200.0)  # item long expired
+        assert item.data_id not in harness.nodes[0].buffer
+        assert not any(isinstance(b, PushBundle) for b in harness.nodes[1].bundles)
+
+
+class TestQueryBroadcast:
+    def test_broadcast_replicates_to_ncl_members(self, hub_spoke_graph):
+        harness = SchemeHarness(make_scheme(k=1), hub_spoke_graph)
+        # all nodes belong to NCL 0 (single NCL)
+        query = make_query(query_id=1, requester=3, data_id=9, created_at=0.0)
+        harness.add_query(query)
+        harness.contact(3, 0, now=5.0)   # reaches central -> broadcasting
+        central_bundles = [
+            b for b in harness.nodes[0].bundles if isinstance(b, QueryBundle)
+        ]
+        assert central_bundles and central_bundles[0].broadcasting
+        harness.contact(0, 2, now=10.0)  # broadcast replica to member 2
+        assert any(isinstance(b, QueryBundle) for b in harness.nodes[2].bundles)
+        assert harness.nodes[2].popularity.request_count(9) == 1
+
+    def test_broadcast_does_not_leave_the_ncl(self, hub_spoke_graph):
+        harness = SchemeHarness(make_scheme(k=2), hub_spoke_graph)
+        selection = harness.scheme.selection
+        assert set(selection.central_nodes) == {0, 5}
+        # node 4 belongs to NCL 5; query targets NCL 0's broadcast
+        query = make_query(query_id=1, requester=2, data_id=9, created_at=0.0)
+        harness.add_query(query)
+        harness.contact(2, 0, now=5.0)  # NCL-0 copy starts broadcasting
+        # central 0 meets node 4 (member of NCL 5): the NCL-0 broadcast
+        # replica must not propagate there
+        harness.contact(0, 4, now=10.0)
+        bundles_at_4 = [
+            b
+            for b in harness.nodes[4].bundles
+            if isinstance(b, QueryBundle) and b.target_central == 0 and b.broadcasting
+        ]
+        assert not bundles_at_4
+
+    def test_requester_inside_ncl_starts_broadcasting_immediately(
+        self, hub_spoke_graph
+    ):
+        harness = SchemeHarness(make_scheme(k=1), hub_spoke_graph)
+        query = make_query(query_id=1, requester=0, data_id=9, created_at=0.0)
+        harness.add_query(query)  # requester IS the central node
+        bundles = [b for b in harness.nodes[0].bundles if isinstance(b, QueryBundle)]
+        assert bundles and bundles[0].broadcasting
+
+
+class TestResponseHandling:
+    def test_node_responds_at_most_once_per_query(self, hub_spoke_graph):
+        harness = SchemeHarness(make_scheme(k=1), hub_spoke_graph)
+        item = make_item(data_id=1, source=0, size=10 * MEGABIT)
+        harness.add_data(item)
+        query = make_query(query_id=1, requester=2, data_id=1, created_at=0.0)
+        harness.add_query(query)
+        harness.contact(2, 0, now=5.0)
+        responses = [
+            b for b in harness.nodes[0].bundles if isinstance(b, ResponseBundle)
+        ]
+        assert len(responses) == 1
+        # the next meeting delivers that copy and must not mint another
+        harness.contact(2, 0, now=6.0)
+        assert harness.metrics.is_satisfied(1)
+        assert len(harness.delivered) == 1
+        assert not any(
+            isinstance(b, ResponseBundle) for b in harness.nodes[0].bundles
+        )
+
+    def test_response_dropped_once_query_satisfied(self, hub_spoke_graph):
+        harness = SchemeHarness(make_scheme(k=2), hub_spoke_graph)
+        item = make_item(data_id=1, source=0, size=10 * MEGABIT)
+        harness.add_data(item)
+        # two holders: origin at 0 and cached at 5
+        harness.nodes[5].buffer.put(item)
+        query = make_query(query_id=1, requester=2, data_id=1, created_at=0.0)
+        harness.add_query(query)
+        harness.contact(2, 0, now=5.0)   # 0 responds
+        harness.contact(2, 5, now=6.0)   # wait: query copy to 5 too
+        harness.contact(0, 2, now=10.0)  # first copy delivered
+        assert harness.metrics.is_satisfied(1)
+        # the second holder's stale response evaporates on its next contact
+        harness.contact(5, 2, now=20.0)
+        stale = [
+            b for b in harness.nodes[5].bundles if isinstance(b, ResponseBundle)
+        ]
+        assert not stale
+
+    def test_sigmoid_strategy_emits_probabilistically(self, hub_spoke_graph):
+        harness = SchemeHarness(make_scheme(k=1, response="sigmoid"), hub_spoke_graph)
+        item = make_item(data_id=1, source=0, size=10 * MEGABIT)
+        harness.add_data(item)
+        emitted = 0
+        for qid in range(60):
+            query = make_query(query_id=qid, requester=2, data_id=1, created_at=0.0)
+            harness.nodes[0].observe_query(query, 0.0)
+            if harness.scheme.try_respond(harness.nodes[0], query, now=0.0):
+                emitted += 1
+        # p_min = 0.45 at t0 = 0: roughly half the responses fire
+        assert 10 < emitted < 50
+
+
+class TestExchangeAcrossNCLs:
+    def test_cross_ncl_duplicates_survive_contact(self, hub_spoke_graph):
+        harness = SchemeHarness(make_scheme(k=2), hub_spoke_graph)
+        assert set(harness.scheme.selection.central_nodes) == {0, 5}
+        item = make_item(data_id=1, source=1, size=10 * MEGABIT)
+        other = make_item(data_id=2, source=2, size=10 * MEGABIT)
+        # both centrals hold a copy of item 1 (their NCLs' copies)
+        harness.nodes[0].buffer.put(item)
+        harness.nodes[5].buffer.put(item)
+        harness.nodes[0].buffer.put(other)
+        harness.nodes[5].buffer.put(other)
+        # age the items out of footnote-4 freshness via observed requests
+        for node in (harness.nodes[0], harness.nodes[5]):
+            node.popularity.record_request(1, 0.0)
+            node.popularity.record_request(2, 0.0)
+        harness.contact(0, 5, now=10.0)
+        assert 1 in harness.nodes[0].buffer and 1 in harness.nodes[5].buffer
+        assert 2 in harness.nodes[0].buffer and 2 in harness.nodes[5].buffer

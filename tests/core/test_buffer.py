@@ -1,0 +1,90 @@
+"""Unit tests for the cache buffer."""
+
+import pytest
+
+from repro.core.buffer import CacheBuffer
+from repro.errors import BufferError_
+
+
+class TestCapacityAccounting:
+    def test_put_and_accounting(self, item_factory):
+        buffer = CacheBuffer(100)
+        item = item_factory(data_id=1, size=40)
+        assert buffer.put(item)
+        assert buffer.used == 40
+        assert buffer.free == 60
+        assert len(buffer) == 1
+        assert 1 in buffer
+
+    def test_put_refuses_when_full(self, item_factory):
+        buffer = CacheBuffer(50)
+        assert buffer.put(item_factory(data_id=1, size=40))
+        assert not buffer.put(item_factory(data_id=2, size=20))
+        assert len(buffer) == 1
+
+    def test_duplicate_put_is_noop_success(self, item_factory):
+        buffer = CacheBuffer(100)
+        item = item_factory(data_id=1, size=40)
+        assert buffer.put(item)
+        assert buffer.put(item)
+        assert buffer.used == 40
+
+    def test_fits(self, item_factory):
+        buffer = CacheBuffer(50)
+        assert buffer.fits(item_factory(size=50))
+        assert not buffer.fits(item_factory(size=51))
+
+    def test_nonpositive_capacity_rejected(self):
+        with pytest.raises(BufferError_):
+            CacheBuffer(0)
+
+
+class TestRemoval:
+    def test_remove_returns_item(self, item_factory):
+        buffer = CacheBuffer(100)
+        item = item_factory(data_id=5, size=10)
+        buffer.put(item)
+        assert buffer.remove(5) is item
+        assert buffer.used == 0
+        assert buffer.remove(5) is None
+
+    def test_clear_returns_all(self, item_factory):
+        buffer = CacheBuffer(100)
+        for i in range(3):
+            buffer.put(item_factory(data_id=i, size=10))
+        items = buffer.clear()
+        assert len(items) == 3
+        assert buffer.used == 0
+
+    def test_evict_expired(self, item_factory):
+        buffer = CacheBuffer(100)
+        buffer.put(item_factory(data_id=1, size=10, created_at=0.0, lifetime=10.0))
+        buffer.put(item_factory(data_id=2, size=10, created_at=0.0, lifetime=100.0))
+        dropped = buffer.evict_expired(now=50.0)
+        assert [d.data_id for d in dropped] == [1]
+        assert 2 in buffer
+
+
+class TestOrdering:
+    def test_insertion_order(self, item_factory):
+        buffer = CacheBuffer(100)
+        for i in (3, 1, 2):
+            buffer.put(item_factory(data_id=i, size=10))
+        assert [d.data_id for d in buffer.insertion_order()] == [3, 1, 2]
+
+    def test_access_order_updates_on_get(self, item_factory):
+        buffer = CacheBuffer(100)
+        for i in (1, 2, 3):
+            buffer.put(item_factory(data_id=i, size=10))
+        buffer.get(1)  # 1 becomes most recently used
+        assert [d.data_id for d in buffer.access_order()] == [2, 3, 1]
+
+    def test_peek_does_not_touch_access_order(self, item_factory):
+        buffer = CacheBuffer(100)
+        for i in (1, 2):
+            buffer.put(item_factory(data_id=i, size=10))
+        buffer.peek(1)
+        assert [d.data_id for d in buffer.access_order()] == [1, 2]
+
+    def test_get_missing_returns_none(self):
+        assert CacheBuffer(10).get(1) is None

@@ -1,0 +1,60 @@
+"""Unit tests for data items and queries."""
+
+import pytest
+
+from repro.core.data import DataItem, Query
+from repro.errors import ConfigurationError
+
+
+class TestDataItem:
+    def test_lifetime_and_expiry(self, item_factory):
+        item = item_factory(created_at=100.0, lifetime=50.0)
+        assert item.lifetime == 50.0
+        assert not item.is_expired(149.0)
+        assert item.is_expired(150.0)
+
+    def test_remaining_lifetime_clamps(self, item_factory):
+        item = item_factory(created_at=0.0, lifetime=10.0)
+        assert item.remaining_lifetime(4.0) == 6.0
+        assert item.remaining_lifetime(100.0) == 0.0
+
+    def test_rejects_nonpositive_size(self):
+        with pytest.raises(ConfigurationError):
+            DataItem(data_id=0, source=0, size=0, created_at=0.0, expires_at=1.0)
+
+    def test_rejects_inverted_lifetime(self):
+        with pytest.raises(ConfigurationError):
+            DataItem(data_id=0, source=0, size=1, created_at=5.0, expires_at=5.0)
+
+    def test_immutability(self, item_factory):
+        item = item_factory()
+        with pytest.raises(AttributeError):
+            item.size = 123
+
+
+class TestQuery:
+    def test_expiry_window(self, query_factory):
+        query = query_factory(created_at=100.0, time_constraint=50.0)
+        assert query.expires_at == 150.0
+        assert not query.is_expired(149.0)
+        assert query.is_expired(150.0)
+
+    def test_elapsed_and_remaining(self, query_factory):
+        query = query_factory(created_at=100.0, time_constraint=50.0)
+        assert query.elapsed(120.0) == 20.0
+        assert query.remaining(120.0) == 30.0
+
+    def test_elapsed_clamped_to_constraint(self, query_factory):
+        query = query_factory(created_at=0.0, time_constraint=10.0)
+        assert query.elapsed(-5.0) == 0.0
+        assert query.elapsed(999.0) == 10.0
+        assert query.remaining(999.0) == 0.0
+
+    def test_rejects_nonpositive_constraint(self):
+        with pytest.raises(ConfigurationError):
+            Query(query_id=0, requester=0, data_id=0, created_at=0.0, time_constraint=0.0)
+
+    def test_create_assigns_unique_ids(self):
+        a = Query.create(requester=0, data_id=1, created_at=0.0, time_constraint=10.0)
+        b = Query.create(requester=0, data_id=1, created_at=0.0, time_constraint=10.0)
+        assert a.query_id != b.query_id

@@ -1,0 +1,113 @@
+"""Unit tests for the 0/1 knapsack solver (paper Eq. 7)."""
+
+import itertools
+
+import pytest
+
+from repro.core.knapsack import KnapsackItem, solve_knapsack
+from repro.errors import KnapsackError
+
+
+def brute_force(items, capacity):
+    best_value, best_set = 0.0, ()
+    for r in range(len(items) + 1):
+        for combo in itertools.combinations(items, r):
+            size = sum(i.size for i in combo)
+            value = sum(i.value for i in combo)
+            if size <= capacity and value > best_value:
+                best_value, best_set = value, combo
+    return best_value
+
+
+class TestExactness:
+    def test_classic_instance(self):
+        items = [
+            KnapsackItem("a", 60.0, 10),
+            KnapsackItem("b", 100.0, 20),
+            KnapsackItem("c", 120.0, 30),
+        ]
+        solution = solve_knapsack(items, 50)
+        assert solution.total_value == pytest.approx(220.0)
+        assert set(solution.keys) == {"b", "c"}
+
+    def test_matches_brute_force_on_small_instances(self):
+        items = [
+            KnapsackItem(i, value, size)
+            for i, (value, size) in enumerate(
+                [(4.0, 3), (2.0, 2), (7.0, 5), (1.0, 1), (5.0, 4), (3.0, 3)]
+            )
+        ]
+        for capacity in (0, 1, 5, 8, 12, 20):
+            solution = solve_knapsack(items, capacity)
+            assert solution.total_value == pytest.approx(brute_force(items, capacity))
+            assert solution.total_size <= capacity
+
+    def test_single_item_too_big(self):
+        solution = solve_knapsack([KnapsackItem("x", 10.0, 100)], 50)
+        assert solution.selected == ()
+
+    def test_empty_inputs(self):
+        assert solve_knapsack([], 100).selected == ()
+        assert solve_knapsack([KnapsackItem("x", 1.0, 1)], 0).selected == ()
+
+    def test_zero_values_select_nothing(self):
+        items = [KnapsackItem(i, 0.0, 5) for i in range(3)]
+        assert solve_knapsack(items, 100).selected == ()
+
+
+class TestQuantisation:
+    def test_large_capacities_never_overfill(self):
+        # capacities in bits (hundreds of Mb) exercise the quantised path
+        items = [KnapsackItem(i, float(i + 1), 97_000_001 + i * 13) for i in range(8)]
+        capacity = 400_000_000
+        solution = solve_knapsack(items, capacity)
+        assert solution.total_size <= capacity
+        assert len(solution.selected) >= 1
+
+    def test_quantised_solution_close_to_optimal(self):
+        items = [
+            KnapsackItem(0, 10.0, 100_000_000),
+            KnapsackItem(1, 9.0, 100_000_000),
+            KnapsackItem(2, 8.0, 100_000_000),
+            KnapsackItem(3, 30.0, 299_000_000),
+        ]
+        solution = solve_knapsack(items, 300_000_000)
+        assert solution.total_value >= 27.0  # optimal is 30 or 27
+
+    def test_resolution_one_for_small_capacity(self):
+        items = [KnapsackItem(0, 1.0, 3)]
+        solution = solve_knapsack(items, 10, max_capacity_units=4096)
+        assert solution.total_size == 3
+
+
+class TestDeterminism:
+    def test_ties_prefer_earlier_items(self):
+        items = [KnapsackItem("first", 5.0, 5), KnapsackItem("second", 5.0, 5)]
+        solution = solve_knapsack(items, 5)
+        assert solution.keys == ("first",)
+
+    def test_repeatable(self):
+        items = [KnapsackItem(i, float(i % 3 + 1), i + 1) for i in range(10)]
+        a = solve_knapsack(items, 17)
+        b = solve_knapsack(items, 17)
+        assert a.keys == b.keys
+
+
+class TestValidation:
+    def test_negative_capacity(self):
+        with pytest.raises(KnapsackError):
+            solve_knapsack([], -1)
+
+    def test_bad_item_size(self):
+        with pytest.raises(KnapsackError):
+            KnapsackItem("x", 1.0, 0)
+
+    def test_bad_item_value(self):
+        with pytest.raises(KnapsackError):
+            KnapsackItem("x", -1.0, 1)
+        with pytest.raises(KnapsackError):
+            KnapsackItem("x", float("nan"), 1)
+
+    def test_bad_units(self):
+        with pytest.raises(KnapsackError):
+            solve_knapsack([], 10, max_capacity_units=0)

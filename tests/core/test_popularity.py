@@ -1,0 +1,97 @@
+"""Unit tests for data-popularity estimation (paper Eq. 5-6)."""
+
+import math
+
+import pytest
+
+from repro.core.popularity import PopularityEstimator, PopularityTable
+
+
+class TestEstimator:
+    def test_popularity_matches_eq6(self):
+        est = PopularityEstimator()
+        # k = 3 requests over [100, 300]: lambda_d = 3/200
+        for t in (100.0, 200.0, 300.0):
+            est.record_request(t)
+        expires = 700.0  # horizon t_e - t_k = 400
+        expected = 1.0 - math.exp(-(3 / 200.0) * 400.0)
+        assert est.popularity(expires) == pytest.approx(expected)
+
+    def test_never_requested_is_zero(self):
+        assert PopularityEstimator().popularity(1000.0) == 0.0
+
+    def test_single_request_is_zero(self):
+        est = PopularityEstimator()
+        est.record_request(10.0)
+        assert est.popularity(1000.0) == 0.0
+
+    def test_expired_horizon_is_zero(self):
+        est = PopularityEstimator()
+        est.record_request(10.0)
+        est.record_request(20.0)
+        assert est.popularity(expires_at=20.0) == 0.0
+
+    def test_popularity_in_unit_interval(self):
+        est = PopularityEstimator()
+        for t in range(0, 100, 10):
+            est.record_request(float(t))
+        assert 0.0 <= est.popularity(500.0) <= 1.0
+
+    def test_more_requests_higher_popularity(self):
+        sparse = PopularityEstimator()
+        dense = PopularityEstimator()
+        for t in (0.0, 100.0):
+            sparse.record_request(t)
+        for t in (0.0, 25.0, 50.0, 75.0, 100.0):
+            dense.record_request(t)
+        assert dense.popularity(200.0) > sparse.popularity(200.0)
+
+    def test_merge_unions_history(self):
+        a = PopularityEstimator()
+        b = PopularityEstimator()
+        a.record_request(0.0)
+        a.record_request(100.0)
+        b.record_request(50.0)
+        b.record_request(150.0)
+        a.merge(b)
+        assert a.request_count == 4
+        # lambda = 4 / (150 - 0)
+        assert a.request_rate() == pytest.approx(4 / 150.0)
+
+
+class TestTable:
+    def test_records_per_data_id(self, item_factory):
+        table = PopularityTable()
+        table.record_request(1, 10.0)
+        table.record_request(1, 20.0)
+        table.record_request(2, 15.0)
+        assert table.request_count(1) == 2
+        assert table.request_count(2) == 1
+        assert table.request_count(99) == 0
+
+    def test_popularity_for_unknown_is_zero(self):
+        assert PopularityTable().popularity(5, 100.0) == 0.0
+
+    def test_contains_and_len(self):
+        table = PopularityTable()
+        table.record_request(3, 1.0)
+        assert 3 in table
+        assert 4 not in table
+        assert len(table) == 1
+
+    def test_forget_drops_history(self):
+        table = PopularityTable()
+        table.record_request(3, 1.0)
+        table.forget(3)
+        assert 3 not in table
+        table.forget(3)  # idempotent
+
+    def test_merge_from(self):
+        a = PopularityTable()
+        b = PopularityTable()
+        a.record_request(1, 10.0)
+        b.record_request(1, 20.0)
+        b.record_request(2, 5.0)
+        a.merge_from(b)
+        assert a.request_count(1) == 2
+        assert a.request_count(2) == 1

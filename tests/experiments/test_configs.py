@@ -1,0 +1,71 @@
+"""Unit tests for experiment scales and factories."""
+
+import pytest
+
+from repro.caching.intentional import IntentionalCaching
+from repro.core.replacement import UtilityKnapsackPolicy
+from repro.errors import ConfigurationError
+from repro.experiments.configs import (
+    BENCH_SCALE,
+    PAPER_SCALE,
+    SMOKE_SCALE,
+    ExperimentScale,
+    load_scaled_trace,
+    replacement_factories,
+    scheme_factories,
+)
+from repro.units import HOUR
+
+
+class TestScales:
+    def test_presets_ordered_by_size(self):
+        assert SMOKE_SCALE.node_factor < BENCH_SCALE.node_factor <= PAPER_SCALE.node_factor
+        assert SMOKE_SCALE.time_factor < PAPER_SCALE.time_factor
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ExperimentScale("bad", node_factor=1.0, time_factor=1.0, seeds=())
+        with pytest.raises(ConfigurationError):
+            ExperimentScale("bad", node_factor=0.0, time_factor=1.0, seeds=(1,))
+
+    def test_load_scaled_trace(self):
+        trace = load_scaled_trace("infocom05", SMOKE_SCALE)
+        assert trace.num_nodes < 41  # scaled down
+
+
+class TestFactories:
+    def test_five_schemes(self):
+        factories = scheme_factories(num_ncls=3, ncl_time_budget=1 * HOUR)
+        assert set(factories) == {
+            "intentional",
+            "nocache",
+            "randomcache",
+            "cachedata",
+            "bundlecache",
+        }
+        scheme = factories["intentional"]()
+        assert isinstance(scheme, IntentionalCaching)
+        assert scheme.config.num_ncls == 3
+
+    def test_factories_make_fresh_instances(self):
+        factories = scheme_factories(num_ncls=2, ncl_time_budget=1 * HOUR)
+        assert factories["intentional"]() is not factories["intentional"]()
+
+    def test_replacement_override(self):
+        factories = scheme_factories(
+            num_ncls=2,
+            ncl_time_budget=1 * HOUR,
+            replacement=lambda: UtilityKnapsackPolicy(probabilistic=False),
+        )
+        scheme = factories["intentional"]()
+        assert scheme.replacement.probabilistic is False
+
+    def test_four_replacement_policies(self):
+        assert set(replacement_factories()) == {
+            "utility_knapsack",
+            "fifo",
+            "lru",
+            "gds",
+        }
+        for factory in replacement_factories().values():
+            assert factory() is not factory()

@@ -1,0 +1,124 @@
+"""Unit tests for result rendering."""
+
+import math
+
+from repro.experiments.figures import FigureResult, Series, TableResult
+from repro.experiments.report import (
+    render_ascii_chart,
+    render_figure,
+    render_table,
+    results_to_csv,
+    table_to_csv,
+)
+
+
+def figure():
+    return FigureResult(
+        figure_id="figX",
+        title="Demo figure",
+        x_label="x",
+        y_label="y",
+        series=[
+            Series("up", x=[1.0, 2.0, 3.0], y=[0.1, 0.2, 0.3]),
+            Series("down", x=[1.0, 2.0, 3.0], y=[0.3, 0.2, 0.1]),
+        ],
+    )
+
+
+class TestTableRendering:
+    def test_columns_and_rows(self):
+        table = TableResult(
+            table_id="t", title="T", rows=[{"a": 1, "b": 2.5}, {"a": 10, "b": 0.25}]
+        )
+        text = render_table(table)
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "b" in lines[1]
+        assert len(lines) == 5  # title, header, rule, two rows
+
+    def test_empty_table(self):
+        assert "(no rows)" in render_table(TableResult("t", "T", rows=[]))
+
+    def test_table_csv(self):
+        table = TableResult("t", "T", rows=[{"a": 1, "b": 2}])
+        assert table_to_csv(table) == "a,b\n1,2\n"
+        assert table_to_csv(TableResult("t", "T", rows=[])) == ""
+
+
+class TestFigureRendering:
+    def test_render_contains_series_labels(self):
+        text = render_figure(figure(), chart=False)
+        assert "up" in text and "down" in text
+        assert "figX" in text
+
+    def test_render_with_chart(self):
+        text = render_figure(figure(), chart=True)
+        assert "*" in text  # chart markers present
+
+    def test_nan_values_rendered(self):
+        result = FigureResult(
+            "f", "t", "x", "y", series=[Series("s", x=[1.0], y=[float("nan")])]
+        )
+        assert "nan" in render_figure(result, chart=False)
+
+
+class TestAsciiChart:
+    def test_chart_dimensions(self):
+        chart = render_ascii_chart(figure().series, width=40, height=8)
+        lines = chart.splitlines()
+        assert len(lines) >= 8
+
+    def test_empty_series(self):
+        assert render_ascii_chart([]) == "(no data)"
+
+    def test_constant_series_does_not_crash(self):
+        series = [Series("flat", x=[1.0, 2.0], y=[5.0, 5.0])]
+        assert "flat" in render_ascii_chart(series)
+
+
+class TestCsvExport:
+    def test_round_trippable_structure(self):
+        csv = results_to_csv(figure())
+        lines = csv.strip().splitlines()
+        assert lines[0] == "x,up,down"
+        assert len(lines) == 4
+        cells = lines[1].split(",")
+        assert float(cells[0]) == 1.0
+        assert float(cells[1]) == 0.1
+
+
+class TestMarkdown:
+    def test_markdown_table_structure(self):
+        from repro.experiments.report import render_markdown
+
+        text = render_markdown(figure())
+        lines = text.strip().splitlines()
+        assert lines[2] == "| x | up | down |"
+        assert lines[3].startswith("|---")
+        assert len(lines) == 7  # title, blank, header, rule, 3 rows
+
+    def test_markdown_handles_nan(self):
+        from repro.experiments.figures import FigureResult, Series
+        from repro.experiments.report import render_markdown
+
+        result = FigureResult(
+            "f", "t", "x", "y", series=[Series("s", x=[1.0], y=[float("nan")])]
+        )
+        assert "nan" in render_markdown(result)
+
+
+class TestTableMarkdown:
+    def test_table_markdown_structure(self):
+        from repro.experiments.report import table_to_markdown
+
+        table = TableResult("t1", "Demo", rows=[{"a": 1, "b": 2.5}])
+        text = table_to_markdown(table)
+        lines = text.strip().splitlines()
+        assert lines[0].startswith("**t1**")
+        assert lines[2] == "| a | b |"
+        assert lines[-1] == "| 1 | 2.5 |"
+
+    def test_empty_table_markdown(self):
+        from repro.experiments.report import table_to_markdown
+
+        assert "(no rows)" in table_to_markdown(TableResult("t", "T", rows=[]))

@@ -1,0 +1,54 @@
+"""Unit tests for the experiment runner."""
+
+import pytest
+
+from repro.caching.nocache import NoCache
+from repro.experiments.runner import run_comparison, run_repeated, run_single
+from repro.traces.synthetic import SyntheticTraceConfig, generate_synthetic_trace
+from repro.units import DAY, HOUR, MEGABIT
+from repro.workload.config import WorkloadConfig
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return generate_synthetic_trace(
+        SyntheticTraceConfig(
+            name="runner",
+            num_nodes=10,
+            duration=4 * DAY,
+            total_contacts=1500,
+            granularity=60.0,
+            seed=2,
+        )
+    )
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return WorkloadConfig(mean_data_lifetime=8 * HOUR, mean_data_size=10 * MEGABIT)
+
+
+class TestRunners:
+    def test_run_single(self, trace, workload):
+        result = run_single(trace, NoCache(), workload, seed=3)
+        assert result.seed == 3
+        assert result.name == "nocache"
+
+    def test_run_repeated_aggregates_seeds(self, trace, workload):
+        agg = run_repeated(trace, NoCache, workload, seeds=(1, 2, 3))
+        assert agg.runs == 3
+        assert 0.0 <= agg.successful_ratio <= 1.0
+
+    def test_run_comparison_covers_all_factories(self, trace, workload):
+        comparison = run_comparison(
+            trace, {"a": NoCache, "b": NoCache}, workload, seeds=(1,)
+        )
+        assert set(comparison) == {"a", "b"}
+
+    def test_paired_runs_identical_for_same_scheme(self, trace, workload):
+        """Same factory + same seeds must give identical aggregates —
+        the paired-comparison property the evaluation relies on."""
+        a = run_repeated(trace, NoCache, workload, seeds=(5,))
+        b = run_repeated(trace, NoCache, workload, seeds=(5,))
+        assert a.successful_ratio == b.successful_ratio
+        assert a.queries_issued == b.queries_issued

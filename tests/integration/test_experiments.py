@@ -1,0 +1,101 @@
+"""Integration tests for the experiment harness (tables/figures)."""
+
+import math
+
+import pytest
+
+from repro.experiments import (
+    SMOKE_SCALE,
+    fig4,
+    fig9a,
+    fig9b,
+    fig13,
+    render_figure,
+    render_table,
+    results_to_csv,
+    table1,
+)
+from repro.experiments.configs import ExperimentScale
+
+
+@pytest.fixture(scope="module")
+def smoke():
+    return SMOKE_SCALE
+
+
+class TestTable1:
+    def test_four_rows(self, smoke):
+        result = table1(smoke)
+        assert len(result.rows) == 4
+        assert {row["trace"].split("-")[0] for row in result.rows} == {
+            "infocom05",
+            "infocom06",
+            "mit_reality",
+            "ucsd",
+        }
+
+    def test_renders(self, smoke):
+        text = render_table(table1(smoke))
+        assert "devices" in text and "infocom05" in text
+
+
+class TestFig4:
+    def test_metric_series_sorted_descending(self, smoke):
+        result = fig4(smoke, traces=("infocom05", "mit_reality"))
+        for series in result.series:
+            assert series.y == sorted(series.y, reverse=True)
+            assert all(0.0 <= v <= 1.0 for v in series.y)
+
+    def test_skewed_distribution(self, smoke):
+        result = fig4(smoke, traces=("mit_reality",))
+        values = result.series[0].y
+        top = values[0]
+        median = values[len(values) // 2]
+        assert top > 1.2 * max(median, 1e-9)
+
+
+class TestFig9:
+    def test_fig9a_generated_decreases_with_lifetime(self, smoke):
+        result = fig9a(smoke)
+        generated = next(s for s in result.series if "generated" in s.label)
+        assert generated.y[0] > generated.y[-1]
+
+    def test_fig9b_matches_eq8(self):
+        result = fig9b(num_items=20)
+        for series in result.series:
+            assert sum(series.y) == pytest.approx(1.0)
+            assert series.y == sorted(series.y, reverse=True)
+
+    def test_fig9b_exponent_ordering(self):
+        result = fig9b(num_items=20)
+        by_label = {s.label: s for s in result.series}
+        assert by_label["s=1.5"].y[0] > by_label["s=0.5"].y[0]
+
+
+class TestRendering:
+    def test_figure_renders_with_chart(self):
+        result = fig9b(num_items=10)
+        text = render_figure(result, chart=True)
+        assert "fig9b" in text
+        assert "s=1" in text
+
+    def test_csv_export(self):
+        result = fig9b(num_items=5)
+        csv = results_to_csv(result)
+        lines = csv.strip().splitlines()
+        assert lines[0].startswith("x,")
+        assert len(lines) == 6
+
+
+class TestSweepExperiment:
+    """One real sweep at minimal scale: the Fig. 13 K-sensitivity."""
+
+    def test_fig13_structure(self):
+        tiny = ExperimentScale("tiny", node_factor=0.3, time_factor=0.06, seeds=(7,))
+        figures = fig13(tiny, ncl_counts=(1, 4), sizes_mb=(100,))
+        assert set(figures) == {"a", "b", "c"}
+        ratio_series = figures["a"].series[0]
+        assert ratio_series.x == [1.0, 4.0]
+        assert all(0.0 <= v <= 1.0 for v in ratio_series.y)
+        delay_series = figures["b"].series[0]
+        assert all(v > 0 or math.isnan(v) for v in delay_series.y)

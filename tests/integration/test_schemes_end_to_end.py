@@ -1,0 +1,102 @@
+"""Integration tests: all five schemes end-to-end on scaled paper traces.
+
+These assert the qualitative *shapes* the paper reports, with generous
+margins: intentional caching leads the baselines on successful ratio,
+NoCache caches nothing, RandomCache burns the most buffer among
+incidental schemes, every metric stays within its domain.
+"""
+
+import pytest
+
+from repro.caching import (
+    BundleCache,
+    CacheData,
+    IntentionalCaching,
+    IntentionalConfig,
+    NoCache,
+    RandomCache,
+)
+from repro.sim.simulator import Simulator, SimulatorConfig
+from repro.traces.catalog import TRACE_PRESETS, load_preset_trace
+from repro.units import MEGABIT, WEEK
+from repro.workload.config import WorkloadConfig
+
+
+@pytest.fixture(scope="module")
+def mit_trace():
+    return load_preset_trace("mit_reality", seed=1, node_factor=0.6, time_factor=0.15)
+
+
+@pytest.fixture(scope="module")
+def mit_results(mit_trace):
+    preset = TRACE_PRESETS["mit_reality"]
+    lifetime = mit_trace.duration * 0.1
+    workload = WorkloadConfig(mean_data_lifetime=lifetime, mean_data_size=100 * MEGABIT)
+    schemes = {
+        "intentional": lambda: IntentionalCaching(
+            IntentionalConfig(num_ncls=5, ncl_time_budget=preset.ncl_time_budget)
+        ),
+        "nocache": NoCache,
+        "randomcache": RandomCache,
+        "cachedata": CacheData,
+        "bundlecache": BundleCache,
+    }
+    return {
+        name: Simulator(mit_trace, factory(), workload, SimulatorConfig(seed=7)).run()
+        for name, factory in schemes.items()
+    }
+
+
+class TestDomains:
+    def test_ratios_are_probabilities(self, mit_results):
+        for result in mit_results.values():
+            assert 0.0 <= result.successful_ratio <= 1.0
+
+    def test_satisfied_at_most_issued(self, mit_results):
+        for result in mit_results.values():
+            assert result.queries_satisfied <= result.queries_issued
+
+    def test_delays_within_constraint(self, mit_results, mit_trace):
+        constraint = mit_trace.duration * 0.1 / 2
+        for result in mit_results.values():
+            if result.queries_satisfied:
+                assert 0.0 < result.mean_access_delay <= constraint
+
+    def test_overheads_nonnegative(self, mit_results):
+        for result in mit_results.values():
+            assert result.caching_overhead >= 0.0
+            assert result.replacement_overhead >= 0.0
+
+
+class TestPaperShapes:
+    def test_queries_get_satisfied_at_all(self, mit_results):
+        assert mit_results["intentional"].queries_satisfied > 0
+
+    def test_intentional_beats_nocache(self, mit_results):
+        assert (
+            mit_results["intentional"].successful_ratio
+            > mit_results["nocache"].successful_ratio
+        )
+
+    def test_intentional_at_least_matches_incidental_baselines(self, mit_results):
+        best_baseline = max(
+            mit_results[name].successful_ratio
+            for name in ("randomcache", "cachedata", "bundlecache")
+        )
+        # generous tolerance: single seed at reduced scale is noisy
+        assert mit_results["intentional"].successful_ratio >= 0.85 * best_baseline
+
+    def test_nocache_has_zero_cached_copies(self, mit_results):
+        assert mit_results["nocache"].caching_overhead == 0.0
+
+    def test_intentional_caches_multiple_copies(self, mit_results):
+        assert mit_results["intentional"].caching_overhead > 0.1
+
+    def test_only_intentional_exchanges(self, mit_results):
+        assert mit_results["intentional"].exchanges > 0
+        for name in ("nocache", "randomcache", "cachedata", "bundlecache"):
+            assert mit_results[name].exchanges == 0
+
+    def test_every_scheme_issues_comparable_query_counts(self, mit_results):
+        counts = [r.queries_issued for r in mit_results.values()]
+        assert max(counts) - min(counts) <= 0.2 * max(counts)

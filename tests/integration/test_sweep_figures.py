@@ -1,0 +1,61 @@
+"""Tiny-scale structural tests for the sweep experiments (Figs. 10-12).
+
+Full shape assertions live in the benchmarks; these integration tests
+run each sweep at a minimal scale and verify structure: all sub-figures
+present, all five schemes/four policies covered, series aligned with the
+sweep axis, values in-domain.
+"""
+
+import math
+
+import pytest
+
+from repro.experiments.configs import ExperimentScale
+from repro.experiments.figures import fig10, fig11, fig12
+
+TINY = ExperimentScale("tiny", node_factor=0.28, time_factor=0.06, seeds=(7,))
+
+SCHEMES = {"intentional", "nocache", "randomcache", "cachedata", "bundlecache"}
+POLICIES = {"utility_knapsack", "fifo", "lru", "gds"}
+
+
+def _check_structure(figures, expected_labels, x_len):
+    assert set(figures) == {"a", "b", "c"}
+    for figure in figures.values():
+        assert {s.label for s in figure.series} == expected_labels
+        for series in figure.series:
+            assert len(series.x) == x_len
+            assert len(series.y) == x_len
+    for series in figures["a"].series:  # ratios
+        assert all(0.0 <= v <= 1.0 for v in series.y)
+    for series in figures["b"].series:  # delays (hours) or NaN
+        assert all(v >= 0.0 or math.isnan(v) for v in series.y)
+    for series in figures["c"].series:  # overheads
+        assert all(v >= 0.0 for v in series.y)
+
+
+class TestFig10Structure:
+    @pytest.fixture(scope="class")
+    def figures(self):
+        return fig10(TINY, lifetime_fractions=(0.1, 0.4))
+
+    def test_structure(self, figures):
+        _check_structure(figures, SCHEMES, x_len=2)
+
+    def test_nocache_has_no_copies(self, figures):
+        nocache = next(s for s in figures["c"].series if s.label == "nocache")
+        assert all(v == 0.0 for v in nocache.y)
+
+
+class TestFig11Structure:
+    def test_structure(self):
+        figures = fig11(TINY, sizes_mb=(40, 160))
+        _check_structure(figures, SCHEMES, x_len=2)
+        assert figures["a"].series[0].x == [40.0, 160.0]
+
+
+class TestFig12Structure:
+    def test_structure(self):
+        figures = fig12(TINY, sizes_mb=(40, 160))
+        _check_structure(figures, POLICIES, x_len=2)
+        assert "replaced" in figures["c"].y_label

@@ -1,0 +1,121 @@
+"""Unit tests for Poisson rate estimation (paper Sec. III-B, Eq. 5)."""
+
+import pytest
+
+from repro.mathutils.poisson import RateEstimator, poisson_probability_at_least_one
+
+
+class TestProbabilityAtLeastOne:
+    def test_matches_formula(self):
+        import math
+
+        assert poisson_probability_at_least_one(0.5, 2.0) == pytest.approx(
+            1.0 - math.exp(-1.0)
+        )
+
+    def test_zero_rate_is_zero(self):
+        assert poisson_probability_at_least_one(0.0, 100.0) == 0.0
+
+    def test_nonpositive_horizon_is_zero(self):
+        assert poisson_probability_at_least_one(1.0, 0.0) == 0.0
+        assert poisson_probability_at_least_one(1.0, -5.0) == 0.0
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ValueError):
+            poisson_probability_at_least_one(-0.1, 1.0)
+
+    def test_increases_with_horizon(self):
+        values = [poisson_probability_at_least_one(0.1, h) for h in (1, 5, 20, 100)]
+        assert values == sorted(values)
+
+
+class TestOriginAnchor:
+    """Contact-rate convention: count / elapsed since network start."""
+
+    def test_rate_is_count_over_elapsed(self):
+        est = RateEstimator(origin=0.0, anchor="origin")
+        for t in (10.0, 20.0, 30.0):
+            est.record(t)
+        assert est.rate(now=60.0) == pytest.approx(3 / 60.0)
+
+    def test_no_events_means_zero(self):
+        est = RateEstimator(origin=0.0)
+        assert est.rate(now=100.0) == 0.0
+
+    def test_zero_elapsed_means_zero(self):
+        est = RateEstimator(origin=50.0)
+        assert est.rate(now=50.0) == 0.0
+
+    def test_rate_decays_as_time_passes_without_events(self):
+        est = RateEstimator(origin=0.0)
+        est.record(1.0)
+        assert est.rate(now=10.0) > est.rate(now=100.0)
+
+
+class TestFirstEventAnchor:
+    """Data-popularity convention (Eq. 5): k / (t_k - t_1)."""
+
+    def test_rate_matches_eq5(self):
+        est = RateEstimator(anchor="first_event")
+        for t in (100.0, 150.0, 300.0):
+            est.record(t)
+        assert est.rate(now=9999.0) == pytest.approx(3 / 200.0)
+
+    def test_single_event_has_no_rate(self):
+        est = RateEstimator(anchor="first_event")
+        est.record(5.0)
+        assert est.rate(now=100.0) == 0.0
+
+    def test_identical_timestamps_have_no_rate(self):
+        est = RateEstimator(anchor="first_event")
+        est.record(5.0)
+        est.record(5.0)
+        assert est.rate(now=100.0) == 0.0
+
+
+class TestRecording:
+    def test_rejects_decreasing_timestamps(self):
+        est = RateEstimator()
+        est.record(10.0)
+        with pytest.raises(ValueError):
+            est.record(5.0)
+
+    def test_rejects_unknown_anchor(self):
+        with pytest.raises(ValueError):
+            RateEstimator(anchor="bogus")
+
+    def test_counts_and_boundaries(self):
+        est = RateEstimator()
+        est.record(1.0)
+        est.record(4.0)
+        assert est.count == 2
+        assert est.first_event_time == 1.0
+        assert est.last_event_time == 4.0
+
+
+class TestMerge:
+    def test_merge_combines_counts_and_bounds(self):
+        a = RateEstimator(anchor="first_event")
+        b = RateEstimator(anchor="first_event")
+        for t in (10.0, 20.0):
+            a.record(t)
+        for t in (5.0, 40.0):
+            b.record(t)
+        a.merge_counts(b)
+        assert a.count == 4
+        assert a.first_event_time == 5.0
+        assert a.last_event_time == 40.0
+
+    def test_merge_into_empty(self):
+        a = RateEstimator(anchor="first_event")
+        b = RateEstimator(anchor="first_event")
+        b.record(7.0)
+        a.merge_counts(b)
+        assert a.count == 1
+        assert a.first_event_time == 7.0
+
+    def test_merge_from_empty_is_noop(self):
+        a = RateEstimator()
+        a.record(3.0)
+        a.merge_counts(RateEstimator())
+        assert a.count == 1

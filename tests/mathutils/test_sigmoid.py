@@ -1,0 +1,67 @@
+"""Unit tests for the response sigmoid (paper Eq. 4, Fig. 7)."""
+
+import pytest
+
+from repro.mathutils.sigmoid import ResponseSigmoid
+
+
+class TestBoundaryConditions:
+    def test_paper_example(self):
+        # Fig. 7: p_min = 0.45, p_max = 0.8, T_q = 10 hours.
+        sigmoid = ResponseSigmoid(0.45, 0.8, 10 * 3600.0)
+        assert sigmoid(0.0) == pytest.approx(0.45)
+        assert sigmoid(10 * 3600.0) == pytest.approx(0.8)
+
+    def test_k1_and_k2_formulas(self):
+        import math
+
+        p_min, p_max, tq = 0.45, 0.8, 100.0
+        sigmoid = ResponseSigmoid(p_min, p_max, tq)
+        assert sigmoid.k1 == pytest.approx(2 * p_min)
+        assert sigmoid.k2 == pytest.approx(
+            math.log(p_max / (2 * p_min - p_max)) / tq
+        )
+
+    def test_monotone_increasing_in_elapsed_time(self):
+        sigmoid = ResponseSigmoid(0.45, 0.8, 1000.0)
+        values = [sigmoid(t) for t in (0, 100, 500, 900, 1000)]
+        assert values == sorted(values)
+
+    def test_values_are_probabilities(self):
+        sigmoid = ResponseSigmoid(0.6, 1.0, 500.0)
+        for t in range(0, 501, 50):
+            assert 0.0 <= sigmoid(t) <= 1.0
+
+
+class TestClamping:
+    def test_negative_elapsed_clamps_to_pmin(self):
+        sigmoid = ResponseSigmoid(0.45, 0.8, 100.0)
+        assert sigmoid(-50.0) == pytest.approx(0.45)
+
+    def test_overrun_clamps_to_pmax(self):
+        sigmoid = ResponseSigmoid(0.45, 0.8, 100.0)
+        assert sigmoid(1e9) == pytest.approx(0.8)
+
+
+class TestValidation:
+    def test_p_max_bounds(self):
+        with pytest.raises(ValueError):
+            ResponseSigmoid(0.45, 0.0, 100.0)
+        with pytest.raises(ValueError):
+            ResponseSigmoid(0.45, 1.1, 100.0)
+
+    def test_p_min_must_exceed_half_p_max(self):
+        with pytest.raises(ValueError):
+            ResponseSigmoid(0.4, 0.8, 100.0)  # exactly p_max/2 is invalid
+
+    def test_p_min_must_be_below_p_max(self):
+        with pytest.raises(ValueError):
+            ResponseSigmoid(0.8, 0.8, 100.0)
+
+    def test_time_constraint_positive(self):
+        with pytest.raises(ValueError):
+            ResponseSigmoid(0.45, 0.8, 0.0)
+
+    def test_p_max_one_is_allowed(self):
+        sigmoid = ResponseSigmoid(0.8, 1.0, 100.0)
+        assert sigmoid(100.0) == pytest.approx(1.0)

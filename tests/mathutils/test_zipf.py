@@ -1,0 +1,97 @@
+"""Unit tests for the Zipf query distribution (paper Eq. 8)."""
+
+import numpy as np
+import pytest
+
+from repro.mathutils.zipf import ZipfDistribution
+
+
+class TestPmf:
+    def test_pmf_sums_to_one(self):
+        for s in (0.0, 0.5, 1.0, 1.5):
+            zipf = ZipfDistribution(37, s)
+            assert zipf.pmf_vector().sum() == pytest.approx(1.0)
+
+    def test_pmf_matches_eq8(self):
+        m, s = 10, 1.0
+        zipf = ZipfDistribution(m, s)
+        normalizer = sum(1.0 / i**s for i in range(1, m + 1))
+        for j in range(1, m + 1):
+            assert zipf.pmf(j) == pytest.approx((1.0 / j**s) / normalizer)
+
+    def test_pmf_is_decreasing_in_rank(self):
+        pmf = ZipfDistribution(20, 1.2).pmf_vector()
+        assert all(a >= b for a, b in zip(pmf, pmf[1:]))
+
+    def test_zero_exponent_is_uniform(self):
+        pmf = ZipfDistribution(8, 0.0).pmf_vector()
+        assert np.allclose(pmf, 1.0 / 8)
+
+    def test_higher_exponent_is_more_skewed(self):
+        flat = ZipfDistribution(30, 0.5)
+        steep = ZipfDistribution(30, 1.5)
+        assert steep.pmf(1) > flat.pmf(1)
+        assert steep.pmf(30) < flat.pmf(30)
+
+
+class TestValidation:
+    def test_rejects_empty_catalogue(self):
+        with pytest.raises(ValueError):
+            ZipfDistribution(0)
+
+    def test_rejects_negative_exponent(self):
+        with pytest.raises(ValueError):
+            ZipfDistribution(5, -0.1)
+
+    def test_rank_bounds_checked(self):
+        zipf = ZipfDistribution(5)
+        with pytest.raises(ValueError):
+            zipf.pmf(0)
+        with pytest.raises(ValueError):
+            zipf.pmf(6)
+
+
+class TestResize:
+    def test_resize_renormalises(self):
+        zipf = ZipfDistribution(5, 1.0)
+        zipf.resize(50)
+        assert zipf.num_items == 50
+        assert zipf.pmf_vector().sum() == pytest.approx(1.0)
+
+    def test_resize_same_size_is_noop(self):
+        zipf = ZipfDistribution(5, 1.0)
+        before = zipf.pmf_vector()
+        zipf.resize(5)
+        assert np.allclose(zipf.pmf_vector(), before)
+
+    def test_resize_rejects_zero(self):
+        with pytest.raises(ValueError):
+            ZipfDistribution(5).resize(0)
+
+
+class TestSampling:
+    def test_sample_ranks_in_range(self, rng):
+        zipf = ZipfDistribution(12, 1.0)
+        ranks = zipf.sample_ranks(rng, 500)
+        assert all(1 <= r <= 12 for r in ranks)
+
+    def test_rank_one_is_most_common(self, rng):
+        zipf = ZipfDistribution(10, 1.5)
+        ranks = zipf.sample_ranks(rng, 4000)
+        counts = np.bincount(ranks, minlength=11)
+        assert counts[1] == counts[1:].max()
+
+    def test_empirical_matches_pmf(self, rng):
+        zipf = ZipfDistribution(5, 1.0)
+        ranks = zipf.sample_ranks(rng, 20000)
+        for j in range(1, 6):
+            empirical = sum(1 for r in ranks if r == j) / len(ranks)
+            assert empirical == pytest.approx(zipf.pmf(j), abs=0.02)
+
+
+class TestSeries:
+    def test_pmf_series_covers_paper_exponents(self):
+        series = ZipfDistribution.pmf_series(20, (0.5, 1.0, 1.5))
+        assert set(series) == {0.5, 1.0, 1.5}
+        for pmf in series.values():
+            assert pmf.sum() == pytest.approx(1.0)

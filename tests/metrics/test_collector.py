@@ -1,0 +1,86 @@
+"""Unit tests for metric collection."""
+
+import math
+
+import pytest
+
+from repro.metrics.collector import MetricsCollector
+from tests.conftest import make_item, make_query
+
+
+class TestQueryMetrics:
+    def test_first_delivery_counts(self):
+        collector = MetricsCollector()
+        query = make_query(query_id=1, created_at=0.0, time_constraint=100.0)
+        collector.on_query_created(query)
+        assert collector.on_query_satisfied(query, now=30.0)
+        assert not collector.on_query_satisfied(query, now=40.0)  # duplicate
+        assert collector.queries_satisfied == 1
+
+    def test_late_delivery_does_not_count(self):
+        collector = MetricsCollector()
+        query = make_query(query_id=1, created_at=0.0, time_constraint=100.0)
+        collector.on_query_created(query)
+        assert not collector.on_query_satisfied(query, now=150.0)
+        assert collector.queries_satisfied == 0
+
+    def test_unknown_query_ignored(self):
+        collector = MetricsCollector()
+        query = make_query(query_id=1)
+        assert not collector.on_query_satisfied(query, now=1.0)
+
+    def test_is_satisfied(self):
+        collector = MetricsCollector()
+        query = make_query(query_id=1, created_at=0.0, time_constraint=100.0)
+        collector.on_query_created(query)
+        assert not collector.is_satisfied(1)
+        collector.on_query_satisfied(query, now=5.0)
+        assert collector.is_satisfied(1)
+
+
+class TestFinalize:
+    def test_ratio_and_delay(self):
+        collector = MetricsCollector()
+        fast = make_query(query_id=1, created_at=0.0, time_constraint=100.0)
+        slow = make_query(query_id=2, created_at=0.0, time_constraint=100.0)
+        missed = make_query(query_id=3, created_at=0.0, time_constraint=100.0)
+        for q in (fast, slow, missed):
+            collector.on_query_created(q)
+        collector.on_query_satisfied(fast, now=10.0)
+        collector.on_query_satisfied(slow, now=50.0)
+        result = collector.finalize("test", seed=0)
+        assert result.queries_issued == 3
+        assert result.successful_ratio == pytest.approx(2 / 3)
+        assert result.mean_access_delay == pytest.approx(30.0)
+
+    def test_no_queries(self):
+        result = MetricsCollector().finalize("idle", seed=0)
+        assert result.successful_ratio == 0.0
+        assert math.isnan(result.mean_access_delay)
+
+    def test_caching_overhead_average(self):
+        collector = MetricsCollector()
+        collector.sample_copies_per_item(10, 5)
+        collector.sample_copies_per_item(20, 5)
+        collector.sample_copies_per_item(0, 0)  # ignored: nothing live
+        result = collector.finalize("test", seed=0)
+        assert result.caching_overhead == pytest.approx(3.0)
+
+    def test_replacement_overhead(self):
+        collector = MetricsCollector()
+        for _ in range(4):
+            collector.on_data_generated(make_item())
+        collector.on_exchange(moved_items=6, bits=600)
+        result = collector.finalize("test", seed=0)
+        assert result.replacement_overhead == pytest.approx(1.5)
+        assert result.exchanges == 1
+        assert result.bits_transferred == 600
+
+    def test_response_counters(self):
+        collector = MetricsCollector()
+        collector.on_response_emitted()
+        collector.on_response_emitted()
+        collector.on_response_delivered()
+        result = collector.finalize("test", seed=0)
+        assert result.responses_emitted == 2
+        assert result.responses_delivered == 1

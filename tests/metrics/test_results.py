@@ -1,0 +1,72 @@
+"""Unit tests for result aggregation."""
+
+import math
+
+import pytest
+
+from repro.metrics.results import SimulationResult, aggregate_results
+
+
+def result(name="s", seed=0, ratio=0.5, delay=3600.0, copies=1.0):
+    return SimulationResult(
+        name=name,
+        seed=seed,
+        queries_issued=100,
+        queries_satisfied=int(100 * ratio),
+        successful_ratio=ratio,
+        mean_access_delay=delay,
+        caching_overhead=copies,
+        data_generated=10,
+        replaced_items=5,
+        replacement_overhead=0.5,
+        exchanges=3,
+        responses_emitted=60,
+        responses_delivered=50,
+        bits_transferred=1000,
+    )
+
+
+class TestAggregation:
+    def test_mean_of_runs(self):
+        agg = aggregate_results([result(seed=1, ratio=0.4), result(seed=2, ratio=0.6)])
+        assert agg.successful_ratio == pytest.approx(0.5)
+        assert agg.runs == 2
+
+    def test_confidence_interval_positive_with_spread(self):
+        agg = aggregate_results([result(seed=1, ratio=0.4), result(seed=2, ratio=0.6)])
+        assert agg.successful_ratio_ci > 0.0
+
+    def test_single_run_has_zero_ci(self):
+        agg = aggregate_results([result()])
+        assert agg.successful_ratio_ci == 0.0
+
+    def test_nan_delays_skipped(self):
+        agg = aggregate_results(
+            [result(seed=1, delay=float("nan")), result(seed=2, delay=100.0)]
+        )
+        assert agg.mean_access_delay == pytest.approx(100.0)
+
+    def test_all_nan_delay_is_nan(self):
+        agg = aggregate_results([result(delay=float("nan"))])
+        assert math.isnan(agg.mean_access_delay)
+
+    def test_rejects_mixed_schemes(self):
+        with pytest.raises(ValueError):
+            aggregate_results([result(name="a"), result(name="b")])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            aggregate_results([])
+
+
+class TestRows:
+    def test_simulation_row(self):
+        row = result().as_row()
+        assert row["scheme"] == "s"
+        assert row["ratio"] == 0.5
+        assert row["delay_h"] == 1.0
+
+    def test_aggregate_row(self):
+        row = aggregate_results([result()]).as_row()
+        assert row["runs"] == 1
+        assert row["delay_h"] == 1.0

@@ -1,0 +1,87 @@
+"""Unit tests for time-series metric collection."""
+
+import pytest
+
+from repro.metrics.timeline import TimelineRecorder
+
+
+def record_demo(recorder, t, issued=10, satisfied=5):
+    recorder.record(
+        time=t,
+        live_items=4,
+        cached_copies=8,
+        queries_issued=issued,
+        queries_satisfied=satisfied,
+        mean_buffer_occupancy=0.25,
+    )
+
+
+class TestRecorder:
+    def test_point_properties(self):
+        recorder = TimelineRecorder()
+        record_demo(recorder, 10.0)
+        point = recorder.points[0]
+        assert point.copies_per_item == 2.0
+        assert point.running_ratio == 0.5
+
+    def test_zero_denominators(self):
+        recorder = TimelineRecorder()
+        recorder.record(
+            time=0.0,
+            live_items=0,
+            cached_copies=0,
+            queries_issued=0,
+            queries_satisfied=0,
+            mean_buffer_occupancy=0.0,
+        )
+        point = recorder.points[0]
+        assert point.copies_per_item == 0.0
+        assert point.running_ratio == 0.0
+
+    def test_time_ordering_enforced(self):
+        recorder = TimelineRecorder()
+        record_demo(recorder, 10.0)
+        with pytest.raises(ValueError):
+            record_demo(recorder, 5.0)
+
+    def test_columns(self):
+        recorder = TimelineRecorder()
+        record_demo(recorder, 1.0, issued=10, satisfied=2)
+        record_demo(recorder, 2.0, issued=20, satisfied=10)
+        assert recorder.column("time") == [1.0, 2.0]
+        assert recorder.column("running_ratio") == [0.2, 0.5]
+        with pytest.raises(AttributeError):
+            recorder.column("bogus")
+
+    def test_empty_columns(self):
+        assert TimelineRecorder().column("time") == []
+
+    def test_as_dict_shapes(self):
+        recorder = TimelineRecorder()
+        record_demo(recorder, 1.0)
+        table = recorder.as_dict()
+        assert set(table) >= {"time", "copies_per_item", "running_ratio"}
+        assert all(len(col) == 1 for col in table.values())
+
+
+class TestSimulatorIntegration:
+    def test_simulator_populates_timeline(self):
+        from repro.caching.nocache import NoCache
+        from repro.sim.simulator import Simulator, SimulatorConfig
+        from repro.traces.synthetic import SyntheticTraceConfig, generate_synthetic_trace
+        from repro.units import DAY, HOUR, MEGABIT
+        from repro.workload.config import WorkloadConfig
+
+        trace = generate_synthetic_trace(
+            SyntheticTraceConfig(
+                name="tl", num_nodes=8, duration=3 * DAY,
+                total_contacts=800, granularity=60.0, seed=1,
+            )
+        )
+        workload = WorkloadConfig(mean_data_lifetime=8 * HOUR, mean_data_size=10 * MEGABIT)
+        sim = Simulator(trace, NoCache(), workload, SimulatorConfig(seed=2))
+        sim.run()
+        assert len(sim.timeline) > 0
+        times = sim.timeline.column("time")
+        assert times == sorted(times)
+        assert all(0.0 <= v <= 1.0 for v in sim.timeline.column("mean_buffer_occupancy"))

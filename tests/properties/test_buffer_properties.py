@@ -1,0 +1,43 @@
+"""Property-based tests for cache-buffer invariants."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.core.buffer import CacheBuffer
+from tests.conftest import make_item
+
+operations = st.lists(
+    st.tuples(
+        st.sampled_from(["put", "remove", "get", "evict"]),
+        st.integers(min_value=0, max_value=15),  # data id
+        st.integers(min_value=1, max_value=60),  # size
+        st.floats(min_value=0.0, max_value=200.0),  # now / lifetime knob
+    ),
+    max_size=60,
+)
+
+
+@settings(max_examples=120)
+@given(ops=operations, capacity=st.integers(min_value=10, max_value=150))
+def test_buffer_invariants_under_random_operations(ops, capacity):
+    buffer = CacheBuffer(capacity)
+    for op, data_id, size, t in ops:
+        if op == "put":
+            buffer.put(make_item(data_id=data_id, size=size, lifetime=max(t, 1.0)))
+        elif op == "remove":
+            buffer.remove(data_id)
+        elif op == "get":
+            buffer.get(data_id)
+        elif op == "evict":
+            buffer.evict_expired(now=t)
+        # Invariants hold after every operation:
+        items = buffer.items()
+        assert buffer.used == sum(d.size for d in items)
+        assert 0 <= buffer.used <= buffer.capacity
+        assert len({d.data_id for d in items}) == len(items)
+        assert sorted(d.data_id for d in buffer.insertion_order()) == sorted(
+            d.data_id for d in items
+        )
+        assert sorted(d.data_id for d in buffer.access_order()) == sorted(
+            d.data_id for d in items
+        )

@@ -1,0 +1,47 @@
+"""Property-based tests for the discrete-event engine."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.sim.engine import EventEngine
+from repro.sim.events import EventKind
+
+schedule_strategy = st.lists(
+    st.tuples(
+        st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+        st.integers(min_value=0, max_value=4),  # priority
+    ),
+    max_size=80,
+)
+
+
+@settings(max_examples=100)
+@given(entries=schedule_strategy)
+def test_events_processed_in_total_order(entries):
+    engine = EventEngine()
+    seen = []
+    engine.register(EventKind.CUSTOM, lambda e: seen.append((e.time, e.priority, e.sequence)))
+    for time, priority in entries:
+        engine.schedule(time, EventKind.CUSTOM, priority=priority)
+    processed = engine.run()
+    assert processed == len(entries)
+    assert seen == sorted(seen)
+
+
+@settings(max_examples=50)
+@given(
+    entries=schedule_strategy,
+    cutoff=st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+)
+def test_run_until_is_a_clean_partition(entries, cutoff):
+    engine = EventEngine()
+    seen = []
+    engine.register(EventKind.CUSTOM, lambda e: seen.append(e.time))
+    for time, priority in entries:
+        engine.schedule(time, EventKind.CUSTOM, priority=priority)
+    engine.run(until=cutoff)
+    assert all(t <= cutoff for t in seen)
+    assert engine.pending == sum(1 for t, _ in entries if t > cutoff)
+    engine.run()
+    assert engine.pending == 0
+    assert len(seen) == len(entries)

@@ -1,0 +1,73 @@
+"""Property-based tests for the hypoexponential kernel (Eq. 1-2)."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.mathutils.hypoexponential import (
+    _closed_form_cdf,
+    _matrix_cdf,
+    _rates_well_separated,
+    hypoexponential_cdf,
+)
+
+rates_strategy = st.lists(
+    st.floats(min_value=1e-6, max_value=10.0, allow_nan=False, allow_infinity=False),
+    min_size=1,
+    max_size=6,
+)
+time_strategy = st.floats(min_value=0.0, max_value=1e5, allow_nan=False)
+
+
+@given(rates=rates_strategy, t=time_strategy)
+def test_cdf_is_a_probability(rates, t):
+    value = hypoexponential_cdf(rates, t)
+    assert 0.0 <= value <= 1.0
+
+
+@given(rates=rates_strategy, t1=time_strategy, t2=time_strategy)
+def test_cdf_monotone_in_time(rates, t1, t2):
+    lo, hi = sorted((t1, t2))
+    assert hypoexponential_cdf(rates, lo) <= hypoexponential_cdf(rates, hi) + 1e-12
+
+
+@given(
+    rates=rates_strategy,
+    extra=st.floats(min_value=1e-6, max_value=10.0),
+    t=st.floats(min_value=1e-3, max_value=1e5),
+)
+def test_extra_hop_never_increases_probability(rates, extra, t):
+    assert hypoexponential_cdf(rates + [extra], t) <= hypoexponential_cdf(rates, t) + 1e-9
+
+
+@settings(max_examples=60)
+@given(
+    rates=st.lists(
+        st.floats(min_value=0.01, max_value=5.0), min_size=2, max_size=5, unique=True
+    ),
+    t=st.floats(min_value=0.01, max_value=100.0),
+)
+def test_closed_form_agrees_with_matrix_exponential(rates, t):
+    if not _rates_well_separated(rates):
+        return  # the closed form is only contractually valid here
+    closed = _closed_form_cdf(rates, t)
+    matrix = _matrix_cdf(rates, t)
+    assert abs(closed - matrix) < 1e-6
+
+
+@given(
+    rate=st.floats(min_value=1e-4, max_value=10.0),
+    count=st.integers(min_value=1, max_value=5),
+    t=st.floats(min_value=0.0, max_value=100.0),
+)
+def test_identical_rates_match_erlang(rate, count, t):
+    """Repeated rates must reduce to the Erlang CDF."""
+    import math
+
+    value = hypoexponential_cdf([rate] * count, t)
+    if t <= 0:
+        assert value == 0.0
+        return
+    erlang = 1.0 - sum(
+        math.exp(-rate * t) * (rate * t) ** k / math.factorial(k) for k in range(count)
+    )
+    assert abs(value - min(1.0, max(0.0, erlang))) < 1e-7

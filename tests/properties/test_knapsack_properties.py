@@ -1,0 +1,65 @@
+"""Property-based tests for the knapsack solver (Eq. 7)."""
+
+import itertools
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.core.knapsack import KnapsackItem, solve_knapsack
+
+small_items = st.lists(
+    st.tuples(
+        st.floats(min_value=0.0, max_value=10.0, allow_nan=False),
+        st.integers(min_value=1, max_value=30),
+    ),
+    min_size=0,
+    max_size=8,
+)
+
+
+def brute_force_value(items, capacity):
+    best = 0.0
+    for r in range(len(items) + 1):
+        for combo in itertools.combinations(items, r):
+            if sum(i.size for i in combo) <= capacity:
+                best = max(best, sum(i.value for i in combo))
+    return best
+
+
+@settings(max_examples=150)
+@given(raw=small_items, capacity=st.integers(min_value=0, max_value=100))
+def test_exact_on_unquantised_instances(raw, capacity):
+    items = [KnapsackItem(i, v, s) for i, (v, s) in enumerate(raw)]
+    solution = solve_knapsack(items, capacity)
+    assert solution.total_size <= capacity
+    assert solution.total_value == sum(i.value for i in solution.selected)
+    assert abs(solution.total_value - brute_force_value(items, capacity)) < 1e-9
+
+
+@settings(max_examples=60)
+@given(
+    raw=st.lists(
+        st.tuples(
+            st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+            st.integers(min_value=1_000_000, max_value=300_000_000),
+        ),
+        min_size=0,
+        max_size=10,
+    ),
+    capacity=st.integers(min_value=0, max_value=600_000_000),
+)
+def test_quantised_never_overfills(raw, capacity):
+    items = [KnapsackItem(i, v, s) for i, (v, s) in enumerate(raw)]
+    solution = solve_knapsack(items, capacity)
+    assert solution.total_size <= capacity
+    selected_keys = set(solution.keys)
+    assert len(selected_keys) == len(solution.selected)  # no duplicates
+
+
+@settings(max_examples=60)
+@given(raw=small_items, capacity=st.integers(min_value=0, max_value=100))
+def test_deterministic(raw, capacity):
+    items = [KnapsackItem(i, v, s) for i, (v, s) in enumerate(raw)]
+    a = solve_knapsack(items, capacity)
+    b = solve_knapsack(items, capacity)
+    assert a.keys == b.keys

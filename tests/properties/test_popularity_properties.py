@@ -1,0 +1,48 @@
+"""Property-based tests for popularity estimation (Eq. 5-6)."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.core.popularity import PopularityEstimator
+
+timestamps = st.lists(
+    st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+    min_size=0,
+    max_size=30,
+).map(sorted)
+
+
+@given(ts=timestamps, horizon=st.floats(min_value=0.0, max_value=1e7))
+def test_popularity_is_a_probability(ts, horizon):
+    est = PopularityEstimator()
+    for t in ts:
+        est.record_request(t)
+    last = ts[-1] if ts else 0.0
+    assert 0.0 <= est.popularity(last + horizon) <= 1.0
+
+
+@given(ts=timestamps)
+def test_popularity_monotone_in_expiry_horizon(ts):
+    est = PopularityEstimator()
+    for t in ts:
+        est.record_request(t)
+    last = ts[-1] if ts else 0.0
+    values = [est.popularity(last + h) for h in (1.0, 100.0, 10_000.0)]
+    assert values == sorted(values)
+
+
+@settings(max_examples=60)
+@given(
+    a_ts=timestamps,
+    b_ts=timestamps,
+)
+def test_merge_count_additivity(a_ts, b_ts):
+    a = PopularityEstimator()
+    b = PopularityEstimator()
+    for t in a_ts:
+        a.record_request(t)
+    for t in b_ts:
+        b.record_request(t)
+    total = a.request_count + b.request_count
+    a.merge(b)
+    assert a.request_count == total

@@ -1,0 +1,101 @@
+"""Property-based tests for the pairwise cache exchange (Sec. V-D)."""
+
+import numpy as np
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.core.buffer import CacheBuffer
+from repro.core.replacement import (
+    ExchangeContext,
+    FIFOPolicy,
+    GreedyDualSizePolicy,
+    LRUPolicy,
+    UtilityKnapsackPolicy,
+)
+from tests.conftest import make_item
+
+pool_strategy = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=20),              # data id
+        st.integers(min_value=5, max_value=50),              # size
+        st.floats(min_value=0.0, max_value=1.0),             # utility
+        st.booleans(),                                       # starts at A?
+    ),
+    max_size=12,
+)
+
+
+def build(pool, cap_a, cap_b):
+    buffer_a, buffer_b = CacheBuffer(cap_a), CacheBuffer(cap_b)
+    utilities = {}
+    for data_id, size, utility, at_a in pool:
+        item = make_item(data_id=data_id, size=size, lifetime=1000.0)
+        utilities[data_id] = utility
+        if at_a:
+            buffer_a.put(item)
+        else:
+            buffer_b.put(item)
+    context = ExchangeContext(
+        now=0.0,
+        utility_a=lambda d: utilities.get(d.data_id, 0.0),
+        utility_b=lambda d: utilities.get(d.data_id, 0.0),
+        rng=np.random.default_rng(0),
+    )
+    return buffer_a, buffer_b, context
+
+
+POLICIES = [
+    UtilityKnapsackPolicy(probabilistic=True),
+    UtilityKnapsackPolicy(probabilistic=False),
+    FIFOPolicy(),
+    LRUPolicy(),
+]
+
+
+@settings(max_examples=80)
+@given(
+    pool=pool_strategy,
+    cap_a=st.integers(min_value=20, max_value=200),
+    cap_b=st.integers(min_value=20, max_value=200),
+    policy_index=st.integers(min_value=0, max_value=len(POLICIES) - 1),
+)
+def test_exchange_conserves_or_drops_items(pool, cap_a, cap_b, policy_index):
+    """Every pooled item ends up at A, at B, or in `dropped` — never
+    duplicated, never silently vanished — and capacities are respected."""
+    buffer_a, buffer_b, context = build(pool, cap_a, cap_b)
+    before_ids = set(buffer_a.data_ids()) | set(buffer_b.data_ids())
+    policy = POLICIES[policy_index]
+    result = policy.exchange(buffer_a, buffer_b, context)
+
+    after_ids = set(buffer_a.data_ids()) | set(buffer_b.data_ids())
+    dropped_ids = {d.data_id for d in result.dropped}
+    assert after_ids | dropped_ids == before_ids
+    assert not (after_ids & dropped_ids)
+    assert buffer_a.used <= buffer_a.capacity
+    assert buffer_b.used <= buffer_b.capacity
+
+
+@settings(max_examples=80)
+@given(
+    pool=pool_strategy,
+    cap=st.integers(min_value=100, max_value=400),
+)
+def test_nothing_dropped_when_everything_fits(pool, cap):
+    """Items leave the cache only under space pressure (Fig. 8b)."""
+    total = sum(size for _, size, _, _ in pool)
+    if total > cap:
+        return
+    buffer_a, buffer_b, context = build(pool, cap, cap)
+    policy = UtilityKnapsackPolicy(probabilistic=True)
+    result = policy.exchange(buffer_a, buffer_b, context)
+    assert not result.dropped
+
+
+@settings(max_examples=50)
+@given(pool=pool_strategy)
+def test_gds_exchange_respects_capacity(pool):
+    buffer_a, buffer_b, context = build(pool, 80, 80)
+    policy = GreedyDualSizePolicy()
+    policy.exchange(buffer_a, buffer_b, context)
+    assert buffer_a.used <= 80
+    assert buffer_b.used <= 80

@@ -1,0 +1,95 @@
+"""Property-based tests for forwarding strategies."""
+
+import hypothesis.strategies as st
+import numpy as np
+from hypothesis import given, settings
+
+from repro.graph.contact_graph import ContactGraph
+from repro.routing.base import ForwardAction
+from repro.routing.gradient import GradientRouter
+from repro.routing.rate_gradient import RateGradientRouter
+from repro.units import HOUR
+
+
+@st.composite
+def random_graph(draw):
+    n = draw(st.integers(min_value=3, max_value=10))
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    rng = np.random.default_rng(seed)
+    rates = np.zeros((n, n))
+    for i in range(n):
+        for j in range(i + 1, n):
+            if rng.random() < 0.5:
+                rates[i, j] = rates[j, i] = rng.uniform(0.1, 5.0) / HOUR
+    return ContactGraph.from_rate_matrix(rates)
+
+
+@settings(max_examples=40, deadline=None)
+@given(graph=random_graph(), data=st.data())
+def test_gradient_decisions_are_antisymmetric(graph, data):
+    """If the peer is strictly better, the carrier forwards; swapping the
+    roles must then yield KEEP — no forwarding loops between two nodes."""
+    router = GradientRouter(horizon=5 * HOUR)
+    n = graph.num_nodes
+    carrier = data.draw(st.integers(min_value=0, max_value=n - 1))
+    peer = data.draw(st.integers(min_value=0, max_value=n - 1))
+    destination = data.draw(st.integers(min_value=0, max_value=n - 1))
+    if len({carrier, peer, destination}) < 3:
+        return
+    forward = router.decide(carrier, peer, destination, graph, 1.0)
+    backward = router.decide(peer, carrier, destination, graph, 1.0)
+    assert not (forward.transfers and backward.transfers)
+
+
+@settings(max_examples=40, deadline=None)
+@given(graph=random_graph(), data=st.data())
+def test_rate_gradient_antisymmetric(graph, data):
+    router = RateGradientRouter()
+    n = graph.num_nodes
+    carrier = data.draw(st.integers(min_value=0, max_value=n - 1))
+    peer = data.draw(st.integers(min_value=0, max_value=n - 1))
+    destination = data.draw(st.integers(min_value=0, max_value=n - 1))
+    if len({carrier, peer, destination}) < 3:
+        return
+    forward = router.decide(carrier, peer, destination, graph, 1.0)
+    backward = router.decide(peer, carrier, destination, graph, 1.0)
+    assert not (forward.transfers and backward.transfers)
+
+
+@settings(max_examples=40, deadline=None)
+@given(graph=random_graph(), data=st.data())
+def test_destination_always_accepts(graph, data):
+    n = graph.num_nodes
+    carrier = data.draw(st.integers(min_value=0, max_value=n - 1))
+    destination = data.draw(st.integers(min_value=0, max_value=n - 1))
+    if carrier == destination:
+        return
+    for router in (GradientRouter(horizon=1 * HOUR), RateGradientRouter()):
+        decision = router.decide(carrier, destination, destination, graph, 1.0)
+        assert decision.action is ForwardAction.HANDOVER
+
+
+@settings(max_examples=30, deadline=None)
+@given(graph=random_graph(), data=st.data())
+def test_gradient_chain_terminates(graph, data):
+    """Repeatedly handing a bundle to the best neighbor must reach a
+    local maximum in at most N steps (scores strictly increase)."""
+    router = GradientRouter(horizon=5 * HOUR)
+    n = graph.num_nodes
+    carrier = data.draw(st.integers(min_value=0, max_value=n - 1))
+    destination = data.draw(st.integers(min_value=0, max_value=n - 1))
+    if carrier == destination:
+        return
+    hops = 0
+    while hops <= n:
+        candidates = [
+            peer
+            for peer in range(n)
+            if peer != carrier
+            and router.decide(carrier, peer, destination, graph, 1.0).transfers
+        ]
+        if not candidates or destination in candidates:
+            break
+        carrier = candidates[0]
+        hops += 1
+    assert hops <= n

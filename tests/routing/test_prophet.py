@@ -1,0 +1,98 @@
+"""Unit tests for the PRoPHET router."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.graph.contact_graph import ContactGraph
+from repro.routing.base import ForwardAction
+from repro.routing.prophet import ProphetRouter
+
+
+@pytest.fixture
+def graph():
+    return ContactGraph(4)
+
+
+class TestPredictabilityUpdates:
+    def test_encounter_raises_predictability(self):
+        router = ProphetRouter(num_nodes=3)
+        router.on_encounter(0, 1, now=0.0)
+        assert router.predictability(0, 1) == pytest.approx(0.75)
+        assert router.predictability(1, 0) == pytest.approx(0.75)
+
+    def test_repeated_encounters_converge_to_one(self):
+        router = ProphetRouter(num_nodes=3)
+        for i in range(20):
+            router.on_encounter(0, 1, now=float(i))
+        assert router.predictability(0, 1) > 0.99
+        assert router.predictability(0, 1) <= 1.0
+
+    def test_aging_decays_predictability(self):
+        router = ProphetRouter(num_nodes=3, gamma=0.5, aging_unit=100.0)
+        router.on_encounter(0, 1, now=0.0)
+        before = router.predictability(0, 1)
+        router.on_encounter(0, 2, now=200.0)  # ages node 0's table by 2 units
+        assert router.predictability(0, 1) == pytest.approx(before * 0.25)
+
+    def test_transitivity(self):
+        router = ProphetRouter(num_nodes=3)
+        router.on_encounter(1, 2, now=0.0)  # 1 knows 2
+        router.on_encounter(0, 1, now=1.0)  # 0 learns about 2 via 1
+        assert router.predictability(0, 2) > 0.0
+        # transitive estimate bounded by P(0,1) * P(1,2) * beta
+        bound = router.predictability(0, 1) * router.predictability(1, 2) * 0.25
+        assert router.predictability(0, 2) <= bound + 1e-9
+
+    def test_self_predictability_stays_zero(self):
+        router = ProphetRouter(num_nodes=3)
+        router.on_encounter(0, 1, now=0.0)
+        router.on_encounter(1, 2, now=1.0)
+        for node in range(3):
+            assert router.predictability(node, node) == 0.0
+
+    def test_bad_pair_rejected(self):
+        router = ProphetRouter(num_nodes=3)
+        with pytest.raises(ConfigurationError):
+            router.on_encounter(0, 0, now=0.0)
+        with pytest.raises(ConfigurationError):
+            router.on_encounter(0, 9, now=0.0)
+
+
+class TestDecisions:
+    def test_handover_to_destination(self, graph):
+        router = ProphetRouter(num_nodes=4)
+        assert router.decide(0, 3, 3, graph, 1.0).action is ForwardAction.HANDOVER
+
+    def test_forwards_to_better_predictor(self, graph):
+        router = ProphetRouter(num_nodes=4)
+        router.on_encounter(1, 3, now=0.0)  # node 1 has met destination 3
+        decision = router.decide(0, 1, 3, graph, 1.0)
+        assert decision.action is ForwardAction.REPLICATE
+        assert decision.peer_score > decision.carrier_score
+
+    def test_keeps_when_peer_is_worse(self, graph):
+        router = ProphetRouter(num_nodes=4)
+        router.on_encounter(0, 3, now=0.0)  # carrier knows the destination
+        assert router.decide(0, 1, 3, graph, 1.0).action is ForwardAction.KEEP
+
+    def test_single_copy_mode(self, graph):
+        router = ProphetRouter(num_nodes=4, replicate=False)
+        router.on_encounter(1, 3, now=0.0)
+        assert router.decide(0, 1, 3, graph, 1.0).action is ForwardAction.HANDOVER
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"num_nodes": 1},
+            {"num_nodes": 3, "p_init": 0.0},
+            {"num_nodes": 3, "p_init": 1.5},
+            {"num_nodes": 3, "beta": -0.1},
+            {"num_nodes": 3, "gamma": 0.0},
+            {"num_nodes": 3, "aging_unit": 0.0},
+        ],
+    )
+    def test_bad_parameters(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            ProphetRouter(**kwargs)

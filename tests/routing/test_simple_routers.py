@@ -1,0 +1,53 @@
+"""Unit tests for epidemic, direct-delivery, and spray-and-wait routers."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.routing.base import ForwardAction
+from repro.routing.direct import DirectDeliveryRouter
+from repro.routing.epidemic import EpidemicRouter
+from repro.routing.spray import SprayAndWaitRouter
+
+
+class TestEpidemic:
+    def test_always_replicates(self, line_graph):
+        router = EpidemicRouter()
+        decision = router.decide(0, 1, 3, line_graph, 1.0)
+        assert decision.action is ForwardAction.REPLICATE
+
+
+class TestDirect:
+    def test_handover_only_to_destination(self, line_graph):
+        router = DirectDeliveryRouter()
+        assert router.decide(0, 3, 3, line_graph, 1.0).action is ForwardAction.HANDOVER
+        assert router.decide(0, 1, 3, line_graph, 1.0).action is ForwardAction.KEEP
+
+
+class TestSprayAndWait:
+    def test_binary_split(self, line_graph):
+        router = SprayAndWaitRouter(initial_copies=8)
+        decision = router.decide(0, 1, 3, line_graph, 1.0, copies=8)
+        assert decision.action is ForwardAction.REPLICATE
+        assert decision.peer_score == 4.0
+        assert decision.carrier_score == 4.0
+
+    def test_odd_split(self, line_graph):
+        router = SprayAndWaitRouter()
+        decision = router.decide(0, 1, 3, line_graph, 1.0, copies=5)
+        assert decision.peer_score == 2.0
+        assert decision.carrier_score == 3.0
+
+    def test_single_copy_waits(self, line_graph):
+        router = SprayAndWaitRouter()
+        assert router.decide(0, 1, 3, line_graph, 1.0, copies=1).action is ForwardAction.KEEP
+
+    def test_single_copy_delivers_to_destination(self, line_graph):
+        router = SprayAndWaitRouter()
+        assert (
+            router.decide(2, 3, 3, line_graph, 1.0, copies=1).action
+            is ForwardAction.HANDOVER
+        )
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            SprayAndWaitRouter(initial_copies=0)

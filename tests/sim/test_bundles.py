@@ -1,0 +1,62 @@
+"""Unit tests for bundle types."""
+
+from repro.sim.bundles import (
+    QUERY_BUNDLE_SIZE_BITS,
+    PushBundle,
+    QueryBundle,
+    ResponseBundle,
+)
+from tests.conftest import make_item, make_query
+
+
+class TestPushBundle:
+    def test_key_includes_target(self):
+        item = make_item(data_id=5)
+        a = PushBundle(created_at=0.0, expires_at=10.0, data=item, target_central=1)
+        b = PushBundle(created_at=0.0, expires_at=10.0, data=item, target_central=2)
+        assert a.key != b.key
+
+    def test_size_is_data_size(self):
+        item = make_item(size=12345)
+        bundle = PushBundle(created_at=0.0, expires_at=10.0, data=item, target_central=1)
+        assert bundle.size_bits == 12345
+
+    def test_expiry(self):
+        item = make_item()
+        bundle = PushBundle(created_at=0.0, expires_at=10.0, data=item, target_central=1)
+        assert not bundle.is_expired(9.0)
+        assert bundle.is_expired(10.0)
+
+
+class TestQueryBundle:
+    def test_key_distinguishes_targets(self):
+        query = make_query(query_id=3)
+        a = QueryBundle(created_at=0.0, expires_at=10.0, query=query, target_central=1)
+        b = QueryBundle(created_at=0.0, expires_at=10.0, query=query, target_central=None)
+        assert a.key != b.key
+
+    def test_same_target_same_key(self):
+        query = make_query(query_id=3)
+        a = QueryBundle(created_at=0.0, expires_at=10.0, query=query, target_central=1)
+        b = QueryBundle(created_at=0.0, expires_at=10.0, query=query, target_central=1)
+        assert a.key == b.key
+
+    def test_control_size(self):
+        query = make_query()
+        bundle = QueryBundle(created_at=0.0, expires_at=10.0, query=query, target_central=1)
+        assert bundle.size_bits == QUERY_BUNDLE_SIZE_BITS
+
+
+class TestResponseBundle:
+    def test_each_response_is_unique(self):
+        item, query = make_item(), make_query()
+        a = ResponseBundle(created_at=0.0, expires_at=10.0, data=item, query=query, responder=1)
+        b = ResponseBundle(created_at=0.0, expires_at=10.0, data=item, query=query, responder=1)
+        assert a.key != b.key
+
+    def test_size_is_data_size(self):
+        item = make_item(size=777)
+        bundle = ResponseBundle(
+            created_at=0.0, expires_at=10.0, data=item, query=make_query(), responder=1
+        )
+        assert bundle.size_bits == 777

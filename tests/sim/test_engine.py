@@ -1,0 +1,95 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.engine import EventEngine
+from repro.sim.events import EventKind
+
+
+class TestOrdering:
+    def test_time_order(self):
+        engine = EventEngine()
+        seen = []
+        engine.register(EventKind.CUSTOM, lambda e: seen.append(e.payload))
+        for t, label in [(5.0, "b"), (1.0, "a"), (9.0, "c")]:
+            engine.schedule(t, EventKind.CUSTOM, label)
+        engine.run()
+        assert seen == ["a", "b", "c"]
+
+    def test_priority_breaks_same_instant_ties(self):
+        engine = EventEngine()
+        seen = []
+        engine.register(EventKind.DATA_GENERATION, lambda e: seen.append("data"))
+        engine.register(EventKind.QUERY_GENERATION, lambda e: seen.append("query"))
+        engine.schedule(1.0, EventKind.QUERY_GENERATION)
+        engine.schedule(1.0, EventKind.DATA_GENERATION)
+        engine.run()
+        assert seen == ["data", "query"]  # DATA_GENERATION has lower priority value
+
+    def test_sequence_breaks_full_ties(self):
+        engine = EventEngine()
+        seen = []
+        engine.register(EventKind.CUSTOM, lambda e: seen.append(e.payload))
+        engine.schedule(1.0, EventKind.CUSTOM, "first")
+        engine.schedule(1.0, EventKind.CUSTOM, "second")
+        engine.run()
+        assert seen == ["first", "second"]
+
+
+class TestExecution:
+    def test_run_until(self):
+        engine = EventEngine()
+        seen = []
+        engine.register(EventKind.CUSTOM, lambda e: seen.append(e.time))
+        for t in (1.0, 2.0, 3.0):
+            engine.schedule(t, EventKind.CUSTOM)
+        processed = engine.run(until=2.0)
+        assert processed == 2
+        assert engine.pending == 1
+        assert engine.now == 2.0
+
+    def test_handler_can_schedule_future_events(self):
+        engine = EventEngine()
+        seen = []
+
+        def handler(event):
+            seen.append(event.time)
+            if event.time < 3.0:
+                engine.schedule(event.time + 1.0, EventKind.CUSTOM)
+
+        engine.register(EventKind.CUSTOM, handler)
+        engine.schedule(1.0, EventKind.CUSTOM)
+        engine.run()
+        assert seen == [1.0, 2.0, 3.0]
+
+    def test_handler_cannot_schedule_in_the_past(self):
+        engine = EventEngine()
+
+        def handler(event):
+            engine.schedule(event.time - 1.0, EventKind.CUSTOM)
+
+        engine.register(EventKind.CUSTOM, handler)
+        engine.schedule(5.0, EventKind.CUSTOM)
+        with pytest.raises(SimulationError):
+            engine.run()
+
+    def test_missing_handler_raises(self):
+        engine = EventEngine()
+        engine.schedule(1.0, EventKind.CUSTOM)
+        with pytest.raises(SimulationError):
+            engine.run()
+
+    def test_duplicate_handler_rejected(self):
+        engine = EventEngine()
+        engine.register(EventKind.CUSTOM, lambda e: None)
+        with pytest.raises(SimulationError):
+            engine.register(EventKind.CUSTOM, lambda e: None)
+
+    def test_processed_counter(self):
+        engine = EventEngine()
+        engine.register(EventKind.CUSTOM, lambda e: None)
+        for t in range(5):
+            engine.schedule(float(t), EventKind.CUSTOM)
+        engine.run()
+        assert engine.processed == 5

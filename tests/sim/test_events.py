@@ -1,0 +1,37 @@
+"""Unit tests for the event value type."""
+
+from repro.sim.events import Event, EventKind
+
+
+class TestEventOrdering:
+    def test_time_dominates(self):
+        early = Event(1.0, 9, 5, EventKind.CUSTOM)
+        late = Event(2.0, 0, 0, EventKind.CUSTOM)
+        assert early < late
+
+    def test_priority_breaks_time_ties(self):
+        data = Event(1.0, int(EventKind.DATA_GENERATION), 5, EventKind.DATA_GENERATION)
+        query = Event(1.0, int(EventKind.QUERY_GENERATION), 0, EventKind.QUERY_GENERATION)
+        assert data < query
+
+    def test_sequence_breaks_full_ties(self):
+        first = Event(1.0, 0, 1, EventKind.CUSTOM)
+        second = Event(1.0, 0, 2, EventKind.CUSTOM)
+        assert first < second
+
+    def test_payload_not_compared(self):
+        # payloads that aren't comparable must not break ordering
+        a = Event(1.0, 0, 1, EventKind.CUSTOM, payload={"x": 1})
+        b = Event(1.0, 0, 2, EventKind.CUSTOM, payload=object())
+        assert a < b
+
+    def test_kind_execution_order_matches_paper_protocol(self):
+        """Same-instant ordering: graph refresh, then data generation,
+        then queries, then contacts, then metric samples."""
+        assert (
+            EventKind.GRAPH_REFRESH
+            < EventKind.DATA_GENERATION
+            < EventKind.QUERY_GENERATION
+            < EventKind.CONTACT
+            < EventKind.SAMPLE_METRICS
+        )

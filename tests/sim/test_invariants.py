@@ -1,0 +1,107 @@
+"""Unit tests for the runtime invariant checker."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.bundles import PushBundle, ResponseBundle
+from repro.sim.invariants import check_node, check_nodes
+from repro.sim.node import Node
+from tests.conftest import make_item, make_query
+
+
+class TestBufferChecks:
+    def test_healthy_node_passes(self):
+        node = Node(0, buffer_capacity=100)
+        node.buffer.put(make_item(data_id=1, size=40))
+        check_node(node, now=0.0)  # no raise
+
+    def test_accounting_drift_detected(self):
+        node = Node(0, buffer_capacity=100)
+        node.buffer.put(make_item(data_id=1, size=40))
+        node.buffer._used = 99  # corrupt deliberately
+        with pytest.raises(SimulationError, match="accounting drift"):
+            check_node(node, now=0.0)
+
+    def test_over_capacity_detected(self):
+        node = Node(0, buffer_capacity=100)
+        node.buffer.put(make_item(data_id=1, size=40))
+        node.buffer._capacity = 10  # shrink under the item
+        with pytest.raises(SimulationError, match="over capacity"):
+            check_node(node, now=0.0)
+
+
+class TestBundleChecks:
+    def test_push_for_expired_data_detected(self):
+        node = Node(0, buffer_capacity=100)
+        item = make_item(data_id=1, size=10, lifetime=5.0)
+        bundle = PushBundle(created_at=0.0, expires_at=100.0, data=item, target_central=1)
+        node.store_bundle(bundle)
+        with pytest.raises(SimulationError, match="expired data"):
+            check_node(node, now=50.0)
+
+    def test_response_outliving_query_detected(self):
+        node = Node(0, buffer_capacity=100)
+        query = make_query(query_id=1, created_at=0.0, time_constraint=10.0)
+        bundle = ResponseBundle(
+            created_at=0.0, expires_at=999.0, data=make_item(), query=query, responder=0
+        )
+        node.store_bundle(bundle)
+        with pytest.raises(SimulationError, match="outlives query"):
+            check_node(node, now=1.0)
+
+    def test_check_nodes_covers_all(self):
+        healthy = Node(0, buffer_capacity=100)
+        broken = Node(1, buffer_capacity=100)
+        broken.buffer.put(make_item(data_id=1, size=40))
+        broken.buffer._used = 1
+        with pytest.raises(SimulationError):
+            check_nodes([healthy, broken], now=0.0)
+
+
+class TestSimulatorIntegration:
+    def test_full_run_under_sanitizer(self):
+        """Every scheme passes a full simulation with invariant checking
+        after every contact — the strongest end-to-end health check."""
+        from repro.caching import (
+            BundleCache,
+            CacheData,
+            IntentionalCaching,
+            IntentionalConfig,
+            NoCache,
+            RandomCache,
+        )
+        from repro.sim.simulator import Simulator, SimulatorConfig
+        from repro.traces.synthetic import SyntheticTraceConfig, generate_synthetic_trace
+        from repro.units import DAY, HOUR, MEGABIT
+        from repro.workload.config import WorkloadConfig
+
+        trace = generate_synthetic_trace(
+            SyntheticTraceConfig(
+                name="sanitized",
+                num_nodes=12,
+                duration=4 * DAY,
+                total_contacts=2500,
+                granularity=60.0,
+                seed=6,
+            )
+        )
+        workload = WorkloadConfig(
+            mean_data_lifetime=12 * HOUR, mean_data_size=30 * MEGABIT
+        )
+        factories = [
+            lambda: IntentionalCaching(
+                IntentionalConfig(num_ncls=2, ncl_time_budget=2 * HOUR)
+            ),
+            NoCache,
+            RandomCache,
+            CacheData,
+            BundleCache,
+        ]
+        for factory in factories:
+            result = Simulator(
+                trace,
+                factory(),
+                workload,
+                SimulatorConfig(seed=7, validate_invariants=True),
+            ).run()
+            assert 0.0 <= result.successful_ratio <= 1.0

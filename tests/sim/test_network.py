@@ -1,0 +1,44 @@
+"""Unit tests for the per-contact link model."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim.network import TransferBudget
+from repro.units import BLUETOOTH_EDR_BITS_PER_SECOND
+
+
+class TestTransferBudget:
+    def test_for_contact_uses_capacity_times_duration(self):
+        budget = TransferBudget.for_contact(duration_seconds=10.0)
+        assert budget.initial == int(10 * BLUETOOTH_EDR_BITS_PER_SECOND)
+
+    def test_consume_success_and_failure(self):
+        budget = TransferBudget(100)
+        assert budget.try_consume(60)
+        assert budget.remaining == 40
+        assert not budget.try_consume(50)
+        assert budget.remaining == 40  # failed consume leaves state intact
+
+    def test_can_afford(self):
+        budget = TransferBudget(10)
+        assert budget.can_afford(10)
+        assert not budget.can_afford(11)
+
+    def test_zero_cost_transfers_free(self):
+        budget = TransferBudget(10)
+        assert budget.try_consume(0)
+        assert budget.remaining == 10
+        assert budget.transfer_count == 0
+
+    def test_transfer_count(self):
+        budget = TransferBudget(100)
+        budget.try_consume(10)
+        budget.try_consume(20)
+        assert budget.transfer_count == 2
+        assert budget.consumed == 30
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            TransferBudget(-1)
+        with pytest.raises(ConfigurationError):
+            TransferBudget(10).try_consume(-5)

@@ -1,0 +1,111 @@
+"""Unit tests for per-node simulation state."""
+
+from repro.sim.bundles import QueryBundle
+from repro.sim.node import Node
+from tests.conftest import make_item, make_query
+
+
+class TestDataAvailability:
+    def test_origin_data_found(self):
+        node = Node(0, buffer_capacity=100)
+        item = make_item(data_id=1, size=10)
+        node.generate_data(item)
+        assert node.find_data(1, now=0.0) is item
+        assert node.has_live_own_data(0.0)
+
+    def test_cached_data_found(self):
+        node = Node(0, buffer_capacity=100)
+        item = make_item(data_id=2, size=10)
+        node.buffer.put(item)
+        assert node.find_data(2, now=0.0) is item
+
+    def test_expired_data_not_served(self):
+        node = Node(0, buffer_capacity=100)
+        node.generate_data(make_item(data_id=1, size=10, lifetime=5.0))
+        assert node.find_data(1, now=10.0) is None
+
+    def test_expire_data_cleans_origin_and_cache(self):
+        node = Node(0, buffer_capacity=100)
+        node.generate_data(make_item(data_id=1, size=10, lifetime=5.0))
+        node.buffer.put(make_item(data_id=2, size=10, lifetime=5.0))
+        node.popularity.record_request(1, 0.0)
+        dropped = node.expire_data(now=10.0)
+        assert {d.data_id for d in dropped} == {1, 2}
+        assert not node.origin
+        assert 1 not in node.popularity
+
+
+class TestQueryHistory:
+    def test_observe_records_popularity(self):
+        node = Node(0, buffer_capacity=100)
+        query = make_query(query_id=1, data_id=7)
+        node.observe_query(query, now=0.0)
+        assert node.popularity.request_count(7) == 1
+        assert 1 in node.active_queries
+
+    def test_observe_is_idempotent_per_query(self):
+        node = Node(0, buffer_capacity=100)
+        query = make_query(query_id=1, data_id=7)
+        node.observe_query(query, now=0.0)
+        node.observe_query(query, now=1.0)
+        assert node.popularity.request_count(7) == 1
+
+    def test_expired_queries_not_observed(self):
+        node = Node(0, buffer_capacity=100)
+        query = make_query(query_id=1, time_constraint=10.0)
+        node.observe_query(query, now=100.0)
+        assert not node.active_queries
+
+    def test_expire_queries(self):
+        node = Node(0, buffer_capacity=100)
+        query = make_query(query_id=1, created_at=0.0, time_constraint=10.0)
+        node.observe_query(query, now=0.0)
+        node.responded_queries.add(1)
+        node.expire_queries(now=20.0)
+        assert not node.active_queries
+        assert 1 not in node.responded_queries
+
+    def test_pending_queries_for(self):
+        node = Node(0, buffer_capacity=100)
+        wanted = make_query(query_id=1, data_id=7)
+        other = make_query(query_id=2, data_id=8)
+        answered = make_query(query_id=3, data_id=7)
+        for q in (wanted, other, answered):
+            node.observe_query(q, now=0.0)
+        node.responded_queries.add(3)
+        pending = node.pending_queries_for(7, now=0.0)
+        assert [q.query_id for q in pending] == [1]
+
+
+class TestBundleCarriage:
+    def _bundle(self, qid=1):
+        return QueryBundle(
+            created_at=0.0,
+            expires_at=100.0,
+            query=make_query(query_id=qid),
+            target_central=2,
+        )
+
+    def test_store_and_dedup(self):
+        node = Node(0, buffer_capacity=100)
+        bundle = self._bundle()
+        assert node.store_bundle(bundle)
+        assert not node.store_bundle(bundle)
+        assert node.carries(bundle.key)
+        assert node.has_seen(bundle.key)
+
+    def test_drop(self):
+        node = Node(0, buffer_capacity=100)
+        bundle = self._bundle()
+        node.store_bundle(bundle)
+        assert node.drop_bundle(bundle.key) is bundle
+        assert not node.carries(bundle.key)
+        assert node.has_seen(bundle.key)  # memory persists for dedup
+
+    def test_drop_expired_bundles(self):
+        node = Node(0, buffer_capacity=100)
+        bundle = self._bundle()
+        node.store_bundle(bundle)
+        dropped = node.drop_expired_bundles(now=200.0)
+        assert dropped == [bundle]
+        assert not node.bundles

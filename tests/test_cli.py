@@ -1,0 +1,73 @@
+"""Unit tests for the ``python -m repro`` CLI."""
+
+import pytest
+
+from repro.__main__ import build_parser, main
+
+FAST_TRACE = ["--node-factor", "0.3", "--time-factor", "0.08"]
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["bogus"])
+
+    def test_simulate_defaults(self):
+        args = build_parser().parse_args(["simulate"])
+        assert args.scheme == "intentional"
+        assert args.trace == "mit_reality"
+
+
+class TestCommands:
+    def test_traces(self, capsys):
+        assert main(["traces", *FAST_TRACE]) == 0
+        out = capsys.readouterr().out
+        assert "infocom05" in out and "devices" in out
+
+    def test_ncl(self, capsys):
+        assert main(["ncl", "--trace", "infocom05", *FAST_TRACE, "-k", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "#1:" in out and "#2:" in out
+
+    def test_simulate(self, capsys):
+        assert (
+            main(
+                [
+                    "simulate",
+                    "--trace",
+                    "infocom05",
+                    *FAST_TRACE,
+                    "--scheme",
+                    "nocache",
+                    "--lifetime-hours",
+                    "4",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "nocache" in out and "ratio=" in out
+
+    def test_fit(self, capsys):
+        assert main(["fit", "--trace", "infocom05", *FAST_TRACE]) == 0
+        out = capsys.readouterr().out
+        assert "pairs_fitted" in out
+
+    def test_figure_analytic(self, capsys):
+        assert main(["figure", "fig7"]) == 0
+        out = capsys.readouterr().out
+        assert "p_R" in out
+
+    def test_figure_table(self, capsys):
+        assert main(["figure", "table1", "--scale", "smoke"]) == 0
+        out = capsys.readouterr().out
+        assert "devices" in out
+
+    def test_figure_unknown(self, capsys):
+        assert main(["figure", "nope"]) == 2
+        err = capsys.readouterr().err
+        assert "nope" in err

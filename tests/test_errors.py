@@ -1,0 +1,40 @@
+"""Unit tests for the exception hierarchy."""
+
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            errors.ConfigurationError,
+            errors.TraceFormatError,
+            errors.TraceConsistencyError,
+            errors.BufferError_,
+            errors.RoutingError,
+            errors.SimulationError,
+            errors.PathError,
+            errors.KnapsackError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, errors.ReproError)
+        with pytest.raises(errors.ReproError):
+            raise exc("boom")
+
+    def test_buffer_error_does_not_shadow_builtin(self):
+        assert errors.BufferError_ is not BufferError
+        assert not issubclass(errors.BufferError_, BufferError)
+
+    def test_catching_base_at_api_boundary(self):
+        """The single-except pattern the hierarchy exists for."""
+        from repro.core.buffer import CacheBuffer
+
+        try:
+            CacheBuffer(0)
+        except errors.ReproError as exc:
+            assert isinstance(exc, errors.BufferError_)
+        else:  # pragma: no cover
+            pytest.fail("expected a ReproError")

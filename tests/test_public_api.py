@@ -1,0 +1,69 @@
+"""Public API surface tests."""
+
+import importlib
+
+import pytest
+
+import repro
+
+
+class TestPublicSurface:
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_version_is_semver(self):
+        parts = repro.__version__.split(".")
+        assert len(parts) == 3
+        assert all(part.isdigit() for part in parts)
+
+    @pytest.mark.parametrize(
+        "module",
+        [
+            "repro.mathutils",
+            "repro.traces",
+            "repro.graph",
+            "repro.routing",
+            "repro.core",
+            "repro.caching",
+            "repro.sim",
+            "repro.workload",
+            "repro.metrics",
+            "repro.experiments",
+        ],
+    )
+    def test_subpackage_alls_resolve(self, module):
+        mod = importlib.import_module(module)
+        assert mod.__doc__, f"{module} lacks a module docstring"
+        for name in getattr(mod, "__all__", []):
+            assert hasattr(mod, name), f"{module}.{name}"
+
+    def test_quickstart_docstring_flow(self):
+        """The package docstring's quickstart must actually work."""
+        from repro import (
+            IntentionalCaching,
+            IntentionalConfig,
+            Simulator,
+            WorkloadConfig,
+            load_preset_trace,
+        )
+
+        trace = load_preset_trace("mit_reality", node_factor=0.3, time_factor=0.1)
+        scheme = IntentionalCaching(IntentionalConfig(num_ncls=4))
+        result = Simulator(trace, scheme, WorkloadConfig()).run()
+        assert 0.0 <= result.successful_ratio <= 1.0
+
+    def test_every_public_scheme_has_distinct_name(self):
+        from repro.caching import (
+            BundleCache,
+            CacheData,
+            IntentionalCaching,
+            NoCache,
+            RandomCache,
+        )
+
+        names = {
+            cls.name
+            for cls in (IntentionalCaching, NoCache, RandomCache, CacheData, BundleCache)
+        }
+        assert len(names) == 5

@@ -1,0 +1,43 @@
+"""Unit tests for deterministic random-stream management."""
+
+from repro.rng import SeedSequenceFactory, derive_seed
+
+
+class TestDeriveSeed:
+    def test_stable_across_calls(self):
+        assert derive_seed(42, "a", "b") == derive_seed(42, "a", "b")
+
+    def test_differs_by_name(self):
+        assert derive_seed(42, "a") != derive_seed(42, "b")
+
+    def test_differs_by_root(self):
+        assert derive_seed(1, "a") != derive_seed(2, "a")
+
+    def test_path_structure_matters(self):
+        assert derive_seed(42, "ab", "c") != derive_seed(42, "a", "bc")
+
+    def test_fits_in_63_bits(self):
+        assert 0 <= derive_seed(42, "x") < 2**63
+
+
+class TestFactory:
+    def test_same_name_same_stream(self):
+        factory = SeedSequenceFactory(7)
+        a = factory.generator("workload")
+        b = factory.generator("workload")
+        assert a.random() == b.random()
+
+    def test_different_names_independent(self):
+        factory = SeedSequenceFactory(7)
+        a = factory.generator("workload")
+        b = factory.generator("scheme")
+        assert a.random() != b.random()
+
+    def test_spawn_is_hierarchical(self):
+        parent = SeedSequenceFactory(7)
+        child = parent.spawn("sub")
+        assert child.root_seed == parent.seed("sub")
+        assert child.generator("x").random() != parent.generator("x").random()
+
+    def test_root_seed_property(self):
+        assert SeedSequenceFactory(99).root_seed == 99

@@ -1,0 +1,56 @@
+"""Unit tests for unit helpers and constants."""
+
+import pytest
+
+from repro import units
+
+
+class TestTime:
+    def test_constants(self):
+        assert units.MINUTE == 60
+        assert units.HOUR == 3600
+        assert units.DAY == 86400
+        assert units.WEEK == 7 * 86400
+        assert units.MONTH == 30 * 86400
+
+    def test_converters(self):
+        assert units.hours(2) == 7200
+        assert units.days(1.5) == 129600
+        assert units.weeks(1) == units.WEEK
+        assert units.months(2) == 2 * units.MONTH
+
+
+class TestSizes:
+    def test_megabits(self):
+        assert units.megabits(100) == 100_000_000
+        assert units.megabits(0.5) == 500_000
+
+    def test_bluetooth_capacity(self):
+        assert units.BLUETOOTH_EDR_BITS_PER_SECOND == pytest.approx(2.1e6)
+
+
+class TestTransferBudget:
+    def test_budget_formula(self):
+        assert units.transfer_budget_bits(1000.0, 10.0) == 10_000
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            units.transfer_budget_bits(-1.0, 10.0)
+        with pytest.raises(ValueError):
+            units.transfer_budget_bits(1.0, -10.0)
+
+
+class TestFormatting:
+    @pytest.mark.parametrize(
+        "seconds,expected",
+        [(30, "30s"), (90, "1.5m"), (7200, "2.0h"), (172800, "2.0d"), (864000, "10d")],
+    )
+    def test_format_duration(self, seconds, expected):
+        assert units.format_duration(seconds) == expected
+
+    @pytest.mark.parametrize(
+        "bits,expected",
+        [(500, "500b"), (2000, "2.0Kb"), (2_000_000, "2.0Mb"), (3_000_000_000, "3.00Gb")],
+    )
+    def test_format_size(self, bits, expected):
+        assert units.format_size(bits) == expected

@@ -1,0 +1,61 @@
+"""Unit tests for the Table I trace presets."""
+
+import pytest
+
+from repro.traces.catalog import TRACE_PRESETS, load_preset_trace
+from repro.units import DAY, HOUR, WEEK
+
+
+class TestPresetValues:
+    """The presets must carry Table I verbatim."""
+
+    def test_all_four_traces_present(self):
+        assert set(TRACE_PRESETS) == {"infocom05", "infocom06", "mit_reality", "ucsd"}
+
+    @pytest.mark.parametrize(
+        "key,devices,contacts,duration,granularity",
+        [
+            ("infocom05", 41, 22_459, 3, 120),
+            ("infocom06", 78, 182_951, 4, 120),
+            ("mit_reality", 97, 114_046, 246, 300),
+            ("ucsd", 275, 123_225, 77, 20),
+        ],
+    )
+    def test_table1_statistics(self, key, devices, contacts, duration, granularity):
+        preset = TRACE_PRESETS[key]
+        assert preset.num_devices == devices
+        assert preset.num_contacts == contacts
+        assert preset.duration_days == duration
+        assert preset.granularity_seconds == granularity
+
+    def test_ncl_time_budgets_match_sec_iv_b(self):
+        assert TRACE_PRESETS["infocom05"].ncl_time_budget == 1 * HOUR
+        assert TRACE_PRESETS["infocom06"].ncl_time_budget == 1 * HOUR
+        assert TRACE_PRESETS["mit_reality"].ncl_time_budget == 1 * WEEK
+        assert TRACE_PRESETS["ucsd"].ncl_time_budget == 3 * DAY
+
+    def test_default_ncl_counts_match_evaluation(self):
+        assert TRACE_PRESETS["infocom06"].default_num_ncls == 5  # Sec. VI-D
+        assert TRACE_PRESETS["mit_reality"].default_num_ncls == 8  # Sec. VI-B
+
+
+class TestLoading:
+    def test_unknown_key_lists_alternatives(self):
+        with pytest.raises(KeyError, match="infocom05"):
+            load_preset_trace("nope")
+
+    def test_full_scale_matches_preset(self):
+        trace = load_preset_trace("infocom05", seed=3)
+        preset = TRACE_PRESETS["infocom05"]
+        assert trace.num_nodes == preset.num_devices
+        assert trace.num_contacts == pytest.approx(preset.num_contacts, rel=0.05)
+        assert trace.duration <= preset.duration_days * DAY
+
+    def test_scaled_load(self):
+        trace = load_preset_trace("infocom05", node_factor=0.5, time_factor=0.5)
+        assert trace.num_nodes == pytest.approx(20, abs=1)
+
+    def test_deterministic_per_seed(self):
+        a = load_preset_trace("infocom05", seed=3, node_factor=0.3, time_factor=0.2)
+        b = load_preset_trace("infocom05", seed=3, node_factor=0.3, time_factor=0.2)
+        assert list(a.contacts) == list(b.contacts)

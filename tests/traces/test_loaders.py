@@ -1,0 +1,115 @@
+"""Unit tests for trace-file parsers."""
+
+import io
+
+import pytest
+
+from repro.errors import TraceFormatError
+from repro.traces.loaders import (
+    load_crawdad_imote,
+    load_csv_contacts,
+    load_one_connectivity,
+)
+
+
+class TestCrawdadImote:
+    def test_basic_parse(self):
+        text = io.StringIO(
+            "# comment line\n"
+            "1 2 100 160 1 0\n"
+            "2 3 200 260\n"
+            "\n"
+            "1 3 50 90\n"
+        )
+        trace = load_crawdad_imote(text)
+        assert trace.num_nodes == 3
+        assert trace.num_contacts == 3
+        # time shifted so the earliest contact starts at 0
+        assert trace.start_time == 0.0
+        assert trace.end_time == 260.0 - 50.0
+
+    def test_node_ids_remapped_contiguously(self):
+        text = io.StringIO("10 50 0 5\n50 99 10 12\n")
+        trace = load_crawdad_imote(text)
+        assert trace.num_nodes == 3
+
+    def test_self_sightings_dropped(self):
+        text = io.StringIO("1 1 0 10\n1 2 0 10\n")
+        trace = load_crawdad_imote(text)
+        assert trace.num_contacts == 1
+
+    def test_too_few_fields_rejected(self):
+        with pytest.raises(TraceFormatError):
+            load_crawdad_imote(io.StringIO("1 2 100\n"))
+
+    def test_non_numeric_rejected(self):
+        with pytest.raises(TraceFormatError):
+            load_crawdad_imote(io.StringIO("a b c d\n"))
+
+    def test_reversed_interval_rejected(self):
+        with pytest.raises(TraceFormatError):
+            load_crawdad_imote(io.StringIO("1 2 100 50\n"))
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(TraceFormatError):
+            load_crawdad_imote(io.StringIO("# nothing here\n"))
+
+
+class TestOneConnectivity:
+    def test_up_down_pairs(self):
+        text = io.StringIO(
+            "10 CONN 1 2 up\n"
+            "50 CONN 1 2 down\n"
+            "60 CONN 2 3 up\n"
+            "90 CONN 2 3 down\n"
+        )
+        trace = load_one_connectivity(text)
+        assert trace.num_contacts == 2
+        durations = sorted(c.duration for c in trace)
+        assert durations == [30.0, 40.0]
+
+    def test_still_open_links_closed_at_eof(self):
+        text = io.StringIO("10 CONN 1 2 up\n70 CONN 3 4 up\n80 CONN 3 4 down\n")
+        trace = load_one_connectivity(text)
+        assert trace.num_contacts == 2
+        longest = max(trace, key=lambda c: c.duration)
+        assert longest.duration == pytest.approx(70.0)
+
+    def test_down_without_up_rejected(self):
+        with pytest.raises(TraceFormatError):
+            load_one_connectivity(io.StringIO("10 CONN 1 2 down\n"))
+
+    def test_unknown_state_rejected(self):
+        with pytest.raises(TraceFormatError):
+            load_one_connectivity(io.StringIO("10 CONN 1 2 sideways\n"))
+
+    def test_malformed_record_rejected(self):
+        with pytest.raises(TraceFormatError):
+            load_one_connectivity(io.StringIO("10 LINK 1 2 up\n"))
+
+
+class TestCsv:
+    def test_with_header(self):
+        text = io.StringIO("node_a,node_b,start,end\n1,2,0,30\n2,3,10,40\n")
+        trace = load_csv_contacts(text)
+        assert trace.num_contacts == 2
+
+    def test_without_header(self):
+        text = io.StringIO("1,2,0,30\n")
+        trace = load_csv_contacts(text)
+        assert trace.num_contacts == 1
+
+    def test_short_row_rejected(self):
+        with pytest.raises(TraceFormatError):
+            load_csv_contacts(io.StringIO("1,2,0\n"))
+
+    def test_bad_number_rejected(self):
+        with pytest.raises(TraceFormatError):
+            load_csv_contacts(io.StringIO("1,2,zero,30\n"))
+
+    def test_roundtrip_through_file(self, tmp_path):
+        path = tmp_path / "contacts.csv"
+        path.write_text("0,1,5,25\n1,2,30,60\n")
+        trace = load_csv_contacts(path, name="filetrace")
+        assert trace.name == "filetrace"
+        assert trace.num_contacts == 2

@@ -1,0 +1,217 @@
+"""Unit tests for mobility-model contact generation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.traces.mobility import (
+    RandomWaypointModel,
+    WorkingDayModel,
+    contacts_from_mobility,
+)
+from repro.units import DAY, HOUR
+
+
+class TestRandomWaypoint:
+    def test_positions_stay_in_area(self):
+        model = RandomWaypointModel(num_nodes=8, area=(500.0, 300.0), seed=1)
+        for t in np.linspace(0, 4 * HOUR, 30):
+            coords = model.positions(float(t))
+            assert coords.shape == (8, 2)
+            assert (coords[:, 0] >= 0).all() and (coords[:, 0] <= 500.0).all()
+            assert (coords[:, 1] >= 0).all() and (coords[:, 1] <= 300.0).all()
+
+    def test_movement_respects_speed_bound(self):
+        model = RandomWaypointModel(
+            num_nodes=4, min_speed=1.0, max_speed=2.0, max_pause=0.0, seed=1
+        )
+        previous = model.positions(0.0)
+        step = 10.0
+        for t in np.arange(step, 2 * HOUR, step):
+            current = model.positions(float(t))
+            displacement = np.linalg.norm(current - previous, axis=1)
+            assert (displacement <= 2.0 * step + 1e-6).all()
+            previous = current
+
+    def test_nodes_actually_move(self):
+        model = RandomWaypointModel(num_nodes=4, max_pause=0.0, seed=1)
+        a = model.positions(0.0)
+        b = model.positions(1 * HOUR)
+        assert np.linalg.norm(a - b, axis=1).max() > 10.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            RandomWaypointModel(num_nodes=1)
+        with pytest.raises(ConfigurationError):
+            RandomWaypointModel(num_nodes=3, min_speed=0.0)
+        with pytest.raises(ConfigurationError):
+            RandomWaypointModel(num_nodes=3, min_speed=2.0, max_speed=1.0)
+        with pytest.raises(ConfigurationError):
+            RandomWaypointModel(num_nodes=3, max_pause=-1.0)
+
+
+class TestWorkingDay:
+    def test_at_home_at_night(self):
+        model = WorkingDayModel(num_nodes=6, seed=2)
+        midnight = model.positions(0.0)
+        assert np.allclose(midnight, model._homes)
+
+    def test_at_office_midday(self):
+        model = WorkingDayModel(
+            num_nodes=6, num_offices=2, jitter=0.0, lunch_duration=0.0, seed=2
+        )
+        noon = model.positions(13 * HOUR)
+        for node in range(6):
+            office = model._office_point(node)
+            assert np.linalg.norm(noon[node] - office) < 1e-6
+
+    def test_lunch_gathers_nodes_at_cafeteria(self):
+        model = WorkingDayModel(
+            num_nodes=10, num_offices=3, jitter=0.0, lunch_duration=1 * HOUR, seed=2
+        )
+        at_cafeteria = 0
+        for node in range(10):
+            t = float(model._lunch_start[node]) + 60.0
+            pos = model.positions(t)[node]
+            if np.linalg.norm(pos - model._cafeteria) < 20.0:
+                at_cafeteria += 1
+        assert at_cafeteria == 10
+
+    def test_lunch_creates_cross_office_contacts(self):
+        model = WorkingDayModel(
+            num_nodes=16, num_offices=4, area=(1000.0, 1000.0), jitter=0.0, seed=5
+        )
+        trace = contacts_from_mobility(
+            model, duration=2 * DAY, radio_range=15.0, sample_period=300.0
+        )
+        cross = sum(
+            1
+            for c in trace
+            if model._office_of[c.node_a] != model._office_of[c.node_b]
+        )
+        assert cross > 0
+
+    def test_daily_periodicity(self):
+        model = WorkingDayModel(num_nodes=4, seed=2)
+        assert np.allclose(model.positions(5 * HOUR), model.positions(5 * HOUR + DAY))
+
+    def test_office_colleagues_co_located(self):
+        model = WorkingDayModel(
+            num_nodes=20, num_offices=2, jitter=0.0, lunch_duration=0.0, seed=2
+        )
+        noon = model.positions(13 * HOUR)
+        same = [
+            (a, b)
+            for a in range(20)
+            for b in range(a + 1, 20)
+            if model._office_of[a] == model._office_of[b]
+        ]
+        distances = [np.linalg.norm(noon[a] - noon[b]) for a, b in same]
+        assert np.median(distances) < 30.0  # desk-scale separation
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            WorkingDayModel(num_nodes=6, num_offices=0)
+        with pytest.raises(ConfigurationError):
+            WorkingDayModel(num_nodes=6, work_start=20 * HOUR, work_hours=8 * HOUR)
+
+
+class TestContactExtraction:
+    def test_rwp_trace_is_well_formed(self):
+        model = RandomWaypointModel(num_nodes=12, area=(200.0, 200.0), seed=3)
+        trace = contacts_from_mobility(
+            model, duration=4 * HOUR, radio_range=20.0, sample_period=30.0
+        )
+        assert trace.num_nodes == 12
+        assert trace.num_contacts > 0
+        for contact in trace:
+            assert contact.duration >= 0.0
+
+    def test_working_day_produces_office_communities(self):
+        model = WorkingDayModel(
+            num_nodes=12, num_offices=2, area=(800.0, 800.0), jitter=0.0, seed=3
+        )
+        trace = contacts_from_mobility(
+            model, duration=1 * DAY, radio_range=15.0, sample_period=600.0
+        )
+        # colleagues (same office) should dominate the contact volume
+        colleague_contacts = 0
+        stranger_contacts = 0
+        for contact in trace:
+            if model._office_of[contact.node_a] == model._office_of[contact.node_b]:
+                colleague_contacts += 1
+            else:
+                stranger_contacts += 1
+        assert colleague_contacts > stranger_contacts
+
+    def test_radio_range_monotonicity(self):
+        model_narrow = RandomWaypointModel(num_nodes=10, area=(300.0, 300.0), seed=4)
+        model_wide = RandomWaypointModel(num_nodes=10, area=(300.0, 300.0), seed=4)
+        narrow = contacts_from_mobility(
+            model_narrow, duration=2 * HOUR, radio_range=10.0, sample_period=30.0
+        )
+        wide = contacts_from_mobility(
+            model_wide, duration=2 * HOUR, radio_range=50.0, sample_period=30.0
+        )
+        assert wide.num_contacts >= narrow.num_contacts
+
+    def test_validation(self):
+        model = RandomWaypointModel(num_nodes=4, seed=1)
+        with pytest.raises(ConfigurationError):
+            contacts_from_mobility(model, duration=0.0)
+        with pytest.raises(ConfigurationError):
+            contacts_from_mobility(model, duration=10.0, radio_range=0.0)
+
+    def test_simulatable_end_to_end(self):
+        """A mobility-derived trace drives the full caching simulator."""
+        from repro.caching import IntentionalCaching, IntentionalConfig
+        from repro.sim.simulator import Simulator, SimulatorConfig
+        from repro.units import MEGABIT
+        from repro.workload.config import WorkloadConfig
+
+        model = RandomWaypointModel(num_nodes=14, area=(250.0, 250.0), seed=5)
+        trace = contacts_from_mobility(
+            model, duration=8 * HOUR, radio_range=25.0, sample_period=60.0
+        )
+        workload = WorkloadConfig(
+            mean_data_lifetime=1 * HOUR, mean_data_size=5 * MEGABIT
+        )
+        scheme = IntentionalCaching(
+            IntentionalConfig(num_ncls=2, ncl_time_budget=0.5 * HOUR)
+        )
+        result = Simulator(trace, scheme, workload, SimulatorConfig(seed=6)).run()
+        assert 0.0 <= result.successful_ratio <= 1.0
+
+
+class TestContactExtractionEdgeCases:
+    def test_stationary_co_located_nodes_one_long_contact(self):
+        class Frozen:
+            num_nodes = 2
+
+            def positions(self, t):
+                return np.zeros((2, 2))
+
+        trace = contacts_from_mobility(
+            Frozen(), duration=1 * HOUR, radio_range=10.0, sample_period=60.0
+        )
+        assert trace.num_contacts == 1
+        assert trace.contacts[0].duration >= 1 * HOUR
+
+    def test_never_close_nodes_no_contacts(self):
+        class Apart:
+            num_nodes = 2
+
+            def positions(self, t):
+                return np.array([[0.0, 0.0], [1000.0, 1000.0]])
+
+        trace = contacts_from_mobility(
+            Apart(), duration=1 * HOUR, radio_range=10.0, sample_period=60.0
+        )
+        assert trace.num_contacts == 0
+
+    def test_granularity_matches_sample_period(self):
+        model = RandomWaypointModel(num_nodes=4, seed=1)
+        trace = contacts_from_mobility(
+            model, duration=1 * HOUR, radio_range=30.0, sample_period=45.0
+        )
+        assert trace.granularity == 45.0

@@ -1,0 +1,55 @@
+"""Unit tests for Table I statistics computation."""
+
+import pytest
+
+from repro.traces.contact import Contact, ContactTrace
+from repro.traces.stats import summarize_trace
+from repro.units import DAY
+
+
+@pytest.fixture
+def toy_trace():
+    # 3 nodes over exactly 2 days; pair (0,1) meets twice, (1,2) once.
+    contacts = [
+        Contact(0.0, 100.0, 0, 1),
+        Contact(1 * DAY, 1 * DAY + 200.0, 0, 1),
+        Contact(2 * DAY - 300.0, 2 * DAY, 1, 2),
+    ]
+    return ContactTrace(contacts, num_nodes=3, granularity=10.0, name="toy")
+
+
+class TestSummary:
+    def test_counts_and_duration(self, toy_trace):
+        summary = summarize_trace(toy_trace)
+        assert summary.num_devices == 3
+        assert summary.num_contacts == 3
+        assert summary.duration_days == pytest.approx(2.0)
+
+    def test_pairwise_frequency_all_pairs(self, toy_trace):
+        summary = summarize_trace(toy_trace)
+        # 3 contacts / (3 pairs * 2 days)
+        assert summary.pairwise_frequency_all == pytest.approx(0.5)
+
+    def test_pairwise_frequency_met_pairs(self, toy_trace):
+        summary = summarize_trace(toy_trace)
+        # 3 contacts / (2 pairs that met * 2 days)
+        assert summary.pairwise_frequency_met == pytest.approx(0.75)
+
+    def test_fraction_pairs_met(self, toy_trace):
+        assert summarize_trace(toy_trace).fraction_pairs_met == pytest.approx(2 / 3)
+
+    def test_contact_durations(self, toy_trace):
+        summary = summarize_trace(toy_trace)
+        assert summary.mean_contact_duration == pytest.approx(200.0)
+        assert summary.median_contact_duration == pytest.approx(200.0)
+
+    def test_per_node_contacts(self, toy_trace):
+        summary = summarize_trace(toy_trace)
+        # node participations: 0 -> 2, 1 -> 3, 2 -> 1; mean = 2 per 2 days
+        assert summary.mean_contacts_per_node_per_day == pytest.approx(1.0)
+
+    def test_as_row_keys(self, toy_trace):
+        row = summarize_trace(toy_trace).as_row()
+        assert row["trace"] == "toy"
+        assert row["devices"] == 3
+        assert "pair_freq_all_per_day" in row

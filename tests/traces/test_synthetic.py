@@ -1,0 +1,115 @@
+"""Unit tests for synthetic trace generation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.traces.synthetic import SyntheticTraceConfig, generate_synthetic_trace
+from repro.units import DAY
+
+
+def config(**overrides):
+    base = dict(
+        name="test",
+        num_nodes=30,
+        duration=10 * DAY,
+        total_contacts=5000,
+        granularity=60.0,
+        seed=9,
+    )
+    base.update(overrides)
+    return SyntheticTraceConfig(**base)
+
+
+class TestDeterminism:
+    def test_same_config_same_trace(self):
+        a = generate_synthetic_trace(config())
+        b = generate_synthetic_trace(config())
+        assert a.num_contacts == b.num_contacts
+        assert list(a.contacts) == list(b.contacts)
+
+    def test_different_seed_different_trace(self):
+        a = generate_synthetic_trace(config(seed=1))
+        b = generate_synthetic_trace(config(seed=2))
+        assert list(a.contacts) != list(b.contacts)
+
+
+class TestCalibration:
+    def test_total_contacts_close_to_target(self):
+        trace = generate_synthetic_trace(config())
+        # Poisson with mean 5000: 5 sigma ~ 350.
+        assert trace.num_contacts == pytest.approx(5000, abs=400)
+
+    def test_duration_respected(self):
+        trace = generate_synthetic_trace(config())
+        assert trace.end_time <= 10 * DAY
+        assert trace.start_time >= 0.0
+
+    def test_contact_durations_at_least_granularity(self):
+        trace = generate_synthetic_trace(config())
+        interior = [c for c in trace if c.end < trace.duration]
+        assert all(c.duration >= 60.0 - 1e-9 for c in interior)
+
+    def test_mean_contact_duration_override(self):
+        trace = generate_synthetic_trace(config(mean_contact_duration=600.0))
+        durations = np.array([c.duration for c in trace])
+        assert durations.mean() == pytest.approx(600.0, rel=0.25)
+
+
+class TestHeterogeneity:
+    def test_node_contact_counts_are_skewed(self):
+        trace = generate_synthetic_trace(config(num_nodes=60, total_contacts=20000))
+        per_node = np.zeros(60)
+        for contact in trace:
+            per_node[contact.node_a] += 1
+            per_node[contact.node_b] += 1
+        assert per_node.max() > 3.0 * np.median(per_node)
+
+    def test_communities_concentrate_contacts(self):
+        plain = generate_synthetic_trace(config(num_communities=1))
+        grouped = generate_synthetic_trace(
+            config(num_communities=5, community_bias=20.0)
+        )
+        # With strong communities, fewer distinct pairs share the same
+        # total contact volume.
+        assert len(grouped.pair_contact_counts()) < len(plain.pair_contact_counts())
+
+
+class TestScaled:
+    def test_scaled_preserves_pair_density(self):
+        base = config(num_nodes=40, total_contacts=8000)
+        scaled = base.scaled(node_factor=0.5, time_factor=1.0)
+        base_density = base.total_contacts / (40 * 39 / 2)
+        scaled_density = scaled.total_contacts / (
+            scaled.num_nodes * (scaled.num_nodes - 1) / 2
+        )
+        assert scaled_density == pytest.approx(base_density, rel=0.05)
+
+    def test_time_factor_scales_duration_and_contacts(self):
+        base = config()
+        scaled = base.scaled(time_factor=0.5)
+        assert scaled.duration == pytest.approx(base.duration * 0.5)
+        assert scaled.total_contacts == pytest.approx(base.total_contacts * 0.5, rel=0.01)
+
+    def test_scaled_rejects_nonpositive_factors(self):
+        with pytest.raises(ConfigurationError):
+            config().scaled(node_factor=0.0)
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "overrides",
+        [
+            {"num_nodes": 1},
+            {"duration": 0.0},
+            {"total_contacts": 0},
+            {"granularity": 0.0},
+            {"activity_sigma": 0.0},
+            {"mean_contact_duration": -1.0},
+            {"num_communities": 0},
+            {"community_bias": 0.5},
+        ],
+    )
+    def test_invalid_configs_rejected(self, overrides):
+        with pytest.raises(ConfigurationError):
+            config(**overrides)

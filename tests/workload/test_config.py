@@ -1,0 +1,47 @@
+"""Unit tests for workload configuration (paper Sec. VI-A)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.units import MEGABIT, WEEK
+from repro.workload.config import WorkloadConfig
+
+
+class TestDefaults:
+    def test_paper_defaults(self):
+        config = WorkloadConfig()
+        assert config.mean_data_lifetime == 1 * WEEK
+        assert config.mean_data_size == 100 * MEGABIT
+        assert config.generation_probability == 0.2
+        assert config.zipf_exponent == 1.0
+        assert config.buffer_min == 200 * MEGABIT
+        assert config.buffer_max == 600 * MEGABIT
+
+    def test_derived_periods(self):
+        config = WorkloadConfig(mean_data_lifetime=1000.0)
+        assert config.data_generation_period == 1000.0
+        assert config.query_generation_period == 500.0
+        assert config.query_time_constraint == 500.0
+
+    def test_uniform_bounds(self):
+        config = WorkloadConfig(mean_data_lifetime=100.0, mean_data_size=10)
+        assert config.lifetime_bounds == (50.0, 150.0)
+        assert config.size_bounds == (5.0, 15.0)
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "overrides",
+        [
+            {"mean_data_lifetime": 0.0},
+            {"mean_data_size": 0},
+            {"generation_probability": -0.1},
+            {"generation_probability": 1.1},
+            {"zipf_exponent": -1.0},
+            {"buffer_min": 0},
+            {"buffer_min": 700 * MEGABIT},  # min > max
+        ],
+    )
+    def test_invalid_configs_rejected(self, overrides):
+        with pytest.raises(ConfigurationError):
+            WorkloadConfig(**overrides)

@@ -1,0 +1,144 @@
+"""Unit tests for the workload process (paper Sec. VI-A)."""
+
+import numpy as np
+import pytest
+
+from repro.rng import SeedSequenceFactory
+from repro.workload.config import WorkloadConfig
+from repro.workload.generator import WorkloadProcess
+
+
+def process(num_nodes=20, seed=5, **config_overrides):
+    config = WorkloadConfig(
+        mean_data_lifetime=1000.0, mean_data_size=100, **config_overrides
+    )
+    rng = SeedSequenceFactory(seed).generator("workload")
+    return WorkloadProcess(config, num_nodes, rng), config
+
+
+class TestDataRound:
+    def test_generation_probability_respected(self):
+        proc, _ = process(num_nodes=2000)
+        items = proc.data_round(0.0, [False] * 2000)
+        # Binomial(2000, 0.2): 5 sigma ~ 90
+        assert len(items) == pytest.approx(400, abs=100)
+
+    def test_nodes_with_live_data_skip(self):
+        proc, _ = process(num_nodes=10)
+        items = proc.data_round(0.0, [True] * 10)
+        assert items == []
+
+    def test_lifetime_and_size_bounds(self):
+        proc, config = process(num_nodes=3000)
+        items = proc.data_round(0.0, [False] * 3000)
+        lo_l, hi_l = config.lifetime_bounds
+        lo_s, hi_s = config.size_bounds
+        for item in items:
+            assert lo_l <= item.lifetime <= hi_l
+            assert lo_s - 1 <= item.size <= hi_s + 1
+
+    def test_unique_increasing_data_ids(self):
+        proc, _ = process(num_nodes=100)
+        a = proc.data_round(0.0, [False] * 100)
+        b = proc.data_round(1000.0, [False] * 100)
+        ids = [d.data_id for d in a + b]
+        assert len(set(ids)) == len(ids)
+
+    def test_wrong_flag_vector_length_rejected(self):
+        proc, _ = process(num_nodes=10)
+        with pytest.raises(ValueError):
+            proc.data_round(0.0, [False] * 5)
+
+
+class TestLiveItems:
+    def test_live_items_excludes_expired(self):
+        proc, _ = process(num_nodes=500)
+        proc.data_round(0.0, [False] * 500)
+        live_soon = proc.live_items(100.0)
+        live_late = proc.live_items(10_000.0)
+        assert len(live_soon) > 0
+        assert len(live_late) == 0
+
+    def test_live_items_in_popularity_order(self):
+        proc, _ = process(num_nodes=500)
+        proc.data_round(0.0, [False] * 500)
+        live = proc.live_items(100.0)
+        keys = [proc._popularity_key[d.data_id] for d in live]
+        assert keys == sorted(keys)
+
+    def test_popularity_rank(self):
+        proc, _ = process(num_nodes=500)
+        proc.data_round(0.0, [False] * 500)
+        live = proc.live_items(100.0)
+        assert proc.popularity_rank(live[0].data_id, 100.0) == 1
+        assert proc.popularity_rank(999_999, 100.0) is None
+
+    def test_item_by_id(self):
+        proc, _ = process(num_nodes=500)
+        items = proc.data_round(0.0, [False] * 500)
+        assert proc.item_by_id(items[0].data_id) is items[0]
+        assert proc.item_by_id(10**9) is None
+
+
+class TestQueryRound:
+    def _seeded_with_data(self, num_nodes=300):
+        proc, config = process(num_nodes=num_nodes)
+        proc.data_round(0.0, [False] * num_nodes)
+        return proc, config
+
+    def test_queries_reference_live_data(self):
+        proc, _ = self._seeded_with_data()
+        live_ids = {d.data_id for d in proc.live_items(10.0)}
+        queries = proc.query_round(10.0, holdings={})
+        assert all(q.data_id in live_ids for q in queries)
+
+    def test_queries_carry_constraint(self):
+        proc, config = self._seeded_with_data()
+        queries = proc.query_round(10.0, holdings={})
+        assert all(q.time_constraint == config.query_time_constraint for q in queries)
+
+    def test_no_self_requests(self):
+        proc, _ = self._seeded_with_data()
+        queries = proc.query_round(10.0, holdings={})
+        by_id = {d.data_id: d for d in proc.generated_items}
+        assert all(by_id[q.data_id].source != q.requester for q in queries)
+
+    def test_holdings_suppress_requests(self):
+        proc, _ = self._seeded_with_data()
+        live_ids = {d.data_id for d in proc.live_items(10.0)}
+        holdings = {node: set(live_ids) for node in range(300)}
+        assert proc.query_round(10.0, holdings) == []
+
+    def test_empty_catalogue_no_queries(self):
+        proc, _ = process(num_nodes=10)
+        assert proc.query_round(0.0, holdings={}) == []
+
+    def test_expected_query_volume(self):
+        # With every item live, sum_j P_j = 1 per node per round (minus
+        # self/holdings filtering), so ~num_nodes queries per round.
+        proc, _ = self._seeded_with_data(num_nodes=300)
+        queries = proc.query_round(10.0, holdings={})
+        assert len(queries) == pytest.approx(300, rel=0.35)
+
+    def test_popular_ranks_requested_more(self):
+        proc, _ = self._seeded_with_data(num_nodes=500)
+        queries = []
+        for t in (10.0, 20.0, 30.0):
+            queries.extend(proc.query_round(t, holdings={}))
+        live = proc.live_items(10.0)
+        top = live[0].data_id
+        bottom = live[-1].data_id
+        count_top = sum(1 for q in queries if q.data_id == top)
+        count_bottom = sum(1 for q in queries if q.data_id == bottom)
+        assert count_top > count_bottom
+
+
+class TestDeterminism:
+    def test_same_seed_same_workload(self):
+        a, _ = process(seed=9, num_nodes=100)
+        b, _ = process(seed=9, num_nodes=100)
+        items_a = a.data_round(0.0, [False] * 100)
+        items_b = b.data_round(0.0, [False] * 100)
+        assert [(d.data_id, d.source, d.size) for d in items_a] == [
+            (d.data_id, d.source, d.size) for d in items_b
+        ]
