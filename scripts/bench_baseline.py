@@ -1,0 +1,19 @@
+#!/usr/bin/env python
+"""Run the kernel benchmarks and guard against regression.
+
+Thin wrapper over :mod:`repro.experiments.benchguard`; equivalent to
+``python -m repro bench``.  Writes ``BENCH_kernels.json`` and exits
+non-zero if any kernel regressed more than 1.5x against the committed
+``benchmarks/kernels_baseline.json``.  Pass ``--update-baseline`` to
+regenerate the baseline instead (e.g. on new hardware).
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro.experiments.benchguard import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -14,6 +14,8 @@ Commands
     Check the exponential inter-contact assumption on a preset trace.
 ``figure``
     Regenerate one of the paper's tables/figures at a chosen scale.
+``bench``
+    Run the kernel microbenchmarks and fail on regression vs baseline.
 """
 
 from __future__ import annotations
@@ -157,6 +159,17 @@ def cmd_figure(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_bench(args: argparse.Namespace) -> int:
+    from repro.experiments.benchguard import run_guard
+
+    return run_guard(
+        baseline_path=args.baseline,
+        result_json=args.json,
+        threshold=args.threshold,
+        update_baseline=args.update_baseline,
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
@@ -189,6 +202,20 @@ def build_parser() -> argparse.ArgumentParser:
     p_fig.add_argument("--scale", choices=("smoke", "bench", "paper"), default="smoke")
     p_fig.add_argument("--chart", action="store_true", help="include ASCII charts")
     p_fig.set_defaults(func=cmd_figure)
+
+    from repro.experiments.benchguard import (
+        DEFAULT_BASELINE,
+        DEFAULT_RESULT_JSON,
+        DEFAULT_THRESHOLD,
+    )
+    from pathlib import Path
+
+    p_bench = sub.add_parser("bench", help="kernel benchmark regression guard")
+    p_bench.add_argument("--baseline", type=Path, default=DEFAULT_BASELINE)
+    p_bench.add_argument("--json", type=Path, default=DEFAULT_RESULT_JSON)
+    p_bench.add_argument("--threshold", type=float, default=DEFAULT_THRESHOLD)
+    p_bench.add_argument("--update-baseline", action="store_true")
+    p_bench.set_defaults(func=cmd_bench)
     return parser
 
 

@@ -26,12 +26,14 @@ import numpy as np
 
 from repro.errors import ConfigurationError
 from repro.graph.contact_graph import ContactGraph
-from repro.graph.paths import PathMode, shortest_path_weights_from
-from repro.mathutils.hypoexponential import path_delivery_probability
+from repro.graph.paths import PathMode, _reference_shortest_path_weights_from
+from repro.graph.weight_cache import shared_weight_cache
+from repro.mathutils.hypoexponential import hypoexponential_cdf_batch, pad_rate_rows
 
 __all__ = [
     "ncl_metric",
     "ncl_metrics",
+    "_reference_ncl_metrics",
     "select_ncls",
     "select_ncls_by",
     "calibrate_time_budget",
@@ -49,7 +51,7 @@ def ncl_metric(
     """The Eq. (3) metric Cᵢ of a single node."""
     if graph.num_nodes < 2:
         raise ConfigurationError("NCL metric needs at least two nodes")
-    weights = shortest_path_weights_from(graph, node, time_budget, mode)
+    weights = shared_weight_cache().weights(graph, node, time_budget, mode)
     # Exclude the node itself (its trivial path has weight 1).
     return float((weights.sum() - weights[node]) / (graph.num_nodes - 1))
 
@@ -59,12 +61,31 @@ def ncl_metrics(
     time_budget: float,
     mode: PathMode = PathMode.EXPECTED_DELAY,
 ) -> np.ndarray:
-    """Vector of Eq. (3) metrics for every node in the graph."""
+    """Vector of Eq. (3) metrics for every node in the graph.
+
+    Runs through the vectorized all-pairs weight matrix (one scipy
+    Dijkstra + one batched Eq. 2 evaluation, cached per graph content);
+    :func:`_reference_ncl_metrics` is the retained pure-Python oracle.
+    """
+    if graph.num_nodes < 2:
+        raise ConfigurationError("NCL metric needs at least two nodes")
+    weights = shared_weight_cache().weight_matrix(graph, time_budget, mode)
+    return (weights.sum(axis=1) - np.diag(weights)) / (graph.num_nodes - 1)
+
+
+def _reference_ncl_metrics(
+    graph: ContactGraph,
+    time_budget: float,
+    mode: PathMode = PathMode.EXPECTED_DELAY,
+) -> np.ndarray:
+    """Pure-Python oracle for :func:`ncl_metrics` (N independent Dijkstras
+    with per-path scalar Eq. 2 evaluation); property tests and the kernel
+    benchmarks assert agreement with the vectorized path to 1e-9."""
     if graph.num_nodes < 2:
         raise ConfigurationError("NCL metric needs at least two nodes")
     metrics = np.zeros(graph.num_nodes)
     for node in range(graph.num_nodes):
-        weights = shortest_path_weights_from(graph, node, time_budget, mode)
+        weights = _reference_shortest_path_weights_from(graph, node, time_budget, mode)
         metrics[node] = (weights.sum() - weights[node]) / (graph.num_nodes - 1)
     return metrics
 
@@ -152,9 +173,9 @@ def _build_selection(
     time_budget: float,
     mode: PathMode,
 ) -> NCLSelection:
+    cache = shared_weight_cache()
     weights_to_central = {
-        c: shortest_path_weights_from(graph, c, time_budget, mode)
-        for c in central_nodes
+        c: cache.weights(graph, c, time_budget, mode) for c in central_nodes
     }
     nearest = np.full(graph.num_nodes, -1, dtype=int)
     best = np.zeros(graph.num_nodes)
@@ -263,28 +284,31 @@ def calibrate_time_budget(
 
     # Precompute hop-rate tuples once (paths don't depend on T in
     # expected-delay mode; in max-probability mode this is a fixed-point
-    # approximation anchored at a mid-range budget).
-    from repro.graph.paths import shortest_paths_from
-
+    # approximation anchored at a mid-range budget).  The tuples come from
+    # the shared weight cache, and every bisection probe evaluates all of
+    # them in a single batched Eq. (2) call.
     anchor = 1.0
     positive = [rate for _, _, rate in graph.edges()]
     if positive:
         anchor = 1.0 / float(np.median(positive))
-    per_source_rates = []
-    for source in sources:
-        paths = shortest_paths_from(graph, source, max(anchor, 1.0), mode)
-        per_source_rates.append(
-            [path.rates for node, path in paths.items() if node != source]
-        )
+    cache = shared_weight_cache()
+    all_rates = []
+    segments = []  # parallel to all_rates: index into *sources*
+    for index, source in enumerate(sources):
+        tuples = cache.rate_tuples(graph, source, max(anchor, 1.0), mode)
+        for node, rates in tuples.items():
+            if node != source:
+                all_rates.append(rates)
+                segments.append(index)
+    padded = pad_rate_rows(all_rates)
+    segments = np.asarray(segments, dtype=int)
 
     def median_metric(budget: float) -> float:
-        metrics = []
-        for rate_lists in per_source_rates:
-            total = sum(
-                path_delivery_probability(rates, budget) for rates in rate_lists
-            )
-            metrics.append(total / (graph.num_nodes - 1))
-        return float(np.median(metrics))
+        totals = np.zeros(len(sources))
+        if len(all_rates):
+            probabilities = hypoexponential_cdf_batch(padded, budget)
+            np.add.at(totals, segments, probabilities)
+        return float(np.median(totals / (graph.num_nodes - 1)))
 
     # Bracket the target.
     lo, hi = anchor, anchor

@@ -27,7 +27,9 @@ import numpy as np
 
 from repro.core.data import Query
 from repro.graph.contact_graph import ContactGraph
-from repro.graph.paths import PathMode, shortest_path
+from repro.graph.paths import PathMode
+from repro.graph.weight_cache import shared_weight_cache
+from repro.mathutils.hypoexponential import path_delivery_probability
 from repro.mathutils.sigmoid import ResponseSigmoid
 
 __all__ = [
@@ -154,12 +156,16 @@ class PathAwareResponse:
             return 0.0
         if self._graph is None:
             return self._floor
-        path = shortest_path(
-            self._graph, caching_node, query.requester, remaining, self._mode
+        # Expected-delay paths don't depend on the budget, so the hop-rate
+        # tuples come from the shared content-keyed cache and only the
+        # Eq. (2) evaluation runs per decision.
+        tuples = shared_weight_cache().rate_tuples(
+            self._graph, caching_node, remaining, self._mode
         )
-        if path is None:
+        rates = tuples.get(query.requester)
+        if rates is None:
             return self._floor
-        return max(self._floor, path.weight(remaining))
+        return max(self._floor, path_delivery_probability(rates, remaining))
 
     def decide(
         self,

@@ -1,0 +1,159 @@
+"""Kernel-benchmark regression guard (``python -m repro bench``).
+
+Runs the microbenchmarks in ``benchmarks/test_bench_kernels.py`` through
+pytest-benchmark with ``--benchmark-json``, then compares each kernel's
+mean time against the committed baseline and fails when any kernel
+regresses beyond the threshold (default 1.5×).
+
+The committed baseline (``benchmarks/kernels_baseline.json``) is a slim
+``{benchmark name: mean seconds}`` map — machine-dependent, so regenerate
+it with ``--update-baseline`` when the hardware or an intentional
+performance trade-off changes.  New benchmarks without a baseline entry
+are reported but never fail the guard.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = ["load_benchmark_means", "compare_against_baseline", "run_guard", "main"]
+
+DEFAULT_BENCHMARK_FILE = Path("benchmarks/test_bench_kernels.py")
+DEFAULT_RESULT_JSON = Path("BENCH_kernels.json")
+DEFAULT_BASELINE = Path("benchmarks/kernels_baseline.json")
+DEFAULT_THRESHOLD = 1.5
+
+
+def load_benchmark_means(result_json: Path) -> Dict[str, float]:
+    """Extract ``{benchmark name: mean seconds}`` from pytest-benchmark JSON."""
+    payload = json.loads(Path(result_json).read_text())
+    return {
+        entry["name"]: float(entry["stats"]["mean"])
+        for entry in payload.get("benchmarks", [])
+    }
+
+
+def compare_against_baseline(
+    current: Dict[str, float],
+    baseline: Dict[str, float],
+    threshold: float = DEFAULT_THRESHOLD,
+) -> List[Tuple[str, float, Optional[float], bool]]:
+    """Per-benchmark ``(name, mean, baseline mean, regressed)`` rows.
+
+    A benchmark regresses when its mean exceeds ``threshold ×`` its
+    baseline mean; benchmarks missing from the baseline never regress.
+    """
+    rows = []
+    for name in sorted(current):
+        mean = current[name]
+        reference = baseline.get(name)
+        regressed = reference is not None and mean > threshold * reference
+        rows.append((name, mean, reference, regressed))
+    return rows
+
+
+def _run_benchmarks(benchmark_file: Path, result_json: Path) -> int:
+    env = dict(os.environ)
+    src = str(Path(__file__).resolve().parents[2])
+    paths = env.get("PYTHONPATH", "")
+    if src not in paths.split(os.pathsep):
+        env["PYTHONPATH"] = src + (os.pathsep + paths if paths else "")
+    command = [
+        sys.executable,
+        "-m",
+        "pytest",
+        str(benchmark_file),
+        "-q",
+        "-p",
+        "no:cacheprovider",
+        f"--benchmark-json={result_json}",
+    ]
+    return subprocess.call(command, env=env)
+
+
+def run_guard(
+    benchmark_file: Path = DEFAULT_BENCHMARK_FILE,
+    result_json: Path = DEFAULT_RESULT_JSON,
+    baseline_path: Path = DEFAULT_BASELINE,
+    threshold: float = DEFAULT_THRESHOLD,
+    update_baseline: bool = False,
+) -> int:
+    """Run the kernel benchmarks and enforce the regression threshold."""
+    status = _run_benchmarks(benchmark_file, result_json)
+    if status != 0:
+        print("benchmark run failed", file=sys.stderr)
+        return status
+    current = load_benchmark_means(result_json)
+    if update_baseline:
+        baseline_path.write_text(json.dumps(current, indent=2, sort_keys=True) + "\n")
+        print(f"baseline updated: {baseline_path} ({len(current)} kernels)")
+        return 0
+    if not baseline_path.exists():
+        print(
+            f"no baseline at {baseline_path}; run with --update-baseline first",
+            file=sys.stderr,
+        )
+        return 2
+    baseline = json.loads(baseline_path.read_text())
+    failures = 0
+    for name, mean, reference, regressed in compare_against_baseline(
+        current, baseline, threshold
+    ):
+        if reference is None:
+            verdict, detail = "NEW", "no baseline entry"
+        else:
+            ratio = mean / reference if reference > 0 else float("inf")
+            verdict = "FAIL" if regressed else "ok"
+            detail = f"baseline {reference * 1e3:8.3f} ms  ratio {ratio:5.2f}x"
+            failures += int(regressed)
+        print(f"{verdict:4s} {name:45s} {mean * 1e3:8.3f} ms  {detail}")
+    if failures:
+        print(
+            f"{failures} kernel(s) regressed beyond {threshold:.2f}x baseline",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"all {len(current)} kernels within {threshold:.2f}x of baseline")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(prog="repro bench", description=__doc__)
+    parser.add_argument(
+        "--benchmark-file", type=Path, default=DEFAULT_BENCHMARK_FILE,
+        help="pytest file holding the kernel benchmarks",
+    )
+    parser.add_argument(
+        "--json", type=Path, default=DEFAULT_RESULT_JSON,
+        help="where to write the pytest-benchmark JSON report",
+    )
+    parser.add_argument(
+        "--baseline", type=Path, default=DEFAULT_BASELINE,
+        help="committed slim baseline ({name: mean seconds})",
+    )
+    parser.add_argument(
+        "--threshold", type=float, default=DEFAULT_THRESHOLD,
+        help="fail when a kernel's mean exceeds threshold x baseline",
+    )
+    parser.add_argument(
+        "--update-baseline", action="store_true",
+        help="rewrite the baseline from this run instead of comparing",
+    )
+    args = parser.parse_args(argv)
+    return run_guard(
+        benchmark_file=args.benchmark_file,
+        result_json=args.json,
+        baseline_path=args.baseline,
+        threshold=args.threshold,
+        update_baseline=args.update_baseline,
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via scripts/
+    sys.exit(main())

@@ -1,8 +1,24 @@
-"""Seeded execution helpers for the experiment harness."""
+"""Seeded execution helpers for the experiment harness.
+
+Repetition over seeds — and the cross-scheme comparisons built on it —
+is embarrassingly parallel: each task is a pure function of
+``(trace, scheme_factory, workload, seed)``.  ``run_repeated`` and
+``run_comparison`` accept a ``workers=`` argument that fans the tasks out
+over a :class:`~concurrent.futures.ProcessPoolExecutor`; the default
+stays strictly serial so determinism-sensitive tests and tiny sweeps pay
+no pool overhead.
+
+Parallel execution is bit-identical to serial execution: every run draws
+only from seed-derived streams, results are collected in seed order, and
+aggregation is order-stable.  The only requirement is picklability —
+pass a module-level class or :func:`functools.partial` as the factory,
+not a lambda or closure.
+"""
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Sequence
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.caching.base import CachingScheme
 from repro.metrics.results import AggregateResult, SimulationResult, aggregate_results
@@ -11,6 +27,9 @@ from repro.traces.contact import ContactTrace
 from repro.workload.config import WorkloadConfig
 
 __all__ = ["run_single", "run_repeated", "run_comparison"]
+
+#: One picklable unit of work for the process pool.
+_Task = Tuple[ContactTrace, Callable[[], CachingScheme], WorkloadConfig, int]
 
 
 def run_single(
@@ -23,18 +42,41 @@ def run_single(
     return Simulator(trace, scheme, workload, SimulatorConfig(seed=seed)).run()
 
 
+def _execute_task(task: _Task) -> SimulationResult:
+    """Worker entry point; module-level so it pickles under any start method."""
+    trace, scheme_factory, workload, seed = task
+    return run_single(trace, scheme_factory(), workload, seed=seed)
+
+
+def _execute_all(tasks: Sequence[_Task], workers: Optional[int]) -> List[SimulationResult]:
+    """Run tasks serially or on a process pool, preserving input order.
+
+    ``workers`` of ``None``/``0``/``1`` means serial — the default, so
+    the pool (and its pickling constraints) is strictly opt-in.
+    """
+    if not workers or workers <= 1 or len(tasks) <= 1:
+        return [_execute_task(task) for task in tasks]
+    with ProcessPoolExecutor(max_workers=min(workers, len(tasks))) as pool:
+        # Executor.map preserves submission order, which is seed order;
+        # aggregation is therefore bitwise-identical to the serial path.
+        return list(pool.map(_execute_task, tasks))
+
+
 def run_repeated(
     trace: ContactTrace,
     scheme_factory: Callable[[], CachingScheme],
     workload: WorkloadConfig,
     seeds: Sequence[int],
+    workers: Optional[int] = None,
 ) -> AggregateResult:
     """The paper's repetition protocol: same trace and scheme, several
-    seeds for data/query randomness, aggregated with CIs."""
-    results = [
-        run_single(trace, scheme_factory(), workload, seed=seed) for seed in seeds
-    ]
-    return aggregate_results(results)
+    seeds for data/query randomness, aggregated with CIs.
+
+    With ``workers > 1`` the seeds run on a process pool; results are
+    aggregated in seed order either way, so the aggregate is identical.
+    """
+    tasks: List[_Task] = [(trace, scheme_factory, workload, seed) for seed in seeds]
+    return aggregate_results(_execute_all(tasks, workers))
 
 
 def run_comparison(
@@ -42,9 +84,21 @@ def run_comparison(
     factories: Dict[str, Callable[[], CachingScheme]],
     workload: WorkloadConfig,
     seeds: Sequence[int],
+    workers: Optional[int] = None,
 ) -> Dict[str, AggregateResult]:
-    """All schemes on an identical trace + workload (paired comparison)."""
-    return {
-        name: run_repeated(trace, factory, workload, seeds)
-        for name, factory in factories.items()
-    }
+    """All schemes on an identical trace + workload (paired comparison).
+
+    With ``workers > 1`` the full (scheme × seed) grid is flattened into
+    one task list so the pool stays busy across scheme boundaries.
+    """
+    names = list(factories)
+    tasks: List[_Task] = [
+        (trace, factories[name], workload, seed) for name in names for seed in seeds
+    ]
+    results = _execute_all(tasks, workers)
+    per_scheme: Dict[str, List[SimulationResult]] = {name: [] for name in names}
+    for (name, _seed), result in zip(
+        ((name, seed) for name in names for seed in seeds), results
+    ):
+        per_scheme[name].append(result)
+    return {name: aggregate_results(per_scheme[name]) for name in names}

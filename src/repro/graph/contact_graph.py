@@ -7,7 +7,9 @@ source of truth for every path-weight and NCL-metric computation.
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional, Tuple
+import hashlib
+import itertools
+from typing import Dict, Iterator, Optional, Tuple
 
 import numpy as np
 
@@ -16,12 +18,27 @@ from repro.traces.contact import ContactTrace
 
 __all__ = ["ContactGraph"]
 
+#: Global monotone version source: every mutation of any graph draws a new
+#: value, so a ``(version, …)`` cache key can never alias two different
+#: rate-matrix states, even across graph instances.
+_VERSION_COUNTER = itertools.count(1)
+
 
 class ContactGraph:
     """Undirected contact graph with Poisson contact rates as edge weights.
 
     Internally a dense symmetric rate matrix plus adjacency lists; dense
     storage is the right trade-off at the paper's scales (41–275 nodes).
+
+    The graph carries two cache-coherency handles consumed by the
+    path-weight machinery (:mod:`repro.graph.weight_cache`):
+
+    * :attr:`version` — a globally monotone counter bumped on every
+      mutation; cheap identity for "has this instance changed?" checks
+      (adjacency caching, router invalidation).
+    * :meth:`fingerprint` — a lazy content digest of the rate matrix, so
+      two snapshots with identical rates share cached path computations
+      regardless of which instance produced them.
     """
 
     def __init__(self, num_nodes: int):
@@ -29,8 +46,10 @@ class ContactGraph:
             raise ConfigurationError("contact graph needs at least one node")
         self._num_nodes = int(num_nodes)
         self._rates = np.zeros((num_nodes, num_nodes))
-        self._adjacency_dirty = True
-        self._adjacency: List[List[int]] = [[] for _ in range(num_nodes)]
+        self._version = next(_VERSION_COUNTER)
+        self._fingerprint: Optional[bytes] = None
+        self._adjacency_version = -1
+        self._adjacency: Tuple[Tuple[int, ...], ...] = ()
 
     # --- construction ------------------------------------------------------
 
@@ -47,7 +66,7 @@ class ContactGraph:
         graph = cls(rates.shape[0])
         graph._rates = rates.copy()
         np.fill_diagonal(graph._rates, 0.0)
-        graph._adjacency_dirty = True
+        graph._mark_mutated()
         return graph
 
     @classmethod
@@ -88,13 +107,37 @@ class ContactGraph:
             raise ConfigurationError("contact rates must be non-negative")
         self._rates[i, j] = rate
         self._rates[j, i] = rate
-        self._adjacency_dirty = True
+        self._mark_mutated()
+
+    def _mark_mutated(self) -> None:
+        self._version = next(_VERSION_COUNTER)
+        self._fingerprint = None
 
     # --- accessors -----------------------------------------------------
 
     @property
     def num_nodes(self) -> int:
         return self._num_nodes
+
+    @property
+    def version(self) -> int:
+        """Globally monotone mutation counter (bumped on every ``set_rate``)."""
+        return self._version
+
+    def fingerprint(self) -> bytes:
+        """Content digest of the rate matrix (lazy, cached until mutation).
+
+        Two graphs with bit-identical rate matrices share a fingerprint,
+        which is what the path-weight cache keys on: the simulator's
+        periodic GRAPH_REFRESH snapshots are distinct instances but often
+        carry unchanged rates.
+        """
+        if self._fingerprint is None:
+            digest = hashlib.blake2b(digest_size=16)
+            digest.update(self._num_nodes.to_bytes(8, "little"))
+            digest.update(np.ascontiguousarray(self._rates).tobytes())
+            self._fingerprint = digest.digest()
+        return self._fingerprint
 
     def rate(self, i: int, j: int) -> float:
         """λᵢⱼ; zero when the pair has never been observed in contact."""
@@ -104,10 +147,16 @@ class ContactGraph:
         """A copy of the symmetric rate matrix."""
         return self._rates.copy()
 
-    def neighbors(self, i: int) -> List[int]:
-        """Nodes with a positive contact rate to *i*."""
+    def neighbors(self, i: int) -> Tuple[int, ...]:
+        """Nodes with a positive contact rate to *i*.
+
+        Returns the cached adjacency tuple itself (no per-call copy —
+        this sits on the simulator's Dijkstra hot path); tuples are
+        immutable, so sharing is safe.  The cache is invalidated by the
+        :attr:`version` bump on mutation.
+        """
         self._rebuild_adjacency()
-        return list(self._adjacency[i])
+        return self._adjacency[i]
 
     def edges(self) -> Iterator[Tuple[int, int, float]]:
         """All positive-rate edges as (i, j, λ) with i < j."""
@@ -132,13 +181,13 @@ class ContactGraph:
         return 1.0 / rate if rate > 0 else float("inf")
 
     def _rebuild_adjacency(self) -> None:
-        if not self._adjacency_dirty:
+        if self._adjacency_version == self._version:
             return
-        self._adjacency = [
-            [int(j) for j in np.nonzero(self._rates[i])[0]]
+        self._adjacency = tuple(
+            tuple(int(j) for j in np.nonzero(self._rates[i])[0])
             for i in range(self._num_nodes)
-        ]
-        self._adjacency_dirty = False
+        )
+        self._adjacency_version = self._version
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"ContactGraph(nodes={self._num_nodes}, edges={self.num_edges})"

@@ -25,13 +25,17 @@ from __future__ import annotations
 import heapq
 from dataclasses import dataclass
 from enum import Enum
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
+from scipy.sparse.csgraph import dijkstra as _csgraph_dijkstra
 
 from repro.errors import PathError
 from repro.graph.contact_graph import ContactGraph
-from repro.mathutils.hypoexponential import path_delivery_probability
+from repro.mathutils.hypoexponential import (
+    hypoexponential_cdf_batch,
+    path_delivery_probability,
+)
 
 __all__ = [
     "PathMode",
@@ -39,6 +43,8 @@ __all__ = [
     "shortest_path",
     "shortest_paths_from",
     "shortest_path_weights_from",
+    "shortest_path_weight_matrix",
+    "hop_rate_tuples_from",
 ]
 
 
@@ -196,6 +202,86 @@ def shortest_path(
     return shortest_paths_from(graph, source, time_budget, mode).get(destination)
 
 
+# --- vectorized expected-delay kernels (scipy.sparse.csgraph) -----------
+#
+# The expected-delay objective is an ordinary additive shortest path on
+# the 1/λ cost matrix, so the whole sweep — including the all-pairs case
+# the NCL metric needs — runs through scipy's C Dijkstra.  Hop-rate
+# tuples are recovered from the predecessor matrix and scored in one
+# batched Eq. (2) evaluation.  The pure-Python implementations above are
+# retained as ``_reference_*`` oracles (property-tested to 1e-9).
+
+
+def _expected_delay_dijkstra(
+    graph: ContactGraph, sources: Optional[Sequence[int]] = None
+) -> Tuple[np.ndarray, np.ndarray]:
+    """scipy Dijkstra on the 1/λ cost matrix; returns (dist, predecessors).
+
+    Both outputs are 2D, one row per requested source (all nodes when
+    *sources* is ``None``).  Zero-rate entries are non-edges.
+    """
+    rates = graph.rate_matrix()
+    with np.errstate(divide="ignore"):
+        costs = np.where(rates > 0.0, 1.0 / np.maximum(rates, 1e-300), 0.0)
+    dist, predecessors = _csgraph_dijkstra(
+        costs,
+        directed=False,
+        indices=sources,
+        return_predecessors=True,
+    )
+    return np.atleast_2d(dist), np.atleast_2d(predecessors)
+
+
+def _rate_tuples_from_predecessors(
+    rates: np.ndarray,
+    source: int,
+    dist_row: np.ndarray,
+    pred_row: np.ndarray,
+) -> Dict[int, Tuple[float, ...]]:
+    """Rebuild hop-rate tuples for one source from a predecessor row.
+
+    Nodes are processed in increasing-distance order so every node's
+    predecessor tuple already exists (hop costs are strictly positive,
+    hence dist[pred] < dist[node]).
+    """
+    tuples: Dict[int, Tuple[float, ...]] = {source: ()}
+    reachable = np.isfinite(dist_row)
+    order = np.argsort(dist_row[reachable], kind="stable")
+    nodes = np.nonzero(reachable)[0][order]
+    for node in nodes:
+        node = int(node)
+        if node == source:
+            continue
+        pred = int(pred_row[node])
+        tuples[node] = tuples[pred] + (float(rates[pred, node]),)
+    return tuples
+
+
+def hop_rate_tuples_from(
+    graph: ContactGraph,
+    source: int,
+    time_budget: float,
+    mode: PathMode = PathMode.EXPECTED_DELAY,
+) -> Dict[int, Tuple[float, ...]]:
+    """Hop-rate tuples of the shortest opportunistic paths from *source*.
+
+    The cheap sibling of :func:`shortest_paths_from` when only the rate
+    sequences are needed (path weights, calibration probes): in
+    expected-delay mode it runs through the vectorized scipy Dijkstra
+    without materialising :class:`OpportunisticPath` objects.
+    """
+    if not 0 <= source < graph.num_nodes:
+        raise PathError(f"source {source} outside graph of {graph.num_nodes} nodes")
+    if time_budget <= 0:
+        raise PathError("time budget must be positive")
+    if mode is not PathMode.EXPECTED_DELAY:
+        paths = shortest_paths_from(graph, source, time_budget, mode)
+        return {node: path.rates for node, path in paths.items()}
+    dist, pred = _expected_delay_dijkstra(graph, sources=[source])
+    rates = graph.rate_matrix()
+    return _rate_tuples_from_predecessors(rates, source, dist[0], pred[0])
+
+
 def shortest_path_weights_from(
     graph: ContactGraph,
     source: int,
@@ -206,7 +292,78 @@ def shortest_path_weights_from(
 
     Unreachable nodes get weight 0; the source itself gets weight 1.
     This is the inner quantity of the NCL metric (Eq. 3) — contact rates
-    are symmetric, so p_{ij} = p_{ji}.
+    are symmetric, so p_{ij} = p_{ji}.  In expected-delay mode the sweep
+    is fully vectorized (scipy Dijkstra + batched Eq. 2).
+    """
+    if mode is not PathMode.EXPECTED_DELAY:
+        return _reference_shortest_path_weights_from(graph, source, time_budget, mode)
+    tuples = hop_rate_tuples_from(graph, source, time_budget, mode)
+    weights = np.zeros(graph.num_nodes)
+    nodes = list(tuples)
+    weights[nodes] = hypoexponential_cdf_batch(
+        [tuples[node] for node in nodes], time_budget
+    )
+    return weights
+
+
+def shortest_path_weight_matrix(
+    graph: ContactGraph,
+    time_budget: float,
+    mode: PathMode = PathMode.EXPECTED_DELAY,
+) -> np.ndarray:
+    """All-pairs path-weight matrix W with W[i, j] = p_{ij}(T).
+
+    The NCL metric (Eq. 3) and selection consume rows of this matrix.
+    In expected-delay mode one all-sources scipy Dijkstra feeds a single
+    batched Eq. (2) evaluation across every (source, destination) pair.
+    """
+    if time_budget <= 0:
+        raise PathError("time budget must be positive")
+    n = graph.num_nodes
+    if mode is not PathMode.EXPECTED_DELAY:
+        return np.vstack(
+            [shortest_path_weights_from(graph, s, time_budget, mode) for s in range(n)]
+        )
+    dist, pred = _expected_delay_dijkstra(graph)
+    rates = graph.rate_matrix()
+    # Rates are symmetric and Eq. (2) is invariant under hop reordering,
+    # so p_ij = p_ji: only the upper triangle of reachable pairs is
+    # evaluated.  Hop rates are pulled out of the predecessor matrix one
+    # hop *slot* at a time across all pairs simultaneously — the batched
+    # CDF doesn't care about hop order, so no per-pair walk is needed.
+    ii, jj = np.triu_indices(n, k=1)
+    reachable = np.isfinite(dist[ii, jj])
+    ii, jj = ii[reachable], jj[reachable]
+    columns: List[np.ndarray] = []
+    cur = jj.copy()
+    active = cur != ii
+    while active.any():
+        prev = np.where(active, pred[ii, cur], cur)
+        step = np.zeros(len(ii))
+        step[active] = rates[prev[active], cur[active]]
+        columns.append(step)
+        cur = prev
+        active = cur != ii
+    weights = np.zeros((n, n))
+    np.fill_diagonal(weights, 1.0)  # trivial zero-hop path to oneself
+    if len(ii):
+        padded = np.column_stack(columns) if columns else np.zeros((len(ii), 1))
+        pair_weights = hypoexponential_cdf_batch(padded, time_budget)
+        weights[ii, jj] = pair_weights
+        weights[jj, ii] = pair_weights
+    return weights
+
+
+def _reference_shortest_path_weights_from(
+    graph: ContactGraph,
+    source: int,
+    time_budget: float,
+    mode: PathMode = PathMode.EXPECTED_DELAY,
+) -> np.ndarray:
+    """Pure-Python oracle for :func:`shortest_path_weights_from`.
+
+    Kept as the correctness reference for the vectorized kernel
+    (property tests assert agreement to 1e-9 on random graphs).
     """
     weights = np.zeros(graph.num_nodes)
     for node, path in shortest_paths_from(graph, source, time_budget, mode).items():

@@ -1,0 +1,175 @@
+"""Graph-versioned LRU cache of path-weight computations.
+
+Every consumer of the contact graph — NCL selection (Eq. 3), the
+push/pull gradient routers, response strategies, and time-budget
+calibration — reduces to the same two sweeps: a single-source path-weight
+vector at a time budget T, or the hop-rate tuples of the shortest
+opportunistic paths from a source.  The simulator recomputes these
+constantly: each GRAPH_REFRESH rebuilds router tables, warm-up runs K
+central-node sweeps that the routers then recompute verbatim, and the
+push and query routers each kept private per-destination tables for the
+*same* graph and horizon.
+
+This module gives all of them one shared, bounded cache.
+
+Keying / invalidation contract
+------------------------------
+Entries are keyed on ``(graph.fingerprint(), source, time_budget, mode)``.
+The fingerprint is a content digest of the rate matrix, lazily computed
+and invalidated by the graph's monotone :attr:`ContactGraph.version`
+bump on mutation.  Content keying (rather than instance keying) is what
+lets two *different* snapshot instances with identical rates — the
+common case for periodic GRAPH_REFRESH events over a quiet trace window —
+share one computation.  A mutated graph gets a new fingerprint, so stale
+reads are impossible by construction; eviction is plain LRU.
+
+Cached weight vectors are returned read-only (``ndarray.flags.writeable
+= False``); callers that need to mutate must copy.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Dict, Hashable, Optional, Tuple
+
+import numpy as np
+
+from repro.graph.contact_graph import ContactGraph
+from repro.graph.paths import (
+    PathMode,
+    hop_rate_tuples_from,
+    shortest_path_weight_matrix,
+    shortest_path_weights_from,
+)
+
+__all__ = ["PathWeightCache", "shared_weight_cache", "cached_path_weights"]
+
+
+class PathWeightCache:
+    """Bounded LRU over single-source path-weight sweeps.
+
+    One instance is process-wide (:func:`shared_weight_cache`); worker
+    processes of the parallel runner each build their own on first use,
+    so no cross-process coherency is needed.
+    """
+
+    def __init__(self, maxsize: int = 256):
+        if maxsize < 1:
+            raise ValueError("cache maxsize must be >= 1")
+        self._maxsize = int(maxsize)
+        self._entries: "OrderedDict[Hashable, object]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    # --- bookkeeping ---------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self.hits = 0
+            self.misses = 0
+
+    def _lookup(self, key: Hashable) -> Optional[object]:
+        with self._lock:
+            value = self._entries.get(key)
+            if value is not None:
+                self._entries.move_to_end(key)
+                self.hits += 1
+            else:
+                self.misses += 1
+        return value
+
+    def _store(self, key: Hashable, value: object) -> None:
+        with self._lock:
+            self._entries[key] = value
+            self._entries.move_to_end(key)
+            while len(self._entries) > self._maxsize:
+                self._entries.popitem(last=False)
+
+    # --- cached computations -------------------------------------------
+
+    def weights(
+        self,
+        graph: ContactGraph,
+        source: int,
+        time_budget: float,
+        mode: PathMode = PathMode.EXPECTED_DELAY,
+    ) -> np.ndarray:
+        """Cached :func:`shortest_path_weights_from` (read-only vector)."""
+        key = ("w", graph.fingerprint(), int(source), float(time_budget), mode)
+        cached = self._lookup(key)
+        if cached is None:
+            cached = shortest_path_weights_from(graph, source, time_budget, mode)
+            cached.flags.writeable = False
+            self._store(key, cached)
+        return cached  # type: ignore[return-value]
+
+    def weight_matrix(
+        self,
+        graph: ContactGraph,
+        time_budget: float,
+        mode: PathMode = PathMode.EXPECTED_DELAY,
+    ) -> np.ndarray:
+        """Cached all-pairs :func:`shortest_path_weight_matrix` (read-only).
+
+        Rows are also installed as single-source entries, so a
+        selection/refresh that computed the full matrix hands the routers
+        their per-central vectors for free.
+        """
+        key = ("W", graph.fingerprint(), float(time_budget), mode)
+        cached = self._lookup(key)
+        if cached is None:
+            cached = shortest_path_weight_matrix(graph, time_budget, mode)
+            cached.flags.writeable = False
+            self._store(key, cached)
+            for source in range(graph.num_nodes):
+                row = cached[source]
+                row.flags.writeable = False
+                self._store(
+                    ("w", graph.fingerprint(), source, float(time_budget), mode), row
+                )
+        return cached  # type: ignore[return-value]
+
+    def rate_tuples(
+        self,
+        graph: ContactGraph,
+        source: int,
+        time_budget: float,
+        mode: PathMode = PathMode.EXPECTED_DELAY,
+    ) -> Dict[int, Tuple[float, ...]]:
+        """Cached hop-rate tuples of the shortest paths from *source*.
+
+        In expected-delay mode the tuples are independent of the budget,
+        so the key collapses it; calibration probes at many budgets then
+        hit one entry.
+        """
+        budget_key = 0.0 if mode is PathMode.EXPECTED_DELAY else float(time_budget)
+        key = ("r", graph.fingerprint(), int(source), budget_key, mode)
+        cached = self._lookup(key)
+        if cached is None:
+            cached = hop_rate_tuples_from(graph, source, time_budget, mode)
+            self._store(key, cached)
+        return cached  # type: ignore[return-value]
+
+
+_SHARED = PathWeightCache()
+
+
+def shared_weight_cache() -> PathWeightCache:
+    """The process-wide cache shared by routers, NCL selection and calibration."""
+    return _SHARED
+
+
+def cached_path_weights(
+    graph: ContactGraph,
+    source: int,
+    time_budget: float,
+    mode: PathMode = PathMode.EXPECTED_DELAY,
+) -> np.ndarray:
+    """Convenience wrapper over ``shared_weight_cache().weights(...)``."""
+    return _SHARED.weights(graph, source, time_budget, mode)

@@ -7,20 +7,19 @@ which probabilistically shortens the remaining delay at every hop.
 
 Each node maintains its shortest-opportunistic-path weight to every
 destination it routes toward (the paper's nodes maintain exactly this for
-the central nodes).  The router caches one weight vector per destination
-per graph snapshot; :meth:`update_graph` invalidates the cache when the
-estimator publishes fresh rates.
+the central nodes).  Weight vectors come from the process-wide
+:mod:`repro.graph.weight_cache`, keyed on graph content — so the push and
+query routers of one scheme (and the NCL selection that preceded them)
+share a single computation per (graph, destination, horizon) instead of
+each maintaining private tables.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional
-
-import numpy as np
-
 from repro.errors import ConfigurationError
 from repro.graph.contact_graph import ContactGraph
-from repro.graph.paths import PathMode, shortest_path_weights_from
+from repro.graph.paths import PathMode
+from repro.graph.weight_cache import shared_weight_cache
 from repro.routing.base import ForwardAction, ForwardDecision
 
 __all__ = ["GradientRouter"]
@@ -56,28 +55,24 @@ class GradientRouter:
         self._horizon = float(horizon)
         self._mode = mode
         self._replicate = replicate
-        self._graph: Optional[ContactGraph] = None
-        self._weights: Dict[int, np.ndarray] = {}
 
     @property
     def horizon(self) -> float:
         return self._horizon
 
     def update_graph(self, graph: ContactGraph) -> None:
-        """Install a fresh rate snapshot, invalidating cached weights."""
-        if graph is not self._graph:
-            self._graph = graph
-            self._weights.clear()
+        """Install a fresh rate snapshot.
+
+        Kept for API symmetry with the other routers: the shared weight
+        cache keys on graph content, so a new snapshot needs no explicit
+        invalidation here.
+        """
 
     def weight_to(self, node: int, destination: int, graph: ContactGraph) -> float:
         """The maintained path weight from *node* to *destination*."""
-        self.update_graph(graph)
-        weights = self._weights.get(destination)
-        if weights is None:
-            weights = shortest_path_weights_from(
-                graph, destination, self._horizon, self._mode
-            )
-            self._weights[destination] = weights
+        weights = shared_weight_cache().weights(
+            graph, destination, self._horizon, self._mode
+        )
         return float(weights[node])
 
     def decide(

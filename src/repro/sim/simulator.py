@@ -241,35 +241,35 @@ class Simulator:
             engine.schedule(contact.start, EventKind.CONTACT, contact)
 
         end = self.trace.end_time
-        data_period = self.workload.data_generation_period
-        t = warmup_end
-        while t < end:
-            engine.schedule(t, EventKind.DATA_GENERATION)
-            t += data_period
 
-        query_period = self.workload.query_generation_period
+        def schedule_periodic(kind: EventKind, period: float, first: int) -> None:
+            # Round k fires at warmup_end + k·period by index multiplication
+            # (not t += period accumulation), so long traces cannot drift
+            # the round times through float rounding.
+            k = first
+            while True:
+                t = warmup_end + k * period
+                if t >= end:
+                    break
+                engine.schedule(t, kind)
+                k += 1
+
+        schedule_periodic(
+            EventKind.DATA_GENERATION, self.workload.data_generation_period, first=0
+        )
         # Queries start one period after the first data round so the first
         # pushes have had a chance to leave the sources (Sec. VI-A issues
         # data and queries throughout the second half; the offset choice
         # is documented in DESIGN.md).
-        t = warmup_end + query_period
-        while t < end:
-            engine.schedule(t, EventKind.QUERY_GENERATION)
-            t += query_period
-
+        query_period = self.workload.query_generation_period
+        schedule_periodic(EventKind.QUERY_GENERATION, query_period, first=1)
         refresh_period = self.config.graph_refresh_period or max(
             self.eval_duration / 20.0, 1.0
         )
-        t = warmup_end + refresh_period
-        while t < end:
-            engine.schedule(t, EventKind.GRAPH_REFRESH)
-            t += refresh_period
-
-        sample_period = self.config.sample_period or query_period
-        t = warmup_end + sample_period
-        while t < end:
-            engine.schedule(t, EventKind.SAMPLE_METRICS)
-            t += sample_period
+        schedule_periodic(EventKind.GRAPH_REFRESH, refresh_period, first=1)
+        schedule_periodic(
+            EventKind.SAMPLE_METRICS, self.config.sample_period or query_period, first=1
+        )
 
         engine.run()
         return self.metrics.finalize(name=self.scheme.name, seed=self.config.seed)

@@ -1,0 +1,44 @@
+"""Unit tests for the benchmark regression guard's comparison logic."""
+
+import json
+
+from repro.experiments.benchguard import compare_against_baseline, load_benchmark_means
+
+
+class TestCompare:
+    def test_within_threshold_passes(self):
+        rows = compare_against_baseline({"k": 1.2}, {"k": 1.0}, threshold=1.5)
+        assert rows == [("k", 1.2, 1.0, False)]
+
+    def test_regression_beyond_threshold_fails(self):
+        rows = compare_against_baseline({"k": 1.6}, {"k": 1.0}, threshold=1.5)
+        assert rows[0][3] is True
+
+    def test_new_benchmark_without_baseline_never_fails(self):
+        rows = compare_against_baseline({"new": 99.0}, {}, threshold=1.5)
+        assert rows == [("new", 99.0, None, False)]
+
+    def test_rows_sorted_by_name(self):
+        rows = compare_against_baseline({"b": 1.0, "a": 1.0}, {}, threshold=1.5)
+        assert [row[0] for row in rows] == ["a", "b"]
+
+
+class TestLoadMeans:
+    def test_extracts_means_from_pytest_benchmark_json(self, tmp_path):
+        report = {
+            "benchmarks": [
+                {"name": "test_bench_kernel_x", "stats": {"mean": 0.25, "min": 0.2}},
+                {"name": "test_bench_kernel_y", "stats": {"mean": 1.5}},
+            ]
+        }
+        path = tmp_path / "bench.json"
+        path.write_text(json.dumps(report))
+        assert load_benchmark_means(path) == {
+            "test_bench_kernel_x": 0.25,
+            "test_bench_kernel_y": 1.5,
+        }
+
+    def test_empty_report_yields_empty_map(self, tmp_path):
+        path = tmp_path / "bench.json"
+        path.write_text("{}")
+        assert load_benchmark_means(path) == {}

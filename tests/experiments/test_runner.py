@@ -1,5 +1,8 @@
 """Unit tests for the experiment runner."""
 
+import dataclasses
+import math
+
 import pytest
 
 from repro.caching.nocache import NoCache
@@ -52,3 +55,43 @@ class TestRunners:
         b = run_repeated(trace, NoCache, workload, seeds=(5,))
         assert a.successful_ratio == b.successful_ratio
         assert a.queries_issued == b.queries_issued
+
+
+def assert_bitwise_identical(a, b):
+    """Field-by-field equality of aggregate dataclasses, NaN-tolerant
+    (a delay of NaN means 'no query satisfied' and must match NaN)."""
+    assert type(a) is type(b)
+    for field in dataclasses.fields(a):
+        x, y = getattr(a, field.name), getattr(b, field.name)
+        if isinstance(x, float) and math.isnan(x):
+            assert isinstance(y, float) and math.isnan(y), field.name
+        else:
+            assert x == y, field.name
+
+
+class TestParallelRunners:
+    def test_parallel_run_repeated_bitwise_identical_to_serial(self, trace, workload):
+        """workers=4 must reproduce the serial aggregate exactly: every
+        run is a pure function of its seed, and results are collected in
+        seed order on both paths."""
+        serial = run_repeated(trace, NoCache, workload, seeds=(1, 2, 3, 4))
+        parallel = run_repeated(trace, NoCache, workload, seeds=(1, 2, 3, 4), workers=4)
+        assert_bitwise_identical(serial, parallel)
+
+    def test_parallel_run_comparison_matches_serial(self, trace, workload):
+        factories = {"a": NoCache, "b": NoCache}
+        serial = run_comparison(trace, factories, workload, seeds=(1, 2))
+        parallel = run_comparison(trace, factories, workload, seeds=(1, 2), workers=4)
+        assert set(serial) == set(parallel)
+        for name in serial:
+            assert_bitwise_identical(serial[name], parallel[name])
+
+    def test_single_seed_skips_the_pool(self, trace, workload):
+        # workers > 1 with one task stays serial (no pool overhead).
+        agg = run_repeated(trace, NoCache, workload, seeds=(9,), workers=8)
+        assert_bitwise_identical(agg, run_repeated(trace, NoCache, workload, seeds=(9,)))
+
+    def test_workers_none_and_one_are_serial(self, trace, workload):
+        a = run_repeated(trace, NoCache, workload, seeds=(1, 2), workers=None)
+        b = run_repeated(trace, NoCache, workload, seeds=(1, 2), workers=1)
+        assert_bitwise_identical(a, b)

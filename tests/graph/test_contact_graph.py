@@ -74,7 +74,13 @@ class TestAccessors:
         assert sorted(star_graph.neighbors(0)) == [1, 2, 3, 4, 5]
         assert star_graph.degree(0) == 5
         assert star_graph.degree(1) == 1
-        assert star_graph.neighbors(1) == [0]
+        assert star_graph.neighbors(1) == (0,)
+
+    def test_neighbors_cache_invalidated_by_mutation(self, star_graph):
+        before = star_graph.neighbors(1)
+        star_graph.set_rate(1, 2, 0.25)
+        assert star_graph.neighbors(1) == (0, 2)
+        assert before == (0,)
 
     def test_edges_iteration(self, star_graph):
         edges = list(star_graph.edges())
@@ -102,3 +108,31 @@ class TestAccessors:
         matrix = line_graph.rate_matrix()
         matrix[0, 1] = 99.0
         assert line_graph.rate(0, 1) != 99.0
+
+
+class TestVersioning:
+    def test_version_bumps_on_mutation(self):
+        graph = ContactGraph(3)
+        v0 = graph.version
+        graph.set_rate(0, 1, 0.5)
+        assert graph.version > v0
+
+    def test_versions_unique_across_instances(self):
+        a = ContactGraph(2)
+        b = ContactGraph(2)
+        assert a.version != b.version
+        a.set_rate(0, 1, 1.0)
+        b.set_rate(0, 1, 1.0)
+        assert a.version != b.version
+
+    def test_fingerprint_tracks_content(self):
+        a = ContactGraph(3)
+        b = ContactGraph(3)
+        assert a.fingerprint() == b.fingerprint()
+        a.set_rate(0, 1, 0.5)
+        assert a.fingerprint() != b.fingerprint()
+        b.set_rate(0, 1, 0.5)
+        assert a.fingerprint() == b.fingerprint()
+
+    def test_fingerprint_includes_node_count(self):
+        assert ContactGraph(2).fingerprint() != ContactGraph(3).fingerprint()

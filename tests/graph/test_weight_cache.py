@@ -1,0 +1,117 @@
+"""Unit tests for the graph-versioned path-weight cache."""
+
+import numpy as np
+import pytest
+
+from repro.graph.contact_graph import ContactGraph
+from repro.graph.paths import PathMode, shortest_path_weights_from
+from repro.graph.weight_cache import (
+    PathWeightCache,
+    cached_path_weights,
+    shared_weight_cache,
+)
+
+
+@pytest.fixture
+def graph():
+    g = ContactGraph(4)
+    g.set_rate(0, 1, 1.0)
+    g.set_rate(1, 2, 0.5)
+    g.set_rate(2, 3, 0.25)
+    return g
+
+
+class TestPathWeightCache:
+    def test_hit_returns_same_array(self, graph):
+        cache = PathWeightCache()
+        first = cache.weights(graph, 0, 10.0)
+        second = cache.weights(graph, 0, 10.0)
+        assert first is second
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_values_match_direct_computation(self, graph):
+        cache = PathWeightCache()
+        np.testing.assert_array_equal(
+            cache.weights(graph, 0, 10.0), shortest_path_weights_from(graph, 0, 10.0)
+        )
+
+    def test_cached_arrays_are_read_only(self, graph):
+        cache = PathWeightCache()
+        weights = cache.weights(graph, 0, 10.0)
+        with pytest.raises(ValueError):
+            weights[0] = 99.0
+
+    def test_mutation_invalidates(self, graph):
+        cache = PathWeightCache()
+        before = cache.weights(graph, 0, 10.0)
+        graph.set_rate(0, 3, 2.0)
+        after = cache.weights(graph, 0, 10.0)
+        assert cache.misses == 2
+        assert after[3] > before[3]
+
+    def test_identical_content_shares_entries_across_instances(self):
+        # The GRAPH_REFRESH scenario: distinct snapshot objects, same rates.
+        a = ContactGraph(3)
+        b = ContactGraph(3)
+        for g in (a, b):
+            g.set_rate(0, 1, 1.0)
+            g.set_rate(1, 2, 0.5)
+        cache = PathWeightCache()
+        cache.weights(a, 0, 5.0)
+        cache.weights(b, 0, 5.0)
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_distinct_budgets_and_sources_miss(self, graph):
+        cache = PathWeightCache()
+        cache.weights(graph, 0, 10.0)
+        cache.weights(graph, 0, 20.0)
+        cache.weights(graph, 1, 10.0)
+        assert cache.misses == 3 and cache.hits == 0
+
+    def test_lru_eviction_bounds_size(self, graph):
+        cache = PathWeightCache(maxsize=2)
+        for budget in (1.0, 2.0, 3.0, 4.0):
+            cache.weights(graph, 0, budget)
+        assert len(cache) == 2
+        cache.weights(graph, 0, 4.0)  # newest entry survived
+        assert cache.hits == 1
+
+    def test_weight_matrix_seeds_single_source_rows(self, graph):
+        cache = PathWeightCache()
+        matrix = cache.weight_matrix(graph, 10.0)
+        row = cache.weights(graph, 2, 10.0)
+        assert cache.hits == 1  # served from the matrix row, not recomputed
+        np.testing.assert_array_equal(row, matrix[2])
+
+    def test_rate_tuples_budget_independent_in_expected_delay_mode(self, graph):
+        cache = PathWeightCache()
+        first = cache.rate_tuples(graph, 0, 10.0)
+        second = cache.rate_tuples(graph, 0, 999.0)
+        assert first is second
+        assert first[3] == (1.0, 0.5, 0.25)
+        assert first[0] == ()
+
+    def test_rate_tuples_budget_keyed_in_max_probability_mode(self, graph):
+        cache = PathWeightCache()
+        cache.rate_tuples(graph, 0, 10.0, PathMode.MAX_PROBABILITY)
+        cache.rate_tuples(graph, 0, 999.0, PathMode.MAX_PROBABILITY)
+        assert cache.misses == 2
+
+    def test_clear_resets_counters(self, graph):
+        cache = PathWeightCache()
+        cache.weights(graph, 0, 10.0)
+        cache.clear()
+        assert len(cache) == 0 and cache.hits == 0 and cache.misses == 0
+
+    def test_rejects_bad_maxsize(self):
+        with pytest.raises(ValueError):
+            PathWeightCache(maxsize=0)
+
+
+class TestSharedCache:
+    def test_shared_singleton(self):
+        assert shared_weight_cache() is shared_weight_cache()
+
+    def test_convenience_wrapper_uses_shared_cache(self, graph):
+        direct = shortest_path_weights_from(graph, 0, 7.0)
+        np.testing.assert_array_equal(cached_path_weights(graph, 0, 7.0), direct)

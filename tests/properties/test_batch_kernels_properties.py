@@ -1,0 +1,134 @@
+"""Property tests pinning the vectorized kernels to their scalar oracles.
+
+The batch hypoexponential CDF and the scipy-Dijkstra NCL metrics are
+performance rewrites of pure-Python reference code; these tests assert
+the rewrites are *numerically interchangeable* with the originals —
+including on the adversarial inputs (near-duplicate rates, disconnected
+graphs) that motivated the fallback machinery.
+"""
+
+import hypothesis.strategies as st
+import numpy as np
+from hypothesis import given, settings
+
+from repro.core.ncl import _reference_ncl_metrics, ncl_metrics
+from repro.graph.contact_graph import ContactGraph
+from repro.graph.paths import (
+    _reference_shortest_path_weights_from,
+    shortest_path_weight_matrix,
+    shortest_path_weights_from,
+)
+from repro.mathutils.hypoexponential import (
+    hypoexponential_cdf,
+    hypoexponential_cdf_batch,
+    pad_rate_rows,
+)
+
+rate_row = st.lists(
+    st.floats(min_value=1e-5, max_value=10.0, allow_nan=False, allow_infinity=False),
+    min_size=1,
+    max_size=6,
+)
+
+
+@st.composite
+def rate_rows_with_near_duplicates(draw):
+    """Batches of rate tuples, a fraction perturbed into near-duplicates."""
+    rows = draw(st.lists(rate_row, min_size=1, max_size=12))
+    for row in rows:
+        if len(row) >= 2 and draw(st.booleans()):
+            jitter = draw(st.floats(min_value=-1e-9, max_value=1e-9))
+            row[1] = row[0] * (1.0 + jitter)
+    return rows
+
+
+@settings(max_examples=150, deadline=None)
+@given(rows=rate_rows_with_near_duplicates(), t=st.floats(min_value=0.0, max_value=1e4))
+def test_batch_cdf_matches_scalar(rows, t):
+    batch = hypoexponential_cdf_batch(rows, t)
+    for row, value in zip(rows, batch):
+        assert abs(value - hypoexponential_cdf(row, t)) < 1e-10
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    rows=rate_rows_with_near_duplicates(),
+    ts=st.lists(st.floats(min_value=0.0, max_value=1e4), min_size=1, max_size=1),
+    seed=st.integers(min_value=0, max_value=2**16),
+)
+def test_batch_cdf_matches_scalar_with_per_row_times(rows, ts, seed):
+    rng = np.random.default_rng(seed)
+    times = rng.uniform(0.0, 1e4, len(rows))
+    batch = hypoexponential_cdf_batch(rows, times)
+    for row, t, value in zip(rows, times, batch):
+        assert abs(value - hypoexponential_cdf(row, float(t))) < 1e-10
+
+
+@settings(max_examples=80, deadline=None)
+@given(rows=st.lists(rate_row, min_size=1, max_size=8), t=st.floats(min_value=0.0, max_value=1e4))
+def test_batch_cdf_accepts_padded_matrix_form(rows, t):
+    ragged = hypoexponential_cdf_batch(rows, t)
+    padded = hypoexponential_cdf_batch(pad_rate_rows(rows), t)
+    np.testing.assert_array_equal(ragged, padded)
+
+
+def _random_graph(num_nodes: int, edge_probability: float, seed: int) -> ContactGraph:
+    rng = np.random.default_rng(seed)
+    rates = np.zeros((num_nodes, num_nodes))
+    for i in range(num_nodes):
+        for j in range(i + 1, num_nodes):
+            if rng.random() < edge_probability:
+                rates[i, j] = rates[j, i] = rng.uniform(1e-4, 1.0)
+    return ContactGraph.from_rate_matrix(rates)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    num_nodes=st.integers(min_value=2, max_value=14),
+    edge_probability=st.floats(min_value=0.0, max_value=1.0),
+    seed=st.integers(min_value=0, max_value=2**16),
+    budget=st.floats(min_value=0.5, max_value=1e4),
+)
+def test_scipy_ncl_metrics_match_reference(num_nodes, edge_probability, seed, budget):
+    """The acceptance oracle: vectorized Eq. (3) == pure-Python Eq. (3)
+    to 1e-9 on random graphs, including disconnected ones."""
+    graph = _random_graph(num_nodes, edge_probability, seed)
+    fast = ncl_metrics(graph, budget)
+    reference = _reference_ncl_metrics(graph, budget)
+    np.testing.assert_allclose(fast, reference, atol=1e-9, rtol=0)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    num_nodes=st.integers(min_value=2, max_value=14),
+    edge_probability=st.floats(min_value=0.0, max_value=1.0),
+    seed=st.integers(min_value=0, max_value=2**16),
+    budget=st.floats(min_value=0.5, max_value=1e4),
+)
+def test_scipy_weight_vector_matches_reference(num_nodes, edge_probability, seed, budget):
+    graph = _random_graph(num_nodes, edge_probability, seed)
+    source = seed % num_nodes
+    fast = shortest_path_weights_from(graph, source, budget)
+    reference = _reference_shortest_path_weights_from(graph, source, budget)
+    np.testing.assert_allclose(fast, reference, atol=1e-9, rtol=0)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    num_nodes=st.integers(min_value=2, max_value=12),
+    edge_probability=st.floats(min_value=0.1, max_value=1.0),
+    seed=st.integers(min_value=0, max_value=2**16),
+    budget=st.floats(min_value=0.5, max_value=1e4),
+)
+def test_weight_matrix_rows_are_single_source_sweeps(num_nodes, edge_probability, seed, budget):
+    graph = _random_graph(num_nodes, edge_probability, seed)
+    matrix = shortest_path_weight_matrix(graph, budget)
+    assert matrix.shape == (num_nodes, num_nodes)
+    np.testing.assert_allclose(matrix, matrix.T, atol=1e-12)
+    for source in range(num_nodes):
+        np.testing.assert_allclose(
+            matrix[source],
+            _reference_shortest_path_weights_from(graph, source, budget),
+            atol=1e-9,
+            rtol=0,
+        )
