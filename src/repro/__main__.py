@@ -16,6 +16,8 @@ Commands
     Regenerate one of the paper's tables/figures at a chosen scale.
 ``bench``
     Run the kernel microbenchmarks and fail on regression vs baseline.
+``trace``
+    Replay a JSONL trace file into a per-query audit report.
 """
 
 from __future__ import annotations
@@ -108,7 +110,8 @@ def _run_one(args: argparse.Namespace, scheme_name: str) -> SimulationResult:
         )
     else:
         scheme = scheme_by_name(scheme_name)
-    return Simulator(trace, scheme, workload, SimulatorConfig(seed=args.seed)).run()
+    config = SimulatorConfig(seed=args.seed, trace_path=getattr(args, "trace_out", None))
+    return Simulator(trace, scheme, workload, config).run()
 
 
 def cmd_simulate(args: argparse.Namespace) -> int:
@@ -159,6 +162,18 @@ def cmd_figure(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_trace(args: argparse.Namespace) -> int:
+    from repro.obs import read_events, render_audit_report
+
+    try:
+        events = read_events(args.path)
+    except (OSError, ValueError) as exc:
+        print(f"cannot read trace {args.path!r}: {exc}", file=sys.stderr)
+        return 2
+    print(render_audit_report(events, limit=args.limit, only=args.only))
+    return 0
+
+
 def cmd_bench(args: argparse.Namespace) -> int:
     from repro.experiments.benchguard import run_guard
 
@@ -191,6 +206,12 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--lifetime-hours", type=float, default=72.0)
         p.add_argument("--size-mb", type=float, default=100.0)
         p.add_argument("--seed", type=int, default=7)
+        p.add_argument(
+            "--trace-out",
+            default=None,
+            metavar="PATH",
+            help="record a JSONL lifecycle trace (replay with `repro trace PATH`)",
+        )
         p.set_defaults(func=func)
 
     p_fit = sub.add_parser("fit", help="exponential inter-contact fit report")
@@ -216,6 +237,17 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument("--threshold", type=float, default=DEFAULT_THRESHOLD)
     p_bench.add_argument("--update-baseline", action="store_true")
     p_bench.set_defaults(func=cmd_bench)
+
+    p_trace = sub.add_parser("trace", help="per-query audit report from a JSONL trace")
+    p_trace.add_argument("path", help="trace file written by --trace-out")
+    p_trace.add_argument("--limit", type=int, default=None, help="show at most N queries")
+    p_trace.add_argument(
+        "--only",
+        choices=("satisfied", "expired", "pending"),
+        default=None,
+        help="restrict the report to queries with this outcome",
+    )
+    p_trace.set_defaults(func=cmd_trace)
     return parser
 
 

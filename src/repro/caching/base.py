@@ -31,7 +31,9 @@ from repro.core.data import DataItem, Query
 from repro.core.response import AlwaysRespond, ResponseStrategy
 from repro.graph.contact_graph import ContactGraph
 from repro.metrics.collector import MetricsCollector
-from repro.routing.base import ForwardAction
+from repro.obs.events import TraceEvent, TraceEventKind
+from repro.obs.recorder import NULL_RECORDER, TraceRecorder
+from repro.routing.base import DecisionObserver, ForwardAction, ForwardDecision
 from repro.routing.rate_gradient import RateGradientRouter
 from repro.sim.bundles import ResponseBundle
 from repro.sim.network import TransferBudget
@@ -64,6 +66,12 @@ class SchemeServices:
     response_horizon:
         Default horizon (seconds) for the response-routing gradient —
         the workload's query time constraint.
+    recorder:
+        The run's lifecycle trace sink (``NULL_RECORDER`` when tracing
+        is off; every emit site guards on ``recorder.enabled``).
+    clock:
+        ``() -> float`` returning the current simulation time, for hooks
+        that fire outside a timestamped callback (router observers).
     """
 
     nodes: Sequence[Node]
@@ -72,6 +80,8 @@ class SchemeServices:
     deliver: Callable[[Query, DataItem, float], None]
     lookup_data: Callable[[int], Optional[DataItem]]
     response_horizon: float
+    recorder: TraceRecorder = NULL_RECORDER
+    clock: Optional[Callable[[], float]] = None
 
 
 class CachingScheme(abc.ABC):
@@ -99,6 +109,40 @@ class CachingScheme(abc.ABC):
         """
         self.services = services
         self._response_router = RateGradientRouter()
+        self._response_router.set_observer(self.route_observer())
+
+    def route_observer(self) -> Optional[DecisionObserver]:
+        """The trace hook routers should call per verdict (None when off).
+
+        Subclasses install this on every router they create (the
+        intentional scheme's push/query gradients, for instance) so the
+        trace shows why a bundle moved — or stalled — at each contact.
+        """
+        services = self.services
+        if services is None or not services.recorder.enabled:
+            return None
+        recorder = services.recorder
+        clock = services.clock or (lambda: float("nan"))
+
+        def observe(
+            carrier: int, peer: int, destination: int, decision: ForwardDecision
+        ) -> None:
+            recorder.emit(
+                TraceEvent(
+                    time=clock(),
+                    kind=TraceEventKind.ROUTE_DECISION,
+                    node=carrier,
+                    attrs={
+                        "peer": peer,
+                        "destination": destination,
+                        "action": decision.action.value,
+                        "carrier_score": decision.carrier_score,
+                        "peer_score": decision.peer_score,
+                    },
+                )
+            )
+
+        return observe
 
     def on_graph_updated(self, graph: ContactGraph, now: float) -> None:
         """A fresh contact-rate snapshot was published."""
@@ -165,6 +209,21 @@ class CachingScheme(abc.ABC):
             self.on_cache_hit(node, data, now)
         node.responded_queries.add(query.query_id)
         decision = self._response_strategy.decide(query, now, node.node_id, services.rng)
+        if services.recorder.enabled:
+            services.recorder.emit(
+                TraceEvent(
+                    time=now,
+                    kind=TraceEventKind.RESPONSE_DECIDED,
+                    node=node.node_id,
+                    data_id=data.data_id,
+                    query_id=query.query_id,
+                    attrs={
+                        "respond": decision.respond,
+                        "probability": decision.probability,
+                        "strategy": decision.strategy,
+                    },
+                )
+            )
         if not decision.respond:
             return False
         if node.node_id == query.requester:
@@ -179,6 +238,16 @@ class CachingScheme(abc.ABC):
         )
         node.store_bundle(bundle)
         services.metrics.on_response_emitted()
+        if services.recorder.enabled:
+            services.recorder.emit(
+                TraceEvent(
+                    time=now,
+                    kind=TraceEventKind.RESPONSE_EMITTED,
+                    node=node.node_id,
+                    data_id=data.data_id,
+                    query_id=query.query_id,
+                )
+            )
         return True
 
     def answer_pending_queries(self, node: Node, data_id: int, now: float) -> None:
@@ -208,6 +277,17 @@ class CachingScheme(abc.ABC):
                 if budget.try_consume(bundle.size_bits):
                     x.drop_bundle(bundle.key)
                     services.metrics.on_response_delivered()
+                    if services.recorder.enabled:
+                        services.recorder.emit(
+                            TraceEvent(
+                                time=now,
+                                kind=TraceEventKind.RESPONSE_DELIVERED,
+                                node=y.node_id,
+                                data_id=bundle.data.data_id,
+                                query_id=bundle.query.query_id,
+                                attrs={"carrier": x.node_id, "responder": bundle.responder},
+                            )
+                        )
                     services.deliver(bundle.query, bundle.data, now)
                 continue
             if self.graph is None or self._response_router is None:
@@ -224,6 +304,20 @@ class CachingScheme(abc.ABC):
                     if decision.action is ForwardAction.HANDOVER:
                         x.drop_bundle(bundle.key)
                     y.store_bundle(bundle)
+                    if services.recorder.enabled:
+                        services.recorder.emit(
+                            TraceEvent(
+                                time=now,
+                                kind=TraceEventKind.RESPONSE_FORWARDED,
+                                node=y.node_id,
+                                data_id=bundle.data.data_id,
+                                query_id=bundle.query.query_id,
+                                attrs={
+                                    "carrier": x.node_id,
+                                    "action": decision.action.value,
+                                },
+                            )
+                        )
                     self.on_response_relayed(y, bundle, now)
 
     def on_response_relayed(self, relay: Node, bundle: ResponseBundle, now: float) -> None:

@@ -45,9 +45,11 @@ from repro.core.response import (
 from repro.errors import ConfigurationError
 from repro.graph.contact_graph import ContactGraph
 from repro.graph.paths import PathMode
+from repro.obs.events import TraceEvent, TraceEventKind
 from repro.routing.base import ForwardAction
 from repro.routing.gradient import GradientRouter
 from repro.sim.bundles import PushBundle, QueryBundle
+from repro.sim.invariants import check_buffer_occupancy
 from repro.sim.network import TransferBudget
 from repro.sim.node import Node
 from repro.caching.base import CachingScheme
@@ -168,6 +170,9 @@ class IntentionalCaching(CachingScheme):
         )
         self._push_router.update_graph(self.graph)
         self._query_router.update_graph(self.graph)
+        observer = self.route_observer()
+        self._push_router.set_observer(observer)
+        self._query_router.set_observer(observer)
         if self.config.response_strategy == "sigmoid":
             self.set_response_strategy(
                 SigmoidResponse(self.config.p_min, self.config.p_max)
@@ -283,6 +288,7 @@ class IntentionalCaching(CachingScheme):
             bundle.owns_copy = not already_cached
             if y.node_id == bundle.target_central:
                 services.metrics.on_push_completed()
+                self._emit_push_completed(y, bundle, now, spilled=False)
                 # The copy at the central is now resident: other pushes
                 # relaying the same data through this node must not take
                 # it with them.
@@ -291,6 +297,22 @@ class IntentionalCaching(CachingScheme):
                 y.store_bundle(bundle)
             # New caching location may answer queries it already observed.
             self.answer_pending_queries(y, bundle.data.data_id, now)
+
+    def _emit_push_completed(
+        self, node: Node, bundle: PushBundle, now: float, spilled: bool
+    ) -> None:
+        """Trace hook: a push copy settled inside its target NCL."""
+        services = self._require_services()
+        if services.recorder.enabled:
+            services.recorder.emit(
+                TraceEvent(
+                    time=now,
+                    kind=TraceEventKind.PUSH_COMPLETED,
+                    node=node.node_id,
+                    data_id=bundle.data.data_id,
+                    attrs={"target_central": bundle.target_central, "spilled": spilled},
+                )
+            )
 
     @staticmethod
     def _release_ownership(node: Node, data_id: int) -> None:
@@ -322,6 +344,7 @@ class IntentionalCaching(CachingScheme):
             # The NCL already holds a copy elsewhere; this push is done.
             x.drop_bundle(bundle.key)
             services.metrics.on_push_completed()
+            self._emit_push_completed(y, bundle, now, spilled=True)
             return
         if not y.buffer.fits(bundle.data):
             return
@@ -332,6 +355,7 @@ class IntentionalCaching(CachingScheme):
             x.buffer.remove(bundle.data.data_id)
         x.drop_bundle(bundle.key)
         services.metrics.on_push_completed()
+        self._emit_push_completed(y, bundle, now, spilled=True)
         self._release_ownership(y, bundle.data.data_id)
         self.answer_pending_queries(y, bundle.data.data_id, now)
 
@@ -475,6 +499,22 @@ class IntentionalCaching(CachingScheme):
             return
         budget.try_consume(result.bits_transferred)
         services.metrics.on_exchange(result.moved, result.bits_transferred)
+        # Sec. V-D invariant: a refill can never overfill either buffer.
+        check_buffer_occupancy((node_a, node_b))
+        if services.recorder.enabled:
+            services.recorder.emit(
+                TraceEvent(
+                    time=now,
+                    kind=TraceEventKind.EXCHANGE,
+                    node=node_a.node_id,
+                    attrs={
+                        "peer": node_b.node_id,
+                        "moved": result.moved,
+                        "dropped": [d.data_id for d in result.dropped],
+                        "bits": result.bits_transferred,
+                    },
+                )
+            )
         # Replacement now owns the placement of everything it touched:
         # in-flight pushes must not remove these copies, and data that
         # migrated may answer queries its new holder observed.

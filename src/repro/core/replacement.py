@@ -70,6 +70,10 @@ class ExchangeContext:
         data is cached at each NCL"), so their exchanges run with
         ``dedup=False``: common items sit out the exchange on both
         sides.
+    observer:
+        Optional observability hook called with the
+        :class:`ExchangeResult` before the exchange returns (the tracing
+        layer emits an EXCHANGE event from it).
     """
 
     now: float
@@ -79,6 +83,13 @@ class ExchangeContext:
     exempt_a: Optional[Callable[[DataItem], bool]] = None
     exempt_b: Optional[Callable[[DataItem], bool]] = None
     dedup: bool = True
+    observer: Optional[Callable[["ExchangeResult"], None]] = None
+
+    def notify(self, result: "ExchangeResult") -> "ExchangeResult":
+        """Run the observer hook (if any) and pass the result through."""
+        if self.observer is not None:
+            self.observer(result)
+        return result
 
 
 @dataclass(frozen=True)
@@ -245,7 +256,9 @@ class _OrderedPolicy(ReplacementPolicy):
                 kept_b.append(item)
             else:
                 dropped.append(item)
-        return self._result(before_a, before_b, kept_a, kept_b, dropped)
+        return context.notify(
+            self._result(before_a, before_b, kept_a, kept_b, dropped)
+        )
 
 
 class FIFOPolicy(_OrderedPolicy):
@@ -363,7 +376,9 @@ class GreedyDualSizePolicy(ReplacementPolicy):
                 self._inflation = max(self._inflation, self._h_value(item))
                 self._h.pop(item.data_id, None)
                 dropped.append(item)
-        return self._result(before_a, before_b, kept_a, kept_b, dropped)
+        return context.notify(
+            self._result(before_a, before_b, kept_a, kept_b, dropped)
+        )
 
 
 class UtilityKnapsackPolicy(ReplacementPolicy):
@@ -474,7 +489,9 @@ class UtilityKnapsackPolicy(ReplacementPolicy):
                 kept_a.append(item)
             else:
                 dropped.append(item)
-        return self._result(before_a, before_b, kept_a, kept_b, dropped)
+        return context.notify(
+            self._result(before_a, before_b, kept_a, kept_b, dropped)
+        )
 
     def _select_for(
         self,

@@ -83,8 +83,15 @@ class SigmoidResponse:
     """Eq. (4): respond with probability p_R(t₀) of the elapsed time.
 
     Parameters mirror the paper: ``p_max ∈ (0, 1]`` and
-    ``p_min ∈ (p_max/2, p_max)``; the sigmoid is rebuilt per query because
-    k₂ depends on the query's own time constraint T_q.
+    ``p_min ∈ (p_max/2, p_max)``; k₂ depends on the query's own time
+    constraint T_q, so sigmoids are memoised per distinct T_q (the
+    workload typically uses one constraint for every query).
+
+    The elapsed time t₀ is clamped to [0, T_q] **before** Eq. (4) is
+    evaluated: a late-forwarded query with t₀ > T_q would otherwise
+    extrapolate the sigmoid past p_max (its supremum is k₁ = 2·p_min,
+    which exceeds p_max whenever p_min > p_max/2 — i.e. always), and a
+    clock skew giving t₀ < 0 would drop the probability below p_min.
     """
 
     name = "sigmoid"
@@ -95,6 +102,7 @@ class SigmoidResponse:
         ResponseSigmoid(p_min, p_max, time_constraint=1.0)
         self._p_min = p_min
         self._p_max = p_max
+        self._sigmoids: dict = {}
 
     @property
     def p_min(self) -> float:
@@ -104,8 +112,19 @@ class SigmoidResponse:
     def p_max(self) -> float:
         return self._p_max
 
+    def _sigmoid_for(self, time_constraint: float) -> ResponseSigmoid:
+        sigmoid = self._sigmoids.get(time_constraint)
+        if sigmoid is None:
+            sigmoid = self._sigmoids[time_constraint] = ResponseSigmoid(
+                self._p_min, self._p_max, time_constraint
+            )
+        return sigmoid
+
     def probability(self, query: Query, now: float) -> float:
-        sigmoid = ResponseSigmoid(self._p_min, self._p_max, query.time_constraint)
+        sigmoid = self._sigmoid_for(query.time_constraint)
+        # Query.elapsed clamps to [0, T_q]; ResponseSigmoid.__call__
+        # clamps again, so the bound survives any caller handing raw
+        # ``now - created_at`` deltas to the sigmoid directly.
         return sigmoid(query.elapsed(now))
 
     def decide(

@@ -13,14 +13,24 @@ only from seed-derived streams, results are collected in seed order, and
 aggregation is order-stable.  The only requirement is picklability —
 pass a module-level class or :func:`functools.partial` as the factory,
 not a lambda or closure.
+
+Fault tolerance: a crashed worker (OOM-killed child, segfaulting native
+extension) breaks the whole :class:`~concurrent.futures.ProcessPoolExecutor`.
+The seed→run mapping is **pinned at task construction** — each task tuple
+carries its own seed — so retrying the unfinished tasks on a fresh pool
+(in whatever worker order) reproduces exactly the results the original
+pool would have produced.  Deterministic task exceptions are *not*
+retried; they propagate immediately.
 """
 
 from __future__ import annotations
 
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.caching.base import CachingScheme
+from repro.errors import SimulationError
 from repro.metrics.results import AggregateResult, SimulationResult, aggregate_results
 from repro.sim.simulator import Simulator, SimulatorConfig
 from repro.traces.contact import ContactTrace
@@ -30,6 +40,9 @@ __all__ = ["run_single", "run_repeated", "run_comparison"]
 
 #: One picklable unit of work for the process pool.
 _Task = Tuple[ContactTrace, Callable[[], CachingScheme], WorkloadConfig, int]
+
+#: Fresh-pool attempts after worker crashes before giving up.
+_MAX_POOL_RETRIES = 2
 
 
 def run_single(
@@ -48,18 +61,53 @@ def _execute_task(task: _Task) -> SimulationResult:
     return run_single(trace, scheme_factory(), workload, seed=seed)
 
 
-def _execute_all(tasks: Sequence[_Task], workers: Optional[int]) -> List[SimulationResult]:
+def _execute_all(
+    tasks: Sequence[_Task],
+    workers: Optional[int],
+    max_retries: int = _MAX_POOL_RETRIES,
+) -> List[SimulationResult]:
     """Run tasks serially or on a process pool, preserving input order.
 
     ``workers`` of ``None``/``0``/``1`` means serial — the default, so
     the pool (and its pickling constraints) is strictly opt-in.
+
+    The parallel path is fault-tolerant: results are slotted by *task
+    index*, and when a worker crash breaks the pool the still-unfinished
+    indices are resubmitted to a fresh pool.  Because every task tuple
+    already carries its own seed, the retried runs are bit-identical to
+    what the crashed pool would have produced — the seed→run mapping is
+    never re-derived from completion or worker order.  Exceptions
+    *raised by a task* (as opposed to a dying worker process) are
+    deterministic and propagate immediately instead of being retried.
     """
     if not workers or workers <= 1 or len(tasks) <= 1:
         return [_execute_task(task) for task in tasks]
-    with ProcessPoolExecutor(max_workers=min(workers, len(tasks))) as pool:
-        # Executor.map preserves submission order, which is seed order;
-        # aggregation is therefore bitwise-identical to the serial path.
-        return list(pool.map(_execute_task, tasks))
+    results: List[Optional[SimulationResult]] = [None] * len(tasks)
+    pending = list(range(len(tasks)))
+    for attempt in range(max_retries + 1):
+        with ProcessPoolExecutor(max_workers=min(workers, len(pending))) as pool:
+            futures = {index: pool.submit(_execute_task, tasks[index]) for index in pending}
+            broken = False
+            for index, future in futures.items():
+                try:
+                    results[index] = future.result()
+                except BrokenProcessPool:
+                    # A worker died (crash/OOM/os._exit); every future
+                    # still in flight on this pool fails the same way.
+                    # Leave those slots None and retry them on a fresh
+                    # pool below.
+                    broken = True
+        pending = [index for index in pending if results[index] is None]
+        if not broken or not pending:
+            break
+    if pending:
+        raise SimulationError(
+            f"parallel runner gave up on {len(pending)} task(s) after "
+            f"{max_retries + 1} pool attempts (repeated worker crashes)"
+        )
+    # Slots are filled in task-index order, which is seed order; the
+    # aggregate is therefore bitwise-identical to the serial path.
+    return [result for result in results if result is not None]
 
 
 def run_repeated(
@@ -68,15 +116,18 @@ def run_repeated(
     workload: WorkloadConfig,
     seeds: Sequence[int],
     workers: Optional[int] = None,
+    max_retries: int = _MAX_POOL_RETRIES,
 ) -> AggregateResult:
     """The paper's repetition protocol: same trace and scheme, several
     seeds for data/query randomness, aggregated with CIs.
 
     With ``workers > 1`` the seeds run on a process pool; results are
-    aggregated in seed order either way, so the aggregate is identical.
+    aggregated in seed order either way, so the aggregate is identical —
+    including across worker-crash retries, because each task carries its
+    pinned seed (see :func:`_execute_all`).
     """
     tasks: List[_Task] = [(trace, scheme_factory, workload, seed) for seed in seeds]
-    return aggregate_results(_execute_all(tasks, workers))
+    return aggregate_results(_execute_all(tasks, workers, max_retries))
 
 
 def run_comparison(
@@ -85,6 +136,7 @@ def run_comparison(
     workload: WorkloadConfig,
     seeds: Sequence[int],
     workers: Optional[int] = None,
+    max_retries: int = _MAX_POOL_RETRIES,
 ) -> Dict[str, AggregateResult]:
     """All schemes on an identical trace + workload (paired comparison).
 
@@ -95,7 +147,7 @@ def run_comparison(
     tasks: List[_Task] = [
         (trace, factories[name], workload, seed) for name in names for seed in seeds
     ]
-    results = _execute_all(tasks, workers)
+    results = _execute_all(tasks, workers, max_retries)
     per_scheme: Dict[str, List[SimulationResult]] = {name: [] for name in names}
     for (name, _seed), result in zip(
         ((name, seed) for name in names for seed in seeds), results

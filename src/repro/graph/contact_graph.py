@@ -46,6 +46,12 @@ class ContactGraph:
             raise ConfigurationError("contact graph needs at least one node")
         self._num_nodes = int(num_nodes)
         self._rates = np.zeros((num_nodes, num_nodes))
+        # The rate matrix is non-writable at rest: every mutation must go
+        # through set_rate/set_rates so the version bump (and thereby the
+        # path-weight cache's fingerprint invalidation) can never be
+        # skipped.  In-place writes like ``graph.rates[i, j] = x`` raise
+        # immediately instead of silently serving stale cached paths.
+        self._rates.flags.writeable = False
         self._version = next(_VERSION_COUNTER)
         self._fingerprint: Optional[bytes] = None
         self._adjacency_version = -1
@@ -59,14 +65,8 @@ class ContactGraph:
         rates = np.asarray(rates, dtype=float)
         if rates.ndim != 2 or rates.shape[0] != rates.shape[1]:
             raise ConfigurationError("rate matrix must be square")
-        if (rates < 0).any():
-            raise ConfigurationError("contact rates must be non-negative")
-        if not np.allclose(rates, rates.T):
-            raise ConfigurationError("rate matrix must be symmetric")
         graph = cls(rates.shape[0])
-        graph._rates = rates.copy()
-        np.fill_diagonal(graph._rates, 0.0)
-        graph._mark_mutated()
+        graph.set_rates(rates)
         return graph
 
     @classmethod
@@ -105,8 +105,37 @@ class ContactGraph:
             raise ConfigurationError("no self-loop contact rates")
         if rate < 0:
             raise ConfigurationError("contact rates must be non-negative")
-        self._rates[i, j] = rate
-        self._rates[j, i] = rate
+        self._rates.flags.writeable = True
+        try:
+            self._rates[i, j] = rate
+            self._rates[j, i] = rate
+        finally:
+            self._rates.flags.writeable = False
+        self._mark_mutated()
+
+    def set_rates(self, rates: np.ndarray) -> None:
+        """Replace the whole rate matrix atomically (bulk mutation path).
+
+        This is the supported way to apply vectorised updates that would
+        otherwise tempt callers into in-place ``numpy`` writes on the
+        internal array — which the graph forbids (the matrix is
+        non-writable at rest) precisely because such writes would skip
+        the version bump and leave the shared path-weight cache serving
+        stale entries.
+        """
+        rates = np.array(rates, dtype=float)  # owned copy, decoupled from caller
+        if rates.ndim != 2 or rates.shape != (self._num_nodes, self._num_nodes):
+            raise ConfigurationError(
+                f"rate matrix must be {self._num_nodes}x{self._num_nodes}, "
+                f"got {rates.shape}"
+            )
+        if (rates < 0).any():
+            raise ConfigurationError("contact rates must be non-negative")
+        if not np.allclose(rates, rates.T):
+            raise ConfigurationError("rate matrix must be symmetric")
+        np.fill_diagonal(rates, 0.0)
+        rates.flags.writeable = False
+        self._rates = rates
         self._mark_mutated()
 
     def _mark_mutated(self) -> None:
@@ -146,6 +175,19 @@ class ContactGraph:
     def rate_matrix(self) -> np.ndarray:
         """A copy of the symmetric rate matrix."""
         return self._rates.copy()
+
+    @property
+    def rates(self) -> np.ndarray:
+        """Read-only view of the rate matrix (zero-copy).
+
+        Direct writes (``graph.rates[i, j] = x``) raise ``ValueError``;
+        mutate through :meth:`set_rate` / :meth:`set_rates`, which bump
+        :attr:`version` and invalidate the content fingerprint the
+        shared path-weight cache keys on.
+        """
+        view = self._rates.view()
+        view.flags.writeable = False
+        return view
 
     def neighbors(self, i: int) -> Tuple[int, ...]:
         """Nodes with a positive contact rate to *i*.

@@ -21,7 +21,12 @@ bump on mutation.  Content keying (rather than instance keying) is what
 lets two *different* snapshot instances with identical rates — the
 common case for periodic GRAPH_REFRESH events over a quiet trace window —
 share one computation.  A mutated graph gets a new fingerprint, so stale
-reads are impossible by construction; eviction is plain LRU.
+reads are impossible by construction; eviction is plain LRU.  The graph
+enforces its side of the contract by keeping the rate matrix
+non-writable at rest: in-place ``numpy`` writes that would skip the
+version bump (``graph.rates[i, j] = x``) raise instead of silently
+poisoning this cache — all mutation goes through
+``ContactGraph.set_rate``/``set_rates``.
 
 Cached weight vectors are returned read-only (``ndarray.flags.writeable
 = False``); callers that need to mutate must copy.

@@ -36,6 +36,7 @@ class MetricsCollector:
         self._exchanges = 0
         self._responses_emitted = 0
         self._responses_delivered = 0
+        self._duplicate_deliveries = 0
         self._bits_transferred = 0
         self._pushes_completed = 0
 
@@ -46,8 +47,16 @@ class MetricsCollector:
 
     def on_query_satisfied(self, query: Query, now: float) -> bool:
         """Record a delivery; returns True iff this is the first (useful)
-        copy and it arrived within the constraint."""
+        copy and it arrived within the constraint.
+
+        Satisfaction is keyed on **distinct query ids**, never on
+        delivery events: when several NCLs respond and more than one copy
+        reaches the requester (the paper's overhead scenario, Sec. V-C),
+        the extra copies are tallied as :attr:`duplicate_deliveries` and
+        leave the successful ratio untouched.
+        """
         if query.query_id in self._satisfied_at:
+            self._duplicate_deliveries += 1
             return False
         if now > query.expires_at:
             return False
@@ -97,7 +106,17 @@ class MetricsCollector:
 
     @property
     def queries_satisfied(self) -> int:
+        """Distinct queries satisfied in time (never delivery events)."""
         return len(self._satisfied_at)
+
+    @property
+    def duplicate_deliveries(self) -> int:
+        """Deliveries for already-satisfied queries (redundant copies)."""
+        return self._duplicate_deliveries
+
+    @property
+    def responses_delivered(self) -> int:
+        return self._responses_delivered
 
     def finalize(self, name: str, seed: int) -> SimulationResult:
         """Freeze the run into a :class:`SimulationResult`."""

@@ -1,0 +1,53 @@
+"""Observability: structured lifecycle tracing and metric derivation.
+
+Every data item and query in a simulation run has a lifecycle
+(generated → pushed → cached@NCL → queried → responded → delivered /
+expired).  This package records that lifecycle as span-like events,
+persists them as JSONL, and *re-derives* the paper's evaluation metrics
+(successful ratio, access delay, caching overhead) from the event
+stream — an independent accounting path that is cross-checked against
+the live counters of :class:`repro.metrics.collector.MetricsCollector`
+(see :func:`repro.sim.invariants.check_trace_consistency`).
+
+Tracing is strictly opt-in: every hook guards on
+``recorder.enabled``, and the default :data:`NULL_RECORDER` keeps the
+guard a single attribute read, so tracing-off runs pay no measurable
+overhead (enforced by the ``python -m repro bench`` guard).
+"""
+
+from repro.obs.events import TraceEvent, TraceEventKind
+from repro.obs.recorder import (
+    NULL_RECORDER,
+    JsonlRecorder,
+    MemoryRecorder,
+    NullRecorder,
+    TraceRecorder,
+    read_events,
+)
+from repro.obs.primitives import Counter, Histogram, MetricsRegistry
+from repro.obs.derive import (
+    DerivedMetrics,
+    QueryAudit,
+    audit_queries,
+    derive_metrics,
+    render_audit_report,
+)
+
+__all__ = [
+    "TraceEvent",
+    "TraceEventKind",
+    "TraceRecorder",
+    "NullRecorder",
+    "NULL_RECORDER",
+    "MemoryRecorder",
+    "JsonlRecorder",
+    "read_events",
+    "Counter",
+    "Histogram",
+    "MetricsRegistry",
+    "DerivedMetrics",
+    "QueryAudit",
+    "audit_queries",
+    "derive_metrics",
+    "render_audit_report",
+]

@@ -1,0 +1,220 @@
+"""Derive run metrics and per-query audits from a lifecycle trace.
+
+This is the independent accounting path of the observability layer: the
+same successful ratio / access delay / caching overhead the live
+:class:`~repro.metrics.collector.MetricsCollector` accumulates, but
+recomputed purely from the emitted :class:`~repro.obs.events.TraceEvent`
+stream.  The arithmetic deliberately replays the collector's exact
+operations in the exact emission order (same subtractions, same
+divisions, same summation order), so on a consistent run the two paths
+agree **bit for bit** — any drift is a real accounting bug, and
+:func:`repro.sim.invariants.check_trace_consistency` turns it into a
+hard error.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Union
+
+from repro.obs.events import TraceEvent, TraceEventKind
+
+__all__ = [
+    "DerivedMetrics",
+    "QueryAudit",
+    "derive_metrics",
+    "audit_queries",
+    "render_audit_report",
+]
+
+
+@dataclass(frozen=True)
+class DerivedMetrics:
+    """The paper's evaluation metrics, recomputed from the trace alone."""
+
+    queries_issued: int
+    queries_satisfied: int
+    successful_ratio: float
+    mean_access_delay: float
+    caching_overhead: float
+    data_generated: int
+    delivery_events: int
+    responses_emitted: int
+
+
+@dataclass
+class QueryAudit:
+    """Everything the trace says about one query's life."""
+
+    query_id: int
+    requester: Optional[int] = None
+    data_id: Optional[int] = None
+    created_at: Optional[float] = None
+    expires_at: Optional[float] = None
+    observed_by: List[int] = field(default_factory=list)
+    decisions: int = 0
+    responses_emitted: int = 0
+    forwards: int = 0
+    deliveries: int = 0
+    satisfied_at: Optional[float] = None
+    events: List[TraceEvent] = field(default_factory=list)
+
+    @property
+    def delay(self) -> Optional[float]:
+        if self.satisfied_at is None or self.created_at is None:
+            return None
+        return self.satisfied_at - self.created_at
+
+    def outcome(self, trace_end: float) -> str:
+        """``satisfied`` / ``expired`` / ``pending`` at *trace_end*."""
+        if self.satisfied_at is not None:
+            return "satisfied"
+        if self.expires_at is not None and trace_end >= self.expires_at:
+            return "expired"
+        return "pending"
+
+
+def derive_metrics(events: Iterable[TraceEvent]) -> DerivedMetrics:
+    """Recompute the headline metrics from the event stream.
+
+    Satisfaction counts **distinct query ids**, never delivery events:
+    two NCLs answering the same query contribute two
+    ``RESPONSE_DELIVERED`` events (tracked separately as
+    ``delivery_events``) but at most one satisfied query.
+    """
+    issued: Dict[int, float] = {}
+    delays: List[float] = []
+    satisfied: Dict[int, float] = {}
+    copy_samples: List[float] = []
+    data_generated = 0
+    delivery_events = 0
+    responses_emitted = 0
+    for event in events:
+        kind = event.kind
+        if kind is TraceEventKind.QUERY_CREATED:
+            assert event.query_id is not None
+            issued[event.query_id] = event.time
+        elif kind is TraceEventKind.QUERY_SATISFIED:
+            assert event.query_id is not None
+            if event.query_id not in satisfied:
+                satisfied[event.query_id] = event.time
+                created = float(event.attrs.get("created_at", event.time))
+                delays.append(event.time - created)
+        elif kind is TraceEventKind.SAMPLE:
+            live = int(event.attrs.get("live_items", 0))
+            if live > 0:
+                copy_samples.append(int(event.attrs["cached_copies"]) / live)
+        elif kind is TraceEventKind.DATA_GENERATED:
+            data_generated += 1
+        elif kind is TraceEventKind.RESPONSE_DELIVERED:
+            delivery_events += 1
+        elif kind is TraceEventKind.RESPONSE_EMITTED:
+            responses_emitted += 1
+    issued_count = len(issued)
+    return DerivedMetrics(
+        queries_issued=issued_count,
+        queries_satisfied=len(satisfied),
+        successful_ratio=(len(satisfied) / issued_count) if issued_count else 0.0,
+        mean_access_delay=(sum(delays) / len(delays)) if delays else float("nan"),
+        caching_overhead=(
+            sum(copy_samples) / len(copy_samples) if copy_samples else 0.0
+        ),
+        data_generated=data_generated,
+        delivery_events=delivery_events,
+        responses_emitted=responses_emitted,
+    )
+
+
+def audit_queries(events: Iterable[TraceEvent]) -> Dict[int, QueryAudit]:
+    """Group the trace into per-query lifecycle audits (insertion order)."""
+    audits: Dict[int, QueryAudit] = {}
+
+    def audit_for(query_id: int) -> QueryAudit:
+        audit = audits.get(query_id)
+        if audit is None:
+            audit = audits[query_id] = QueryAudit(query_id=query_id)
+        return audit
+
+    for event in events:
+        if event.query_id is None:
+            continue
+        audit = audit_for(event.query_id)
+        audit.events.append(event)
+        kind = event.kind
+        if kind is TraceEventKind.QUERY_CREATED:
+            audit.requester = event.node
+            audit.data_id = event.data_id
+            audit.created_at = event.time
+            constraint = event.attrs.get("time_constraint")
+            if constraint is not None:
+                audit.expires_at = event.time + float(constraint)
+        elif kind is TraceEventKind.QUERY_OBSERVED:
+            if event.node is not None:
+                audit.observed_by.append(event.node)
+        elif kind is TraceEventKind.RESPONSE_DECIDED:
+            audit.decisions += 1
+        elif kind is TraceEventKind.RESPONSE_EMITTED:
+            audit.responses_emitted += 1
+        elif kind is TraceEventKind.RESPONSE_FORWARDED:
+            audit.forwards += 1
+        elif kind is TraceEventKind.RESPONSE_DELIVERED:
+            audit.deliveries += 1
+        elif kind is TraceEventKind.QUERY_SATISFIED:
+            if audit.satisfied_at is None:
+                audit.satisfied_at = event.time
+    return audits
+
+
+def render_audit_report(
+    events: Union[Iterable[TraceEvent], List[TraceEvent]],
+    limit: Optional[int] = None,
+    only: Optional[str] = None,
+) -> str:
+    """Human-readable per-query audit of a trace.
+
+    ``only`` filters by outcome (``satisfied`` / ``expired`` /
+    ``pending``); ``limit`` caps the number of query lines printed.
+    """
+    events = list(events)
+    trace_end = max((e.time for e in events), default=0.0)
+    metrics = derive_metrics(events)
+    audits = audit_queries(events)
+    lines = [
+        f"trace: {len(events)} events, {metrics.data_generated} data items, "
+        f"{metrics.queries_issued} queries",
+        f"derived: ratio={metrics.successful_ratio:.4f} "
+        f"delay={_fmt_delay(metrics.mean_access_delay)} "
+        f"copies/item={metrics.caching_overhead:.3f} "
+        f"deliveries={metrics.delivery_events} "
+        f"responses={metrics.responses_emitted}",
+        "",
+    ]
+    selected = [
+        (audit, audit.outcome(trace_end))
+        for audit in audits.values()
+        if only is None or audit.outcome(trace_end) == only
+    ]
+    shown = 0
+    for audit, outcome in selected:
+        if limit is not None and shown >= limit:
+            lines.append(f"... ({len(selected) - shown} more queries)")
+            break
+        shown += 1
+        delay = audit.delay
+        lines.append(
+            f"query {audit.query_id} [{outcome}] data={audit.data_id} "
+            f"requester={audit.requester} observed_by={len(set(audit.observed_by))} "
+            f"decisions={audit.decisions} emitted={audit.responses_emitted} "
+            f"forwards={audit.forwards} deliveries={audit.deliveries}"
+            + (f" delay={_fmt_delay(delay)}" if delay is not None else "")
+        )
+    return "\n".join(lines)
+
+
+def _fmt_delay(delay: Optional[float]) -> str:
+    if delay is None or math.isnan(delay):
+        return "n/a"
+    if delay >= 3600.0:
+        return f"{delay / 3600.0:.2f}h"
+    return f"{delay:.1f}s"

@@ -1,0 +1,76 @@
+"""Trace event records — the vocabulary of the observability layer.
+
+One :class:`TraceEvent` is one step of a data item's or query's
+lifecycle.  Events are flat (time, kind, optional node/data/query ids,
+plus a free-form ``attrs`` mapping) so they serialise losslessly to one
+JSON object per line and back; Python's ``json`` round-trips floats
+exactly (``repr``-based), which is what lets the trace-derived metrics
+match the live counters bit for bit.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Dict, Mapping, Optional
+
+__all__ = ["TraceEventKind", "TraceEvent"]
+
+
+class TraceEventKind(str, Enum):
+    """Lifecycle stages recorded by the hooks (see DESIGN.md §7)."""
+
+    # data lifecycle
+    DATA_GENERATED = "data_generated"        # source created an item
+    PUSH_COMPLETED = "push_completed"        # a push copy reached its NCL
+    DATA_EXPIRED = "data_expired"            # an item aged out at a node
+    # query lifecycle
+    QUERY_CREATED = "query_created"          # requester issued the query
+    QUERY_OBSERVED = "query_observed"        # a node recorded the query
+    RESPONSE_DECIDED = "response_decided"    # Sec. V-C probabilistic decision
+    RESPONSE_EMITTED = "response_emitted"    # a holder emitted a response copy
+    RESPONSE_FORWARDED = "response_forwarded"  # a relay took over a response
+    RESPONSE_DELIVERED = "response_delivered"  # a copy reached the requester
+    QUERY_SATISFIED = "query_satisfied"      # first in-constraint delivery
+    # network-wide bookkeeping
+    ROUTE_DECISION = "route_decision"        # a router's forwarding verdict
+    EXCHANGE = "exchange"                    # Sec. V-D pairwise replacement
+    SAMPLE = "sample"                        # periodic caching-overhead sample
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One span-like record of the run's event stream."""
+
+    time: float
+    kind: TraceEventKind
+    node: Optional[int] = None
+    data_id: Optional[int] = None
+    query_id: Optional[int] = None
+    attrs: Mapping[str, Any] = field(default_factory=dict)
+
+    def to_json(self) -> str:
+        """One compact JSON line (stable key order for diffability)."""
+        record: Dict[str, Any] = {"t": self.time, "kind": self.kind.value}
+        if self.node is not None:
+            record["node"] = self.node
+        if self.data_id is not None:
+            record["data"] = self.data_id
+        if self.query_id is not None:
+            record["query"] = self.query_id
+        if self.attrs:
+            record["attrs"] = dict(self.attrs)
+        return json.dumps(record, separators=(",", ":"), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, line: str) -> "TraceEvent":
+        record = json.loads(line)
+        return cls(
+            time=float(record["t"]),
+            kind=TraceEventKind(record["kind"]),
+            node=record.get("node"),
+            data_id=record.get("data"),
+            query_id=record.get("query"),
+            attrs=record.get("attrs", {}),
+        )

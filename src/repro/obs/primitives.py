@@ -1,0 +1,136 @@
+"""Counter/histogram primitives for near-zero-overhead instrumentation.
+
+These are the building blocks for aggregate observability that is *on*
+even when full event tracing is off: a :class:`Counter` increment is one
+integer add, a :class:`Histogram` observation is a bisect plus three
+float ops.  A :class:`MetricsRegistry` groups them for reporting.
+
+They deliberately mirror the Prometheus data model (monotone counters,
+cumulative bucket histograms) so a future exporter can serialise them
+directly.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = ["Counter", "Histogram", "MetricsRegistry"]
+
+
+class Counter:
+    """A monotonically increasing event count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError("counters only increase")
+        self.value += amount
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Counter({self.name}={self.value})"
+
+
+class Histogram:
+    """Cumulative-bucket histogram with exact count/sum/min/max.
+
+    ``bounds`` are the upper edges of the finite buckets; observations
+    above the last bound land in the implicit +inf bucket.
+    """
+
+    __slots__ = ("name", "bounds", "bucket_counts", "count", "total", "min", "max")
+
+    #: default edges suited to delays in seconds across trace scales
+    DEFAULT_BOUNDS: Tuple[float, ...] = (
+        1.0, 10.0, 60.0, 600.0, 3600.0, 6 * 3600.0, 24 * 3600.0, 7 * 24 * 3600.0
+    )
+
+    def __init__(self, name: str, bounds: Optional[Sequence[float]] = None):
+        edges = tuple(bounds) if bounds is not None else self.DEFAULT_BOUNDS
+        if list(edges) != sorted(edges) or len(set(edges)) != len(edges):
+            raise ValueError("histogram bounds must be strictly increasing")
+        self.name = name
+        self.bounds = edges
+        self.bucket_counts: List[int] = [0] * (len(edges) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def observe(self, value: float) -> None:
+        self.bucket_counts[bisect.bisect_left(self.bounds, value)] += 1
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else float("nan")
+
+    def quantile(self, q: float) -> float:
+        """Bucket-resolution quantile estimate (upper edge of the bucket
+        holding the q-th observation; +inf if it falls past the edges)."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must be in [0, 1]")
+        if self.count == 0:
+            return float("nan")
+        rank = q * self.count
+        cumulative = 0
+        for edge, bucket in zip(self.bounds, self.bucket_counts):
+            cumulative += bucket
+            if cumulative >= rank:
+                return edge
+        return math.inf
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "count": float(self.count),
+            "mean": self.mean,
+            "min": self.min if self.count else float("nan"),
+            "max": self.max if self.count else float("nan"),
+            "p50": self.quantile(0.5),
+            "p95": self.quantile(0.95),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Histogram({self.name}, n={self.count}, mean={self.mean:.3g})"
+
+
+class MetricsRegistry:
+    """Named collection of counters and histograms."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        counter = self._counters.get(name)
+        if counter is None:
+            counter = self._counters[name] = Counter(name)
+        return counter
+
+    def histogram(
+        self, name: str, bounds: Optional[Sequence[float]] = None
+    ) -> Histogram:
+        histogram = self._histograms.get(name)
+        if histogram is None:
+            histogram = self._histograms[name] = Histogram(name, bounds)
+        return histogram
+
+    def snapshot(self) -> Dict[str, object]:
+        """Flat report of every instrument's current state."""
+        report: Dict[str, object] = {}
+        for name, counter in sorted(self._counters.items()):
+            report[name] = counter.value
+        for name, histogram in sorted(self._histograms.items()):
+            report[name] = histogram.summary()
+        return report

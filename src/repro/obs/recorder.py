@@ -1,0 +1,119 @@
+"""Trace recorders — where lifecycle events go.
+
+Three sinks cover the use cases:
+
+* :class:`NullRecorder` — the default.  ``enabled`` is ``False`` and
+  every hook in the simulator guards on it, so a tracing-off run costs
+  one attribute read per hook site and allocates nothing.
+* :class:`MemoryRecorder` — in-process list, for tests and for the
+  consistency cross-check at the end of a traced run.
+* :class:`JsonlRecorder` — append-only JSONL file, the persistent form
+  consumed by ``python -m repro trace <run.jsonl>``.
+
+The recorder API is intentionally one method (:meth:`emit`); hook sites
+build the :class:`TraceEvent` themselves *after* checking ``enabled`` so
+the event construction cost is also skipped when tracing is off.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import IO, Iterable, List, Optional, Union
+
+from repro.obs.events import TraceEvent
+
+__all__ = [
+    "TraceRecorder",
+    "NullRecorder",
+    "NULL_RECORDER",
+    "MemoryRecorder",
+    "JsonlRecorder",
+    "read_events",
+]
+
+
+class TraceRecorder:
+    """Base recorder: an ``enabled`` flag plus an :meth:`emit` sink."""
+
+    #: hook sites skip event construction entirely when this is False
+    enabled: bool = True
+
+    def emit(self, event: TraceEvent) -> None:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Flush and release any underlying resource (no-op by default)."""
+
+    def __enter__(self) -> "TraceRecorder":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+class NullRecorder(TraceRecorder):
+    """Tracing off: every emit is a bug (hooks must guard on ``enabled``)."""
+
+    enabled = False
+
+    def emit(self, event: TraceEvent) -> None:
+        # Tolerate stray emits rather than crash a live run; the guard
+        # convention makes this path unreachable from repo code.
+        pass
+
+
+#: Shared default sink — stateless, so one instance serves the process.
+NULL_RECORDER = NullRecorder()
+
+
+class MemoryRecorder(TraceRecorder):
+    """Collect events in a list (tests, end-of-run cross-checks)."""
+
+    def __init__(self) -> None:
+        self.events: List[TraceEvent] = []
+
+    def emit(self, event: TraceEvent) -> None:
+        self.events.append(event)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+
+class JsonlRecorder(TraceRecorder):
+    """Append events to a JSONL file, one event per line."""
+
+    def __init__(self, path: Union[str, Path]):
+        self.path = Path(path)
+        self._file: Optional[IO[str]] = None
+        self.emitted = 0
+
+    def emit(self, event: TraceEvent) -> None:
+        if self._file is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._file = self.path.open("w", encoding="utf-8")
+        self._file.write(event.to_json())
+        self._file.write("\n")
+        self.emitted += 1
+
+    def close(self) -> None:
+        if self._file is not None:
+            self._file.close()
+            self._file = None
+
+
+def read_events(path: Union[str, Path]) -> List[TraceEvent]:
+    """Load a JSONL trace back into :class:`TraceEvent` records."""
+    events: List[TraceEvent] = []
+    with Path(path).open("r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                events.append(TraceEvent.from_json(line))
+    return events
+
+
+def ensure_events(source: Union[str, Path, Iterable[TraceEvent]]) -> List[TraceEvent]:
+    """Accept a path or an event iterable and return the event list."""
+    if isinstance(source, (str, Path)):
+        return read_events(source)
+    return list(source)

@@ -4,11 +4,24 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from enum import Enum
-from typing import Protocol
+from typing import Callable, Optional, Protocol
 
 from repro.graph.contact_graph import ContactGraph
 
-__all__ = ["ForwardAction", "ForwardDecision", "Router"]
+__all__ = [
+    "ForwardAction",
+    "ForwardDecision",
+    "DecisionObserver",
+    "ObservableRouter",
+    "Router",
+]
+
+#: Observability hook: called with ``(carrier, peer, destination,
+#: decision)`` after every routing verdict.  Installed by the tracing
+#: layer (see :meth:`repro.caching.base.CachingScheme.attach`); the
+#: installer closes over the simulation clock, so routers stay
+#: time-agnostic.
+DecisionObserver = Callable[[int, int, int, "ForwardDecision"], None]
 
 
 class ForwardAction(Enum):
@@ -30,6 +43,26 @@ class ForwardDecision:
     @property
     def transfers(self) -> bool:
         return self.action is not ForwardAction.KEEP
+
+
+class ObservableRouter:
+    """Mixin giving a router an optional per-decision trace hook.
+
+    Concrete routers call :meth:`_observe` on every verdict; the hook is
+    ``None`` by default so the untraced cost is one attribute test.
+    """
+
+    observer: Optional[DecisionObserver] = None
+
+    def set_observer(self, observer: Optional[DecisionObserver]) -> None:
+        self.observer = observer
+
+    def _observe(
+        self, carrier: int, peer: int, destination: int, decision: "ForwardDecision"
+    ) -> "ForwardDecision":
+        if self.observer is not None:
+            self.observer(carrier, peer, destination, decision)
+        return decision
 
 
 class Router(Protocol):

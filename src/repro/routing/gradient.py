@@ -20,12 +20,12 @@ from repro.errors import ConfigurationError
 from repro.graph.contact_graph import ContactGraph
 from repro.graph.paths import PathMode
 from repro.graph.weight_cache import shared_weight_cache
-from repro.routing.base import ForwardAction, ForwardDecision
+from repro.routing.base import ForwardAction, ForwardDecision, ObservableRouter
 
 __all__ = ["GradientRouter"]
 
 
-class GradientRouter:
+class GradientRouter(ObservableRouter):
     """Unicast by climbing the path-weight gradient toward the destination.
 
     Parameters
@@ -84,8 +84,13 @@ class GradientRouter:
         time_budget: float,
     ) -> ForwardDecision:
         if peer == destination:
-            return ForwardDecision(
-                action=ForwardAction.HANDOVER, carrier_score=0.0, peer_score=1.0
+            return self._observe(
+                carrier,
+                peer,
+                destination,
+                ForwardDecision(
+                    action=ForwardAction.HANDOVER, carrier_score=0.0, peer_score=1.0
+                ),
             )
         carrier_score = self.weight_to(carrier, destination, graph)
         peer_score = self.weight_to(peer, destination, graph)
@@ -95,6 +100,11 @@ class GradientRouter:
             )
         else:
             action = ForwardAction.KEEP
-        return ForwardDecision(
-            action=action, carrier_score=carrier_score, peer_score=peer_score
+        return self._observe(
+            carrier,
+            peer,
+            destination,
+            ForwardDecision(
+                action=action, carrier_score=carrier_score, peer_score=peer_score
+            ),
         )

@@ -26,12 +26,12 @@ from typing import Optional
 import numpy as np
 
 from repro.graph.contact_graph import ContactGraph
-from repro.routing.base import ForwardAction, ForwardDecision
+from repro.routing.base import ForwardAction, ForwardDecision, ObservableRouter
 
 __all__ = ["RateGradientRouter"]
 
 
-class RateGradientRouter:
+class RateGradientRouter(ObservableRouter):
     """Single-copy forwarding on (direct rate, social hubness) scores."""
 
     name = "rate_gradient"
@@ -73,8 +73,13 @@ class RateGradientRouter:
         time_budget: float,
     ) -> ForwardDecision:
         if peer == destination:
-            return ForwardDecision(
-                action=ForwardAction.HANDOVER, carrier_score=0.0, peer_score=1.0
+            return self._observe(
+                carrier,
+                peer,
+                destination,
+                ForwardDecision(
+                    action=ForwardAction.HANDOVER, carrier_score=0.0, peer_score=1.0
+                ),
             )
         carrier_score = self.score(carrier, destination, graph)
         peer_score = self.score(peer, destination, graph)
@@ -84,6 +89,11 @@ class RateGradientRouter:
             )
         else:
             action = ForwardAction.KEEP
-        return ForwardDecision(
-            action=action, carrier_score=carrier_score, peer_score=peer_score
+        return self._observe(
+            carrier,
+            peer,
+            destination,
+            ForwardDecision(
+                action=action, carrier_score=carrier_score, peer_score=peer_score
+            ),
         )

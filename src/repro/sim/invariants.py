@@ -12,13 +12,23 @@ default, on in the test suite's integration runs.
 
 from __future__ import annotations
 
-from typing import Iterable
+import math
+from typing import TYPE_CHECKING, Iterable
 
 from repro.errors import SimulationError
 from repro.sim.bundles import PushBundle, QueryBundle, ResponseBundle
 from repro.sim.node import Node
 
-__all__ = ["check_node", "check_nodes"]
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.metrics.results import SimulationResult
+    from repro.obs.derive import DerivedMetrics
+
+__all__ = [
+    "check_node",
+    "check_nodes",
+    "check_buffer_occupancy",
+    "check_trace_consistency",
+]
 
 
 def check_node(node: Node, now: float) -> None:
@@ -82,3 +92,64 @@ def check_nodes(nodes: Iterable[Node], now: float) -> None:
     """Audit several nodes (the two parties of a contact, typically)."""
     for node in nodes:
         check_node(node, now)
+
+
+def check_buffer_occupancy(nodes: Iterable[Node]) -> None:
+    """Assert per-node buffer occupancy never exceeds capacity.
+
+    The Sec. V-D exchange withdraws items from two buffers and refills
+    them; a refill bug (double-placement, exempt-item miscount) shows up
+    as ``used > capacity``.  This is the O(1)-per-node fast check run
+    after **every** pairwise exchange — unlike :func:`check_node`'s full
+    audit, it is cheap enough to stay on unconditionally.
+    """
+    for node in nodes:
+        buffer = node.buffer
+        if buffer.used > buffer.capacity:
+            raise SimulationError(
+                f"node {node.node_id}: buffer over capacity after replacement "
+                f"({buffer.used} > {buffer.capacity})"
+            )
+        if buffer.used < 0:
+            raise SimulationError(
+                f"node {node.node_id}: negative buffer occupancy {buffer.used}"
+            )
+
+
+def _floats_equal(a: float, b: float) -> bool:
+    """Exact equality with NaN == NaN (both paths had nothing to average)."""
+    if math.isnan(a) and math.isnan(b):
+        return True
+    return a == b
+
+
+def check_trace_consistency(
+    result: "SimulationResult", derived: "DerivedMetrics"
+) -> None:
+    """Cross-check counter-based metrics against the trace-derived ones.
+
+    The trace hooks replay the collector's arithmetic in emission order,
+    so a consistent run agrees **exactly** (floats included); any
+    mismatch means an event was double-counted, dropped, or emitted from
+    the wrong hook.  Raises :class:`SimulationError` naming the first
+    divergent metric.
+    """
+    checks = (
+        ("queries_issued", result.queries_issued, derived.queries_issued),
+        ("queries_satisfied", result.queries_satisfied, derived.queries_satisfied),
+        ("successful_ratio", result.successful_ratio, derived.successful_ratio),
+        ("mean_access_delay", result.mean_access_delay, derived.mean_access_delay),
+        ("caching_overhead", result.caching_overhead, derived.caching_overhead),
+        ("data_generated", result.data_generated, derived.data_generated),
+        ("responses_delivered", result.responses_delivered, derived.delivery_events),
+    )
+    for name, counted, traced in checks:
+        if isinstance(counted, float) or isinstance(traced, float):
+            equal = _floats_equal(float(counted), float(traced))
+        else:
+            equal = counted == traced
+        if not equal:
+            raise SimulationError(
+                f"trace/counter divergence on {name}: "
+                f"counters say {counted!r}, trace derives {traced!r}"
+            )

@@ -21,6 +21,8 @@ from typing import Dict, Hashable, List, Optional, Set
 from repro.core.buffer import CacheBuffer
 from repro.core.data import DataItem, Query
 from repro.core.popularity import PopularityTable
+from repro.obs.events import TraceEvent, TraceEventKind
+from repro.obs.recorder import NULL_RECORDER, TraceRecorder
 from repro.sim.bundles import Bundle
 
 __all__ = ["Node"]
@@ -38,6 +40,9 @@ class Node:
         self.responded_queries: Set[int] = set()
         self._bundles: Dict[Hashable, Bundle] = {}
         self._seen_bundles: Set[Hashable] = set()
+        #: lifecycle trace sink (the simulator installs the run's recorder
+        #: when tracing is on; the null default costs one attribute read)
+        self.trace: TraceRecorder = NULL_RECORDER
 
     # --- data availability ----------------------------------------------
 
@@ -69,6 +74,16 @@ class Node:
             del self.origin[item.data_id]
             self.popularity.forget(item.data_id)
         dropped.extend(self.buffer.evict_expired(now))
+        if dropped and self.trace.enabled:
+            for item in dropped:
+                self.trace.emit(
+                    TraceEvent(
+                        time=now,
+                        kind=TraceEventKind.DATA_EXPIRED,
+                        node=self.node_id,
+                        data_id=item.data_id,
+                    )
+                )
         return dropped
 
     # --- query history -----------------------------------------------------
@@ -78,6 +93,16 @@ class Node:
         if query.query_id not in self.active_queries and not query.is_expired(now):
             self.active_queries[query.query_id] = query
             self.popularity.record_request(query.data_id, now)
+            if self.trace.enabled:
+                self.trace.emit(
+                    TraceEvent(
+                        time=now,
+                        kind=TraceEventKind.QUERY_OBSERVED,
+                        node=self.node_id,
+                        data_id=query.data_id,
+                        query_id=query.query_id,
+                    )
+                )
 
     def expire_queries(self, now: float) -> None:
         expired = [

@@ -30,10 +30,18 @@ from repro.graph.estimator import OnlineContactGraphEstimator
 from repro.metrics.collector import MetricsCollector
 from repro.metrics.results import SimulationResult
 from repro.metrics.timeline import TimelineRecorder
+from repro.obs.derive import derive_metrics
+from repro.obs.events import TraceEvent, TraceEventKind
+from repro.obs.recorder import (
+    NULL_RECORDER,
+    JsonlRecorder,
+    MemoryRecorder,
+    TraceRecorder,
+)
 from repro.rng import SeedSequenceFactory
 from repro.sim.engine import EventEngine
 from repro.sim.events import Event, EventKind
-from repro.sim.invariants import check_nodes
+from repro.sim.invariants import check_nodes, check_trace_consistency
 from repro.sim.network import TransferBudget
 from repro.sim.node import Node
 from repro.traces.contact import Contact, ContactTrace
@@ -66,6 +74,10 @@ class SimulatorConfig:
     validate_invariants:
         Audit node state after every contact (sanitizer mode; see
         :mod:`repro.sim.invariants`).  Off by default.
+    trace_path:
+        When set, the run writes its full lifecycle trace as JSONL to
+        this path (consumed by ``python -m repro trace``).  A plain
+        string, so configs stay picklable for the parallel runner.
     """
 
     seed: int = 0
@@ -74,6 +86,7 @@ class SimulatorConfig:
     sample_period: Optional[float] = None
     min_contacts_for_rate: int = 1
     validate_invariants: bool = False
+    trace_path: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.link_capacity <= 0:
@@ -93,6 +106,7 @@ class Simulator:
         scheme: CachingScheme,
         workload: WorkloadConfig,
         config: Optional[SimulatorConfig] = None,
+        recorder: Optional[TraceRecorder] = None,
     ):
         if trace.num_contacts == 0:
             raise ConfigurationError("cannot simulate an empty trace")
@@ -100,6 +114,17 @@ class Simulator:
         self.scheme = scheme
         self.workload = workload
         self.config = config or SimulatorConfig()
+
+        # An explicit recorder wins; otherwise config.trace_path opens a
+        # JSONL sink owned (and closed) by this run; otherwise tracing is
+        # off and every hook reduces to one ``enabled`` check.
+        self._owns_recorder = recorder is None and self.config.trace_path is not None
+        if recorder is not None:
+            self.recorder = recorder
+        elif self.config.trace_path is not None:
+            self.recorder = JsonlRecorder(self.config.trace_path)
+        else:
+            self.recorder = NULL_RECORDER
 
         self._factory = SeedSequenceFactory(self.config.seed)
         self.metrics = MetricsCollector()
@@ -121,6 +146,9 @@ class Simulator:
             )
             for i in range(trace.num_nodes)
         ]
+        if self.recorder.enabled:
+            for node in self.nodes:
+                node.trace = self.recorder
         self.workload_process = WorkloadProcess(
             workload, trace.num_nodes, self._factory.generator("workload")
         )
@@ -161,6 +189,16 @@ class Simulator:
             node = self.nodes[item.source]
             node.generate_data(item)
             self.metrics.on_data_generated(item)
+            if self.recorder.enabled:
+                self.recorder.emit(
+                    TraceEvent(
+                        time=now,
+                        kind=TraceEventKind.DATA_GENERATED,
+                        node=item.source,
+                        data_id=item.data_id,
+                        attrs={"size": item.size, "expires_at": item.expires_at},
+                    )
+                )
             self.scheme.on_data_generated(node, item, now)
 
     def _handle_query_round(self, event: Event) -> None:
@@ -172,6 +210,17 @@ class Simulator:
             holdings[node.node_id] = held
         for query in self.workload_process.query_round(now, holdings):
             self.metrics.on_query_created(query)
+            if self.recorder.enabled:
+                self.recorder.emit(
+                    TraceEvent(
+                        time=now,
+                        kind=TraceEventKind.QUERY_CREATED,
+                        node=query.requester,
+                        data_id=query.data_id,
+                        query_id=query.query_id,
+                        attrs={"time_constraint": query.time_constraint},
+                    )
+                )
             self.scheme.on_query_generated(self.nodes[query.requester], query, now)
 
     def _handle_graph_refresh(self, event: Event) -> None:
@@ -187,6 +236,18 @@ class Simulator:
             cached += sum(1 for d in node.buffer.items() if not d.is_expired(now))
             occupancy += node.buffer.used / node.buffer.capacity
         self.metrics.sample_copies_per_item(cached, len(live))
+        if self.recorder.enabled:
+            self.recorder.emit(
+                TraceEvent(
+                    time=now,
+                    kind=TraceEventKind.SAMPLE,
+                    attrs={
+                        "cached_copies": cached,
+                        "live_items": len(live),
+                        "mean_occupancy": occupancy / len(self.nodes),
+                    },
+                )
+            )
         self.timeline.record(
             time=now,
             live_items=len(live),
@@ -223,6 +284,8 @@ class Simulator:
             deliver=self._deliver,
             lookup_data=self._lookup_data,
             response_horizon=self.workload.query_time_constraint,
+            recorder=self.recorder,
+            clock=lambda: self.engine.now,
         )
         self.scheme.attach(services)
         snapshot = self.estimator.snapshot(warmup_end, force=True)
@@ -272,7 +335,14 @@ class Simulator:
         )
 
         engine.run()
-        return self.metrics.finalize(name=self.scheme.name, seed=self.config.seed)
+        result = self.metrics.finalize(name=self.scheme.name, seed=self.config.seed)
+        if isinstance(self.recorder, MemoryRecorder):
+            # In-memory traces are cheap to re-derive, so every traced
+            # run cross-audits its own accounting (tentpole invariant).
+            check_trace_consistency(result, derive_metrics(self.recorder.events))
+        if self._owns_recorder:
+            self.recorder.close()
+        return result
 
     # --- scheme callbacks -------------------------------------------------
 
@@ -283,5 +353,16 @@ class Simulator:
     def _deliver(self, query: Query, data: DataItem, now: float) -> None:
         first = self.metrics.on_query_satisfied(query, now)
         if first:
+            if self.recorder.enabled:
+                self.recorder.emit(
+                    TraceEvent(
+                        time=now,
+                        kind=TraceEventKind.QUERY_SATISFIED,
+                        node=query.requester,
+                        data_id=data.data_id,
+                        query_id=query.query_id,
+                        attrs={"created_at": query.created_at},
+                    )
+                )
             requester = self.nodes[query.requester]
             self.scheme.on_data_delivered(requester, data, query, now)

@@ -42,6 +42,40 @@ class TestSigmoidResponse:
         with pytest.raises(ValueError):
             SigmoidResponse(p_min=0.3, p_max=0.8)  # p_min <= p_max/2
 
+    def test_elapsed_clamped_below_at_zero(self, query_factory):
+        """Clock skew handing t₀ < 0 must pin the probability at p_min —
+        the sigmoid would otherwise dip below its floor."""
+        strategy = SigmoidResponse(p_min=0.45, p_max=0.8)
+        query = query_factory(created_at=100.0, time_constraint=1000.0)
+        assert strategy.probability(query, now=0.0) == pytest.approx(0.45)
+        assert strategy.probability(query, now=-500.0) == pytest.approx(0.45)
+
+    def test_elapsed_clamped_above_at_constraint(self, query_factory):
+        """A late-forwarded query with t₀ > T_q must pin at p_max: the
+        unclamped Eq. (4) supremum is k₁ = 2·p_min > p_max, so without
+        the clamp stale queries would be answered with probability > p_max
+        (and eventually > 1)."""
+        strategy = SigmoidResponse(p_min=0.45, p_max=0.8)
+        query = query_factory(created_at=0.0, time_constraint=1000.0)
+        assert strategy.probability(query, now=1500.0) == pytest.approx(0.8)
+        assert strategy.probability(query, now=1e9) == pytest.approx(0.8)
+
+    def test_probability_never_exceeds_bounds(self, query_factory):
+        strategy = SigmoidResponse(p_min=0.45, p_max=0.8)
+        query = query_factory(created_at=0.0, time_constraint=500.0)
+        for now in (-100.0, 0.0, 250.0, 500.0, 501.0, 1e6):
+            prob = strategy.probability(query, now=now)
+            assert 0.45 <= prob <= 0.8
+
+    def test_sigmoids_memoised_per_time_constraint(self, query_factory):
+        strategy = SigmoidResponse()
+        a = query_factory(query_id=1, time_constraint=100.0)
+        b = query_factory(query_id=2, time_constraint=100.0)
+        c = query_factory(query_id=3, time_constraint=200.0)
+        for query in (a, b, c):
+            strategy.probability(query, now=0.0)
+        assert len(strategy._sigmoids) == 2
+
 
 class TestPathAwareResponse:
     def test_uses_path_weight_to_requester(self, line_graph, query_factory):

@@ -2,14 +2,48 @@
 
 import dataclasses
 import math
+import os
 
 import pytest
 
 from repro.caching.nocache import NoCache
+from repro.errors import SimulationError
 from repro.experiments.runner import run_comparison, run_repeated, run_single
 from repro.traces.synthetic import SyntheticTraceConfig, generate_synthetic_trace
 from repro.units import DAY, HOUR, MEGABIT
 from repro.workload.config import WorkloadConfig
+
+
+class CrashOnce:
+    """Picklable scheme factory that kills its worker process on first
+    use (simulating an OOM-killed/segfaulting worker), then behaves like
+    ``NoCache``.  The sentinel file makes the crash happen exactly once
+    across all processes."""
+
+    def __init__(self, sentinel_path: str):
+        self.sentinel_path = sentinel_path
+
+    def __call__(self):
+        try:
+            with open(self.sentinel_path, "x"):
+                pass
+        except FileExistsError:
+            return NoCache()
+        os._exit(1)  # hard kill: no exception, the pool just breaks
+
+
+class AlwaysCrash:
+    """Factory that kills every worker that touches it."""
+
+    def __call__(self):  # pragma: no cover - dies before returning
+        os._exit(1)
+
+
+class ExplodingFactory:
+    """Factory that raises a deterministic (picklable) task error."""
+
+    def __call__(self):
+        raise RuntimeError("deterministic task failure")
 
 
 @pytest.fixture(scope="module")
@@ -95,3 +129,53 @@ class TestParallelRunners:
         a = run_repeated(trace, NoCache, workload, seeds=(1, 2), workers=None)
         b = run_repeated(trace, NoCache, workload, seeds=(1, 2), workers=1)
         assert_bitwise_identical(a, b)
+
+
+class TestWorkerCrashRecovery:
+    """Satellite 4: a worker crash must not scramble the seed→run
+    mapping.  Seeds are pinned inside each task tuple, so the retried
+    tasks reproduce exactly what the crashed pool would have computed."""
+
+    def test_crash_retry_is_bitwise_identical_to_serial(
+        self, trace, workload, tmp_path
+    ):
+        """Fault injection: the first task hard-kills its worker, which
+        breaks the whole pool mid-flight.  The runner must retry the
+        unfinished tasks on a fresh pool and still produce the exact
+        serial aggregate — no seed re-derivation in completion order."""
+        reference = run_repeated(trace, NoCache, workload, seeds=(1, 2, 3, 4))
+        crashing = CrashOnce(str(tmp_path / "crashed.sentinel"))
+        recovered = run_repeated(
+            trace, crashing, workload, seeds=(1, 2, 3, 4), workers=2
+        )
+        assert_bitwise_identical(reference, recovered)
+
+    def test_crash_retry_in_comparison_grid(self, trace, workload, tmp_path):
+        factories = {"a": CrashOnce(str(tmp_path / "a.sentinel")), "b": NoCache}
+        reference = run_comparison(
+            trace, {"a": NoCache, "b": NoCache}, workload, seeds=(1, 2)
+        )
+        recovered = run_comparison(trace, factories, workload, seeds=(1, 2), workers=2)
+        for name in reference:
+            assert_bitwise_identical(reference[name], recovered[name])
+
+    def test_persistent_crashes_exhaust_retries(self, trace, workload):
+        with pytest.raises(SimulationError, match="worker crash"):
+            run_repeated(
+                trace,
+                AlwaysCrash(),
+                workload,
+                seeds=(1, 2),
+                workers=2,
+                max_retries=1,
+            )
+
+    def test_deterministic_task_errors_propagate_without_retry(
+        self, trace, workload
+    ):
+        # A task exception is not a crash: it is deterministic, so
+        # retrying would just re-raise it more slowly.
+        with pytest.raises(RuntimeError, match="deterministic task failure"):
+            run_repeated(
+                trace, ExplodingFactory(), workload, seeds=(1, 2), workers=2
+            )

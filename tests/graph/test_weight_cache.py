@@ -108,6 +108,72 @@ class TestPathWeightCache:
             PathWeightCache(maxsize=0)
 
 
+class TestStaleCacheProtection:
+    """Regression: the shared cache is content-keyed, so any rate-matrix
+    mutation that skips the version bump would silently serve stale
+    paths.  The graph closes that hole by keeping the matrix non-writable
+    at rest — all mutation must flow through the version-bumping setters.
+    """
+
+    def test_in_place_write_on_rates_view_raises(self, graph):
+        with pytest.raises(ValueError):
+            graph.rates[0, 3] = 99.0
+
+    def test_rates_view_cannot_be_made_writable(self, graph):
+        view = graph.rates
+        with pytest.raises(ValueError):
+            view.flags.writeable = True  # base array is non-writable
+
+    def test_internal_matrix_is_locked_between_mutations(self, graph):
+        graph.set_rate(0, 3, 2.0)  # the setter re-locks on the way out
+        with pytest.raises(ValueError):
+            graph.rates[0, 3] = 0.0
+
+    def test_set_rates_bumps_version_and_fingerprint(self, graph):
+        version = graph.version
+        fingerprint = graph.fingerprint()
+        rates = graph.rate_matrix()
+        rates[0, 3] = rates[3, 0] = 2.0
+        graph.set_rates(rates)
+        assert graph.version > version
+        assert graph.fingerprint() != fingerprint
+
+    def test_set_rates_invalidates_cached_weights(self, graph):
+        """The stale-cache scenario end to end: bulk mutation through the
+        setter must make the cache recompute, and the fresh weights must
+        reflect the new rates."""
+        cache = PathWeightCache()
+        before = cache.weights(graph, 0, 10.0)
+        rates = graph.rate_matrix()
+        rates[0, 3] = rates[3, 0] = 5.0  # direct shortcut 0-3
+        graph.set_rates(rates)
+        after = cache.weights(graph, 0, 10.0)
+        assert cache.misses == 2  # no stale hit
+        assert after[3] > before[3]
+
+    def test_set_rates_copies_the_input(self, graph):
+        rates = graph.rate_matrix()
+        graph.set_rates(rates)
+        fingerprint = graph.fingerprint()
+        rates[0, 3] = rates[3, 0] = 7.0  # caller's array stays theirs
+        assert graph.fingerprint() == fingerprint
+        assert graph.rate(0, 3) == 0.0
+
+    def test_set_rates_validates(self, graph):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            graph.set_rates(np.zeros((2, 2)))  # wrong shape
+        bad = np.zeros((4, 4))
+        bad[0, 1] = -1.0
+        with pytest.raises(ConfigurationError):
+            graph.set_rates(bad)  # negative rate
+        asym = np.zeros((4, 4))
+        asym[0, 1] = 1.0
+        with pytest.raises(ConfigurationError):
+            graph.set_rates(asym)  # asymmetric
+
+
 class TestSharedCache:
     def test_shared_singleton(self):
         assert shared_weight_cache() is shared_weight_cache()

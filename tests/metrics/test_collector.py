@@ -38,6 +38,38 @@ class TestQueryMetrics:
         assert collector.is_satisfied(1)
 
 
+class TestDuplicateDeliveries:
+    def test_duplicate_responses_count_one_distinct_query(self):
+        """Regression: the successful ratio counts distinct satisfied
+        query ids, never delivery events.  Two NCLs answering the same
+        query (the common multi-copy case) must not double-count."""
+        collector = MetricsCollector()
+        query = make_query(query_id=1, created_at=0.0, time_constraint=100.0)
+        collector.on_query_created(query)
+        collector.on_query_satisfied(query, now=10.0)
+        collector.on_query_satisfied(query, now=20.0)  # second NCL's copy
+        collector.on_query_satisfied(query, now=30.0)  # and a third
+        result = collector.finalize("test", seed=0)
+        assert result.queries_satisfied == 1
+        assert result.successful_ratio == 1.0
+        assert result.mean_access_delay == pytest.approx(10.0)  # first only
+        assert collector.duplicate_deliveries == 2
+
+    def test_duplicate_counter_ignores_late_arrivals(self):
+        # A copy past the constraint is a miss, not a duplicate delivery.
+        collector = MetricsCollector()
+        query = make_query(query_id=1, created_at=0.0, time_constraint=100.0)
+        collector.on_query_created(query)
+        collector.on_query_satisfied(query, now=150.0)
+        assert collector.duplicate_deliveries == 0
+
+    def test_responses_delivered_property(self):
+        collector = MetricsCollector()
+        collector.on_response_delivered()
+        collector.on_response_delivered()
+        assert collector.responses_delivered == 2
+
+
 class TestFinalize:
     def test_ratio_and_delay(self):
         collector = MetricsCollector()

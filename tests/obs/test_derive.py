@@ -1,0 +1,146 @@
+"""Unit tests for trace-derived metrics and per-query audits."""
+
+import math
+
+from repro.obs import (
+    TraceEvent,
+    TraceEventKind,
+    audit_queries,
+    derive_metrics,
+    render_audit_report,
+)
+
+
+def _ev(time, kind, node=None, data_id=None, query_id=None, **attrs):
+    return TraceEvent(
+        time=time, kind=kind, node=node, data_id=data_id, query_id=query_id, attrs=attrs
+    )
+
+
+class TestDeriveMetrics:
+    def test_empty_trace(self):
+        derived = derive_metrics([])
+        assert derived.queries_issued == 0
+        assert derived.successful_ratio == 0.0
+        assert math.isnan(derived.mean_access_delay)
+        assert derived.caching_overhead == 0.0
+
+    def test_counts_distinct_query_ids_not_delivery_events(self):
+        """Two NCLs answering the same query add two delivery events but
+        at most one satisfied query — the satellite-1 regression."""
+        events = [
+            _ev(0.0, TraceEventKind.QUERY_CREATED, node=1, query_id=7, time_constraint=100.0),
+            _ev(10.0, TraceEventKind.RESPONSE_DELIVERED, node=1, query_id=7),
+            _ev(10.0, TraceEventKind.QUERY_SATISFIED, node=1, query_id=7, created_at=0.0),
+            # the second NCL's copy arrives later
+            _ev(20.0, TraceEventKind.RESPONSE_DELIVERED, node=1, query_id=7),
+            _ev(20.0, TraceEventKind.QUERY_SATISFIED, node=1, query_id=7, created_at=0.0),
+        ]
+        derived = derive_metrics(events)
+        assert derived.queries_issued == 1
+        assert derived.queries_satisfied == 1
+        assert derived.delivery_events == 2
+        assert derived.successful_ratio == 1.0
+        assert derived.mean_access_delay == 10.0  # first delivery only
+
+    def test_delay_uses_created_at_attr(self):
+        events = [
+            _ev(5.0, TraceEventKind.QUERY_CREATED, query_id=1, time_constraint=100.0),
+            _ev(5.0, TraceEventKind.QUERY_CREATED, query_id=2, time_constraint=100.0),
+            _ev(15.0, TraceEventKind.QUERY_SATISFIED, query_id=1, created_at=5.0),
+            _ev(45.0, TraceEventKind.QUERY_SATISFIED, query_id=2, created_at=5.0),
+        ]
+        derived = derive_metrics(events)
+        assert derived.mean_access_delay == 25.0
+        assert derived.successful_ratio == 1.0
+
+    def test_overhead_skips_samples_with_no_live_items(self):
+        events = [
+            _ev(0.0, TraceEventKind.SAMPLE, cached_copies=10, live_items=5),
+            _ev(1.0, TraceEventKind.SAMPLE, cached_copies=0, live_items=0),
+            _ev(2.0, TraceEventKind.SAMPLE, cached_copies=20, live_items=5),
+        ]
+        assert derive_metrics(events).caching_overhead == 3.0
+
+    def test_data_and_response_counters(self):
+        events = [
+            _ev(0.0, TraceEventKind.DATA_GENERATED, node=0, data_id=1),
+            _ev(0.0, TraceEventKind.DATA_GENERATED, node=2, data_id=2),
+            _ev(1.0, TraceEventKind.RESPONSE_EMITTED, node=3, query_id=1),
+        ]
+        derived = derive_metrics(events)
+        assert derived.data_generated == 2
+        assert derived.responses_emitted == 1
+
+
+class TestAuditQueries:
+    def _lifecycle(self):
+        return [
+            _ev(0.0, TraceEventKind.QUERY_CREATED, node=1, data_id=9, query_id=7,
+                time_constraint=50.0),
+            _ev(1.0, TraceEventKind.QUERY_OBSERVED, node=2, query_id=7),
+            _ev(1.0, TraceEventKind.QUERY_OBSERVED, node=3, query_id=7),
+            _ev(2.0, TraceEventKind.RESPONSE_DECIDED, node=2, query_id=7,
+                respond=True, probability=0.6, strategy="sigmoid"),
+            _ev(2.0, TraceEventKind.RESPONSE_EMITTED, node=2, query_id=7),
+            _ev(3.0, TraceEventKind.RESPONSE_FORWARDED, node=4, query_id=7),
+            _ev(5.0, TraceEventKind.RESPONSE_DELIVERED, node=1, query_id=7),
+            _ev(5.0, TraceEventKind.QUERY_SATISFIED, node=1, query_id=7, created_at=0.0),
+        ]
+
+    def test_full_lifecycle_audit(self):
+        audit = audit_queries(self._lifecycle())[7]
+        assert audit.requester == 1
+        assert audit.data_id == 9
+        assert audit.created_at == 0.0
+        assert audit.expires_at == 50.0
+        assert audit.observed_by == [2, 3]
+        assert audit.decisions == 1
+        assert audit.responses_emitted == 1
+        assert audit.forwards == 1
+        assert audit.deliveries == 1
+        assert audit.satisfied_at == 5.0
+        assert audit.delay == 5.0
+        assert audit.outcome(trace_end=5.0) == "satisfied"
+
+    def test_outcomes(self):
+        events = [
+            _ev(0.0, TraceEventKind.QUERY_CREATED, node=1, query_id=1, time_constraint=10.0),
+            _ev(0.0, TraceEventKind.QUERY_CREATED, node=2, query_id=2, time_constraint=999.0),
+        ]
+        audits = audit_queries(events)
+        assert audits[1].outcome(trace_end=100.0) == "expired"
+        assert audits[2].outcome(trace_end=100.0) == "pending"
+
+    def test_events_without_query_id_are_skipped(self):
+        events = [_ev(0.0, TraceEventKind.DATA_GENERATED, node=0, data_id=1)]
+        assert audit_queries(events) == {}
+
+
+class TestRenderAuditReport:
+    def _events(self):
+        return [
+            _ev(0.0, TraceEventKind.QUERY_CREATED, node=1, data_id=9, query_id=1,
+                time_constraint=50.0),
+            _ev(5.0, TraceEventKind.QUERY_SATISFIED, node=1, query_id=1, created_at=0.0),
+            _ev(0.0, TraceEventKind.QUERY_CREATED, node=2, data_id=9, query_id=2,
+                time_constraint=3.0),
+            _ev(0.0, TraceEventKind.QUERY_CREATED, node=3, data_id=9, query_id=3,
+                time_constraint=3.0),
+        ]
+
+    def test_report_headline_and_queries(self):
+        report = render_audit_report(self._events())
+        assert "3 queries" in report
+        assert "query 1 [satisfied]" in report
+        assert "query 2 [expired]" in report
+
+    def test_only_filters_outcomes(self):
+        report = render_audit_report(self._events(), only="satisfied")
+        assert "query 1 [satisfied]" in report
+        assert "query 2" not in report
+
+    def test_limit_counts_only_matching_queries(self):
+        report = render_audit_report(self._events(), limit=1, only="expired")
+        assert "query 2 [expired]" in report
+        assert "(1 more queries)" in report  # query 3, not the satisfied one

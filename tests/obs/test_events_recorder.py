@@ -1,0 +1,155 @@
+"""Unit tests for trace events, recorders, and metric primitives."""
+
+import json
+import math
+
+import pytest
+
+from repro.obs import (
+    NULL_RECORDER,
+    Counter,
+    Histogram,
+    JsonlRecorder,
+    MemoryRecorder,
+    MetricsRegistry,
+    NullRecorder,
+    TraceEvent,
+    TraceEventKind,
+    read_events,
+)
+from repro.obs.recorder import ensure_events
+
+
+class TestTraceEvent:
+    def test_json_round_trip_is_lossless(self):
+        event = TraceEvent(
+            time=12.5,
+            kind=TraceEventKind.QUERY_SATISFIED,
+            node=3,
+            data_id=7,
+            query_id=11,
+            attrs={"created_at": 1.25},
+        )
+        assert TraceEvent.from_json(event.to_json()) == event
+
+    def test_json_round_trips_floats_exactly(self):
+        # The bit-exact metric cross-check depends on this property.
+        time = 1.0 / 3.0 + 1e-16
+        event = TraceEvent(time=time, kind=TraceEventKind.SAMPLE)
+        assert TraceEvent.from_json(event.to_json()).time == time
+
+    def test_omits_absent_ids(self):
+        record = json.loads(TraceEvent(time=0.0, kind=TraceEventKind.SAMPLE).to_json())
+        assert set(record) == {"t", "kind"}
+
+    def test_kind_is_a_string_enum(self):
+        assert TraceEventKind.DATA_GENERATED.value == "data_generated"
+        assert TraceEventKind("query_created") is TraceEventKind.QUERY_CREATED
+
+    def test_events_are_immutable(self):
+        event = TraceEvent(time=0.0, kind=TraceEventKind.SAMPLE)
+        with pytest.raises(AttributeError):
+            event.time = 1.0
+
+
+class TestRecorders:
+    def test_null_recorder_is_disabled_and_tolerant(self):
+        assert NULL_RECORDER.enabled is False
+        assert isinstance(NULL_RECORDER, NullRecorder)
+        NULL_RECORDER.emit(TraceEvent(time=0.0, kind=TraceEventKind.SAMPLE))
+        NULL_RECORDER.close()
+
+    def test_memory_recorder_collects_in_order(self):
+        recorder = MemoryRecorder()
+        assert recorder.enabled
+        for t in (0.0, 1.0, 2.0):
+            recorder.emit(TraceEvent(time=t, kind=TraceEventKind.SAMPLE))
+        assert len(recorder) == 3
+        assert [e.time for e in recorder.events] == [0.0, 1.0, 2.0]
+
+    def test_jsonl_round_trip(self, tmp_path):
+        path = tmp_path / "nested" / "run.jsonl"
+        events = [
+            TraceEvent(time=0.5, kind=TraceEventKind.DATA_GENERATED, node=1, data_id=2),
+            TraceEvent(time=1.5, kind=TraceEventKind.QUERY_CREATED, node=3, query_id=4,
+                       attrs={"time_constraint": 100.0}),
+        ]
+        with JsonlRecorder(path) as recorder:
+            for event in events:
+                recorder.emit(event)
+            assert recorder.emitted == 2
+        assert read_events(path) == events
+
+    def test_jsonl_recorder_opens_lazily(self, tmp_path):
+        path = tmp_path / "never.jsonl"
+        JsonlRecorder(path).close()  # no emit — no file
+        assert not path.exists()
+
+    def test_ensure_events_accepts_path_or_iterable(self, tmp_path):
+        events = [TraceEvent(time=0.0, kind=TraceEventKind.SAMPLE)]
+        assert ensure_events(iter(events)) == events
+        path = tmp_path / "run.jsonl"
+        with JsonlRecorder(path) as recorder:
+            recorder.emit(events[0])
+        assert ensure_events(path) == events
+
+
+class TestCounter:
+    def test_increments(self):
+        counter = Counter("pushes")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+
+    def test_rejects_decrease(self):
+        with pytest.raises(ValueError):
+            Counter("pushes").inc(-1)
+
+
+class TestHistogram:
+    def test_exact_count_sum_min_max(self):
+        hist = Histogram("delay")
+        for value in (5.0, 50.0, 5000.0):
+            hist.observe(value)
+        assert hist.count == 3
+        assert hist.total == 5055.0
+        assert hist.min == 5.0 and hist.max == 5000.0
+        assert hist.mean == pytest.approx(1685.0)
+
+    def test_quantiles_at_bucket_resolution(self):
+        hist = Histogram("delay", bounds=(1.0, 10.0, 100.0))
+        for value in (0.5, 5.0, 50.0, 500.0):
+            hist.observe(value)
+        assert hist.quantile(0.25) == 1.0
+        assert hist.quantile(0.5) == 10.0
+        assert hist.quantile(1.0) == math.inf  # past the finite edges
+
+    def test_empty_histogram(self):
+        hist = Histogram("delay")
+        assert math.isnan(hist.mean)
+        assert math.isnan(hist.quantile(0.5))
+
+    def test_rejects_unsorted_bounds(self):
+        with pytest.raises(ValueError):
+            Histogram("bad", bounds=(10.0, 1.0))
+        with pytest.raises(ValueError):
+            Histogram("bad", bounds=(1.0, 1.0))
+
+    def test_rejects_bad_quantile(self):
+        with pytest.raises(ValueError):
+            Histogram("delay").quantile(1.5)
+
+
+class TestMetricsRegistry:
+    def test_get_or_create_semantics(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+        assert registry.histogram("h") is registry.histogram("h")
+
+    def test_snapshot_reports_everything(self):
+        registry = MetricsRegistry()
+        registry.counter("pushes").inc(3)
+        registry.histogram("delay").observe(42.0)
+        snapshot = registry.snapshot()
+        assert snapshot["pushes"] == 3
+        assert snapshot["delay"]["count"] == 1.0

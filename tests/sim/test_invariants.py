@@ -4,7 +4,7 @@ import pytest
 
 from repro.errors import SimulationError
 from repro.sim.bundles import PushBundle, ResponseBundle
-from repro.sim.invariants import check_node, check_nodes
+from repro.sim.invariants import check_buffer_occupancy, check_node, check_nodes
 from repro.sim.node import Node
 from tests.conftest import make_item, make_query
 
@@ -28,6 +28,37 @@ class TestBufferChecks:
         node.buffer._capacity = 10  # shrink under the item
         with pytest.raises(SimulationError, match="over capacity"):
             check_node(node, now=0.0)
+
+
+class TestBufferOccupancy:
+    """The cheap per-exchange invariant: occupancy within [0, capacity]
+    after every committed replacement (satellite 5)."""
+
+    def test_within_capacity_passes(self):
+        node = Node(0, buffer_capacity=100)
+        node.buffer.put(make_item(data_id=1, size=100))  # exactly full is fine
+        check_buffer_occupancy([node])  # no raise
+
+    def test_over_capacity_detected(self):
+        node = Node(0, buffer_capacity=100)
+        node.buffer.put(make_item(data_id=1, size=60))
+        node.buffer._capacity = 50  # force over-commit
+        with pytest.raises(SimulationError, match="over capacity"):
+            check_buffer_occupancy([node])
+
+    def test_negative_occupancy_detected(self):
+        node = Node(0, buffer_capacity=100)
+        node.buffer._used = -1
+        with pytest.raises(SimulationError, match="negative"):
+            check_buffer_occupancy([node])
+
+    def test_names_the_offending_node(self):
+        healthy = Node(0, buffer_capacity=100)
+        broken = Node(5, buffer_capacity=10)
+        broken.buffer.put(make_item(data_id=1, size=5))
+        broken.buffer._capacity = 1
+        with pytest.raises(SimulationError, match="node 5"):
+            check_buffer_occupancy([healthy, broken])
 
 
 class TestBundleChecks:

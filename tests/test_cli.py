@@ -71,3 +71,57 @@ class TestCommands:
         assert main(["figure", "nope"]) == 2
         err = capsys.readouterr().err
         assert "nope" in err
+
+
+class TestTraceCommand:
+    def test_simulate_records_and_trace_replays(self, capsys, tmp_path):
+        """End-to-end: --trace-out writes a JSONL lifecycle trace and
+        `repro trace` replays it into a per-query audit report whose
+        derived ratio matches the simulate output."""
+        path = tmp_path / "run.jsonl"
+        assert (
+            main(
+                [
+                    "simulate",
+                    "--trace",
+                    "infocom05",
+                    *FAST_TRACE,
+                    "--scheme",
+                    "nocache",
+                    "--lifetime-hours",
+                    "4",
+                    "--trace-out",
+                    str(path),
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        assert path.exists()
+        assert main(["trace", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "derived: ratio=" in out
+        assert "query " in out
+
+    def test_trace_limit_and_only(self, capsys, tmp_path):
+        path = tmp_path / "run.jsonl"
+        main(
+            [
+                "simulate",
+                "--trace",
+                "infocom05",
+                *FAST_TRACE,
+                "--lifetime-hours",
+                "4",
+                "--trace-out",
+                str(path),
+            ]
+        )
+        capsys.readouterr()
+        assert main(["trace", str(path), "--limit", "2", "--only", "expired"]) == 0
+        out = capsys.readouterr().out
+        assert "[satisfied]" not in out
+
+    def test_trace_missing_file(self, capsys, tmp_path):
+        assert main(["trace", str(tmp_path / "absent.jsonl")]) == 2
+        assert "cannot read trace" in capsys.readouterr().err
