@@ -19,6 +19,7 @@ from repro.experiments.runner import run_repeated
 from repro.graph.contact_graph import ContactGraph
 from repro.graph.paths import shortest_path_weight_matrix, shortest_paths_from
 from repro.graph.weight_cache import shared_weight_cache
+from repro.obs.profile import Profiler, set_active_profiler
 from repro.mathutils.hypoexponential import (
     hypoexponential_cdf,
     hypoexponential_cdf_batch,
@@ -80,6 +81,26 @@ def test_bench_kernel_weight_matrix(benchmark):
         shortest_path_weight_matrix, args=(graph, 1 * WEEK), rounds=2, iterations=1
     )
     assert matrix.shape == (graph.num_nodes, graph.num_nodes)
+
+
+def test_bench_kernel_weight_matrix_profiled(benchmark):
+    """Same kernel with an *enabled* active profiler.
+
+    The bench guard pairs this with ``test_bench_kernel_weight_matrix``
+    and fails when the span instrumentation costs more than 5% — the
+    profiler must stay cheap enough to leave on during investigations.
+    """
+    graph = _mit_graph()
+    profiler = Profiler()
+    previous = set_active_profiler(profiler)
+    try:
+        matrix = benchmark.pedantic(
+            shortest_path_weight_matrix, args=(graph, 1 * WEEK), rounds=2, iterations=1
+        )
+    finally:
+        set_active_profiler(previous)
+    assert matrix.shape == (graph.num_nodes, graph.num_nodes)
+    assert "kernel.weight_matrix" in profiler.as_dict()
 
 
 def test_bench_kernel_knapsack(benchmark):

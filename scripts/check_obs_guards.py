@@ -1,0 +1,162 @@
+#!/usr/bin/env python
+"""AST lint: every observability hook site must read an ``enabled`` flag.
+
+The zero-overhead contract (DESIGN.md Observability) demands that hot
+code *never* constructs a :class:`TraceEvent`, opens a profiler span, or
+records a time-series sample without first reading the instrument's
+``enabled`` attribute — the disabled path must cost one attribute read.
+This script walks the AST of every module under ``src/repro`` (the
+``repro.obs`` package itself excluded — it implements the instruments)
+and flags hook sites with no reachable ``.enabled`` guard.
+
+Hook sites checked:
+
+* ``TraceEvent(...)`` constructions and ``<recv>.emit(...)`` calls,
+* ``<prof>.span(...)`` / ``<prof>.add(...)`` / ``<prof>.start(...)``
+  calls on profiler-named receivers,
+* ``<...timeseries...>.record(...)`` sampler calls.
+
+A site counts as guarded when an ``if``/ternary test reading
+``.enabled`` appears in its enclosing-function chain at or before the
+site's line.  That deliberately accepts the *creation-time* guard
+pattern (``route_observer`` returns ``None`` unless
+``services.recorder.enabled``, so the closure it builds only ever runs
+enabled) alongside the common inline ``if prof.enabled:`` form.
+
+Run standalone (exit 1 on violations) or via the pytest wrapper in
+``tests/obs/test_guard_lint.py``.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+import sys
+from typing import Iterable, List, NamedTuple, Optional, Tuple
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SOURCE_ROOT = os.path.join(REPO_ROOT, "src", "repro")
+
+#: The instruments package defines the hooks; it cannot guard itself.
+EXCLUDED_PARTS = ("obs",)
+
+PROFILER_HINTS = ("prof", "profiler")
+SAMPLER_HINTS = ("timeseries", "sampler")
+
+
+class Violation(NamedTuple):
+    path: str
+    line: int
+    hook: str
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: unguarded obs hook `{self.hook}`"
+
+
+def _dotted(node: ast.AST) -> str:
+    """Best-effort dotted source of a receiver expression, lowercased."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+    return ".".join(reversed(parts)).lower()
+
+
+def _hook_name(call: ast.Call) -> Optional[str]:
+    """The hook a call site represents, or None if it is not one."""
+    func = call.func
+    if isinstance(func, ast.Name) and func.id == "TraceEvent":
+        return "TraceEvent(...)"
+    if not isinstance(func, ast.Attribute):
+        return None
+    receiver = _dotted(func.value)
+    if func.attr == "emit":
+        return f"{receiver}.emit(...)"
+    if func.attr in ("span", "add", "start") and any(
+        hint in receiver for hint in PROFILER_HINTS
+    ):
+        return f"{receiver}.{func.attr}(...)"
+    if func.attr == "record" and any(hint in receiver for hint in SAMPLER_HINTS):
+        return f"{receiver}.record(...)"
+    return None
+
+
+def _reads_enabled(test: ast.AST) -> bool:
+    return any(
+        isinstance(node, ast.Attribute) and node.attr == "enabled"
+        for node in ast.walk(test)
+    )
+
+
+def _guard_lines(scope: ast.AST) -> List[int]:
+    """Lines of every ``.enabled``-reading branch test inside *scope*."""
+    lines = []
+    for node in ast.walk(scope):
+        if isinstance(node, (ast.If, ast.IfExp)) and _reads_enabled(node.test):
+            lines.append(node.lineno)
+    return lines
+
+
+def _check_module(path: str, source: str) -> List[Violation]:
+    tree = ast.parse(source, filename=path)
+    # Parent links let us recover each call's enclosing-function chain.
+    parents = {
+        child: parent for parent in ast.walk(tree) for child in ast.iter_child_nodes(parent)
+    }
+    violations = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        hook = _hook_name(node)
+        if hook is None:
+            continue
+        # Outermost function enclosing the hook: guards anywhere inside
+        # it (including outer creation-time guards before a closure's
+        # ``def``) count, as long as they precede the hook's line.
+        scope: ast.AST = node
+        outermost: Optional[ast.AST] = None
+        while scope in parents:
+            scope = parents[scope]
+            if isinstance(scope, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                outermost = scope
+        searched = outermost if outermost is not None else tree
+        if not any(line <= node.lineno for line in _guard_lines(searched)):
+            violations.append(Violation(os.path.relpath(path, REPO_ROOT), node.lineno, hook))
+    return violations
+
+
+def iter_source_files(root: str = SOURCE_ROOT) -> Iterable[str]:
+    for dirpath, dirnames, filenames in os.walk(root):
+        rel = os.path.relpath(dirpath, root)
+        parts: Tuple[str, ...] = () if rel == "." else tuple(rel.split(os.sep))
+        if parts and parts[0] in EXCLUDED_PARTS:
+            dirnames[:] = []
+            continue
+        for filename in sorted(filenames):
+            if filename.endswith(".py"):
+                yield os.path.join(dirpath, filename)
+
+
+def collect_violations(root: str = SOURCE_ROOT) -> List[Violation]:
+    violations: List[Violation] = []
+    for path in iter_source_files(root):
+        with open(path, "r", encoding="utf-8") as handle:
+            violations.extend(_check_module(path, handle.read()))
+    return violations
+
+
+def main() -> int:
+    violations = collect_violations()
+    for violation in violations:
+        print(violation, file=sys.stderr)
+    if violations:
+        print(f"{len(violations)} unguarded obs hook site(s)", file=sys.stderr)
+        return 1
+    print("all obs hook sites guard on `.enabled`")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -18,11 +18,14 @@ Commands
     Run the kernel microbenchmarks and fail on regression vs baseline.
 ``trace``
     Replay a JSONL trace file into a per-query audit report.
+``report``
+    Render a run directory (``simulate --out DIR``) as Markdown.
 """
 
 from __future__ import annotations
 
 import argparse
+import functools
 import sys
 from typing import Optional, Sequence
 
@@ -95,28 +98,105 @@ def cmd_ncl(args: argparse.Namespace) -> int:
     return 0
 
 
-def _run_one(args: argparse.Namespace, scheme_name: str) -> SimulationResult:
-    trace = _load_trace(args)
-    preset = TRACE_PRESETS[args.trace]
-    workload = WorkloadConfig(
+def _make_scheme(scheme_name: str, k: int, time_budget: Optional[float]):
+    """Module-level scheme factory: picklable for parallel repetitions."""
+    if scheme_name == "intentional":
+        return IntentionalCaching(
+            IntentionalConfig(num_ncls=k, ncl_time_budget=time_budget)
+        )
+    return scheme_by_name(scheme_name)
+
+
+def _workload_from_args(args: argparse.Namespace) -> WorkloadConfig:
+    return WorkloadConfig(
         mean_data_lifetime=args.lifetime_hours * HOUR,
         mean_data_size=int(args.size_mb * MEGABIT),
     )
-    if scheme_name == "intentional":
-        scheme = IntentionalCaching(
-            IntentionalConfig(
-                num_ncls=args.k, ncl_time_budget=preset.ncl_time_budget
-            )
-        )
-    else:
-        scheme = scheme_by_name(scheme_name)
+
+
+def _run_one(args: argparse.Namespace, scheme_name: str) -> SimulationResult:
+    trace = _load_trace(args)
+    preset = TRACE_PRESETS[args.trace]
+    scheme = _make_scheme(scheme_name, args.k, preset.ncl_time_budget)
     config = SimulatorConfig(seed=args.seed, trace_path=getattr(args, "trace_out", None))
-    return Simulator(trace, scheme, workload, config).run()
+    return Simulator(trace, scheme, _workload_from_args(args), config).run()
 
 
 def cmd_simulate(args: argparse.Namespace) -> int:
-    result = _run_one(args, args.scheme)
-    print(_result_line(result))
+    from repro.experiments.runner import (
+        ExperimentResult,
+        experiment_config,
+        run_experiment,
+    )
+    from repro.experiments.runstore import save_run
+    from repro.metrics.results import aggregate_results
+    from repro.obs.profile import render_profile_table
+    from repro.obs.provenance import build_manifest
+    from repro.obs.timeseries import merge_timeseries
+
+    trace = _load_trace(args)
+    preset = TRACE_PRESETS[args.trace]
+    workload = _workload_from_args(args)
+    factory = functools.partial(
+        _make_scheme, args.scheme, args.k, preset.ncl_time_budget
+    )
+    scheme_info = {
+        "name": args.scheme,
+        "num_ncls": args.k,
+        "ncl_time_budget": preset.ncl_time_budget,
+    }
+    collect = bool(args.out or args.profile)
+    config = SimulatorConfig(
+        seed=args.seed,
+        trace_path=args.trace_out,
+        profile=collect,
+        timeseries=bool(args.out),
+    )
+    seeds = list(range(args.seed, args.seed + args.repeat))
+
+    if args.repeat > 1 or (args.workers and args.workers > 1):
+        if args.trace_out or args.timeline_out:
+            print(
+                "--trace-out/--timeline-out record one run; "
+                "use --repeat 1 without --workers",
+                file=sys.stderr,
+            )
+            return 2
+        experiment = run_experiment(
+            trace,
+            factory,
+            workload,
+            seeds,
+            config=config,
+            workers=args.workers,
+            scheme_info=scheme_info,
+        )
+        for result in experiment.results:
+            print(_result_line(result))
+    else:
+        simulator = Simulator(trace, factory(), workload, config)
+        result = simulator.run()
+        print(_result_line(result))
+        if args.timeline_out:
+            simulator.timeline.to_csv(args.timeline_out)
+            print(f"timeline written to {args.timeline_out}")
+        experiment = ExperimentResult(
+            aggregate=aggregate_results([result]),
+            results=[result],
+            registry=simulator.registry,
+            profile=simulator.profiler.as_dict(),
+            timeseries=merge_timeseries([(args.seed, simulator.timeseries.rows())]),
+            manifest=build_manifest(
+                experiment_config(trace, scheme_info, workload, config), seeds
+            ),
+        )
+
+    if args.out:
+        save_run(experiment, args.out)
+        print(f"run directory written to {args.out} (render with `repro report`)")
+    if args.profile:
+        print()
+        print(render_profile_table(experiment.profile))
     return 0
 
 
@@ -174,6 +254,18 @@ def cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_report(args: argparse.Namespace) -> int:
+    from repro.errors import ConfigurationError
+    from repro.experiments.runstore import render_run_report
+
+    try:
+        print(render_run_report(args.run_dir, audit_limit=args.limit))
+    except (ConfigurationError, OSError, ValueError) as exc:
+        print(f"cannot render run {args.run_dir!r}: {exc}", file=sys.stderr)
+        return 2
+    return 0
+
+
 def cmd_bench(args: argparse.Namespace) -> int:
     from repro.experiments.benchguard import run_guard
 
@@ -212,6 +304,39 @@ def build_parser() -> argparse.ArgumentParser:
             metavar="PATH",
             help="record a JSONL lifecycle trace (replay with `repro trace PATH`)",
         )
+        if name == "simulate":
+            p.add_argument(
+                "--out",
+                default=None,
+                metavar="DIR",
+                help="write a run directory (result, manifest, profile, "
+                "time series; render with `repro report DIR`)",
+            )
+            p.add_argument(
+                "--profile",
+                action="store_true",
+                help="collect wall-clock spans and print the profile table",
+            )
+            p.add_argument(
+                "--timeline-out",
+                default=None,
+                metavar="PATH",
+                help="write the periodic metric timeline as CSV",
+            )
+            p.add_argument(
+                "--repeat",
+                type=int,
+                default=1,
+                metavar="N",
+                help="repeat with seeds seed..seed+N-1 and aggregate",
+            )
+            p.add_argument(
+                "--workers",
+                type=int,
+                default=None,
+                metavar="N",
+                help="process-pool size for --repeat > 1",
+            )
         p.set_defaults(func=func)
 
     p_fit = sub.add_parser("fit", help="exponential inter-contact fit report")
@@ -248,6 +373,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="restrict the report to queries with this outcome",
     )
     p_trace.set_defaults(func=cmd_trace)
+
+    p_report = sub.add_parser(
+        "report", help="Markdown report of a run directory (simulate --out)"
+    )
+    p_report.add_argument("run_dir", help="directory written by simulate --out")
+    p_report.add_argument(
+        "--limit", type=int, default=10, help="max queries in the trace audit section"
+    )
+    p_report.set_defaults(func=cmd_report)
     return parser
 
 

@@ -32,6 +32,7 @@ from repro.core.response import AlwaysRespond, ResponseStrategy
 from repro.graph.contact_graph import ContactGraph
 from repro.metrics.collector import MetricsCollector
 from repro.obs.events import TraceEvent, TraceEventKind
+from repro.obs.profile import NULL_PROFILER, Profiler
 from repro.obs.recorder import NULL_RECORDER, TraceRecorder
 from repro.routing.base import DecisionObserver, ForwardAction, ForwardDecision
 from repro.routing.rate_gradient import RateGradientRouter
@@ -72,6 +73,9 @@ class SchemeServices:
     clock:
         ``() -> float`` returning the current simulation time, for hooks
         that fire outside a timestamped callback (router observers).
+    profiler:
+        The run's phase profiler (``NULL_PROFILER`` when profiling is
+        off; every span site guards on ``profiler.enabled``).
     """
 
     nodes: Sequence[Node]
@@ -82,6 +86,7 @@ class SchemeServices:
     response_horizon: float
     recorder: TraceRecorder = NULL_RECORDER
     clock: Optional[Callable[[], float]] = None
+    profiler: Profiler = NULL_PROFILER
 
 
 class CachingScheme(abc.ABC):
@@ -200,6 +205,11 @@ class CachingScheme(abc.ABC):
         if query.query_id in node.responded_queries or query.is_expired(now):
             return False
         data = node.find_data(query.data_id, now)
+        # Each first serving attempt is one cache lookup; a hit means a
+        # *cached* copy answers (origin copies at the source don't count).
+        services.metrics.on_cache_lookup(
+            data is not None and data.data_id in node.buffer
+        )
         if data is None:
             return False
         if data.data_id in node.buffer:

@@ -363,6 +363,14 @@ class IntentionalCaching(CachingScheme):
 
     def on_query_generated(self, node: Node, query: Query, now: float) -> None:
         """Multicast the query: one gradient copy per central node."""
+        prof = self._require_services().profiler
+        if prof.enabled:
+            with prof.span("scheme.query_multicast"):
+                self._multicast_query(node, query, now)
+        else:
+            self._multicast_query(node, query, now)
+
+    def _multicast_query(self, node: Node, query: Query, now: float) -> None:
         selection = self._require_selection()
         node.observe_query(query, now)
         for central in selection.central_nodes:
@@ -531,11 +539,27 @@ class IntentionalCaching(CachingScheme):
         self.housekeeping(a, now)
         self.housekeeping(b, now)
         # Deliveries first (most valuable per bit), then control traffic,
-        # then bulk movement.
-        self.process_responses(a, b, now, budget)
-        self.process_responses(b, a, now, budget)
-        self._process_queries(a, b, now, budget)
-        self._process_queries(b, a, now, budget)
-        self._process_pushes(a, b, now, budget)
-        self._process_pushes(b, a, now, budget)
-        self._process_replacement(a, b, now, budget)
+        # then bulk movement.  The profiled branch mirrors the plain one
+        # phase for phase; keeping the two in sync is the price of the
+        # zero-overhead guard (one attribute read when profiling is off).
+        prof = self._require_services().profiler
+        if prof.enabled:
+            with prof.span("scheme.responses"):
+                self.process_responses(a, b, now, budget)
+                self.process_responses(b, a, now, budget)
+            with prof.span("scheme.queries"):
+                self._process_queries(a, b, now, budget)
+                self._process_queries(b, a, now, budget)
+            with prof.span("scheme.pushes"):
+                self._process_pushes(a, b, now, budget)
+                self._process_pushes(b, a, now, budget)
+            with prof.span("scheme.replacement"):
+                self._process_replacement(a, b, now, budget)
+        else:
+            self.process_responses(a, b, now, budget)
+            self.process_responses(b, a, now, budget)
+            self._process_queries(a, b, now, budget)
+            self._process_queries(b, a, now, budget)
+            self._process_pushes(a, b, now, budget)
+            self._process_pushes(b, a, now, budget)
+            self._process_replacement(a, b, now, budget)

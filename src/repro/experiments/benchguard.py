@@ -5,11 +5,19 @@ pytest-benchmark with ``--benchmark-json``, then compares each kernel's
 mean time against the committed baseline and fails when any kernel
 regresses beyond the threshold (default 1.5×).
 
-The committed baseline (``benchmarks/kernels_baseline.json``) is a slim
-``{benchmark name: mean seconds}`` map — machine-dependent, so regenerate
+The committed baseline (``benchmarks/kernels_baseline.json``) carries a
+``benchmarks`` map of ``{benchmark name: mean seconds}`` plus a
+provenance manifest recording where those numbers came from (git
+revision, package versions, platform) — machine-dependent, so regenerate
 it with ``--update-baseline`` when the hardware or an intentional
 performance trade-off changes.  New benchmarks without a baseline entry
 are reported but never fail the guard.
+
+Benchmarks named ``<kernel>_profiled`` are additionally paired with
+their unprofiled ``<kernel>`` twin *within the same run*: the guard
+fails when enabling the profiler costs more than
+``PROFILER_OVERHEAD_THRESHOLD`` (5%), keeping span instrumentation
+cheap enough to leave on during investigations.
 """
 
 from __future__ import annotations
@@ -22,12 +30,24 @@ import sys
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple
 
-__all__ = ["load_benchmark_means", "compare_against_baseline", "run_guard", "main"]
+from repro.obs.provenance import build_manifest
+
+__all__ = [
+    "load_benchmark_means",
+    "compare_against_baseline",
+    "check_profiler_overhead",
+    "run_guard",
+    "main",
+]
 
 DEFAULT_BENCHMARK_FILE = Path("benchmarks/test_bench_kernels.py")
 DEFAULT_RESULT_JSON = Path("BENCH_kernels.json")
 DEFAULT_BASELINE = Path("benchmarks/kernels_baseline.json")
 DEFAULT_THRESHOLD = 1.5
+
+#: ``<kernel>_profiled`` may cost at most 5% over its unprofiled twin.
+PROFILED_SUFFIX = "_profiled"
+PROFILER_OVERHEAD_THRESHOLD = 1.05
 
 
 def load_benchmark_means(result_json: Path) -> Dict[str, float]:
@@ -55,6 +75,28 @@ def compare_against_baseline(
         reference = baseline.get(name)
         regressed = reference is not None and mean > threshold * reference
         rows.append((name, mean, reference, regressed))
+    return rows
+
+
+def check_profiler_overhead(
+    current: Dict[str, float],
+    threshold: float = PROFILER_OVERHEAD_THRESHOLD,
+) -> List[Tuple[str, float, bool]]:
+    """Pair ``<kernel>_profiled`` benchmarks with their unprofiled twin.
+
+    Both means come from the *same run*, so the comparison is free of
+    baseline/machine drift.  Each row is ``(profiled name, overhead
+    ratio, failed)``; a missing or zero-time twin yields no row.
+    """
+    rows = []
+    for name in sorted(current):
+        if not name.endswith(PROFILED_SUFFIX):
+            continue
+        twin = current.get(name[: -len(PROFILED_SUFFIX)])
+        if not twin:
+            continue
+        ratio = current[name] / twin
+        rows.append((name, ratio, ratio > threshold))
     return rows
 
 
@@ -91,7 +133,13 @@ def run_guard(
         return status
     current = load_benchmark_means(result_json)
     if update_baseline:
-        baseline_path.write_text(json.dumps(current, indent=2, sort_keys=True) + "\n")
+        # The manifest pins where these numbers came from (git revision,
+        # package versions, platform) — baselines are machine-dependent.
+        manifest = build_manifest(
+            {"benchmark_file": str(benchmark_file), "threshold": threshold}, []
+        )
+        payload = {"benchmarks": current, "provenance": manifest}
+        baseline_path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
         print(f"baseline updated: {baseline_path} ({len(current)} kernels)")
         return 0
     if not baseline_path.exists():
@@ -100,7 +148,9 @@ def run_guard(
             file=sys.stderr,
         )
         return 2
-    baseline = json.loads(baseline_path.read_text())
+    payload = json.loads(baseline_path.read_text())
+    # Pre-provenance baselines were a bare {name: mean} map.
+    baseline = payload.get("benchmarks", payload)
     failures = 0
     for name, mean, reference, regressed in compare_against_baseline(
         current, baseline, threshold
@@ -113,9 +163,24 @@ def run_guard(
             detail = f"baseline {reference * 1e3:8.3f} ms  ratio {ratio:5.2f}x"
             failures += int(regressed)
         print(f"{verdict:4s} {name:45s} {mean * 1e3:8.3f} ms  {detail}")
+    overhead_failures = 0
+    for name, ratio, failed in check_profiler_overhead(current):
+        verdict = "FAIL" if failed else "ok"
+        print(
+            f"{verdict:4s} {name:45s} profiler overhead {ratio:5.2f}x "
+            f"(limit {PROFILER_OVERHEAD_THRESHOLD:.2f}x)"
+        )
+        overhead_failures += int(failed)
     if failures:
         print(
             f"{failures} kernel(s) regressed beyond {threshold:.2f}x baseline",
+            file=sys.stderr,
+        )
+        return 1
+    if overhead_failures:
+        print(
+            f"{overhead_failures} kernel(s) exceed "
+            f"{PROFILER_OVERHEAD_THRESHOLD:.2f}x profiler overhead",
             file=sys.stderr,
         )
         return 1

@@ -36,6 +36,7 @@ from repro.mathutils.hypoexponential import (
     hypoexponential_cdf_batch,
     path_delivery_probability,
 )
+from repro.obs.profile import active_profiler
 
 __all__ = [
     "PathMode",
@@ -274,6 +275,19 @@ def hop_rate_tuples_from(
         raise PathError(f"source {source} outside graph of {graph.num_nodes} nodes")
     if time_budget <= 0:
         raise PathError("time budget must be positive")
+    prof = active_profiler()
+    if prof.enabled:
+        with prof.span("kernel.rate_tuples"):
+            return _hop_rate_tuples_from(graph, source, time_budget, mode)
+    return _hop_rate_tuples_from(graph, source, time_budget, mode)
+
+
+def _hop_rate_tuples_from(
+    graph: ContactGraph,
+    source: int,
+    time_budget: float,
+    mode: PathMode,
+) -> Dict[int, Tuple[float, ...]]:
     if mode is not PathMode.EXPECTED_DELAY:
         paths = shortest_paths_from(graph, source, time_budget, mode)
         return {node: path.rates for node, path in paths.items()}
@@ -295,6 +309,19 @@ def shortest_path_weights_from(
     are symmetric, so p_{ij} = p_{ji}.  In expected-delay mode the sweep
     is fully vectorized (scipy Dijkstra + batched Eq. 2).
     """
+    prof = active_profiler()
+    if prof.enabled:
+        with prof.span("kernel.weights_from"):
+            return _shortest_path_weights_from(graph, source, time_budget, mode)
+    return _shortest_path_weights_from(graph, source, time_budget, mode)
+
+
+def _shortest_path_weights_from(
+    graph: ContactGraph,
+    source: int,
+    time_budget: float,
+    mode: PathMode,
+) -> np.ndarray:
     if mode is not PathMode.EXPECTED_DELAY:
         return _reference_shortest_path_weights_from(graph, source, time_budget, mode)
     tuples = hop_rate_tuples_from(graph, source, time_budget, mode)
@@ -319,6 +346,18 @@ def shortest_path_weight_matrix(
     """
     if time_budget <= 0:
         raise PathError("time budget must be positive")
+    prof = active_profiler()
+    if prof.enabled:
+        with prof.span("kernel.weight_matrix"):
+            return _shortest_path_weight_matrix(graph, time_budget, mode)
+    return _shortest_path_weight_matrix(graph, time_budget, mode)
+
+
+def _shortest_path_weight_matrix(
+    graph: ContactGraph,
+    time_budget: float,
+    mode: PathMode,
+) -> np.ndarray:
     n = graph.num_nodes
     if mode is not PathMode.EXPECTED_DELAY:
         return np.vstack(

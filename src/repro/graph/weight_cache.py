@@ -36,6 +36,7 @@ from __future__ import annotations
 
 import threading
 from collections import OrderedDict
+from time import perf_counter
 from typing import Dict, Hashable, Optional, Tuple
 
 import numpy as np
@@ -47,6 +48,7 @@ from repro.graph.paths import (
     shortest_path_weight_matrix,
     shortest_path_weights_from,
 )
+from repro.obs.profile import active_profiler
 
 __all__ = ["PathWeightCache", "shared_weight_cache", "cached_path_weights"]
 
@@ -106,12 +108,25 @@ class PathWeightCache:
         mode: PathMode = PathMode.EXPECTED_DELAY,
     ) -> np.ndarray:
         """Cached :func:`shortest_path_weights_from` (read-only vector)."""
+        # Hit latency is measured inline (a hit is too cheap for a span);
+        # a miss wraps the recompute in a span so the kernel nests under it.
+        prof = active_profiler()
+        if prof.enabled:
+            t0 = perf_counter()
         key = ("w", graph.fingerprint(), int(source), float(time_budget), mode)
         cached = self._lookup(key)
         if cached is None:
-            cached = shortest_path_weights_from(graph, source, time_budget, mode)
+            if prof.enabled:
+                with prof.span("weight_cache.weights.miss"):
+                    cached = shortest_path_weights_from(
+                        graph, source, time_budget, mode
+                    )
+            else:
+                cached = shortest_path_weights_from(graph, source, time_budget, mode)
             cached.flags.writeable = False
             self._store(key, cached)
+        elif prof.enabled:
+            prof.add("weight_cache.weights.hit", perf_counter() - t0)
         return cached  # type: ignore[return-value]
 
     def weight_matrix(
@@ -126,10 +141,17 @@ class PathWeightCache:
         selection/refresh that computed the full matrix hands the routers
         their per-central vectors for free.
         """
+        prof = active_profiler()
+        if prof.enabled:
+            t0 = perf_counter()
         key = ("W", graph.fingerprint(), float(time_budget), mode)
         cached = self._lookup(key)
         if cached is None:
-            cached = shortest_path_weight_matrix(graph, time_budget, mode)
+            if prof.enabled:
+                with prof.span("weight_cache.matrix.miss"):
+                    cached = shortest_path_weight_matrix(graph, time_budget, mode)
+            else:
+                cached = shortest_path_weight_matrix(graph, time_budget, mode)
             cached.flags.writeable = False
             self._store(key, cached)
             for source in range(graph.num_nodes):
@@ -138,6 +160,8 @@ class PathWeightCache:
                 self._store(
                     ("w", graph.fingerprint(), source, float(time_budget), mode), row
                 )
+        elif prof.enabled:
+            prof.add("weight_cache.matrix.hit", perf_counter() - t0)
         return cached  # type: ignore[return-value]
 
     def rate_tuples(
@@ -153,12 +177,21 @@ class PathWeightCache:
         so the key collapses it; calibration probes at many budgets then
         hit one entry.
         """
+        prof = active_profiler()
+        if prof.enabled:
+            t0 = perf_counter()
         budget_key = 0.0 if mode is PathMode.EXPECTED_DELAY else float(time_budget)
         key = ("r", graph.fingerprint(), int(source), budget_key, mode)
         cached = self._lookup(key)
         if cached is None:
-            cached = hop_rate_tuples_from(graph, source, time_budget, mode)
+            if prof.enabled:
+                with prof.span("weight_cache.rate_tuples.miss"):
+                    cached = hop_rate_tuples_from(graph, source, time_budget, mode)
+            else:
+                cached = hop_rate_tuples_from(graph, source, time_budget, mode)
             self._store(key, cached)
+        elif prof.enabled:
+            prof.add("weight_cache.rate_tuples.hit", perf_counter() - t0)
         return cached  # type: ignore[return-value]
 
 

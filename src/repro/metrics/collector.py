@@ -39,6 +39,8 @@ class MetricsCollector:
         self._duplicate_deliveries = 0
         self._bits_transferred = 0
         self._pushes_completed = 0
+        self._cache_lookups = 0
+        self._cache_hits = 0
 
     # --- queries --------------------------------------------------------
 
@@ -70,6 +72,14 @@ class MetricsCollector:
     def is_satisfied(self, query_id: int) -> bool:
         return query_id in self._satisfied_at
 
+    def pending_queries(self, now: float) -> int:
+        """Issued queries still unsatisfied and unexpired at *now*."""
+        return sum(
+            1
+            for qid, query in self._queries.items()
+            if qid not in self._satisfied_at and now <= query.expires_at
+        )
+
     # --- data and caching ----------------------------------------------
 
     def on_data_generated(self, item: DataItem) -> None:
@@ -98,6 +108,13 @@ class MetricsCollector:
     def on_transfer(self, bits: int) -> None:
         self._bits_transferred += bits
 
+    def on_cache_lookup(self, hit: bool) -> None:
+        """One attempt to serve a query locally; *hit* iff a cached
+        (buffer) copy answered."""
+        self._cache_lookups += 1
+        if hit:
+            self._cache_hits += 1
+
     # --- summary -----------------------------------------------------------
 
     @property
@@ -117,6 +134,14 @@ class MetricsCollector:
     @property
     def responses_delivered(self) -> int:
         return self._responses_delivered
+
+    @property
+    def cache_lookups(self) -> int:
+        return self._cache_lookups
+
+    @property
+    def cache_hits(self) -> int:
+        return self._cache_hits
 
     def finalize(self, name: str, seed: int) -> SimulationResult:
         """Freeze the run into a :class:`SimulationResult`."""

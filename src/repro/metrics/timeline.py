@@ -11,6 +11,7 @@ ratio stabilises, how buffer occupancy breathes with data churn.
 
 from __future__ import annotations
 
+import csv
 from dataclasses import dataclass
 from typing import Dict, List, Sequence
 
@@ -95,3 +96,13 @@ class TimelineRecorder:
             "mean_buffer_occupancy",
         )
         return {name: self.column(name) for name in names}
+
+    def to_csv(self, path: str) -> None:
+        """Write all columns as CSV (the ``--timeline-out`` CLI format)."""
+        data = self.as_dict()
+        columns = list(data)
+        with open(path, "w", encoding="utf-8", newline="") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(columns)
+            for i in range(len(self)):
+                writer.writerow([data[name][i] for name in columns])

@@ -32,6 +32,31 @@ from repro.obs.derive import (
     derive_metrics,
     render_audit_report,
 )
+from repro.obs.profile import (
+    NULL_PROFILER,
+    NullProfiler,
+    Profiler,
+    activated,
+    active_profiler,
+    check_profile_tree,
+    merge_profiles,
+    render_profile_table,
+    set_active_profiler,
+)
+from repro.obs.timeseries import (
+    NULL_SAMPLER,
+    NullTimeSeriesSampler,
+    TimeSeriesSample,
+    TimeSeriesSampler,
+    merge_timeseries,
+    summarize_timeseries,
+)
+from repro.obs.provenance import (
+    build_manifest,
+    config_hash,
+    read_manifest,
+    write_manifest,
+)
 
 __all__ = [
     "TraceEvent",
@@ -50,4 +75,23 @@ __all__ = [
     "audit_queries",
     "derive_metrics",
     "render_audit_report",
+    "Profiler",
+    "NullProfiler",
+    "NULL_PROFILER",
+    "active_profiler",
+    "activated",
+    "set_active_profiler",
+    "merge_profiles",
+    "render_profile_table",
+    "check_profile_tree",
+    "TimeSeriesSample",
+    "TimeSeriesSampler",
+    "NullTimeSeriesSampler",
+    "NULL_SAMPLER",
+    "merge_timeseries",
+    "summarize_timeseries",
+    "build_manifest",
+    "config_hash",
+    "read_manifest",
+    "write_manifest",
 ]

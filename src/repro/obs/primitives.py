@@ -33,6 +33,10 @@ class Counter:
             raise ValueError("counters only increase")
         self.value += amount
 
+    def merge(self, other: "Counter") -> None:
+        """Fold another counter's total into this one (worker merge)."""
+        self.value += other.value
+
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"Counter({self.name}={self.value})"
 
@@ -77,19 +81,48 @@ class Histogram:
         return self.total / self.count if self.count else float("nan")
 
     def quantile(self, q: float) -> float:
-        """Bucket-resolution quantile estimate (upper edge of the bucket
-        holding the q-th observation; +inf if it falls past the edges)."""
+        """Bucket-resolution quantile estimate: the upper edge of the
+        bucket holding the q-th observation, clamped into the exact
+        [min, max] of what was observed.
+
+        The clamp resolves the boundary cases exactly: q=0 is the
+        minimum, q=1 the maximum (never +inf), and a single-observation
+        histogram returns that observation for every q.  An empty
+        histogram has no quantiles and returns NaN.
+        """
         if not 0.0 <= q <= 1.0:
             raise ValueError("quantile must be in [0, 1]")
         if self.count == 0:
             return float("nan")
+        if q == 0.0:
+            return self.min
         rank = q * self.count
         cumulative = 0
         for edge, bucket in zip(self.bounds, self.bucket_counts):
             cumulative += bucket
             if cumulative >= rank:
-                return edge
-        return math.inf
+                return min(max(edge, self.min), self.max)
+        return self.max
+
+    def merge(self, other: "Histogram") -> None:
+        """Fold another histogram's observations into this one.
+
+        Requires identical bucket bounds (same instrument recorded in
+        two worker processes).
+        """
+        if other.bounds != self.bounds:
+            raise ValueError(
+                f"cannot merge histograms with different bounds: "
+                f"{self.bounds} vs {other.bounds}"
+            )
+        for i, bucket in enumerate(other.bucket_counts):
+            self.bucket_counts[i] += bucket
+        self.count += other.count
+        self.total += other.total
+        if other.min < self.min:
+            self.min = other.min
+        if other.max > self.max:
+            self.max = other.max
 
     def summary(self) -> Dict[str, float]:
         return {
@@ -125,6 +158,18 @@ class MetricsRegistry:
         if histogram is None:
             histogram = self._histograms[name] = Histogram(name, bounds)
         return histogram
+
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold another registry's instruments into this one.
+
+        Instruments present only in *other* are adopted wholesale (as
+        fresh copies); shared ones merge additively.  Used to combine
+        per-worker registries into one report.
+        """
+        for name, counter in other._counters.items():
+            self.counter(name).merge(counter)
+        for name, histogram in other._histograms.items():
+            self.histogram(name, histogram.bounds).merge(histogram)
 
     def snapshot(self) -> Dict[str, object]:
         """Flat report of every instrument's current state."""

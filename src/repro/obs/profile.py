@@ -1,0 +1,253 @@
+"""Phase profiler: nestable wall-clock spans with own/cumulative time.
+
+The runtime companion of lifecycle tracing: where tracing answers *what
+happened* to each item and query, the profiler answers *where the time
+goes*.  A :class:`Profiler` keeps a stack of open spans; closing a span
+attributes its elapsed wall-clock time to the span's *path* (the names
+of every open ancestor plus its own), so the report is a tree in which
+a child's cumulative time is always bounded by its parent's.
+
+The zero-overhead convention matches tracing exactly: profiling is off
+by default (:data:`NULL_PROFILER`, ``enabled = False``) and every hot
+site reads ``enabled`` *before* opening a span, so an unprofiled run
+pays one attribute read per site::
+
+    prof = active_profiler()
+    if prof.enabled:
+        with prof.span("kernel.weight_matrix"):
+            return _impl(...)
+    return _impl(...)
+
+Module-level kernels (``graph.paths``, ``graph.weight_cache``) reach the
+run's profiler through :func:`active_profiler`; the simulator installs
+its profiler for the duration of :meth:`Simulator.run` and restores the
+previous one afterwards, so nothing leaks between runs (worker processes
+of the parallel runner each have their own module state).
+
+Profiles serialise to a flat ``{"a/b/c": {calls, own, cum}}`` dict
+(:meth:`Profiler.as_dict`), merge additively across repetitions and
+workers (:func:`merge_profiles`), and render as an indented Markdown
+table (:func:`render_profile_table`).
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from time import perf_counter
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Tuple
+
+__all__ = [
+    "Profiler",
+    "NullProfiler",
+    "NULL_PROFILER",
+    "active_profiler",
+    "set_active_profiler",
+    "activated",
+    "merge_profiles",
+    "render_profile_table",
+    "check_profile_tree",
+]
+
+#: separator between span names in a serialised path
+PATH_SEP = "/"
+
+
+class _Record:
+    """Aggregate stats of one span path."""
+
+    __slots__ = ("calls", "cum", "own")
+
+    def __init__(self) -> None:
+        self.calls = 0
+        self.cum = 0.0
+        self.own = 0.0
+
+
+class Profiler:
+    """Nestable wall-clock span profiler (one per run, not thread-safe)."""
+
+    #: hot sites skip span construction entirely when this is False
+    enabled: bool = True
+
+    def __init__(self) -> None:
+        # Open frames: [name, start time, accumulated child time].
+        self._stack: List[List[object]] = []
+        self._records: Dict[Tuple[str, ...], _Record] = {}
+
+    # --- span lifecycle -------------------------------------------------
+
+    def start(self, name: str) -> None:
+        """Open a span; every span opened until :meth:`stop` nests under it."""
+        self._stack.append([name, perf_counter(), 0.0])
+
+    def stop(self) -> None:
+        """Close the innermost open span and record its timings."""
+        name, started, child_time = self._stack.pop()
+        elapsed = perf_counter() - started  # type: ignore[operator]
+        path = tuple(frame[0] for frame in self._stack) + (name,)  # type: ignore[misc]
+        record = self._records.get(path)
+        if record is None:
+            record = self._records[path] = _Record()
+        record.calls += 1
+        record.cum += elapsed
+        record.own += max(elapsed - child_time, 0.0)  # type: ignore[operator]
+        if self._stack:
+            self._stack[-1][2] += elapsed  # type: ignore[operator]
+
+    @contextmanager
+    def span(self, name: str) -> Iterator[None]:
+        """Context manager form of :meth:`start`/:meth:`stop`."""
+        self.start(name)
+        try:
+            yield
+        finally:
+            self.stop()
+
+    def add(self, name: str, seconds: float, calls: int = 1) -> None:
+        """Record an already-measured leaf span under the current path.
+
+        For sites that time a section themselves (cache hit latency);
+        the parent's own time is reduced exactly as for a nested span.
+        """
+        path = tuple(frame[0] for frame in self._stack) + (name,)  # type: ignore[misc]
+        record = self._records.get(path)
+        if record is None:
+            record = self._records[path] = _Record()
+        record.calls += calls
+        record.cum += seconds
+        record.own += seconds
+        if self._stack:
+            self._stack[-1][2] += seconds  # type: ignore[operator]
+
+    # --- reporting ------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    @property
+    def open_spans(self) -> int:
+        return len(self._stack)
+
+    def as_dict(self) -> Dict[str, Dict[str, float]]:
+        """Serialise to ``{"a/b": {"calls": n, "own": s, "cum": s}}``."""
+        return {
+            PATH_SEP.join(path): {
+                "calls": float(record.calls),
+                "own": record.own,
+                "cum": record.cum,
+            }
+            for path, record in sorted(self._records.items())
+        }
+
+
+class NullProfiler(Profiler):
+    """Profiling off: every span is a bug (sites must guard on ``enabled``)."""
+
+    enabled = False
+
+
+#: Shared default — stateless in practice, so one instance serves the process.
+NULL_PROFILER = NullProfiler()
+
+#: the profiler module-level kernels report to (installed per run)
+_ACTIVE: Profiler = NULL_PROFILER
+
+
+def active_profiler() -> Profiler:
+    """The profiler hot kernels should consult (``NULL_PROFILER`` when off)."""
+    return _ACTIVE
+
+
+def set_active_profiler(profiler: Optional[Profiler]) -> Profiler:
+    """Install *profiler* as the active one; returns the previous one."""
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = profiler if profiler is not None else NULL_PROFILER
+    return previous
+
+
+@contextmanager
+def activated(profiler: Optional[Profiler]) -> Iterator[Profiler]:
+    """Scope *profiler* as the active one, restoring the previous on exit."""
+    previous = set_active_profiler(profiler)
+    try:
+        yield _ACTIVE
+    finally:
+        set_active_profiler(previous)
+
+
+def merge_profiles(
+    profiles: Iterable[Mapping[str, Mapping[str, float]]]
+) -> Dict[str, Dict[str, float]]:
+    """Additively merge serialised profiles (across seeds and workers)."""
+    merged: Dict[str, Dict[str, float]] = {}
+    for profile in profiles:
+        for path, stats in profile.items():
+            into = merged.setdefault(path, {"calls": 0.0, "own": 0.0, "cum": 0.0})
+            into["calls"] += float(stats.get("calls", 0.0))
+            into["own"] += float(stats.get("own", 0.0))
+            into["cum"] += float(stats.get("cum", 0.0))
+    return {path: merged[path] for path in sorted(merged)}
+
+
+def check_profile_tree(profile: Mapping[str, Mapping[str, float]]) -> None:
+    """Assert the structural invariant of a span tree.
+
+    For every parent path, the summed cumulative time of its direct
+    children must not exceed the parent's cumulative time (children run
+    inside their parent), modulo a small float tolerance.
+    """
+    children: Dict[str, float] = {}
+    for path, stats in profile.items():
+        parts = path.split(PATH_SEP)
+        if len(parts) > 1:
+            parent = PATH_SEP.join(parts[:-1])
+            children[parent] = children.get(parent, 0.0) + float(stats["cum"])
+    for parent, child_sum in children.items():
+        if parent not in profile:
+            continue
+        parent_cum = float(profile[parent]["cum"])
+        if child_sum > parent_cum * (1.0 + 1e-9) + 1e-9:
+            raise ValueError(
+                f"profile tree inconsistent at {parent!r}: children sum to "
+                f"{child_sum:.6f}s > parent cumulative {parent_cum:.6f}s"
+            )
+
+
+def render_profile_table(profile: Mapping[str, Mapping[str, float]]) -> str:
+    """Markdown table of a serialised profile, indented by span depth.
+
+    Siblings are ordered by cumulative time (descending) within their
+    parent; the tree order makes the children-within-parent containment
+    visible at a glance.
+    """
+    if not profile:
+        return "(no spans recorded)"
+
+    by_parent: Dict[str, List[str]] = {}
+    for path in profile:
+        parts = path.split(PATH_SEP)
+        parent = PATH_SEP.join(parts[:-1])
+        by_parent.setdefault(parent, []).append(path)
+    for paths in by_parent.values():
+        paths.sort(key=lambda p: -float(profile[p]["cum"]))
+
+    lines = [
+        "| span | calls | own (s) | cum (s) |",
+        "|---|---:|---:|---:|",
+    ]
+
+    def emit(path: str, depth: int) -> None:
+        stats = profile[path]
+        name = path.split(PATH_SEP)[-1]
+        indent = "&nbsp;&nbsp;" * depth
+        lines.append(
+            f"| {indent}{name} | {int(stats['calls'])} "
+            f"| {stats['own']:.6f} | {stats['cum']:.6f} |"
+        )
+        for child in by_parent.get(path, []):
+            emit(child, depth + 1)
+
+    for root in by_parent.get("", []):
+        emit(root, 0)
+    return "\n".join(lines)

@@ -32,12 +32,15 @@ from repro.metrics.results import SimulationResult
 from repro.metrics.timeline import TimelineRecorder
 from repro.obs.derive import derive_metrics
 from repro.obs.events import TraceEvent, TraceEventKind
+from repro.obs.primitives import MetricsRegistry
+from repro.obs.profile import NULL_PROFILER, Profiler, set_active_profiler
 from repro.obs.recorder import (
     NULL_RECORDER,
     JsonlRecorder,
     MemoryRecorder,
     TraceRecorder,
 )
+from repro.obs.timeseries import NULL_SAMPLER, TimeSeriesSample, TimeSeriesSampler
 from repro.rng import SeedSequenceFactory
 from repro.sim.engine import EventEngine
 from repro.sim.events import Event, EventKind
@@ -78,6 +81,16 @@ class SimulatorConfig:
         When set, the run writes its full lifecycle trace as JSONL to
         this path (consumed by ``python -m repro trace``).  A plain
         string, so configs stay picklable for the parallel runner.
+    profile:
+        Collect nestable wall-clock spans (:class:`repro.obs.profile.
+        Profiler`) across the simulator, the scheme and the path-weight
+        kernels.  Off by default; every span site guards on
+        ``profiler.enabled``, so disabled runs pay one attribute read.
+    timeseries:
+        Record the extended per-sample telemetry
+        (:class:`repro.obs.timeseries.TimeSeriesSampler`: per-node
+        occupancy, per-NCL load, cache-hit ratio, pending queries) at
+        every ``SAMPLE_METRICS`` event.  Off by default.
     """
 
     seed: int = 0
@@ -87,6 +100,8 @@ class SimulatorConfig:
     min_contacts_for_rate: int = 1
     validate_invariants: bool = False
     trace_path: Optional[str] = None
+    profile: bool = False
+    timeseries: bool = False
 
     def __post_init__(self) -> None:
         if self.link_capacity <= 0:
@@ -129,6 +144,13 @@ class Simulator:
         self._factory = SeedSequenceFactory(self.config.seed)
         self.metrics = MetricsCollector()
         self.timeline = TimelineRecorder()
+        # Aggregate instruments are always on (an inc is one integer add);
+        # spans and extended sampling are opt-in behind enabled guards.
+        self.registry = MetricsRegistry()
+        self.profiler: Profiler = Profiler() if self.config.profile else NULL_PROFILER
+        self.timeseries: TimeSeriesSampler = (
+            TimeSeriesSampler() if self.config.timeseries else NULL_SAMPLER
+        )
         self.engine = EventEngine()
         self.estimator = OnlineContactGraphEstimator(
             num_nodes=trace.num_nodes,
@@ -168,14 +190,25 @@ class Simulator:
 
     def _handle_contact(self, event: Event) -> None:
         contact: Contact = event.payload
+        self.registry.counter("sim.contacts").inc()
         self.estimator.record_contact(contact.node_a, contact.node_b, contact.start)
         budget = TransferBudget.for_contact(contact.duration, self.config.link_capacity)
-        self.scheme.on_contact(
-            self.nodes[contact.node_a],
-            self.nodes[contact.node_b],
-            contact.start,
-            budget,
-        )
+        prof = self.profiler
+        if prof.enabled:
+            with prof.span("sim.contact"):
+                self.scheme.on_contact(
+                    self.nodes[contact.node_a],
+                    self.nodes[contact.node_b],
+                    contact.start,
+                    budget,
+                )
+        else:
+            self.scheme.on_contact(
+                self.nodes[contact.node_a],
+                self.nodes[contact.node_b],
+                contact.start,
+                budget,
+            )
         if self.config.validate_invariants:
             check_nodes(
                 (self.nodes[contact.node_a], self.nodes[contact.node_b]),
@@ -183,12 +216,21 @@ class Simulator:
             )
 
     def _handle_data_round(self, event: Event) -> None:
+        prof = self.profiler
+        if prof.enabled:
+            with prof.span("sim.data_round"):
+                self._data_round(event)
+        else:
+            self._data_round(event)
+
+    def _data_round(self, event: Event) -> None:
         now = event.time
         has_live = [node.has_live_own_data(now) for node in self.nodes]
         for item in self.workload_process.data_round(now, has_live):
             node = self.nodes[item.source]
             node.generate_data(item)
             self.metrics.on_data_generated(item)
+            self.registry.counter("sim.data_generated").inc()
             if self.recorder.enabled:
                 self.recorder.emit(
                     TraceEvent(
@@ -202,6 +244,14 @@ class Simulator:
             self.scheme.on_data_generated(node, item, now)
 
     def _handle_query_round(self, event: Event) -> None:
+        prof = self.profiler
+        if prof.enabled:
+            with prof.span("sim.query_round"):
+                self._query_round(event)
+        else:
+            self._query_round(event)
+
+    def _query_round(self, event: Event) -> None:
         now = event.time
         holdings: Dict[int, Set[int]] = {}
         for node in self.nodes:
@@ -210,6 +260,7 @@ class Simulator:
             holdings[node.node_id] = held
         for query in self.workload_process.query_round(now, holdings):
             self.metrics.on_query_created(query)
+            self.registry.counter("sim.queries_issued").inc()
             if self.recorder.enabled:
                 self.recorder.emit(
                     TraceEvent(
@@ -224,8 +275,15 @@ class Simulator:
             self.scheme.on_query_generated(self.nodes[query.requester], query, now)
 
     def _handle_graph_refresh(self, event: Event) -> None:
-        graph = self.estimator.snapshot(event.time, force=True)
-        self.scheme.on_graph_updated(graph, event.time)
+        self.registry.counter("sim.graph_refreshes").inc()
+        prof = self.profiler
+        if prof.enabled:
+            with prof.span("sim.graph_refresh"):
+                graph = self.estimator.snapshot(event.time, force=True)
+                self.scheme.on_graph_updated(graph, event.time)
+        else:
+            graph = self.estimator.snapshot(event.time, force=True)
+            self.scheme.on_graph_updated(graph, event.time)
 
     def _handle_sample(self, event: Event) -> None:
         now = event.time
@@ -256,6 +314,36 @@ class Simulator:
             queries_satisfied=self.metrics.queries_satisfied,
             mean_buffer_occupancy=occupancy / len(self.nodes),
         )
+        if self.timeseries.enabled:
+            self.timeseries.record(self._build_sample(now, len(live), cached))
+
+    def _build_sample(
+        self, now: float, live_items: int, cached_copies: int
+    ) -> TimeSeriesSample:
+        """Assemble one extended telemetry sample (sampler enabled only)."""
+        node_occupancy = tuple(
+            node.buffer.used / node.buffer.capacity for node in self.nodes
+        )
+        ncl_load: Dict[int, int] = {}
+        selection = getattr(self.scheme, "selection", None)
+        if selection is not None:
+            nearest = selection.nearest_central
+            for node in self.nodes:
+                central = int(nearest[node.node_id])
+                held = sum(1 for d in node.buffer.items() if not d.is_expired(now))
+                ncl_load[central] = ncl_load.get(central, 0) + held
+        return TimeSeriesSample(
+            time=now,
+            live_items=live_items,
+            cached_copies=cached_copies,
+            queries_issued=self.metrics.queries_issued,
+            queries_satisfied=self.metrics.queries_satisfied,
+            pending_queries=self.metrics.pending_queries(now),
+            cache_lookups=self.metrics.cache_lookups,
+            cache_hits=self.metrics.cache_hits,
+            node_occupancy=node_occupancy,
+            ncl_load=ncl_load,
+        )
 
     # --- run ------------------------------------------------------------
 
@@ -264,7 +352,17 @@ class Simulator:
         if self._ran:
             raise ConfigurationError("a Simulator instance runs exactly once")
         self._ran = True
+        # Module-level kernels (graph.paths, graph.weight_cache) report to
+        # the process's active profiler; install this run's for the
+        # duration and restore the previous one afterwards so nothing
+        # leaks across runs.
+        previous = set_active_profiler(self.profiler)
+        try:
+            return self._run()
+        finally:
+            set_active_profiler(previous)
 
+    def _run(self) -> SimulationResult:
         warmup_end = self.warmup_end
         # Phase 1: warm-up — estimator only, no discrete events needed.
         eval_contacts: List[Contact] = []
@@ -286,11 +384,14 @@ class Simulator:
             response_horizon=self.workload.query_time_constraint,
             recorder=self.recorder,
             clock=lambda: self.engine.now,
+            profiler=self.profiler,
         )
-        self.scheme.attach(services)
-        snapshot = self.estimator.snapshot(warmup_end, force=True)
-        self.scheme.on_graph_updated(snapshot, warmup_end)
-        self.scheme.on_warmup_complete(warmup_end)
+        prof = self.profiler
+        if prof.enabled:
+            with prof.span("sim.setup"):
+                self._setup(services, warmup_end)
+        else:
+            self._setup(services, warmup_end)
 
         # Phase 3: evaluation events.
         engine = self.engine
@@ -344,6 +445,13 @@ class Simulator:
             self.recorder.close()
         return result
 
+    def _setup(self, services: SchemeServices, warmup_end: float) -> None:
+        """Midpoint setup: attach the scheme and run NCL selection."""
+        self.scheme.attach(services)
+        snapshot = self.estimator.snapshot(warmup_end, force=True)
+        self.scheme.on_graph_updated(snapshot, warmup_end)
+        self.scheme.on_warmup_complete(warmup_end)
+
     # --- scheme callbacks -------------------------------------------------
 
     def _lookup_data(self, data_id: int) -> Optional[DataItem]:
@@ -353,6 +461,10 @@ class Simulator:
     def _deliver(self, query: Query, data: DataItem, now: float) -> None:
         first = self.metrics.on_query_satisfied(query, now)
         if first:
+            self.registry.counter("sim.queries_satisfied").inc()
+            self.registry.histogram("sim.delivery_delay").observe(
+                now - query.created_at
+            )
             if self.recorder.enabled:
                 self.recorder.emit(
                     TraceEvent(

@@ -8,7 +8,13 @@ import pytest
 
 from repro.caching.nocache import NoCache
 from repro.errors import SimulationError
-from repro.experiments.runner import run_comparison, run_repeated, run_single
+from repro.experiments.runner import (
+    run_comparison,
+    run_experiment,
+    run_repeated,
+    run_single,
+)
+from repro.sim.simulator import SimulatorConfig
 from repro.traces.synthetic import SyntheticTraceConfig, generate_synthetic_trace
 from repro.units import DAY, HOUR, MEGABIT
 from repro.workload.config import WorkloadConfig
@@ -179,3 +185,81 @@ class TestWorkerCrashRecovery:
             run_repeated(
                 trace, ExplodingFactory(), workload, seeds=(1, 2), workers=2
             )
+
+
+def _strip_times(profile):
+    """Deterministic view of a profile: call counts only (span wall-clock
+    times legitimately differ between runs and machines)."""
+    return {path: stats["calls"] for path, stats in profile.items()}
+
+
+class TestRunExperiment:
+    """run_experiment: telemetry and provenance riding along the results."""
+
+    def test_serial_experiment_carries_telemetry(self, trace, workload):
+        experiment = run_experiment(
+            trace,
+            NoCache,
+            workload,
+            seeds=(1, 2),
+            config=SimulatorConfig(profile=True, timeseries=True),
+        )
+        assert experiment.aggregate.runs == 2
+        assert len(experiment.results) == 2
+        snapshot = experiment.registry.snapshot()
+        assert snapshot["sim.queries_issued"] == experiment.aggregate.queries_issued * 2
+        assert "sim.contact" in experiment.profile
+        assert {row["seed"] for row in experiment.timeseries} == {1, 2}
+        assert experiment.manifest["seeds"] == [1, 2]
+        assert experiment.manifest["config"]["simulator"]["profile"] is True
+
+    def test_results_match_run_repeated_bitwise(self, trace, workload):
+        """Turning telemetry on must not perturb the simulation: the
+        aggregate equals the plain run_repeated aggregate exactly."""
+        experiment = run_experiment(
+            trace,
+            NoCache,
+            workload,
+            seeds=(1, 2, 3),
+            config=SimulatorConfig(profile=True, timeseries=True),
+        )
+        reference = run_repeated(trace, NoCache, workload, seeds=(1, 2, 3))
+        assert_bitwise_identical(experiment.aggregate, reference)
+
+    def test_parallel_merge_equals_serial(self, trace, workload):
+        """Satellite: per-worker registries/profiles/time-series merged
+        across a 4-worker pool must match the serial sweep on every
+        deterministic part (wall-clock span times excluded)."""
+        config = SimulatorConfig(profile=True, timeseries=True)
+        serial = run_experiment(
+            trace, NoCache, workload, seeds=(1, 2, 3, 4), config=config
+        )
+        parallel = run_experiment(
+            trace, NoCache, workload, seeds=(1, 2, 3, 4), config=config, workers=4
+        )
+        for a, b in zip(serial.results, parallel.results):
+            assert_bitwise_identical(a, b)
+        assert serial.registry.snapshot() == parallel.registry.snapshot()
+        assert _strip_times(serial.profile) == _strip_times(parallel.profile)
+        assert serial.timeseries == parallel.timeseries
+        assert serial.manifest["config_hash"] == parallel.manifest["config_hash"]
+
+    def test_config_hash_ignores_seed_and_trace_path(self, trace, workload):
+        first = run_experiment(
+            trace, NoCache, workload, seeds=(1,),
+            config=SimulatorConfig(seed=1, trace_path="/tmp/a.jsonl"),
+        )
+        second = run_experiment(
+            trace, NoCache, workload, seeds=(7, 8),
+            config=SimulatorConfig(seed=99, trace_path=None),
+        )
+        assert first.manifest["config_hash"] == second.manifest["config_hash"]
+
+    def test_scheme_info_lands_in_manifest(self, trace, workload):
+        experiment = run_experiment(
+            trace, NoCache, workload, seeds=(1,),
+            scheme_info={"name": "nocache", "k": 4},
+        )
+        assert experiment.manifest["config"]["scheme"] == {"name": "nocache", "k": 4}
+        default = run_experiment(trace, NoCache, workload, seeds=(1,))
+        assert default.manifest["config"]["scheme"] == "nocache"

@@ -1,0 +1,94 @@
+"""Run directories: save/load round-trip and report rendering."""
+
+import dataclasses
+
+import pytest
+
+from repro.caching.nocache import NoCache
+from repro.errors import ConfigurationError
+from repro.experiments.runner import run_experiment
+from repro.experiments.runstore import load_run, render_run_report, save_run
+from repro.sim.simulator import SimulatorConfig
+from repro.traces.synthetic import SyntheticTraceConfig, generate_synthetic_trace
+from repro.units import DAY, HOUR, MEGABIT
+from repro.workload.config import WorkloadConfig
+
+
+@pytest.fixture(scope="module")
+def experiment():
+    trace = generate_synthetic_trace(
+        SyntheticTraceConfig(
+            name="runstore",
+            num_nodes=10,
+            duration=4 * DAY,
+            total_contacts=1500,
+            granularity=60.0,
+            seed=2,
+        )
+    )
+    workload = WorkloadConfig(mean_data_lifetime=8 * HOUR, mean_data_size=10 * MEGABIT)
+    return run_experiment(
+        trace,
+        NoCache,
+        workload,
+        seeds=(1, 2),
+        config=SimulatorConfig(profile=True, timeseries=True),
+    )
+
+
+class TestSaveLoad:
+    def test_round_trip(self, experiment, tmp_path):
+        run_dir = str(tmp_path / "run")
+        save_run(experiment, run_dir)
+        loaded = load_run(run_dir)
+        assert loaded["manifest"] == experiment.manifest
+        assert loaded["metrics"] == experiment.registry.snapshot()
+        assert loaded["profile"].keys() == experiment.profile.keys()
+        assert loaded["timeseries"] == experiment.timeseries
+        assert loaded["result"]["aggregate"] == dataclasses.asdict(
+            experiment.aggregate
+        )
+        assert loaded["trace_path"] is None  # tracing was off
+
+    def test_load_missing_directory(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            load_run(str(tmp_path / "absent"))
+
+    def test_empty_directory_reports_gracefully(self, tmp_path):
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        assert "(run directory is empty)" in render_run_report(str(empty))
+
+
+class TestRenderReport:
+    def test_sections_present(self, experiment, tmp_path):
+        run_dir = str(tmp_path / "run")
+        save_run(experiment, run_dir)
+        report = render_run_report(run_dir)
+        for heading in (
+            "## Provenance",
+            "## Metrics",
+            "## Instrument registry",
+            "## Profile",
+            "## Time series",
+        ):
+            assert heading in report
+        assert experiment.manifest["config_hash"] in report
+        # mean ± 95% CI rendering of the aggregate
+        assert "±" in report
+
+    def test_profile_tree_is_checked_before_rendering(self, experiment, tmp_path):
+        run_dir = str(tmp_path / "run")
+        save_run(experiment, run_dir)
+        import json
+        import os
+
+        profile_path = os.path.join(run_dir, "profile.json")
+        bad = {
+            "outer": {"calls": 1.0, "own": 0.0, "cum": 1.0},
+            "outer/child": {"calls": 1.0, "own": 5.0, "cum": 5.0},
+        }
+        with open(profile_path, "w") as handle:
+            json.dump(bad, handle)
+        with pytest.raises(ValueError, match="inconsistent"):
+            render_run_report(run_dir)

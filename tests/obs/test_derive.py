@@ -144,3 +144,58 @@ class TestRenderAuditReport:
         report = render_audit_report(self._events(), limit=1, only="expired")
         assert "query 2 [expired]" in report
         assert "(1 more queries)" in report  # query 3, not the satisfied one
+
+
+class TestTruncatedTraces:
+    """A trace cut off mid-run (crash, disk-full, partial download) must
+    still derive and render without arithmetic errors."""
+
+    def test_empty_trace_renders(self):
+        report = render_audit_report([])
+        assert "0 events" in report
+        assert "ratio=0.0000" in report
+        assert "delay=n/a" in report
+
+    def test_satisfied_without_created(self):
+        # The QUERY_CREATED event fell before the truncation point:
+        # satisfaction still counts, delay falls back to zero (the
+        # created_at attr travels on the satisfaction event itself).
+        events = [_ev(9.0, TraceEventKind.QUERY_SATISFIED, node=1, query_id=4)]
+        derived = derive_metrics(events)
+        assert derived.queries_issued == 0
+        assert derived.queries_satisfied == 1
+        assert derived.successful_ratio == 0.0  # no issued count to divide by
+        assert derived.mean_access_delay == 0.0
+
+    def test_audit_of_satisfied_without_created_has_no_delay(self):
+        events = [_ev(9.0, TraceEventKind.QUERY_SATISFIED, node=1, query_id=4)]
+        audit = audit_queries(events)[4]
+        assert audit.satisfied_at == 9.0
+        assert audit.created_at is None
+        assert audit.delay is None
+        assert audit.outcome(trace_end=100.0) == "satisfied"
+
+    def test_created_without_resolution_stays_pending(self):
+        events = [
+            _ev(0.0, TraceEventKind.QUERY_CREATED, node=1, data_id=2, query_id=1,
+                time_constraint=500.0),
+            _ev(1.0, TraceEventKind.QUERY_OBSERVED, node=3, query_id=1),
+        ]
+        derived = derive_metrics(events)
+        assert derived.queries_issued == 1
+        assert derived.queries_satisfied == 0
+        assert math.isnan(derived.mean_access_delay)
+        report = render_audit_report(events)
+        assert "query 1 [pending]" in report
+
+    def test_orphan_response_events_only(self):
+        events = [
+            _ev(3.0, TraceEventKind.RESPONSE_FORWARDED, node=5, query_id=7),
+            _ev(4.0, TraceEventKind.RESPONSE_DELIVERED, node=1, query_id=7),
+        ]
+        derived = derive_metrics(events)
+        assert derived.delivery_events == 1
+        assert derived.queries_satisfied == 0
+        audit = audit_queries(events)[7]
+        assert audit.forwards == 1 and audit.deliveries == 1
+        assert "query 7 [pending]" in render_audit_report(events)

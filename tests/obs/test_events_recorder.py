@@ -122,7 +122,27 @@ class TestHistogram:
             hist.observe(value)
         assert hist.quantile(0.25) == 1.0
         assert hist.quantile(0.5) == 10.0
-        assert hist.quantile(1.0) == math.inf  # past the finite edges
+        # Past the finite edges the observed max bounds the answer —
+        # never the +inf overflow edge.
+        assert hist.quantile(1.0) == 500.0
+
+    def test_quantile_boundaries(self):
+        hist = Histogram("delay", bounds=(1.0, 10.0, 100.0))
+        for value in (0.5, 5.0, 50.0, 500.0):
+            hist.observe(value)
+        # q=0 is the observed minimum, not the first bucket edge.
+        assert hist.quantile(0.0) == 0.5
+        # Bucket edges below the observed min clamp up to it.
+        solo = Histogram("delay", bounds=(1.0, 10.0))
+        solo.observe(5.0)
+        assert solo.quantile(0.0) == 5.0
+        assert solo.quantile(0.5) == 5.0
+        assert solo.quantile(1.0) == 5.0
+
+    def test_quantile_empty_all_qs(self):
+        hist = Histogram("delay")
+        for q in (0.0, 0.5, 1.0):
+            assert math.isnan(hist.quantile(q))
 
     def test_empty_histogram(self):
         hist = Histogram("delay")
@@ -153,3 +173,45 @@ class TestMetricsRegistry:
         snapshot = registry.snapshot()
         assert snapshot["pushes"] == 3
         assert snapshot["delay"]["count"] == 1.0
+
+
+class TestMerge:
+    def test_counter_merge_adds(self):
+        a, b = Counter("pushes"), Counter("pushes")
+        a.inc(2)
+        b.inc(5)
+        a.merge(b)
+        assert a.value == 7
+
+    def test_histogram_merge_folds_everything(self):
+        a = Histogram("delay", bounds=(1.0, 10.0))
+        b = Histogram("delay", bounds=(1.0, 10.0))
+        for value in (0.5, 5.0):
+            a.observe(value)
+        for value in (50.0, 2.0):
+            b.observe(value)
+        a.merge(b)
+        assert a.count == 4
+        assert a.total == pytest.approx(57.5)
+        assert a.min == 0.5 and a.max == 50.0
+        assert a.bucket_counts == [1, 2, 1]
+
+    def test_histogram_merge_rejects_different_bounds(self):
+        a = Histogram("delay", bounds=(1.0, 10.0))
+        b = Histogram("delay", bounds=(1.0, 100.0))
+        with pytest.raises(ValueError):
+            a.merge(b)
+
+    def test_registry_merge_matches_single_registry(self):
+        # Two workers each observing half the events must merge to the
+        # same snapshot as one registry seeing all of them.
+        merged, reference = MetricsRegistry(), MetricsRegistry()
+        workers = [MetricsRegistry(), MetricsRegistry()]
+        for i, value in enumerate((5.0, 50.0, 5000.0, 12.0)):
+            workers[i % 2].counter("events").inc()
+            workers[i % 2].histogram("delay").observe(value)
+            reference.counter("events").inc()
+            reference.histogram("delay").observe(value)
+        for worker in workers:
+            merged.merge(worker)
+        assert merged.snapshot() == reference.snapshot()

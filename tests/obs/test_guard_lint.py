@@ -1,0 +1,105 @@
+"""The obs-guard AST lint: clean tree, plus synthetic violations.
+
+``scripts/check_obs_guards.py`` enforces the zero-overhead contract —
+every trace/profile/sampler hook site reads ``.enabled`` first.  Running
+it under pytest keeps the contract in tier-1 instead of relying on a
+manual script invocation.
+"""
+
+import importlib.util
+import os
+import sys
+
+import pytest
+
+_SCRIPT = os.path.join(
+    os.path.dirname(__file__), os.pardir, os.pardir, "scripts", "check_obs_guards.py"
+)
+
+
+@pytest.fixture(scope="module")
+def lint():
+    spec = importlib.util.spec_from_file_location("check_obs_guards", _SCRIPT)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_source_tree_is_clean(lint):
+    violations = lint.collect_violations()
+    assert violations == [], "\n".join(str(v) for v in violations)
+
+
+def test_flags_unguarded_emit(lint):
+    source = (
+        "def hot_path(services, event):\n"
+        "    services.recorder.emit(event)\n"
+    )
+    violations = lint._check_module("fake.py", source)
+    assert len(violations) == 1
+    assert "emit" in violations[0].hook
+
+
+def test_flags_unguarded_trace_event_and_span(lint):
+    source = (
+        "def hot_path(prof, recorder, now):\n"
+        "    with prof.span('x'):\n"
+        "        recorder.emit(TraceEvent(time=now))\n"
+    )
+    violations = lint._check_module("fake.py", source)
+    assert {v.hook for v in violations} == {
+        "prof.span(...)",
+        "recorder.emit(...)",
+        "TraceEvent(...)",
+    }
+
+
+def test_accepts_inline_guard(lint):
+    source = (
+        "def hot_path(prof, recorder, now):\n"
+        "    if prof.enabled:\n"
+        "        with prof.span('x'):\n"
+        "            recorder.emit(TraceEvent(time=now))\n"
+    )
+    assert lint._check_module("fake.py", source) == []
+
+
+def test_accepts_creation_time_guard(lint):
+    # The route_observer pattern: the guard runs once at closure
+    # creation; the closure itself emits unconditionally.
+    source = (
+        "def make_observer(services):\n"
+        "    if services is None or not services.recorder.enabled:\n"
+        "        return None\n"
+        "    recorder = services.recorder\n"
+        "    def observe(event):\n"
+        "        recorder.emit(event)\n"
+        "    return observe\n"
+    )
+    assert lint._check_module("fake.py", source) == []
+
+
+def test_guard_after_hook_does_not_count(lint):
+    source = (
+        "def hot_path(prof, x):\n"
+        "    prof.add('k', x)\n"
+        "    if prof.enabled:\n"
+        "        pass\n"
+    )
+    violations = lint._check_module("fake.py", source)
+    assert len(violations) == 1
+
+
+def test_ignores_unrelated_receivers(lint):
+    # set.add, subprocess start, timeline record: not obs hooks.
+    source = (
+        "def busy(seen, timeline, item):\n"
+        "    seen.add(item)\n"
+        "    timeline.record(1.0, 2, 3, 4, 5, 0.5)\n"
+    )
+    assert lint._check_module("fake.py", source) == []
+
+
+def test_script_main_exits_zero(lint, capsys):
+    assert lint.main() == 0
+    assert "all obs hook sites" in capsys.readouterr().out

@@ -1,0 +1,154 @@
+"""The span profiler: nesting, attribution, merge, rendering."""
+
+import time
+
+import pytest
+
+from repro.obs.profile import (
+    NULL_PROFILER,
+    Profiler,
+    activated,
+    active_profiler,
+    check_profile_tree,
+    merge_profiles,
+    render_profile_table,
+    set_active_profiler,
+)
+
+
+class TestSpans:
+    def test_nested_paths_and_counts(self):
+        prof = Profiler()
+        with prof.span("outer"):
+            with prof.span("inner"):
+                pass
+            with prof.span("inner"):
+                pass
+        profile = prof.as_dict()
+        assert set(profile) == {"outer", "outer/inner"}
+        assert profile["outer"]["calls"] == 1
+        assert profile["outer/inner"]["calls"] == 2
+        assert prof.open_spans == 0
+
+    def test_own_time_excludes_children(self):
+        prof = Profiler()
+        with prof.span("outer"):
+            with prof.span("inner"):
+                time.sleep(0.02)
+        profile = prof.as_dict()
+        outer, inner = profile["outer"], profile["outer/inner"]
+        assert inner["cum"] >= 0.02
+        assert outer["cum"] >= inner["cum"]
+        # Outer did nothing itself: own time is a small residue, far
+        # below the child's cumulative time.
+        assert outer["own"] < inner["cum"]
+        assert outer["own"] == pytest.approx(outer["cum"] - inner["cum"])
+
+    def test_add_records_leaf_under_current_path(self):
+        prof = Profiler()
+        with prof.span("cache"):
+            prof.add("hit", 0.5, calls=3)
+        profile = prof.as_dict()
+        assert profile["cache/hit"] == {"calls": 3.0, "own": 0.5, "cum": 0.5}
+        # The pre-measured leaf reduces the parent's own time like a
+        # nested span would — but 0.5s of pretend time exceeds the
+        # parent's real elapsed, so own clamps at zero.
+        assert profile["cache"]["own"] == 0.0
+
+    def test_same_name_different_parents_stay_separate(self):
+        prof = Profiler()
+        with prof.span("a"):
+            with prof.span("leaf"):
+                pass
+        with prof.span("b"):
+            with prof.span("leaf"):
+                pass
+        assert {"a/leaf", "b/leaf"} <= set(prof.as_dict())
+
+    def test_null_profiler_is_disabled(self):
+        assert NULL_PROFILER.enabled is False
+        assert Profiler.enabled is True
+
+
+class TestActiveProfiler:
+    def test_default_is_null(self):
+        assert active_profiler() is NULL_PROFILER
+
+    def test_set_returns_previous(self):
+        prof = Profiler()
+        previous = set_active_profiler(prof)
+        try:
+            assert active_profiler() is prof
+        finally:
+            set_active_profiler(previous)
+        assert active_profiler() is previous
+
+    def test_activated_restores_on_exit(self):
+        prof = Profiler()
+        with activated(prof) as active:
+            assert active is prof
+            assert active_profiler() is prof
+        assert active_profiler() is NULL_PROFILER
+
+    def test_activated_restores_on_exception(self):
+        prof = Profiler()
+        with pytest.raises(RuntimeError):
+            with activated(prof):
+                raise RuntimeError("boom")
+        assert active_profiler() is NULL_PROFILER
+
+
+class TestMergeAndChecks:
+    def test_merge_is_additive(self):
+        a = Profiler()
+        with a.span("x"):
+            pass
+        b = Profiler()
+        with b.span("x"):
+            pass
+        with b.span("y"):
+            pass
+        merged = merge_profiles([a.as_dict(), b.as_dict()])
+        assert merged["x"]["calls"] == 2
+        assert merged["y"]["calls"] == 1
+        assert list(merged) == sorted(merged)
+
+    def test_merge_empty(self):
+        assert merge_profiles([]) == {}
+
+    def test_check_profile_tree_accepts_real_profiles(self):
+        prof = Profiler()
+        with prof.span("outer"):
+            with prof.span("inner"):
+                time.sleep(0.001)
+        check_profile_tree(prof.as_dict())
+
+    def test_check_profile_tree_rejects_overflowing_children(self):
+        bad = {
+            "outer": {"calls": 1.0, "own": 0.0, "cum": 1.0},
+            "outer/a": {"calls": 1.0, "own": 0.6, "cum": 0.6},
+            "outer/b": {"calls": 1.0, "own": 0.6, "cum": 0.6},
+        }
+        with pytest.raises(ValueError, match="outer"):
+            check_profile_tree(bad)
+
+    def test_check_profile_tree_ignores_orphan_parents(self):
+        # A child whose parent path was never recorded cannot be checked.
+        check_profile_tree({"a/b": {"calls": 1.0, "own": 0.1, "cum": 0.1}})
+
+
+class TestRendering:
+    def test_empty_profile(self):
+        assert render_profile_table({}) == "(no spans recorded)"
+
+    def test_children_indent_under_parents_sorted_by_cum(self):
+        profile = {
+            "outer": {"calls": 1.0, "own": 0.1, "cum": 1.0},
+            "outer/fast": {"calls": 2.0, "own": 0.3, "cum": 0.3},
+            "outer/slow": {"calls": 1.0, "own": 0.6, "cum": 0.6},
+        }
+        table = render_profile_table(profile)
+        lines = table.splitlines()
+        assert lines[2].startswith("| outer ")
+        assert lines[3].startswith("| &nbsp;&nbsp;slow ")
+        assert lines[4].startswith("| &nbsp;&nbsp;fast ")

@@ -1,0 +1,59 @@
+"""Provenance manifests: canonical hashing and manifest assembly."""
+
+import json
+
+import pytest
+
+from repro.obs.provenance import (
+    build_manifest,
+    canonical_json,
+    config_hash,
+    read_manifest,
+    write_manifest,
+)
+
+
+class TestConfigHash:
+    def test_key_order_does_not_matter(self):
+        a = {"x": 1, "y": {"b": 2, "a": 3}}
+        b = {"y": {"a": 3, "b": 2}, "x": 1}
+        assert config_hash(a) == config_hash(b)
+
+    def test_any_value_change_changes_the_hash(self):
+        base = {"trace": "mit_reality", "k": 8}
+        assert config_hash(base) != config_hash({"trace": "mit_reality", "k": 9})
+        assert config_hash(base) != config_hash({"trace": "infocom", "k": 8})
+
+    def test_stable_across_calls(self):
+        config = {"trace": "mit_reality", "workload": {"lifetime": 3600.0}}
+        assert config_hash(config) == config_hash(json.loads(canonical_json(config)))
+
+    def test_nan_is_rejected(self):
+        with pytest.raises(ValueError):
+            config_hash({"bad": float("nan")})
+
+
+class TestManifest:
+    def test_fields_present(self):
+        manifest = build_manifest({"k": 8}, seeds=[3, 1, 2])
+        assert manifest["config"] == {"k": 8}
+        assert manifest["config_hash"] == config_hash({"k": 8})
+        assert manifest["seeds"] == [1, 2, 3]
+        assert set(manifest["platform"]) == {
+            "python", "implementation", "system", "machine",
+        }
+        # This test suite runs inside the repo checkout, so git info and
+        # the scientific stack must both resolve.
+        assert manifest["git"] is None or "revision" in manifest["git"]
+        assert "numpy" in manifest["packages"]
+
+    def test_round_trip(self, tmp_path):
+        manifest = build_manifest({"k": 8}, seeds=[1])
+        path = tmp_path / "manifest.json"
+        write_manifest(manifest, str(path))
+        assert read_manifest(str(path)) == manifest
+
+    def test_identical_configs_hash_identically(self):
+        first = build_manifest({"k": 8, "scheme": "intentional"}, seeds=[1, 2])
+        second = build_manifest({"scheme": "intentional", "k": 8}, seeds=[5])
+        assert first["config_hash"] == second["config_hash"]

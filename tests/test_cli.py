@@ -125,3 +125,127 @@ class TestTraceCommand:
     def test_trace_missing_file(self, capsys, tmp_path):
         assert main(["trace", str(tmp_path / "absent.jsonl")]) == 2
         assert "cannot read trace" in capsys.readouterr().err
+
+
+class TestRunDirectoryAndReport:
+    def _simulate(self, out_dir, extra=()):
+        return main(
+            [
+                "simulate",
+                "--trace",
+                "infocom05",
+                *FAST_TRACE,
+                "--scheme",
+                "nocache",
+                "--lifetime-hours",
+                "4",
+                "--out",
+                str(out_dir),
+                *extra,
+            ]
+        )
+
+    def test_out_writes_run_directory_and_report_renders(self, capsys, tmp_path):
+        run_dir = tmp_path / "run"
+        assert self._simulate(run_dir) == 0
+        capsys.readouterr()
+        for name in ("result.json", "manifest.json", "metrics.json",
+                     "profile.json", "timeseries.jsonl", "timeseries.csv"):
+            assert (run_dir / name).exists(), name
+        assert main(["report", str(run_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "## Provenance" in out
+        assert "## Metrics" in out
+        assert "## Profile" in out
+        assert "## Time series" in out
+        assert "config hash" in out
+
+    def test_config_hash_stable_across_identical_runs(self, capsys, tmp_path):
+        import json
+
+        assert self._simulate(tmp_path / "a") == 0
+        assert self._simulate(tmp_path / "b") == 0
+        capsys.readouterr()
+        hashes = [
+            json.load(open(tmp_path / name / "manifest.json"))["config_hash"]
+            for name in ("a", "b")
+        ]
+        assert hashes[0] == hashes[1]
+
+    def test_report_includes_trace_audit_when_trace_present(self, capsys, tmp_path):
+        run_dir = tmp_path / "run"
+        assert self._simulate(
+            run_dir, extra=["--trace-out", str(run_dir / "trace.jsonl")]
+        ) == 0
+        capsys.readouterr()
+        assert main(["report", str(run_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "## Trace audit" in out
+        assert "derived: ratio=" in out
+
+    def test_report_on_missing_directory(self, capsys, tmp_path):
+        assert main(["report", str(tmp_path / "absent")]) == 2
+        assert "cannot render run" in capsys.readouterr().err
+
+    def test_timeline_out_writes_csv(self, capsys, tmp_path):
+        import csv
+
+        path = tmp_path / "timeline.csv"
+        assert (
+            main(
+                [
+                    "simulate",
+                    "--trace",
+                    "infocom05",
+                    *FAST_TRACE,
+                    "--scheme",
+                    "nocache",
+                    "--lifetime-hours",
+                    "4",
+                    "--timeline-out",
+                    str(path),
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        with open(path, newline="") as handle:
+            rows = list(csv.DictReader(handle))
+        assert rows, "timeline CSV has no samples"
+        assert "running_ratio" in rows[0]
+        assert "mean_buffer_occupancy" in rows[0]
+
+    def test_single_run_outputs_rejected_with_repeat(self, capsys, tmp_path):
+        assert (
+            main(
+                [
+                    "simulate",
+                    "--trace",
+                    "infocom05",
+                    *FAST_TRACE,
+                    "--scheme",
+                    "nocache",
+                    "--repeat",
+                    "2",
+                    "--timeline-out",
+                    str(tmp_path / "t.csv"),
+                ]
+            )
+            == 2
+        )
+        assert "--repeat 1" in capsys.readouterr().err
+
+    def test_repeat_merges_seeds_into_run_directory(self, capsys, tmp_path):
+        import json
+
+        run_dir = tmp_path / "run"
+        assert self._simulate(run_dir, extra=["--repeat", "2"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("ratio=") >= 2
+        manifest = json.load(open(run_dir / "manifest.json"))
+        assert len(manifest["seeds"]) == 2
+        rows = [
+            json.loads(line)
+            for line in open(run_dir / "timeseries.jsonl").read().splitlines()
+        ]
+        assert {row["seed"] for row in rows} == set(manifest["seeds"])
