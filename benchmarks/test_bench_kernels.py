@@ -103,6 +103,45 @@ def test_bench_kernel_weight_matrix_profiled(benchmark):
     assert "kernel.weight_matrix" in profiler.as_dict()
 
 
+def _run_static_sim(reelect):
+    from repro.scenario import (
+        ScenarioSpec,
+        SchemeSpec,
+        TraceSpec,
+        build_trace,
+        scheme_factory,
+        simulator_config,
+    )
+    from repro.sim.simulator import Simulator
+
+    spec = ScenarioSpec(
+        trace=TraceSpec(name="mit_reality", node_factor=0.35, time_factor=0.08),
+        scheme=SchemeSpec(reelect=reelect),
+    )
+    trace = build_trace(spec.trace)
+    workload = WorkloadConfig(
+        mean_data_lifetime=trace.duration * 0.1, mean_data_size=100_000_000
+    )
+    sim = Simulator(trace, scheme_factory(spec)(), workload, simulator_config(spec))
+    return sim.run()
+
+
+def test_bench_sim_static(benchmark):
+    result = benchmark.pedantic(_run_static_sim, args=(False,), rounds=2, iterations=1)
+    assert result.queries_issued > 0
+
+
+def test_bench_sim_static_reelect(benchmark):
+    """Same static run with re-election enabled.
+
+    The bench guard pairs this with ``test_bench_sim_static`` and fails
+    when enabling re-election costs more than 5% — on a network with no
+    churn the topology gate must keep the selection pass from running.
+    """
+    result = benchmark.pedantic(_run_static_sim, args=(True,), rounds=2, iterations=1)
+    assert result.queries_issued > 0
+
+
 def test_bench_kernel_knapsack(benchmark):
     rng = np.random.default_rng(3)
     items = [

@@ -1,0 +1,133 @@
+#!/usr/bin/env python
+"""Registry lint: every registered name is smoke tested and serializable.
+
+The scenario registries (:mod:`repro.scenario.registry`) are the single
+source of truth for what a scenario file can say.  Two invariants keep
+them honest:
+
+* **Smoke coverage** — every registered scheme, router, response
+  strategy, and trace source name appears (as a whole word) in at least
+  one test under ``tests/``.  A name nobody tests is a name nobody can
+  trust from a scenario file.
+* **JSON round-trip** — every scheme, trace-source, and
+  response-strategy name survives
+  ``ScenarioSpec.from_json(spec.to_json())`` unchanged, so any
+  registered name is usable from ``--scenario`` files, not just from
+  Python.
+
+Run standalone (exit 1 on violations) or via the pytest wrapper in
+``tests/scenario/test_registry_lint.py``.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import sys
+from typing import Dict, Iterable, List, NamedTuple, Tuple
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+TESTS_ROOT = os.path.join(REPO_ROOT, "tests")
+
+if os.path.join(REPO_ROOT, "src") not in sys.path:
+    sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+
+from repro.scenario import (  # noqa: E402  (path bootstrap above)
+    RESPONSE_STRATEGIES,
+    ROUTERS,
+    SCHEMES,
+    TRACE_SOURCES,
+    ScenarioSpec,
+    SchemeSpec,
+    TraceSpec,
+)
+
+
+class Violation(NamedTuple):
+    kind: str
+    name: str
+    problem: str
+
+    def __str__(self) -> str:
+        return f"{self.kind} {self.name!r}: {self.problem}"
+
+
+def registered_names() -> Dict[str, Tuple[str, ...]]:
+    """Every registry's names, keyed by the registry's kind."""
+    return {
+        registry.kind: registry.names()
+        for registry in (SCHEMES, ROUTERS, RESPONSE_STRATEGIES, TRACE_SOURCES)
+    }
+
+
+def iter_test_files(root: str = TESTS_ROOT) -> Iterable[str]:
+    for dirpath, _dirnames, filenames in os.walk(root):
+        for filename in sorted(filenames):
+            if filename.endswith(".py"):
+                yield os.path.join(dirpath, filename)
+
+
+def check_smoke_coverage(tests_root: str = TESTS_ROOT) -> List[Violation]:
+    """Every registered name must appear as a word in some test file."""
+    corpus = "\n".join(
+        open(path, "r", encoding="utf-8").read() for path in iter_test_files(tests_root)
+    )
+    violations = []
+    for kind, names in registered_names().items():
+        for name in names:
+            if not re.search(rf"\b{re.escape(name)}\b", corpus):
+                violations.append(
+                    Violation(kind, name, "no smoke test mentions this name")
+                )
+    return violations
+
+
+def check_round_trips() -> List[Violation]:
+    """Scenario-facing names must survive the spec's JSON round-trip."""
+    cases = [
+        ("scheme", SCHEMES.names(), lambda n: ScenarioSpec(scheme=SchemeSpec(name=n))),
+        (
+            "trace source",
+            TRACE_SOURCES.names(),
+            lambda n: ScenarioSpec(trace=TraceSpec(name=n)),
+        ),
+        (
+            "response strategy",
+            RESPONSE_STRATEGIES.names(),
+            lambda n: ScenarioSpec(scheme=SchemeSpec(response_strategy=n)),
+        ),
+    ]
+    violations = []
+    for kind, names, make in cases:
+        for name in names:
+            spec = make(name)
+            try:
+                restored = ScenarioSpec.from_json(spec.to_json())
+            except Exception as exc:  # pragma: no cover - diagnostic path
+                violations.append(Violation(kind, name, f"round-trip raised: {exc!r}"))
+                continue
+            if restored != spec:
+                violations.append(
+                    Violation(kind, name, "ScenarioSpec JSON round-trip not identity")
+                )
+    return violations
+
+
+def collect_violations(tests_root: str = TESTS_ROOT) -> List[Violation]:
+    return check_smoke_coverage(tests_root) + check_round_trips()
+
+
+def main() -> int:
+    violations = collect_violations()
+    for violation in violations:
+        print(violation, file=sys.stderr)
+    if violations:
+        print(f"{len(violations)} registry violation(s)", file=sys.stderr)
+        return 1
+    total = sum(len(names) for names in registered_names().values())
+    print(f"all {total} registered names are smoke tested and round-trip")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -25,25 +25,36 @@ Commands
 from __future__ import annotations
 
 import argparse
-import functools
+import dataclasses
 import sys
 from typing import Optional, Sequence
 
-from repro.caching import scheme_by_name
-from repro.caching.intentional import IntentionalCaching, IntentionalConfig
 from repro.experiments.report import render_table
 from repro.experiments.figures import TableResult
 from repro.graph.contact_graph import ContactGraph
 from repro.core.ncl import select_ncls
 from repro.metrics.results import SimulationResult
-from repro.sim.simulator import Simulator, SimulatorConfig
+from repro.scenario import (
+    RESPONSE_STRATEGIES,
+    ROUTERS,
+    SCHEMES as SCHEME_REGISTRY,
+    TRACE_SOURCES,
+    RunSpec,
+    ScenarioSpec,
+    SchemeSpec,
+    TraceSpec,
+    build_trace,
+    scheme_factory,
+    simulator_config,
+)
+from repro.sim.simulator import Simulator
 from repro.traces.analysis import exponential_fit_report
 from repro.traces.catalog import TRACE_PRESETS, load_preset_trace
 from repro.traces.stats import summarize_trace
 from repro.units import HOUR, MEGABIT
 from repro.workload.config import WorkloadConfig
 
-SCHEMES = ("intentional", "nocache", "randomcache", "cachedata", "bundlecache")
+SCHEMES = SCHEME_REGISTRY.names()
 
 
 def _add_trace_args(parser: argparse.ArgumentParser) -> None:
@@ -98,15 +109,6 @@ def cmd_ncl(args: argparse.Namespace) -> int:
     return 0
 
 
-def _make_scheme(scheme_name: str, k: int, time_budget: Optional[float]):
-    """Module-level scheme factory: picklable for parallel repetitions."""
-    if scheme_name == "intentional":
-        return IntentionalCaching(
-            IntentionalConfig(num_ncls=k, ncl_time_budget=time_budget)
-        )
-    return scheme_by_name(scheme_name)
-
-
 def _workload_from_args(args: argparse.Namespace) -> WorkloadConfig:
     return WorkloadConfig(
         mean_data_lifetime=args.lifetime_hours * HOUR,
@@ -114,47 +116,71 @@ def _workload_from_args(args: argparse.Namespace) -> WorkloadConfig:
     )
 
 
+def _scenario_from_args(
+    args: argparse.Namespace, scheme_name: Optional[str] = None
+) -> ScenarioSpec:
+    """The ScenarioSpec the legacy CLI flags describe (thin-shim path)."""
+    return ScenarioSpec(
+        trace=TraceSpec(
+            name=args.trace,
+            seed=args.trace_seed,
+            node_factor=args.node_factor,
+            time_factor=args.time_factor,
+        ),
+        scheme=SchemeSpec(name=scheme_name or args.scheme, num_ncls=args.k),
+        workload=_workload_from_args(args),
+        run=RunSpec(seed=args.seed, repeat=getattr(args, "repeat", 1)),
+    )
+
+
 def _run_one(args: argparse.Namespace, scheme_name: str) -> SimulationResult:
-    trace = _load_trace(args)
-    preset = TRACE_PRESETS[args.trace]
-    scheme = _make_scheme(scheme_name, args.k, preset.ncl_time_budget)
-    config = SimulatorConfig(seed=args.seed, trace_path=getattr(args, "trace_out", None))
-    return Simulator(trace, scheme, _workload_from_args(args), config).run()
+    spec = _scenario_from_args(args, scheme_name)
+    trace = build_trace(spec.trace)
+    config = simulator_config(spec, trace_path=getattr(args, "trace_out", None))
+    return Simulator(trace, scheme_factory(spec)(), spec.workload, config).run()
+
+
+def _print_registries() -> None:
+    for title, registry in (
+        ("schemes", SCHEME_REGISTRY),
+        ("trace sources", TRACE_SOURCES),
+        ("response strategies", RESPONSE_STRATEGIES),
+        ("routers", ROUTERS),
+    ):
+        print(f"{title}: {', '.join(registry.names())}")
 
 
 def cmd_simulate(args: argparse.Namespace) -> int:
-    from repro.experiments.runner import (
-        ExperimentResult,
-        experiment_config,
-        run_experiment,
-    )
+    import os
+
+    from repro.experiments.runner import ExperimentResult
     from repro.experiments.runstore import save_run
     from repro.metrics.results import aggregate_results
     from repro.obs.profile import render_profile_table
     from repro.obs.provenance import build_manifest
     from repro.obs.timeseries import merge_timeseries
+    from repro.scenario import run_scenario
 
-    trace = _load_trace(args)
-    preset = TRACE_PRESETS[args.trace]
-    workload = _workload_from_args(args)
-    factory = functools.partial(
-        _make_scheme, args.scheme, args.k, preset.ncl_time_budget
-    )
-    scheme_info = {
-        "name": args.scheme,
-        "num_ncls": args.k,
-        "ncl_time_budget": preset.ncl_time_budget,
-    }
+    if args.list_schemes:
+        _print_registries()
+        return 0
+    if args.scenario:
+        spec = ScenarioSpec.load(args.scenario)
+    else:
+        spec = _scenario_from_args(args)
+    # --out implies telemetry collection; --profile implies spans.
     collect = bool(args.out or args.profile)
-    config = SimulatorConfig(
-        seed=args.seed,
-        trace_path=args.trace_out,
-        profile=collect,
-        timeseries=bool(args.out),
+    spec = dataclasses.replace(
+        spec,
+        run=dataclasses.replace(
+            spec.run,
+            profile=spec.run.profile or collect,
+            timeseries=spec.run.timeseries or bool(args.out),
+        ),
     )
-    seeds = list(range(args.seed, args.seed + args.repeat))
+    repeat = spec.run.repeat
 
-    if args.repeat > 1 or (args.workers and args.workers > 1):
+    if repeat > 1 or (args.workers and args.workers > 1):
         if args.trace_out or args.timeline_out:
             print(
                 "--trace-out/--timeline-out record one run; "
@@ -162,19 +188,20 @@ def cmd_simulate(args: argparse.Namespace) -> int:
                 file=sys.stderr,
             )
             return 2
-        experiment = run_experiment(
-            trace,
-            factory,
-            workload,
-            seeds,
-            config=config,
-            workers=args.workers,
-            scheme_info=scheme_info,
-        )
+        experiment = run_scenario(spec, workers=args.workers)
         for result in experiment.results:
             print(_result_line(result))
     else:
-        simulator = Simulator(trace, factory(), workload, config)
+        trace_out = args.trace_out
+        if args.out and not trace_out:
+            # Single traced runs into a run directory get their lifecycle
+            # trace by default, so `repro report` can show the per-query
+            # audit and event counts (churn/failure runs in particular).
+            os.makedirs(args.out, exist_ok=True)
+            trace_out = os.path.join(args.out, "trace.jsonl")
+        trace = build_trace(spec.trace)
+        config = simulator_config(spec, trace_path=trace_out)
+        simulator = Simulator(trace, scheme_factory(spec)(), spec.workload, config)
         result = simulator.run()
         print(_result_line(result))
         if args.timeline_out:
@@ -185,10 +212,8 @@ def cmd_simulate(args: argparse.Namespace) -> int:
             results=[result],
             registry=simulator.registry,
             profile=simulator.profiler.as_dict(),
-            timeseries=merge_timeseries([(args.seed, simulator.timeseries.rows())]),
-            manifest=build_manifest(
-                experiment_config(trace, scheme_info, workload, config), seeds
-            ),
+            timeseries=merge_timeseries([(spec.run.seed, simulator.timeseries.rows())]),
+            manifest=build_manifest(spec.provenance_config(), spec.run.seeds),
         )
 
     if args.out:
@@ -305,6 +330,19 @@ def build_parser() -> argparse.ArgumentParser:
             help="record a JSONL lifecycle trace (replay with `repro trace PATH`)",
         )
         if name == "simulate":
+            p.add_argument(
+                "--scenario",
+                default=None,
+                metavar="PATH",
+                help="run a ScenarioSpec JSON file (trace/scheme/workload/"
+                "dynamics come from the file; flags like --out still apply)",
+            )
+            p.add_argument(
+                "--list-schemes",
+                action="store_true",
+                help="list the registered schemes, trace sources, response "
+                "strategies and routers, then exit",
+            )
             p.add_argument(
                 "--out",
                 default=None,

@@ -32,6 +32,7 @@ from repro.core.response import AlwaysRespond, ResponseStrategy
 from repro.graph.contact_graph import ContactGraph
 from repro.metrics.collector import MetricsCollector
 from repro.obs.events import TraceEvent, TraceEventKind
+from repro.obs.primitives import MetricsRegistry
 from repro.obs.profile import NULL_PROFILER, Profiler
 from repro.obs.recorder import NULL_RECORDER, TraceRecorder
 from repro.routing.base import DecisionObserver, ForwardAction, ForwardDecision
@@ -76,6 +77,10 @@ class SchemeServices:
     profiler:
         The run's phase profiler (``NULL_PROFILER`` when profiling is
         off; every span site guards on ``profiler.enabled``).
+    registry:
+        The run's aggregate instrument registry; schemes bump counters
+        (e.g. re-election rounds) through it.  ``None`` keeps older
+        hand-built services working; use :meth:`counter` to tolerate it.
     """
 
     nodes: Sequence[Node]
@@ -87,6 +92,12 @@ class SchemeServices:
     recorder: TraceRecorder = NULL_RECORDER
     clock: Optional[Callable[[], float]] = None
     profiler: Profiler = NULL_PROFILER
+    registry: Optional[MetricsRegistry] = None
+
+    def count(self, name: str, value: int = 1) -> None:
+        """Bump counter *name* if a registry is attached (no-op otherwise)."""
+        if self.registry is not None:
+            self.registry.counter(name).inc(value)
 
 
 class CachingScheme(abc.ABC):
@@ -157,6 +168,14 @@ class CachingScheme(abc.ABC):
 
     def on_warmup_complete(self, now: float) -> None:
         """The first trace half ended; NCL-style setup happens here."""
+
+    def on_topology_changed(self, now: float) -> None:
+        """A node joined, left, or failed (network dynamics).
+
+        Fired *before* the same-instant graph refresh, so schemes can
+        mark expensive graph-reactions (NCL re-election) as due instead
+        of re-running them on every periodic refresh.
+        """
 
     def on_data_delivered(self, node: Node, data: DataItem, query: Query, now: float) -> None:
         """The requester received *data*; RandomCache-style hooks go here."""

@@ -46,6 +46,7 @@ from repro.errors import ConfigurationError
 from repro.graph.contact_graph import ContactGraph
 from repro.graph.paths import PathMode
 from repro.obs.events import TraceEvent, TraceEventKind
+from repro.obs.profile import maybe_span
 from repro.routing.base import ForwardAction
 from repro.routing.gradient import GradientRouter
 from repro.sim.bundles import PushBundle, QueryBundle
@@ -84,6 +85,12 @@ class IntentionalConfig:
         not subject to cache replacement.  A cached item is "fresh" while
         it has seen no request at its holder and less than this fraction
         of its lifetime has elapsed; fresh items sit out exchanges.
+    reelect:
+        Re-run NCL selection on every contact-graph refresh after warm-up
+        (dynamic networks: churn / central-node failure).  When the top-K
+        central set changes, demoted centrals hand their cached copies
+        off toward the new centrals through the ordinary push gradient.
+        Off by default — the paper's administrator elects NCLs once.
     """
 
     num_ncls: int = 8
@@ -97,6 +104,7 @@ class IntentionalConfig:
     #: how central nodes are picked: "metric" (Eq. 3, the paper) or one of
     #: the ablation strategies of :data:`repro.core.ncl.SELECTION_STRATEGIES`
     selection_strategy: str = "metric"
+    reelect: bool = False
 
     def __post_init__(self) -> None:
         if self.num_ncls < 1:
@@ -136,6 +144,10 @@ class IntentionalCaching(CachingScheme):
         self.ncl_time_budget: Optional[float] = self.config.ncl_time_budget
         self._push_router: Optional[GradientRouter] = None
         self._query_router: Optional[GradientRouter] = None
+        #: set by :meth:`on_topology_changed`; re-election only runs on
+        #: the refresh that follows an actual join/leave/failure, so
+        #: static stretches of a run never pay the selection pass.
+        self._topology_dirty = False
 
     # --- lifecycle ---------------------------------------------------------
 
@@ -191,6 +203,92 @@ class IntentionalCaching(CachingScheme):
             self._query_router.update_graph(graph)
         if isinstance(self._response_strategy, PathAwareResponse):
             self._response_strategy.update_graph(graph)
+        if self.config.reelect and self._topology_dirty and self.selection is not None:
+            self._topology_dirty = False
+            with maybe_span(self._require_services().profiler, "scheme.reelection"):
+                self._reelect(graph, now)
+
+    def on_topology_changed(self, now: float) -> None:
+        self._topology_dirty = True
+
+    def _reelect(self, graph: ContactGraph, now: float) -> None:
+        """Re-run NCL selection against the refreshed graph (Sec. IV's
+        administrator step, repeated for dynamic networks).
+
+        Only runs on the refresh following a topology change (see
+        ``on_topology_changed``), and a stable top-K set keeps the
+        established selection wholesale — a dynamics event that does not
+        move the committee costs one selection pass and no state churn.
+        When the committee changes, each demoted central hands
+        its cached copies off as ordinary push bundles toward the new
+        central nearest to it — migration rides the existing gradient
+        rather than teleporting data.
+        """
+        services = self._require_services()
+        old = self._require_selection()
+        horizon = self.ncl_time_budget
+        assert horizon is not None  # set at warm-up before reelection can run
+        new = select_ncls_by(
+            graph,
+            self.config.num_ncls,
+            horizon,
+            strategy=self.config.selection_strategy,
+            mode=self.config.path_mode,
+        )
+        services.count("scheme.reelection_rounds")
+        old_set = {int(c) for c in old.central_nodes}
+        new_set = {int(c) for c in new.central_nodes}
+        if new_set == old_set:
+            return
+        self.selection = new
+        demoted = sorted(old_set - new_set)
+        promoted = sorted(new_set - old_set)
+        services.count("scheme.reelections")
+        if services.recorder.enabled:
+            services.recorder.emit(
+                TraceEvent(
+                    time=now,
+                    kind=TraceEventKind.NCL_REELECTED,
+                    attrs={
+                        "old": [int(c) for c in old.central_nodes],
+                        "new": [int(c) for c in new.central_nodes],
+                        "demoted": demoted,
+                        "promoted": promoted,
+                    },
+                )
+            )
+        migrated = 0
+        for central in demoted:
+            holder = services.nodes[central]
+            target = int(new.nearest_central[central])
+            for item in holder.buffer.items():
+                if item.is_expired(now):
+                    continue
+                # owns_copy: the demoted central's copy belongs to this
+                # migration — the first handover takes it along instead of
+                # duplicating it, so the copy *moves* toward the new NCL.
+                bundle = PushBundle(
+                    created_at=now,
+                    expires_at=item.expires_at,
+                    data=item,
+                    target_central=target,
+                    owns_copy=True,
+                )
+                if not holder.store_bundle(bundle):
+                    continue
+                migrated += 1
+                if services.recorder.enabled:
+                    services.recorder.emit(
+                        TraceEvent(
+                            time=now,
+                            kind=TraceEventKind.CACHE_MIGRATED,
+                            node=central,
+                            data_id=item.data_id,
+                            attrs={"from_central": central, "to_central": target},
+                        )
+                    )
+        if migrated:
+            services.count("scheme.cache_migrations", migrated)
 
     def on_cache_hit(self, node: Node, data: DataItem, now: float) -> None:
         """Feed accesses to recency/aging replacement policies (LRU, GDS)
@@ -363,11 +461,7 @@ class IntentionalCaching(CachingScheme):
 
     def on_query_generated(self, node: Node, query: Query, now: float) -> None:
         """Multicast the query: one gradient copy per central node."""
-        prof = self._require_services().profiler
-        if prof.enabled:
-            with prof.span("scheme.query_multicast"):
-                self._multicast_query(node, query, now)
-        else:
+        with maybe_span(self._require_services().profiler, "scheme.query_multicast"):
             self._multicast_query(node, query, now)
 
     def _multicast_query(self, node: Node, query: Query, now: float) -> None:
@@ -539,27 +633,17 @@ class IntentionalCaching(CachingScheme):
         self.housekeeping(a, now)
         self.housekeeping(b, now)
         # Deliveries first (most valuable per bit), then control traffic,
-        # then bulk movement.  The profiled branch mirrors the plain one
-        # phase for phase; keeping the two in sync is the price of the
-        # zero-overhead guard (one attribute read when profiling is off).
+        # then bulk movement.  ``maybe_span`` degrades to a shared no-op
+        # context when profiling is off, so one sequence serves both modes.
         prof = self._require_services().profiler
-        if prof.enabled:
-            with prof.span("scheme.responses"):
-                self.process_responses(a, b, now, budget)
-                self.process_responses(b, a, now, budget)
-            with prof.span("scheme.queries"):
-                self._process_queries(a, b, now, budget)
-                self._process_queries(b, a, now, budget)
-            with prof.span("scheme.pushes"):
-                self._process_pushes(a, b, now, budget)
-                self._process_pushes(b, a, now, budget)
-            with prof.span("scheme.replacement"):
-                self._process_replacement(a, b, now, budget)
-        else:
+        with maybe_span(prof, "scheme.responses"):
             self.process_responses(a, b, now, budget)
             self.process_responses(b, a, now, budget)
+        with maybe_span(prof, "scheme.queries"):
             self._process_queries(a, b, now, budget)
             self._process_queries(b, a, now, budget)
+        with maybe_span(prof, "scheme.pushes"):
             self._process_pushes(a, b, now, budget)
             self._process_pushes(b, a, now, budget)
+        with maybe_span(prof, "scheme.replacement"):
             self._process_replacement(a, b, now, budget)

@@ -17,7 +17,11 @@ Benchmarks named ``<kernel>_profiled`` are additionally paired with
 their unprofiled ``<kernel>`` twin *within the same run*: the guard
 fails when enabling the profiler costs more than
 ``PROFILER_OVERHEAD_THRESHOLD`` (5%), keeping span instrumentation
-cheap enough to leave on during investigations.
+cheap enough to leave on during investigations.  The same twin pairing
+applies to ``<name>_reelect`` benchmarks: enabling NCL re-election on a
+*static* network must stay within ``REELECT_OVERHEAD_THRESHOLD`` (5%)
+of the plain run — re-election is gated on topology changes, so a run
+without churn pays essentially nothing for it.
 """
 
 from __future__ import annotations
@@ -35,7 +39,9 @@ from repro.obs.provenance import build_manifest
 __all__ = [
     "load_benchmark_means",
     "compare_against_baseline",
+    "check_twin_overhead",
     "check_profiler_overhead",
+    "check_reelection_overhead",
     "run_guard",
     "main",
 ]
@@ -48,6 +54,11 @@ DEFAULT_THRESHOLD = 1.5
 #: ``<kernel>_profiled`` may cost at most 5% over its unprofiled twin.
 PROFILED_SUFFIX = "_profiled"
 PROFILER_OVERHEAD_THRESHOLD = 1.05
+
+#: ``<name>_reelect`` (re-election enabled, static network) may cost at
+#: most 5% over its plain twin — re-election is topology-gated.
+REELECT_SUFFIX = "_reelect"
+REELECT_OVERHEAD_THRESHOLD = 1.05
 
 
 def load_benchmark_means(result_json: Path) -> Dict[str, float]:
@@ -78,26 +89,43 @@ def compare_against_baseline(
     return rows
 
 
-def check_profiler_overhead(
+def check_twin_overhead(
     current: Dict[str, float],
-    threshold: float = PROFILER_OVERHEAD_THRESHOLD,
+    suffix: str,
+    threshold: float,
 ) -> List[Tuple[str, float, bool]]:
-    """Pair ``<kernel>_profiled`` benchmarks with their unprofiled twin.
+    """Pair each ``<name><suffix>`` benchmark with its plain twin.
 
     Both means come from the *same run*, so the comparison is free of
-    baseline/machine drift.  Each row is ``(profiled name, overhead
+    baseline/machine drift.  Each row is ``(suffixed name, overhead
     ratio, failed)``; a missing or zero-time twin yields no row.
     """
     rows = []
     for name in sorted(current):
-        if not name.endswith(PROFILED_SUFFIX):
+        if not name.endswith(suffix):
             continue
-        twin = current.get(name[: -len(PROFILED_SUFFIX)])
+        twin = current.get(name[: -len(suffix)])
         if not twin:
             continue
         ratio = current[name] / twin
         rows.append((name, ratio, ratio > threshold))
     return rows
+
+
+def check_profiler_overhead(
+    current: Dict[str, float],
+    threshold: float = PROFILER_OVERHEAD_THRESHOLD,
+) -> List[Tuple[str, float, bool]]:
+    """``<kernel>_profiled`` vs its unprofiled twin (span overhead)."""
+    return check_twin_overhead(current, PROFILED_SUFFIX, threshold)
+
+
+def check_reelection_overhead(
+    current: Dict[str, float],
+    threshold: float = REELECT_OVERHEAD_THRESHOLD,
+) -> List[Tuple[str, float, bool]]:
+    """``<name>_reelect`` vs its static twin (topology-gated cost)."""
+    return check_twin_overhead(current, REELECT_SUFFIX, threshold)
 
 
 def _run_benchmarks(benchmark_file: Path, result_json: Path) -> int:
@@ -164,13 +192,18 @@ def run_guard(
             failures += int(regressed)
         print(f"{verdict:4s} {name:45s} {mean * 1e3:8.3f} ms  {detail}")
     overhead_failures = 0
-    for name, ratio, failed in check_profiler_overhead(current):
-        verdict = "FAIL" if failed else "ok"
-        print(
-            f"{verdict:4s} {name:45s} profiler overhead {ratio:5.2f}x "
-            f"(limit {PROFILER_OVERHEAD_THRESHOLD:.2f}x)"
-        )
-        overhead_failures += int(failed)
+    pairings = [
+        ("profiler", check_profiler_overhead(current), PROFILER_OVERHEAD_THRESHOLD),
+        ("re-election", check_reelection_overhead(current), REELECT_OVERHEAD_THRESHOLD),
+    ]
+    for label, rows, limit in pairings:
+        for name, ratio, failed in rows:
+            verdict = "FAIL" if failed else "ok"
+            print(
+                f"{verdict:4s} {name:45s} {label} overhead {ratio:5.2f}x "
+                f"(limit {limit:.2f}x)"
+            )
+            overhead_failures += int(failed)
     if failures:
         print(
             f"{failures} kernel(s) regressed beyond {threshold:.2f}x baseline",
@@ -179,8 +212,7 @@ def run_guard(
         return 1
     if overhead_failures:
         print(
-            f"{overhead_failures} kernel(s) exceed "
-            f"{PROFILER_OVERHEAD_THRESHOLD:.2f}x profiler overhead",
+            f"{overhead_failures} benchmark(s) exceed their twin overhead limit",
             file=sys.stderr,
         )
         return 1

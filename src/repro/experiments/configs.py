@@ -14,18 +14,11 @@ therefore accepts an :class:`ExperimentScale`:
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass
 from typing import Callable, Dict, Optional
 
-from repro.caching import (
-    BundleCache,
-    CacheData,
-    CachingScheme,
-    IntentionalCaching,
-    IntentionalConfig,
-    NoCache,
-    RandomCache,
-)
+from repro.caching import CachingScheme
 from repro.core.replacement import (
     FIFOPolicy,
     GreedyDualSizePolicy,
@@ -34,6 +27,7 @@ from repro.core.replacement import (
     UtilityKnapsackPolicy,
 )
 from repro.errors import ConfigurationError
+from repro.scenario import SCHEMES, SchemeSpec, build_scheme
 from repro.traces.catalog import TRACE_PRESETS
 from repro.traces.contact import ContactTrace
 from repro.traces.synthetic import generate_synthetic_trace
@@ -90,20 +84,21 @@ def scheme_factories(
     ncl_time_budget: float,
     replacement: Optional[Callable[[], ReplacementPolicy]] = None,
 ) -> Dict[str, SchemeFactory]:
-    """The five schemes of Sec. VI, ready to instantiate per run."""
+    """The five schemes of Sec. VI, ready to instantiate per run.
 
-    def intentional() -> CachingScheme:
-        return IntentionalCaching(
-            IntentionalConfig(num_ncls=num_ncls, ncl_time_budget=ncl_time_budget),
-            replacement=replacement() if replacement else None,
-        )
-
+    Thin shim over the scenario registry: each factory is a partial of
+    the registered builder, so every name in ``SCHEMES`` is covered and
+    factories stay picklable whenever *replacement* is (pass a
+    module-level policy class, not a lambda, for parallel sweeps).
+    """
     return {
-        "intentional": intentional,
-        "nocache": NoCache,
-        "randomcache": RandomCache,
-        "cachedata": CacheData,
-        "bundlecache": BundleCache,
+        name: functools.partial(
+            build_scheme,
+            SchemeSpec(name=name, num_ncls=num_ncls),
+            ncl_time_budget,
+            replacement,
+        )
+        for name in SCHEMES.names()
     }
 
 

@@ -294,6 +294,7 @@ def run_experiment(
     workers: Optional[int] = None,
     max_retries: int = _MAX_POOL_RETRIES,
     scheme_info: Any = None,
+    manifest_config: Optional[Dict[str, Any]] = None,
 ) -> ExperimentResult:
     """Repeated runs with full telemetry and a provenance manifest.
 
@@ -305,7 +306,10 @@ def run_experiment(
 
     *scheme_info* overrides the scheme description recorded in the
     manifest (defaults to the scheme's name); pass a dict to capture the
-    scheme's parameters in the config hash too.
+    scheme's parameters in the config hash too.  *manifest_config*
+    replaces the derived :func:`experiment_config` wholesale — the
+    scenario layer passes its spec's provenance config here, so runs
+    launched from the same scenario file hash identically.
     """
     base = config or SimulatorConfig()
     tasks: List[_Task] = [
@@ -315,11 +319,11 @@ def run_experiment(
     results = [result for result, _ in outcomes]
     telemetries = [t for _, t in outcomes if t is not None]
     registry, profile, timeseries = _merge_telemetry(telemetries)
-    if scheme_info is None:
-        scheme_info = scheme_factory().name
-    manifest = build_manifest(
-        experiment_config(trace, scheme_info, workload, base), list(seeds)
-    )
+    if manifest_config is None:
+        if scheme_info is None:
+            scheme_info = scheme_factory().name
+        manifest_config = experiment_config(trace, scheme_info, workload, base)
+    manifest = build_manifest(manifest_config, list(seeds))
     return ExperimentResult(
         aggregate=aggregate_results(results),
         results=results,

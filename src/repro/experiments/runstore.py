@@ -210,6 +210,19 @@ def _metrics_registry_section(metrics: Dict[str, Any]) -> List[str]:
     return lines
 
 
+def _event_counts_section(events: List[Any]) -> List[str]:
+    """Trace events grouped by kind — churn/failure/re-election runs show
+    their ``node.failed``/``ncl.reelected``/``cache.migrated`` activity
+    here at a glance."""
+    counts: Dict[str, int] = {}
+    for event in events:
+        kind = getattr(event.kind, "value", event.kind)
+        counts[kind] = counts.get(kind, 0) + 1
+    lines = ["## Trace events", "", "| kind | count |", "|---|---:|"]
+    lines += [f"| {kind} | {count} |" for kind, count in sorted(counts.items())]
+    return lines
+
+
 def _timeseries_section(rows: List[Dict[str, Any]]) -> List[str]:
     summary = summarize_timeseries(rows)
     lines = ["## Time series", "", f"{len(rows)} samples.", ""]
@@ -242,7 +255,9 @@ def render_run_report(run_dir: str, audit_limit: int = 10) -> str:
     if data["timeseries"]:
         sections.append("\n".join(_timeseries_section(data["timeseries"])))
     if data["trace_path"]:
-        audit = render_audit_report(read_events(data["trace_path"]), limit=audit_limit)
+        events = read_events(data["trace_path"])
+        sections.append("\n".join(_event_counts_section(events)))
+        audit = render_audit_report(events, limit=audit_limit)
         sections.append("## Trace audit\n\n```\n" + audit + "\n```")
 
     if len(sections) == 1:

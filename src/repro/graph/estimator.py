@@ -13,7 +13,7 @@ meaningfully change (the paper argues rates are stable long-term).
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
+from typing import Dict, Optional, Set, Tuple
 
 from repro.errors import ConfigurationError
 from repro.graph.contact_graph import ContactGraph
@@ -58,6 +58,7 @@ class OnlineContactGraphEstimator:
         self._min_contacts = int(min_contacts)
         self._snapshot_period = float(snapshot_period)
         self._estimators: Dict[Tuple[int, int], RateEstimator] = {}
+        self._inactive: Set[int] = set()
         self._cached_graph: Optional[ContactGraph] = None
         self._cached_at: float = float("-inf")
         self._dirty = True
@@ -84,6 +85,31 @@ class OnlineContactGraphEstimator:
         estimator.record(timestamp)
         self._dirty = True
 
+    def set_node_active(self, node: int, active: bool) -> None:
+        """Mark *node* as (in)active; inactive nodes report rate 0.
+
+        Churn and failure events (:mod:`repro.sim.dynamics`) call this so
+        the next snapshot reflects the changed topology.  A topology
+        change must be visible immediately — it invalidates the
+        period-cached snapshot rather than waiting out ``snapshot_period``
+        (rate drift within a period is benign; a vanished node is not).
+        """
+        if not 0 <= node < self._num_nodes:
+            raise ConfigurationError(f"node id out of range: {node}")
+        changed = (node in self._inactive) == active
+        if not changed:
+            return
+        if active:
+            self._inactive.discard(node)
+        else:
+            self._inactive.add(node)
+        self._dirty = True
+        self._cached_graph = None
+        self._cached_at = float("-inf")
+
+    def is_node_active(self, node: int) -> bool:
+        return node not in self._inactive
+
     def contact_count(self, i: int, j: int) -> int:
         pair = (min(i, j), max(i, j))
         estimator = self._estimators.get(pair)
@@ -94,6 +120,8 @@ class OnlineContactGraphEstimator:
 
     def rate(self, i: int, j: int, now: float) -> float:
         """Current rate estimate λ̂ᵢⱼ at simulated time *now*."""
+        if i in self._inactive or j in self._inactive:
+            return 0.0
         pair = (min(i, j), max(i, j))
         estimator = self._estimators.get(pair)
         if estimator is None or estimator.count < self._min_contacts:
@@ -124,6 +152,8 @@ class OnlineContactGraphEstimator:
         elapsed = now - self._origin
         if elapsed > 0:
             for (i, j), estimator in self._estimators.items():
+                if i in self._inactive or j in self._inactive:
+                    continue
                 if estimator.count >= self._min_contacts:
                     graph.set_rate(i, j, estimator.count / elapsed)
         self._cached_graph = graph

@@ -36,7 +36,7 @@ from repro.mathutils.hypoexponential import (
     hypoexponential_cdf_batch,
     path_delivery_probability,
 )
-from repro.obs.profile import active_profiler
+from repro.obs.profile import active_profiler, maybe_span
 
 __all__ = [
     "PathMode",
@@ -275,11 +275,8 @@ def hop_rate_tuples_from(
         raise PathError(f"source {source} outside graph of {graph.num_nodes} nodes")
     if time_budget <= 0:
         raise PathError("time budget must be positive")
-    prof = active_profiler()
-    if prof.enabled:
-        with prof.span("kernel.rate_tuples"):
-            return _hop_rate_tuples_from(graph, source, time_budget, mode)
-    return _hop_rate_tuples_from(graph, source, time_budget, mode)
+    with maybe_span(active_profiler(), "kernel.rate_tuples"):
+        return _hop_rate_tuples_from(graph, source, time_budget, mode)
 
 
 def _hop_rate_tuples_from(
@@ -309,11 +306,8 @@ def shortest_path_weights_from(
     are symmetric, so p_{ij} = p_{ji}.  In expected-delay mode the sweep
     is fully vectorized (scipy Dijkstra + batched Eq. 2).
     """
-    prof = active_profiler()
-    if prof.enabled:
-        with prof.span("kernel.weights_from"):
-            return _shortest_path_weights_from(graph, source, time_budget, mode)
-    return _shortest_path_weights_from(graph, source, time_budget, mode)
+    with maybe_span(active_profiler(), "kernel.weights_from"):
+        return _shortest_path_weights_from(graph, source, time_budget, mode)
 
 
 def _shortest_path_weights_from(
@@ -346,11 +340,8 @@ def shortest_path_weight_matrix(
     """
     if time_budget <= 0:
         raise PathError("time budget must be positive")
-    prof = active_profiler()
-    if prof.enabled:
-        with prof.span("kernel.weight_matrix"):
-            return _shortest_path_weight_matrix(graph, time_budget, mode)
-    return _shortest_path_weight_matrix(graph, time_budget, mode)
+    with maybe_span(active_profiler(), "kernel.weight_matrix"):
+        return _shortest_path_weight_matrix(graph, time_budget, mode)
 
 
 def _shortest_path_weight_matrix(

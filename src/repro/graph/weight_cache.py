@@ -48,7 +48,7 @@ from repro.graph.paths import (
     shortest_path_weight_matrix,
     shortest_path_weights_from,
 )
-from repro.obs.profile import active_profiler
+from repro.obs.profile import active_profiler, maybe_span
 
 __all__ = ["PathWeightCache", "shared_weight_cache", "cached_path_weights"]
 
@@ -116,12 +116,7 @@ class PathWeightCache:
         key = ("w", graph.fingerprint(), int(source), float(time_budget), mode)
         cached = self._lookup(key)
         if cached is None:
-            if prof.enabled:
-                with prof.span("weight_cache.weights.miss"):
-                    cached = shortest_path_weights_from(
-                        graph, source, time_budget, mode
-                    )
-            else:
+            with maybe_span(prof, "weight_cache.weights.miss"):
                 cached = shortest_path_weights_from(graph, source, time_budget, mode)
             cached.flags.writeable = False
             self._store(key, cached)
@@ -147,10 +142,7 @@ class PathWeightCache:
         key = ("W", graph.fingerprint(), float(time_budget), mode)
         cached = self._lookup(key)
         if cached is None:
-            if prof.enabled:
-                with prof.span("weight_cache.matrix.miss"):
-                    cached = shortest_path_weight_matrix(graph, time_budget, mode)
-            else:
+            with maybe_span(prof, "weight_cache.matrix.miss"):
                 cached = shortest_path_weight_matrix(graph, time_budget, mode)
             cached.flags.writeable = False
             self._store(key, cached)
@@ -184,10 +176,7 @@ class PathWeightCache:
         key = ("r", graph.fingerprint(), int(source), budget_key, mode)
         cached = self._lookup(key)
         if cached is None:
-            if prof.enabled:
-                with prof.span("weight_cache.rate_tuples.miss"):
-                    cached = hop_rate_tuples_from(graph, source, time_budget, mode)
-            else:
+            with maybe_span(prof, "weight_cache.rate_tuples.miss"):
                 cached = hop_rate_tuples_from(graph, source, time_budget, mode)
             self._store(key, cached)
         elif prof.enabled:

@@ -37,6 +37,12 @@ class TraceEventKind(str, Enum):
     ROUTE_DECISION = "route_decision"        # a router's forwarding verdict
     EXCHANGE = "exchange"                    # Sec. V-D pairwise replacement
     SAMPLE = "sample"                        # periodic caching-overhead sample
+    # network dynamics (churn, failure, NCL re-election)
+    NODE_JOINED = "node.joined"              # a node (re)joined the network
+    NODE_LEFT = "node.left"                  # a node departed gracefully
+    NODE_FAILED = "node.failed"              # a node crashed, losing its state
+    NCL_REELECTED = "ncl.reelected"          # the top-K central set changed
+    CACHE_MIGRATED = "cache.migrated"        # a copy re-pushed toward new NCLs
 
 
 @dataclass(frozen=True)

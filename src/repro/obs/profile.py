@@ -32,9 +32,9 @@ table (:func:`render_profile_table`).
 
 from __future__ import annotations
 
-from contextlib import contextmanager
+from contextlib import contextmanager, nullcontext
 from time import perf_counter
-from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Tuple
+from typing import ContextManager, Dict, Iterable, Iterator, List, Mapping, Optional, Tuple
 
 __all__ = [
     "Profiler",
@@ -43,6 +43,7 @@ __all__ = [
     "active_profiler",
     "set_active_profiler",
     "activated",
+    "maybe_span",
     "merge_profiles",
     "render_profile_table",
     "check_profile_tree",
@@ -174,6 +175,26 @@ def activated(profiler: Optional[Profiler]) -> Iterator[Profiler]:
         yield _ACTIVE
     finally:
         set_active_profiler(previous)
+
+
+#: One shared inert context: ``maybe_span`` on a disabled profiler costs a
+#: call plus this object's trivial enter/exit, never a span allocation.
+_NULL_SPAN: ContextManager[None] = nullcontext()
+
+
+def maybe_span(profiler: Profiler, name: str) -> ContextManager[None]:
+    """A span on *profiler* when it is enabled, else an inert context.
+
+    The single-``with`` form of the zero-overhead convention: call sites
+    write ``with maybe_span(prof, "sim.contact"): ...`` once instead of
+    duplicating the body across ``if prof.enabled:`` / ``else:`` branches.
+    The ``enabled`` guard lives here, so the guard lint's contract (no
+    span without a reachable ``.enabled`` read) is preserved by
+    construction.
+    """
+    if profiler.enabled:
+        return profiler.span(name)
+    return _NULL_SPAN
 
 
 def merge_profiles(

@@ -1,0 +1,45 @@
+"""Scenario layer: declarative run descriptions over name registries.
+
+One :class:`ScenarioSpec` names everything that determines a run —
+trace, workload, scheme, network dynamics, run knobs — and every name
+resolves through a :class:`Registry` (:data:`SCHEMES`, :data:`ROUTERS`,
+:data:`RESPONSE_STRATEGIES`, :data:`TRACE_SOURCES`).  Specs round-trip
+through JSON, travel into process-pool workers, and supply the hashed
+provenance config of the run manifest; the CLI, the experiment configs
+and the runner all build runs through this layer.
+"""
+
+from repro.scenario.registry import (
+    RESPONSE_STRATEGIES,
+    ROUTERS,
+    SCHEMES,
+    TRACE_SOURCES,
+    Registry,
+)
+from repro.scenario.spec import RunSpec, ScenarioSpec, SchemeSpec, TraceSpec
+from repro.scenario.build import (
+    build_scheme,
+    build_trace,
+    resolve_ncl_time_budget,
+    run_scenario,
+    scheme_factory,
+    simulator_config,
+)
+
+__all__ = [
+    "Registry",
+    "SCHEMES",
+    "ROUTERS",
+    "RESPONSE_STRATEGIES",
+    "TRACE_SOURCES",
+    "TraceSpec",
+    "SchemeSpec",
+    "RunSpec",
+    "ScenarioSpec",
+    "build_trace",
+    "build_scheme",
+    "scheme_factory",
+    "resolve_ncl_time_budget",
+    "simulator_config",
+    "run_scenario",
+]

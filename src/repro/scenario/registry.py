@@ -1,0 +1,135 @@
+"""Name-based registries for the pluggable pieces of a scenario.
+
+Every part of a run that a :class:`~repro.scenario.spec.ScenarioSpec`
+names — the caching scheme, the trace source, a response strategy, a
+router — resolves through one of these registries.  The registries are
+the single source of truth for "what can a scenario file say": the CLI
+lists them (``--list-schemes``), builders resolve through them, and
+``scripts/check_registry.py`` asserts every registered name is smoke
+tested and round-trips through scenario JSON.
+
+Registration order is preserved (it defines CLI/compare ordering), and
+extensions register their own entries::
+
+    from repro.scenario import SCHEMES
+
+    @SCHEMES.register("myscheme")
+    def _build_myscheme(spec, ncl_time_budget, replacement):
+        return MyScheme()
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Generic, Iterator, Optional, Tuple, TypeVar
+
+from repro.core.response import AlwaysRespond, PathAwareResponse, SigmoidResponse
+from repro.errors import ConfigurationError
+from repro.routing import (
+    DirectDeliveryRouter,
+    EpidemicRouter,
+    GradientRouter,
+    ProphetRouter,
+    RateGradientRouter,
+    SprayAndWaitRouter,
+)
+from repro.traces.catalog import TRACE_PRESETS, load_preset_trace
+
+__all__ = [
+    "Registry",
+    "SCHEMES",
+    "ROUTERS",
+    "RESPONSE_STRATEGIES",
+    "TRACE_SOURCES",
+]
+
+T = TypeVar("T")
+
+
+class Registry(Generic[T]):
+    """An ordered name → value mapping with decorator registration."""
+
+    def __init__(self, kind: str):
+        self.kind = kind
+        self._entries: Dict[str, T] = {}
+
+    def register(self, name: str, value: Optional[T] = None):
+        """Register *value* under *name*; usable as a decorator.
+
+        Duplicate names are rejected — silently shadowing a scheme would
+        change what every existing scenario file means.
+        """
+        if name in self._entries:
+            raise ConfigurationError(
+                f"{self.kind} {name!r} is already registered"
+            )
+
+        def _store(entry: T) -> T:
+            self._entries[name] = entry
+            return entry
+
+        if value is None:
+            return _store
+        return _store(value)
+
+    def get(self, name: str) -> T:
+        try:
+            return self._entries[name]
+        except KeyError:
+            raise ConfigurationError(
+                f"unknown {self.kind} {name!r}; available: {sorted(self._entries)}"
+            ) from None
+
+    def names(self) -> Tuple[str, ...]:
+        return tuple(self._entries)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._entries
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._entries)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Registry({self.kind}: {list(self._entries)})"
+
+
+#: scheme name → builder ``(SchemeSpec, ncl_time_budget, replacement) -> CachingScheme``
+#: (entries are registered by :mod:`repro.scenario.build` to avoid import cycles)
+SCHEMES: Registry = Registry("scheme")
+
+#: router name → router class (the DTN forwarding primitives)
+ROUTERS: Registry = Registry("router")
+ROUTERS.register("gradient", GradientRouter)
+ROUTERS.register("rate_gradient", RateGradientRouter)
+ROUTERS.register("epidemic", EpidemicRouter)
+ROUTERS.register("direct", DirectDeliveryRouter)
+ROUTERS.register("prophet", ProphetRouter)
+ROUTERS.register("spray", SprayAndWaitRouter)
+
+#: response-strategy name → class (Sec. V-C decision rules)
+RESPONSE_STRATEGIES: Registry = Registry("response strategy")
+RESPONSE_STRATEGIES.register("sigmoid", SigmoidResponse)
+RESPONSE_STRATEGIES.register("path_aware", PathAwareResponse)
+RESPONSE_STRATEGIES.register("always", AlwaysRespond)
+
+#: trace-source name → loader ``(TraceSpec) -> ContactTrace``
+TRACE_SOURCES: Registry = Registry("trace source")
+
+
+def _register_presets() -> None:
+    for key in TRACE_PRESETS:
+
+        def _load(spec, _key: str = key):
+            return load_preset_trace(
+                _key,
+                seed=spec.seed,
+                node_factor=spec.node_factor,
+                time_factor=spec.time_factor,
+            )
+
+        TRACE_SOURCES.register(key, _load)
+
+
+_register_presets()

@@ -1,0 +1,162 @@
+"""Network dynamics: node churn and central-node failure events.
+
+The paper's evaluation keeps the node population fixed and elects NCLs
+once at warm-up (Sec. IV-A), but its rate estimator is explicitly online
+(Sec. III-B) — the machinery to *react* to a changing network is all
+there.  This module supplies the missing stimulus: a declarative list of
+:class:`DynamicsEvent`s (join / leave / fail / fail_central) scheduled
+through the simulator's :class:`~repro.sim.engine.EventEngine` as
+``NETWORK_DYNAMICS`` events.
+
+Semantics (implemented by the simulator's handler):
+
+* ``leave`` — graceful departure: the node goes inactive and its volatile
+  state (cached copies, bundles, queries) leaves with it.
+* ``fail`` — crash: same state loss, but traced as ``node.failed`` so
+  reports can distinguish churn from faults.
+* ``join`` — a previously departed/failed node comes back, empty.
+* ``fail_central`` — crash whichever node currently holds the given rank
+  in the scheme's central-node list (resolved at event time, so it keeps
+  meaning "kill an NCL" even after re-elections).
+
+Event times are expressed as *fractions of the evaluation window*, so
+one scenario file works across trace scales.  All records are frozen,
+JSON-round-trippable and picklable — they ride inside
+:class:`~repro.sim.simulator.SimulatorConfig` and the scenario layer's
+:class:`~repro.scenario.spec.ScenarioSpec`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, Mapping, Optional, Tuple
+
+from repro.errors import ConfigurationError
+from repro.sim.engine import EventEngine
+from repro.sim.events import EventKind
+
+__all__ = ["DYNAMICS_ACTIONS", "DynamicsEvent", "DynamicsConfig", "NetworkDynamics"]
+
+#: actions a dynamics event may request
+DYNAMICS_ACTIONS = ("join", "leave", "fail", "fail_central")
+
+
+@dataclass(frozen=True)
+class DynamicsEvent:
+    """One scheduled network-dynamics event.
+
+    Attributes
+    ----------
+    action:
+        One of :data:`DYNAMICS_ACTIONS`.
+    at_fraction:
+        When the event fires, as a fraction of the evaluation window
+        (0.0 = warm-up end, 1.0 = trace end).
+    node:
+        Target node id; required for ``join``/``leave``/``fail``.
+    central_rank:
+        For ``fail_central``: 0-based rank into the scheme's current
+        central-node list (0 = highest-metric NCL).
+    """
+
+    action: str
+    at_fraction: float
+    node: Optional[int] = None
+    central_rank: int = 0
+
+    def __post_init__(self) -> None:
+        if self.action not in DYNAMICS_ACTIONS:
+            raise ConfigurationError(
+                f"unknown dynamics action {self.action!r}; "
+                f"choose from {DYNAMICS_ACTIONS}"
+            )
+        if not 0.0 <= self.at_fraction <= 1.0:
+            raise ConfigurationError("at_fraction must be in [0, 1]")
+        if self.action == "fail_central":
+            if self.central_rank < 0:
+                raise ConfigurationError("central_rank must be >= 0")
+        elif self.node is None:
+            raise ConfigurationError(f"{self.action!r} event needs a node id")
+
+    def to_dict(self) -> Dict[str, Any]:
+        record: Dict[str, Any] = {
+            "action": self.action,
+            "at_fraction": self.at_fraction,
+        }
+        if self.node is not None:
+            record["node"] = self.node
+        if self.action == "fail_central":
+            record["central_rank"] = self.central_rank
+        return record
+
+    @classmethod
+    def from_dict(cls, record: Mapping[str, Any]) -> "DynamicsEvent":
+        return cls(
+            action=str(record["action"]),
+            at_fraction=float(record["at_fraction"]),
+            node=record.get("node"),
+            central_rank=int(record.get("central_rank", 0)),
+        )
+
+
+@dataclass(frozen=True)
+class DynamicsConfig:
+    """The full dynamics schedule of one run (empty = static network)."""
+
+    events: Tuple[DynamicsEvent, ...] = ()
+
+    def __post_init__(self) -> None:
+        # Accept any iterable of events but store a hashable tuple.
+        object.__setattr__(self, "events", tuple(self.events))
+        for event in self.events:
+            if not isinstance(event, DynamicsEvent):
+                raise ConfigurationError(
+                    f"events must be DynamicsEvent instances, got {event!r}"
+                )
+
+    def __bool__(self) -> bool:
+        return bool(self.events)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"events": [event.to_dict() for event in self.events]}
+
+    @classmethod
+    def from_dict(cls, record: Mapping[str, Any]) -> "DynamicsConfig":
+        events: Iterable[Any] = record.get("events", ())
+        return cls(events=tuple(DynamicsEvent.from_dict(e) for e in events))
+
+
+class NetworkDynamics:
+    """Schedules a :class:`DynamicsConfig` into an event engine.
+
+    The simulator owns the event *handler* (state changes touch nodes,
+    the estimator and the scheme); this class owns only the translation
+    from window fractions to absolute event times, validated against the
+    network size.
+    """
+
+    def __init__(self, config: DynamicsConfig, num_nodes: int):
+        self.config = config
+        for event in config.events:
+            if event.node is not None and not 0 <= event.node < num_nodes:
+                raise ConfigurationError(
+                    f"dynamics event targets node {event.node}, but the "
+                    f"network has {num_nodes} nodes"
+                )
+
+    def schedule(self, engine: EventEngine, start: float, end: float) -> int:
+        """Queue every event into *engine*; returns the number scheduled.
+
+        Events map onto ``[start, end)``; an ``at_fraction`` of exactly
+        1.0 lands just inside the window so it still executes.
+        """
+        if end <= start:
+            raise ConfigurationError("evaluation window must have positive length")
+        scheduled = 0
+        for event in self.config.events:
+            time = start + event.at_fraction * (end - start)
+            if time >= end:
+                time = end - (end - start) * 1e-9
+            engine.schedule(time, EventKind.NETWORK_DYNAMICS, event)
+            scheduled += 1
+        return scheduled

@@ -18,6 +18,7 @@ __all__ = ["Event", "EventKind"]
 class EventKind(IntEnum):
     """Built-in event kinds, in same-instant execution order."""
 
+    NETWORK_DYNAMICS = -1  # churn/failure (applies before same-instant events)
     GRAPH_REFRESH = 0      # publish a fresh contact-graph snapshot
     DATA_GENERATION = 1    # periodic data-generation decision round
     QUERY_GENERATION = 2   # periodic query-generation round

@@ -40,6 +40,10 @@ class Node:
         self.responded_queries: Set[int] = set()
         self._bundles: Dict[Hashable, Bundle] = {}
         self._seen_bundles: Set[Hashable] = set()
+        #: whether the node currently participates in the network; churn
+        #: and failure events (repro.sim.dynamics) toggle this, and the
+        #: simulator skips contacts and workload rounds of inactive nodes
+        self.active: bool = True
         #: lifecycle trace sink (the simulator installs the run's recorder
         #: when tracing is on; the null default costs one attribute read)
         self.trace: TraceRecorder = NULL_RECORDER
@@ -122,6 +126,29 @@ class Node:
             and not q.is_expired(now)
             and q.query_id not in self.responded_queries
         ]
+
+    # --- churn / failure ---------------------------------------------------
+
+    def purge(self) -> Dict[str, int]:
+        """Drop all volatile state (crash/departure); returns drop counts.
+
+        A failed or departed node loses its cached copies, origin data,
+        carried bundles and query bookkeeping.  The dedup memory of seen
+        bundles survives — a rejoining node is the same device, and the
+        epidemic dedup contract ("ever carried") must not reset.
+        """
+        counts = {
+            "cached": len(self.buffer),
+            "origin": len(self.origin),
+            "bundles": len(self._bundles),
+            "queries": len(self.active_queries),
+        }
+        self.buffer.clear()
+        self.origin.clear()
+        self._bundles.clear()
+        self.active_queries.clear()
+        self.responded_queries.clear()
+        return counts
 
     # --- bundle carriage ---------------------------------------------------
 

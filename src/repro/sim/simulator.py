@@ -33,7 +33,7 @@ from repro.metrics.timeline import TimelineRecorder
 from repro.obs.derive import derive_metrics
 from repro.obs.events import TraceEvent, TraceEventKind
 from repro.obs.primitives import MetricsRegistry
-from repro.obs.profile import NULL_PROFILER, Profiler, set_active_profiler
+from repro.obs.profile import NULL_PROFILER, Profiler, maybe_span, set_active_profiler
 from repro.obs.recorder import (
     NULL_RECORDER,
     JsonlRecorder,
@@ -42,6 +42,7 @@ from repro.obs.recorder import (
 )
 from repro.obs.timeseries import NULL_SAMPLER, TimeSeriesSample, TimeSeriesSampler
 from repro.rng import SeedSequenceFactory
+from repro.sim.dynamics import DynamicsConfig, DynamicsEvent, NetworkDynamics
 from repro.sim.engine import EventEngine
 from repro.sim.events import Event, EventKind
 from repro.sim.invariants import check_nodes, check_trace_consistency
@@ -69,9 +70,19 @@ class SimulatorConfig:
     graph_refresh_period:
         Spacing of fresh contact-graph snapshots pushed to the scheme
         during evaluation; ``None`` picks 1/20 of the evaluation window.
+    snapshot_period:
+        The estimator's snapshot cache window (simulated seconds): a
+        graph refresh landing inside the window reuses the previous
+        snapshot instead of rebuilding rates.  ``0`` (default) rebuilds
+        on every refresh — the pre-caching behaviour.  Topology changes
+        (churn/failure) always invalidate the cache immediately.
     sample_period:
         Spacing of caching-overhead samples; ``None`` picks the workload's
         query period.
+    dynamics:
+        Optional :class:`repro.sim.dynamics.DynamicsConfig` schedule of
+        churn and failure events applied during evaluation.  ``None``
+        (default) keeps the network static — the paper's setup.
     min_contacts_for_rate:
         Pairs observed fewer times get rate 0 in snapshots.
     validate_invariants:
@@ -96,18 +107,22 @@ class SimulatorConfig:
     seed: int = 0
     link_capacity: float = BLUETOOTH_EDR_BITS_PER_SECOND
     graph_refresh_period: Optional[float] = None
+    snapshot_period: float = 0.0
     sample_period: Optional[float] = None
     min_contacts_for_rate: int = 1
     validate_invariants: bool = False
     trace_path: Optional[str] = None
     profile: bool = False
     timeseries: bool = False
+    dynamics: Optional[DynamicsConfig] = None
 
     def __post_init__(self) -> None:
         if self.link_capacity <= 0:
             raise ConfigurationError("link capacity must be positive")
         if self.graph_refresh_period is not None and self.graph_refresh_period <= 0:
             raise ConfigurationError("graph_refresh_period must be positive")
+        if self.snapshot_period < 0:
+            raise ConfigurationError("snapshot_period must be non-negative")
         if self.sample_period is not None and self.sample_period <= 0:
             raise ConfigurationError("sample_period must be positive")
 
@@ -156,6 +171,13 @@ class Simulator:
             num_nodes=trace.num_nodes,
             origin=trace.start_time,
             min_contacts=self.config.min_contacts_for_rate,
+            snapshot_period=self.config.snapshot_period,
+        )
+        # Validates event node ids against the network size up front.
+        self._dynamics: Optional[NetworkDynamics] = (
+            NetworkDynamics(self.config.dynamics, trace.num_nodes)
+            if self.config.dynamics
+            else None
         )
 
         buffer_rng = self._factory.generator("buffers")
@@ -190,37 +212,23 @@ class Simulator:
 
     def _handle_contact(self, event: Event) -> None:
         contact: Contact = event.payload
+        node_a = self.nodes[contact.node_a]
+        node_b = self.nodes[contact.node_b]
+        if not (node_a.active and node_b.active):
+            # A departed/failed party: the contact never happens — it is
+            # neither counted nor fed to the rate estimator.
+            self.registry.counter("sim.contacts_skipped").inc()
+            return
         self.registry.counter("sim.contacts").inc()
         self.estimator.record_contact(contact.node_a, contact.node_b, contact.start)
         budget = TransferBudget.for_contact(contact.duration, self.config.link_capacity)
-        prof = self.profiler
-        if prof.enabled:
-            with prof.span("sim.contact"):
-                self.scheme.on_contact(
-                    self.nodes[contact.node_a],
-                    self.nodes[contact.node_b],
-                    contact.start,
-                    budget,
-                )
-        else:
-            self.scheme.on_contact(
-                self.nodes[contact.node_a],
-                self.nodes[contact.node_b],
-                contact.start,
-                budget,
-            )
+        with maybe_span(self.profiler, "sim.contact"):
+            self.scheme.on_contact(node_a, node_b, contact.start, budget)
         if self.config.validate_invariants:
-            check_nodes(
-                (self.nodes[contact.node_a], self.nodes[contact.node_b]),
-                contact.start,
-            )
+            check_nodes((node_a, node_b), contact.start)
 
     def _handle_data_round(self, event: Event) -> None:
-        prof = self.profiler
-        if prof.enabled:
-            with prof.span("sim.data_round"):
-                self._data_round(event)
-        else:
+        with maybe_span(self.profiler, "sim.data_round"):
             self._data_round(event)
 
     def _data_round(self, event: Event) -> None:
@@ -228,6 +236,11 @@ class Simulator:
         has_live = [node.has_live_own_data(now) for node in self.nodes]
         for item in self.workload_process.data_round(now, has_live):
             node = self.nodes[item.source]
+            if not node.active:
+                # The workload's random draws are consumed either way (so
+                # churn never perturbs other nodes' streams), but an
+                # absent node generates nothing.
+                continue
             node.generate_data(item)
             self.metrics.on_data_generated(item)
             self.registry.counter("sim.data_generated").inc()
@@ -244,11 +257,7 @@ class Simulator:
             self.scheme.on_data_generated(node, item, now)
 
     def _handle_query_round(self, event: Event) -> None:
-        prof = self.profiler
-        if prof.enabled:
-            with prof.span("sim.query_round"):
-                self._query_round(event)
-        else:
+        with maybe_span(self.profiler, "sim.query_round"):
             self._query_round(event)
 
     def _query_round(self, event: Event) -> None:
@@ -259,6 +268,8 @@ class Simulator:
             held.update(node.buffer.data_ids())
             holdings[node.node_id] = held
         for query in self.workload_process.query_round(now, holdings):
+            if not self.nodes[query.requester].active:
+                continue
             self.metrics.on_query_created(query)
             self.registry.counter("sim.queries_issued").inc()
             if self.recorder.enabled:
@@ -276,14 +287,101 @@ class Simulator:
 
     def _handle_graph_refresh(self, event: Event) -> None:
         self.registry.counter("sim.graph_refreshes").inc()
-        prof = self.profiler
-        if prof.enabled:
-            with prof.span("sim.graph_refresh"):
-                graph = self.estimator.snapshot(event.time, force=True)
-                self.scheme.on_graph_updated(graph, event.time)
-        else:
-            graph = self.estimator.snapshot(event.time, force=True)
+        with maybe_span(self.profiler, "sim.graph_refresh"):
+            # No force: the estimator's snapshot_period caching decides
+            # whether a rebuild is due (period 0 rebuilds every time).
+            graph = self.estimator.snapshot(event.time)
             self.scheme.on_graph_updated(graph, event.time)
+
+    # --- network dynamics (churn / failure) -------------------------------
+
+    def _handle_dynamics(self, event: Event) -> None:
+        spec: DynamicsEvent = event.payload
+        with maybe_span(self.profiler, "sim.dynamics"):
+            self._apply_dynamics(spec, event.time)
+
+    def _apply_dynamics(self, spec: DynamicsEvent, now: float) -> None:
+        if spec.action == "join":
+            assert spec.node is not None
+            self._activate_node(spec.node, now)
+        elif spec.action == "fail_central":
+            node_id = self._resolve_central(spec.central_rank)
+            if node_id is None:
+                self.registry.counter("sim.dynamics_unresolved").inc()
+                return
+            self._deactivate_node(
+                node_id, now, failed=True, central_rank=spec.central_rank
+            )
+        else:  # "leave" / "fail"
+            assert spec.node is not None
+            self._deactivate_node(spec.node, now, failed=spec.action == "fail")
+
+    def _resolve_central(self, rank: int) -> Optional[int]:
+        """The node currently holding central rank *rank*, if any.
+
+        Resolved at event time against the scheme's live selection, so
+        ``fail_central`` stays meaningful across re-elections; schemes
+        without NCLs (the baselines) simply absorb the event.
+        """
+        selection = getattr(self.scheme, "selection", None)
+        if selection is None:
+            return None
+        centrals = selection.central_nodes
+        if rank >= len(centrals):
+            return None
+        return int(centrals[rank])
+
+    def _deactivate_node(
+        self,
+        node_id: int,
+        now: float,
+        failed: bool,
+        central_rank: Optional[int] = None,
+    ) -> None:
+        node = self.nodes[node_id]
+        if not node.active:
+            return
+        node.active = False
+        dropped = node.purge()
+        self.estimator.set_node_active(node_id, False)
+        self.registry.counter(
+            "sim.node_failures" if failed else "sim.node_departures"
+        ).inc()
+        if self.recorder.enabled:
+            attrs: Dict[str, object] = dict(dropped)
+            if central_rank is not None:
+                attrs["central_rank"] = central_rank
+            self.recorder.emit(
+                TraceEvent(
+                    time=now,
+                    kind=(
+                        TraceEventKind.NODE_FAILED
+                        if failed
+                        else TraceEventKind.NODE_LEFT
+                    ),
+                    node=node_id,
+                    attrs=attrs,
+                )
+            )
+        # Publish the changed topology in the same instant (GRAPH_REFRESH
+        # has a later same-time priority), so e.g. a central-node failure
+        # triggers re-election now rather than a refresh period later.
+        self.scheme.on_topology_changed(now)
+        self.engine.schedule(now, EventKind.GRAPH_REFRESH)
+
+    def _activate_node(self, node_id: int, now: float) -> None:
+        node = self.nodes[node_id]
+        if node.active:
+            return
+        node.active = True
+        self.estimator.set_node_active(node_id, True)
+        self.registry.counter("sim.node_joins").inc()
+        if self.recorder.enabled:
+            self.recorder.emit(
+                TraceEvent(time=now, kind=TraceEventKind.NODE_JOINED, node=node_id)
+            )
+        self.scheme.on_topology_changed(now)
+        self.engine.schedule(now, EventKind.GRAPH_REFRESH)
 
     def _handle_sample(self, event: Event) -> None:
         now = event.time
@@ -385,12 +483,9 @@ class Simulator:
             recorder=self.recorder,
             clock=lambda: self.engine.now,
             profiler=self.profiler,
+            registry=self.registry,
         )
-        prof = self.profiler
-        if prof.enabled:
-            with prof.span("sim.setup"):
-                self._setup(services, warmup_end)
-        else:
+        with maybe_span(self.profiler, "sim.setup"):
             self._setup(services, warmup_end)
 
         # Phase 3: evaluation events.
@@ -400,6 +495,8 @@ class Simulator:
         engine.register(EventKind.QUERY_GENERATION, self._handle_query_round)
         engine.register(EventKind.GRAPH_REFRESH, self._handle_graph_refresh)
         engine.register(EventKind.SAMPLE_METRICS, self._handle_sample)
+        if self._dynamics is not None:
+            engine.register(EventKind.NETWORK_DYNAMICS, self._handle_dynamics)
 
         for contact in eval_contacts:
             engine.schedule(contact.start, EventKind.CONTACT, contact)
@@ -434,6 +531,11 @@ class Simulator:
         schedule_periodic(
             EventKind.SAMPLE_METRICS, self.config.sample_period or query_period, first=1
         )
+        if self._dynamics is not None:
+            # Dynamics land inside the evaluation window; same-instant
+            # ordering (NETWORK_DYNAMICS < GRAPH_REFRESH) applies churn
+            # before any coinciding refresh reads the topology.
+            self._dynamics.schedule(engine, warmup_end, end)
 
         engine.run()
         result = self.metrics.finalize(name=self.scheme.name, seed=self.config.seed)

@@ -2,7 +2,15 @@
 
 import json
 
-from repro.experiments.benchguard import compare_against_baseline, load_benchmark_means
+import pytest
+
+from repro.experiments.benchguard import (
+    check_profiler_overhead,
+    check_reelection_overhead,
+    check_twin_overhead,
+    compare_against_baseline,
+    load_benchmark_means,
+)
 
 
 class TestCompare:
@@ -21,6 +29,39 @@ class TestCompare:
     def test_rows_sorted_by_name(self):
         rows = compare_against_baseline({"b": 1.0, "a": 1.0}, {}, threshold=1.5)
         assert [row[0] for row in rows] == ["a", "b"]
+
+
+class TestTwinOverhead:
+    @pytest.mark.parametrize(
+        "check, suffixed",
+        [
+            (check_profiler_overhead, "k_profiled"),
+            (check_reelection_overhead, "k_reelect"),
+        ],
+    )
+    def test_within_limit_passes(self, check, suffixed):
+        rows = check({"k": 1.0, suffixed: 1.04})
+        assert rows == [(suffixed, 1.04, False)]
+
+    @pytest.mark.parametrize(
+        "check, suffixed",
+        [
+            (check_profiler_overhead, "k_profiled"),
+            (check_reelection_overhead, "k_reelect"),
+        ],
+    )
+    def test_beyond_limit_fails(self, check, suffixed):
+        rows = check({"k": 1.0, suffixed: 1.10})
+        assert rows[0][2] is True
+
+    def test_missing_twin_yields_no_row(self):
+        assert check_twin_overhead({"k_reelect": 1.0}, "_reelect", 1.05) == []
+
+    def test_zero_time_twin_yields_no_row(self):
+        assert check_twin_overhead({"k": 0.0, "k_reelect": 1.0}, "_reelect", 1.05) == []
+
+    def test_plain_benchmarks_are_not_paired(self):
+        assert check_twin_overhead({"a": 1.0, "b": 2.0}, "_reelect", 1.05) == []
 
 
 class TestLoadMeans:

@@ -1,0 +1,76 @@
+"""Registry behavior and the stock registrations."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.scenario import RESPONSE_STRATEGIES, ROUTERS, SCHEMES, TRACE_SOURCES
+from repro.scenario.registry import Registry
+
+
+class TestRegistry:
+    def test_direct_registration_and_lookup(self):
+        registry = Registry("widget")
+        registry.register("a", 1)
+        assert registry.get("a") == 1
+        assert "a" in registry
+        assert len(registry) == 1
+
+    def test_decorator_registration(self):
+        registry = Registry("widget")
+
+        @registry.register("build")
+        def build():
+            return "built"
+
+        assert registry.get("build") is build
+
+    def test_duplicate_name_rejected(self):
+        registry = Registry("widget")
+        registry.register("a", 1)
+        with pytest.raises(ConfigurationError, match="already registered"):
+            registry.register("a", 2)
+
+    def test_unknown_name_lists_available(self):
+        registry = Registry("widget")
+        registry.register("a", 1)
+        with pytest.raises(ConfigurationError, match=r"unknown widget 'b'.*'a'"):
+            registry.get("b")
+
+    def test_registration_order_preserved(self):
+        registry = Registry("widget")
+        for name in ("zebra", "apple", "mango"):
+            registry.register(name, name)
+        assert registry.names() == ("zebra", "apple", "mango")
+        assert list(registry) == ["zebra", "apple", "mango"]
+
+
+class TestStockRegistrations:
+    def test_the_five_schemes_of_sec_vi(self):
+        assert SCHEMES.names() == (
+            "intentional",
+            "nocache",
+            "randomcache",
+            "cachedata",
+            "bundlecache",
+        )
+
+    def test_routers(self):
+        assert set(ROUTERS.names()) == {
+            "gradient",
+            "rate_gradient",
+            "epidemic",
+            "direct",
+            "prophet",
+            "spray",
+        }
+
+    def test_response_strategies(self):
+        assert RESPONSE_STRATEGIES.names() == ("sigmoid", "path_aware", "always")
+
+    def test_trace_sources_cover_the_table_i_presets(self):
+        assert set(TRACE_SOURCES.names()) == {
+            "mit_reality",
+            "infocom05",
+            "infocom06",
+            "ucsd",
+        }

@@ -1,0 +1,57 @@
+"""The registry lint: clean tree, plus synthetic violations.
+
+``scripts/check_registry.py`` asserts every registered scheme, router,
+response strategy, and trace source is smoke tested somewhere under
+``tests/`` and round-trips through ``ScenarioSpec`` JSON.  Running it
+under pytest keeps the contract in tier-1 instead of relying on a
+manual script invocation.
+"""
+
+import importlib.util
+import os
+
+import pytest
+
+_SCRIPT = os.path.join(
+    os.path.dirname(__file__), os.pardir, os.pardir, "scripts", "check_registry.py"
+)
+
+
+@pytest.fixture(scope="module")
+def lint():
+    spec = importlib.util.spec_from_file_location("check_registry", _SCRIPT)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_every_registered_name_is_covered_and_round_trips(lint):
+    violations = lint.collect_violations()
+    assert violations == [], "\n".join(str(v) for v in violations)
+
+
+def test_registries_are_nonempty(lint):
+    names = lint.registered_names()
+    assert names["scheme"], "scheme registry is empty"
+    assert names["router"], "router registry is empty"
+    assert names["response strategy"], "response-strategy registry is empty"
+    assert names["trace source"], "trace-source registry is empty"
+
+
+def test_missing_smoke_test_is_flagged(lint, tmp_path):
+    # An empty tests tree covers nothing: every name must be flagged.
+    (tmp_path / "test_nothing.py").write_text("def test_nothing():\n    pass\n")
+    violations = lint.check_smoke_coverage(str(tmp_path))
+    flagged = {(v.kind, v.name) for v in violations}
+    for kind, names in lint.registered_names().items():
+        for name in names:
+            assert (kind, name) in flagged
+
+
+def test_round_trips_are_clean(lint):
+    assert lint.check_round_trips() == []
+
+
+def test_script_main_exits_zero(lint, capsys):
+    assert lint.main() == 0
+    assert "registered names" in capsys.readouterr().out

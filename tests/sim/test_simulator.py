@@ -117,3 +117,46 @@ class TestConfigValidation:
     def test_invalid_simulator_configs(self, overrides):
         with pytest.raises(ConfigurationError):
             SimulatorConfig(**overrides)
+
+
+class TestSnapshotPeriod:
+    """Graph refreshes must honour the estimator's snapshot cache.
+
+    Regression: refreshes used to call ``snapshot(force=True)``, which
+    rebuilt the contact graph on every refresh no matter what
+    ``snapshot_period`` said.
+    """
+
+    def _spy_snapshots(self, monkeypatch, config):
+        from repro.graph.estimator import OnlineContactGraphEstimator
+
+        calls = []
+        original = OnlineContactGraphEstimator.snapshot
+
+        def spy(est, now, force=False):
+            # Keep the graph object alive: id() values of collected
+            # graphs get recycled, which would fake distinctness.
+            graph = original(est, now, force)
+            calls.append((force, graph))
+            return graph
+
+        monkeypatch.setattr(OnlineContactGraphEstimator, "snapshot", spy)
+        Simulator(tiny_trace(), NoCache(), workload(), config).run()
+        return calls
+
+    def test_refreshes_reuse_cached_snapshot_within_period(self, monkeypatch):
+        # Period longer than the trace: only the forced setup snapshot
+        # may build a graph; every refresh must serve it from cache.
+        calls = self._spy_snapshots(
+            monkeypatch, SimulatorConfig(seed=1, snapshot_period=1e12)
+        )
+        assert [force for force, _ in calls].count(True) == 1
+        assert len(calls) > 1  # refreshes did happen
+        assert len({id(graph) for _, graph in calls}) == 1
+
+    def test_zero_period_rebuilds_every_refresh(self, monkeypatch):
+        # The legacy default: no caching, a fresh graph per refresh.
+        calls = self._spy_snapshots(
+            monkeypatch, SimulatorConfig(seed=1, snapshot_period=0.0)
+        )
+        assert len({id(graph) for _, graph in calls}) == len(calls)
