@@ -142,6 +142,58 @@ def test_bench_sim_static_reelect(benchmark):
     assert result.queries_issued > 0
 
 
+def _run_traced_sim(diagnose):
+    from repro.obs.recorder import MemoryRecorder
+    from repro.scenario import (
+        ScenarioSpec,
+        SchemeSpec,
+        TraceSpec,
+        build_trace,
+        scheme_factory,
+        simulator_config,
+    )
+    from repro.sim.simulator import Simulator
+
+    spec = ScenarioSpec(
+        trace=TraceSpec(name="mit_reality", node_factor=0.35, time_factor=0.08),
+        scheme=SchemeSpec(),
+    )
+    trace = build_trace(spec.trace)
+    workload = WorkloadConfig(
+        mean_data_lifetime=trace.duration * 0.1, mean_data_size=100_000_000
+    )
+    recorder = MemoryRecorder()
+    sim = Simulator(
+        trace, scheme_factory(spec)(), workload, simulator_config(spec),
+        recorder=recorder,
+    )
+    result = sim.run()
+    if diagnose:
+        from repro.obs.diagnose import run_diagnosis
+
+        diagnosis = run_diagnosis(recorder.events, contact_trace=trace)
+        assert diagnosis.num_events > 0
+    return result
+
+
+def test_bench_sim_traced(benchmark):
+    result = benchmark.pedantic(_run_traced_sim, args=(False,), rounds=2, iterations=1)
+    assert result.queries_issued > 0
+
+
+def test_bench_sim_traced_diagnose(benchmark):
+    """Traced run plus a full ``repro diagnose`` pass on the recording.
+
+    The bench guard pairs this with ``test_bench_sim_traced`` and fails
+    when the diagnosis (causal reconstruction, consistency cross-check,
+    fidelity calibration) costs more than 50% on top of the traced
+    simulation itself — offline post-processing, but it must stay cheap
+    enough to run after every traced experiment.
+    """
+    result = benchmark.pedantic(_run_traced_sim, args=(True,), rounds=2, iterations=1)
+    assert result.queries_issued > 0
+
+
 def test_bench_kernel_knapsack(benchmark):
     rng = np.random.default_rng(3)
     items = [

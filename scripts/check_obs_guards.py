@@ -17,9 +17,13 @@ Hook sites checked:
 * ``<...timeseries...>.record(...)`` sampler calls.
 
 A site counts as guarded when an ``if``/ternary test reading
-``.enabled`` appears in its enclosing-function chain at or before the
-site's line.  That deliberately accepts the *creation-time* guard
-pattern (``route_observer`` returns ``None`` unless
+``.enabled`` **on a receiver of the same instrument family** (trace
+hooks want a recorder-ish receiver, profiler hooks a profiler-ish one,
+sampler hooks a sampler-ish one) appears in its enclosing-function
+chain at or before the site's line.  The family match prevents a
+profiler guard from silently "covering" a trace emit in the same
+function.  That deliberately accepts the *creation-time* guard pattern
+(``route_observer`` returns ``None`` unless
 ``services.recorder.enabled``, so the closure it builds only ever runs
 enabled) alongside the common inline ``if prof.enabled:`` form.
 
@@ -40,8 +44,16 @@ SOURCE_ROOT = os.path.join(REPO_ROOT, "src", "repro")
 #: The instruments package defines the hooks; it cannot guard itself.
 EXCLUDED_PARTS = ("obs",)
 
+TRACE_HINTS = ("recorder", "trace", "recording")
 PROFILER_HINTS = ("prof", "profiler")
 SAMPLER_HINTS = ("timeseries", "sampler")
+
+#: hook family → receiver hints an ``.enabled`` guard must match
+FAMILY_HINTS = {
+    "trace": TRACE_HINTS,
+    "profiler": PROFILER_HINTS,
+    "sampler": SAMPLER_HINTS,
+}
 
 
 class Violation(NamedTuple):
@@ -64,37 +76,40 @@ def _dotted(node: ast.AST) -> str:
     return ".".join(reversed(parts)).lower()
 
 
-def _hook_name(call: ast.Call) -> Optional[str]:
-    """The hook a call site represents, or None if it is not one."""
+def _hook_name(call: ast.Call) -> Optional[Tuple[str, str]]:
+    """``(hook, family)`` for a hook call site, or None if not one."""
     func = call.func
     if isinstance(func, ast.Name) and func.id == "TraceEvent":
-        return "TraceEvent(...)"
+        return "TraceEvent(...)", "trace"
     if not isinstance(func, ast.Attribute):
         return None
     receiver = _dotted(func.value)
     if func.attr == "emit":
-        return f"{receiver}.emit(...)"
+        return f"{receiver}.emit(...)", "trace"
     if func.attr in ("span", "add", "start") and any(
         hint in receiver for hint in PROFILER_HINTS
     ):
-        return f"{receiver}.{func.attr}(...)"
+        return f"{receiver}.{func.attr}(...)", "profiler"
     if func.attr == "record" and any(hint in receiver for hint in SAMPLER_HINTS):
-        return f"{receiver}.record(...)"
+        return f"{receiver}.record(...)", "sampler"
     return None
 
 
-def _reads_enabled(test: ast.AST) -> bool:
-    return any(
-        isinstance(node, ast.Attribute) and node.attr == "enabled"
-        for node in ast.walk(test)
-    )
+def _reads_enabled(test: ast.AST, hints: Tuple[str, ...]) -> bool:
+    """Does *test* read ``.enabled`` on a receiver matching *hints*?"""
+    for node in ast.walk(test):
+        if isinstance(node, ast.Attribute) and node.attr == "enabled":
+            receiver = _dotted(node.value)
+            if any(hint in receiver for hint in hints):
+                return True
+    return False
 
 
-def _guard_lines(scope: ast.AST) -> List[int]:
-    """Lines of every ``.enabled``-reading branch test inside *scope*."""
+def _guard_lines(scope: ast.AST, hints: Tuple[str, ...]) -> List[int]:
+    """Lines of every family-matching ``.enabled`` branch test in *scope*."""
     lines = []
     for node in ast.walk(scope):
-        if isinstance(node, (ast.If, ast.IfExp)) and _reads_enabled(node.test):
+        if isinstance(node, (ast.If, ast.IfExp)) and _reads_enabled(node.test, hints):
             lines.append(node.lineno)
     return lines
 
@@ -109,9 +124,10 @@ def _check_module(path: str, source: str) -> List[Violation]:
     for node in ast.walk(tree):
         if not isinstance(node, ast.Call):
             continue
-        hook = _hook_name(node)
-        if hook is None:
+        named = _hook_name(node)
+        if named is None:
             continue
+        hook, family = named
         # Outermost function enclosing the hook: guards anywhere inside
         # it (including outer creation-time guards before a closure's
         # ``def``) count, as long as they precede the hook's line.
@@ -122,7 +138,8 @@ def _check_module(path: str, source: str) -> List[Violation]:
             if isinstance(scope, (ast.FunctionDef, ast.AsyncFunctionDef)):
                 outermost = scope
         searched = outermost if outermost is not None else tree
-        if not any(line <= node.lineno for line in _guard_lines(searched)):
+        hints = FAMILY_HINTS[family]
+        if not any(line <= node.lineno for line in _guard_lines(searched, hints)):
             violations.append(Violation(os.path.relpath(path, REPO_ROOT), node.lineno, hook))
     return violations
 

@@ -1,0 +1,144 @@
+#!/usr/bin/env python
+"""TraceEventKind lint: naming grammar + diagnose-parser coverage.
+
+The lifecycle trace's event vocabulary grew in two eras: the original
+PR 2 kinds are bare ``snake_case`` values (``query_created``,
+``response_delivered``, …) while every kind added since (network
+dynamics, push custody) uses the dotted ``<namespace>.<event>`` grammar
+(``node.failed``, ``cache.migrated``, ``push.forwarded``).  Both are
+valid on disk forever — traces are archives — but the split must stay
+*frozen*: no new bare snake_case kinds (the legacy set is closed), and
+every dotted kind must follow the grammar with a matching member name.
+
+The second invariant protects ``repro diagnose``: the causal
+reconstruction (:mod:`repro.obs.causality`) dispatches on kinds, and an
+event kind it neither handles nor explicitly ignores would be dropped
+silently — a chain with missing hops and no error.  Every
+:class:`TraceEventKind` member must therefore appear in
+``causality.HANDLED_KINDS`` or ``causality.IGNORED_KINDS``.
+
+Run standalone (exit 1 on violations) or via the pytest wrapper in
+``tests/obs/test_trace_kind_lint.py``.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import sys
+from typing import List, NamedTuple
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+if os.path.join(REPO_ROOT, "src") not in sys.path:
+    sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+
+from repro.obs.causality import HANDLED_KINDS, IGNORED_KINDS  # noqa: E402
+from repro.obs.events import TraceEventKind  # noqa: E402
+
+#: The closed set of pre-grammar kinds (PR 2).  Frozen: additions to the
+#: enum must use the dotted grammar, never extend this list.
+LEGACY_SNAKE_KINDS = frozenset(
+    {
+        "data_generated",
+        "push_completed",
+        "data_expired",
+        "query_created",
+        "query_observed",
+        "response_decided",
+        "response_emitted",
+        "response_forwarded",
+        "response_delivered",
+        "query_satisfied",
+        "route_decision",
+        "exchange",
+        "sample",
+    }
+)
+
+#: Dotted grammar for post-PR 2 kinds: lowercase namespace, dot,
+#: lowercase snake_case event (``node.failed``, ``push.forwarded``).
+DOTTED_GRAMMAR = re.compile(r"^[a-z]+(\.[a-z]+(_[a-z]+)*)+$")
+
+
+class Violation(NamedTuple):
+    kind: str
+    problem: str
+
+    def __str__(self) -> str:
+        return f"TraceEventKind {self.kind!r}: {self.problem}"
+
+
+def check_grammar() -> List[Violation]:
+    """Every kind is legacy-frozen snake_case or dotted-grammar."""
+    violations = []
+    for member in TraceEventKind:
+        value = member.value
+        if value in LEGACY_SNAKE_KINDS:
+            continue
+        if not DOTTED_GRAMMAR.match(value):
+            violations.append(
+                Violation(
+                    value,
+                    "new kinds must use the dotted grammar "
+                    "`namespace.event` (the legacy snake_case set is closed)",
+                )
+            )
+    return violations
+
+
+def check_member_names() -> List[Violation]:
+    """Member name must be the value with dots as underscores, uppercased."""
+    violations = []
+    for member in TraceEventKind:
+        expected = member.value.replace(".", "_").upper()
+        if member.name != expected:
+            violations.append(
+                Violation(
+                    member.value,
+                    f"member name {member.name} should be {expected}",
+                )
+            )
+    return violations
+
+
+def check_parser_coverage() -> List[Violation]:
+    """The causality parser must handle or explicitly ignore every kind."""
+    violations = []
+    covered = HANDLED_KINDS | IGNORED_KINDS
+    for member in TraceEventKind:
+        if member not in covered:
+            violations.append(
+                Violation(
+                    member.value,
+                    "not in causality.HANDLED_KINDS or IGNORED_KINDS — "
+                    "the diagnose parser would drop it silently",
+                )
+            )
+    for member in HANDLED_KINDS & IGNORED_KINDS:
+        violations.append(
+            Violation(member.value, "both handled and ignored — pick one")
+        )
+    return violations
+
+
+def collect_violations() -> List[Violation]:
+    return check_grammar() + check_member_names() + check_parser_coverage()
+
+
+def main() -> int:
+    violations = collect_violations()
+    for violation in violations:
+        print(violation, file=sys.stderr)
+    if violations:
+        print(f"{len(violations)} trace-kind violation(s)", file=sys.stderr)
+        return 1
+    print(
+        f"all {len(list(TraceEventKind))} trace event kinds follow the "
+        "naming grammar and are covered by the diagnose parser"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -17,9 +17,13 @@ Commands
 ``bench``
     Run the kernel microbenchmarks and fail on regression vs baseline.
 ``trace``
-    Replay a JSONL trace file into a per-query audit report.
+    Replay a JSONL trace file into a per-query audit report, or drill
+    into one query/data item's causal chain (``--query-id``/``--data-id``).
 ``report``
     Render a run directory (``simulate --out DIR``) as Markdown.
+``diagnose``
+    Causal-chain and model-fidelity diagnosis of a run directory or a
+    bare ``trace.jsonl`` (``--strict`` exits non-zero on warnings).
 """
 
 from __future__ import annotations
@@ -267,15 +271,106 @@ def cmd_figure(args: argparse.Namespace) -> int:
     return 0
 
 
+def _render_drilldown(events, query_id: Optional[int], data_id: Optional[int]) -> int:
+    """Shared ``--query-id``/``--data-id`` timeline rendering (trace +
+    diagnose commands)."""
+    from repro.obs import build_causality, render_push_timeline, render_query_timeline
+
+    causality = build_causality(events)
+    try:
+        if query_id is not None:
+            print(render_query_timeline(causality, query_id))
+        if data_id is not None:
+            print(render_push_timeline(causality, data_id))
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+    return 0
+
+
 def cmd_trace(args: argparse.Namespace) -> int:
     from repro.obs import read_events, render_audit_report
 
     try:
-        events = read_events(args.path)
+        events = list(read_events(args.path))
     except (OSError, ValueError) as exc:
         print(f"cannot read trace {args.path!r}: {exc}", file=sys.stderr)
         return 2
+    if args.query_id is not None or args.data_id is not None:
+        return _render_drilldown(events, args.query_id, args.data_id)
     print(render_audit_report(events, limit=args.limit, only=args.only))
+    return 0
+
+
+def cmd_diagnose(args: argparse.Namespace) -> int:
+    import json
+    import os
+
+    from repro.experiments.runstore import contact_trace_from_manifest, load_run
+    from repro.obs import (
+        diagnosis_to_dict,
+        read_events,
+        render_diagnosis,
+        run_diagnosis,
+    )
+    from repro.obs.fidelity import FidelityThresholds, override_thresholds
+
+    contact_trace = None
+    provenance = None
+    if os.path.isdir(args.path):
+        from repro.errors import ConfigurationError
+
+        try:
+            data = load_run(args.path)
+        except ConfigurationError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+        if not data["trace_path"]:
+            print(
+                f"run directory {args.path!r} has no trace.jsonl "
+                "(re-run `repro simulate --out` with a single seed)",
+                file=sys.stderr,
+            )
+            return 2
+        trace_path = data["trace_path"]
+        provenance = data["manifest"]
+        contact_trace = contact_trace_from_manifest(provenance)
+    else:
+        trace_path = args.path
+    try:
+        events = list(read_events(trace_path))
+    except (OSError, ValueError) as exc:
+        print(f"cannot read trace {trace_path!r}: {exc}", file=sys.stderr)
+        return 2
+
+    if args.query_id is not None or args.data_id is not None:
+        return _render_drilldown(events, args.query_id, args.data_id)
+
+    thresholds = override_thresholds(
+        FidelityThresholds(),
+        max_median_ks=args.max_median_ks,
+        max_delivery_brier=args.max_delivery_brier,
+        max_calibration_gap=args.max_calibration_gap,
+        max_load_cv=args.max_load_cv,
+        min_samples=args.min_samples,
+    )
+    diagnosis = run_diagnosis(
+        events,
+        contact_trace=contact_trace,
+        thresholds=thresholds,
+        provenance=provenance,
+    )
+    print(render_diagnosis(diagnosis), end="")
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(diagnosis_to_dict(diagnosis), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"\nJSON report written to {args.json}")
+    if args.strict and diagnosis.warnings:
+        print(
+            f"\nstrict mode: {len(diagnosis.warnings)} warning(s)", file=sys.stderr
+        )
+        return 1
     return 0
 
 
@@ -410,7 +505,49 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="restrict the report to queries with this outcome",
     )
+    p_trace.add_argument(
+        "--query-id",
+        type=int,
+        default=None,
+        metavar="N",
+        help="render query N's causal response chain as a timeline",
+    )
+    p_trace.add_argument(
+        "--data-id",
+        type=int,
+        default=None,
+        metavar="N",
+        help="render data item N's push tree as a timeline",
+    )
     p_trace.set_defaults(func=cmd_trace)
+
+    p_diag = sub.add_parser(
+        "diagnose",
+        help="causal-chain + model-fidelity diagnosis of a run",
+    )
+    p_diag.add_argument("path", help="run directory (simulate --out) or trace.jsonl")
+    p_diag.add_argument(
+        "--query-id", type=int, default=None, metavar="N",
+        help="render query N's causal response chain instead of the report",
+    )
+    p_diag.add_argument(
+        "--data-id", type=int, default=None, metavar="N",
+        help="render data item N's push tree instead of the report",
+    )
+    p_diag.add_argument(
+        "--json", default=None, metavar="PATH",
+        help="also write the diagnosis as JSON",
+    )
+    p_diag.add_argument(
+        "--strict", action="store_true",
+        help="exit non-zero when any warning fires (CI gate)",
+    )
+    p_diag.add_argument("--max-median-ks", type=float, default=None)
+    p_diag.add_argument("--max-delivery-brier", type=float, default=None)
+    p_diag.add_argument("--max-calibration-gap", type=float, default=None)
+    p_diag.add_argument("--max-load-cv", type=float, default=None)
+    p_diag.add_argument("--min-samples", type=int, default=None)
+    p_diag.set_defaults(func=cmd_diagnose)
 
     p_report = sub.add_parser(
         "report", help="Markdown report of a run directory (simulate --out)"

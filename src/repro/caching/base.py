@@ -275,6 +275,7 @@ class CachingScheme(abc.ABC):
                     node=node.node_id,
                     data_id=data.data_id,
                     query_id=query.query_id,
+                    attrs={"sequence": bundle.sequence},
                 )
             )
         return True
@@ -314,7 +315,11 @@ class CachingScheme(abc.ABC):
                                 node=y.node_id,
                                 data_id=bundle.data.data_id,
                                 query_id=bundle.query.query_id,
-                                attrs={"carrier": x.node_id, "responder": bundle.responder},
+                                attrs={
+                                    "carrier": x.node_id,
+                                    "responder": bundle.responder,
+                                    "sequence": bundle.sequence,
+                                },
                             )
                         )
                     services.deliver(bundle.query, bundle.data, now)
@@ -344,6 +349,8 @@ class CachingScheme(abc.ABC):
                                 attrs={
                                     "carrier": x.node_id,
                                     "action": decision.action.value,
+                                    "responder": bundle.responder,
+                                    "sequence": bundle.sequence,
                                 },
                             )
                         )

@@ -384,6 +384,7 @@ class IntentionalCaching(CachingScheme):
                     x.buffer.remove(bundle.data.data_id)
             x.drop_bundle(bundle.key)
             bundle.owns_copy = not already_cached
+            self._emit_push_forwarded(x, y, bundle, now)
             if y.node_id == bundle.target_central:
                 services.metrics.on_push_completed()
                 self._emit_push_completed(y, bundle, now, spilled=False)
@@ -395,6 +396,25 @@ class IntentionalCaching(CachingScheme):
                 y.store_bundle(bundle)
             # New caching location may answer queries it already observed.
             self.answer_pending_queries(y, bundle.data.data_id, now)
+
+    def _emit_push_forwarded(
+        self, x: Node, y: Node, bundle: PushBundle, now: float
+    ) -> None:
+        """Trace hook: custody of a push copy moved from *x* to *y*."""
+        services = self._require_services()
+        if services.recorder.enabled:
+            services.recorder.emit(
+                TraceEvent(
+                    time=now,
+                    kind=TraceEventKind.PUSH_FORWARDED,
+                    node=y.node_id,
+                    data_id=bundle.data.data_id,
+                    attrs={
+                        "carrier": x.node_id,
+                        "target_central": bundle.target_central,
+                    },
+                )
+            )
 
     def _emit_push_completed(
         self, node: Node, bundle: PushBundle, now: float, spilled: bool
@@ -453,6 +473,7 @@ class IntentionalCaching(CachingScheme):
             x.buffer.remove(bundle.data.data_id)
         x.drop_bundle(bundle.key)
         services.metrics.on_push_completed()
+        self._emit_push_forwarded(x, y, bundle, now)
         self._emit_push_completed(y, bundle, now, spilled=True)
         self._release_ownership(y, bundle.data.data_id)
         self.answer_pending_queries(y, bundle.data.data_id, now)

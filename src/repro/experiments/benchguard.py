@@ -21,7 +21,11 @@ cheap enough to leave on during investigations.  The same twin pairing
 applies to ``<name>_reelect`` benchmarks: enabling NCL re-election on a
 *static* network must stay within ``REELECT_OVERHEAD_THRESHOLD`` (5%)
 of the plain run — re-election is gated on topology changes, so a run
-without churn pays essentially nothing for it.
+without churn pays essentially nothing for it.  ``<name>_diagnose``
+twins bound the post-processing cost of ``repro diagnose`` on a traced
+run: the full causal reconstruction + consistency cross-check +
+fidelity assessment may add at most ``DIAGNOSE_OVERHEAD_THRESHOLD``
+(50%) on top of the traced simulation itself.
 """
 
 from __future__ import annotations
@@ -42,6 +46,7 @@ __all__ = [
     "check_twin_overhead",
     "check_profiler_overhead",
     "check_reelection_overhead",
+    "check_diagnose_overhead",
     "run_guard",
     "main",
 ]
@@ -59,6 +64,12 @@ PROFILER_OVERHEAD_THRESHOLD = 1.05
 #: most 5% over its plain twin — re-election is topology-gated.
 REELECT_SUFFIX = "_reelect"
 REELECT_OVERHEAD_THRESHOLD = 1.05
+
+#: ``<name>_diagnose`` (traced run + full diagnosis) may cost at most
+#: 50% over the traced run alone — diagnosis is offline post-processing,
+#: but it must stay cheap enough to run after every traced simulation.
+DIAGNOSE_SUFFIX = "_diagnose"
+DIAGNOSE_OVERHEAD_THRESHOLD = 1.5
 
 
 def load_benchmark_means(result_json: Path) -> Dict[str, float]:
@@ -128,6 +139,14 @@ def check_reelection_overhead(
     return check_twin_overhead(current, REELECT_SUFFIX, threshold)
 
 
+def check_diagnose_overhead(
+    current: Dict[str, float],
+    threshold: float = DIAGNOSE_OVERHEAD_THRESHOLD,
+) -> List[Tuple[str, float, bool]]:
+    """``<name>_diagnose`` vs its trace-only twin (diagnosis cost)."""
+    return check_twin_overhead(current, DIAGNOSE_SUFFIX, threshold)
+
+
 def _run_benchmarks(benchmark_file: Path, result_json: Path) -> int:
     env = dict(os.environ)
     src = str(Path(__file__).resolve().parents[2])
@@ -195,6 +214,7 @@ def run_guard(
     pairings = [
         ("profiler", check_profiler_overhead(current), PROFILER_OVERHEAD_THRESHOLD),
         ("re-election", check_reelection_overhead(current), REELECT_OVERHEAD_THRESHOLD),
+        ("diagnose", check_diagnose_overhead(current), DIAGNOSE_OVERHEAD_THRESHOLD),
     ]
     for label, rows, limit in pairings:
         for name, ratio, failed in rows:

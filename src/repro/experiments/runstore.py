@@ -29,12 +29,18 @@ from typing import Any, Dict, List, Optional
 from repro.errors import ConfigurationError
 from repro.experiments.runner import ExperimentResult
 from repro.obs.derive import render_audit_report
+from repro.obs.diagnose import render_diagnosis, run_diagnosis
 from repro.obs.profile import check_profile_tree, render_profile_table
 from repro.obs.provenance import write_manifest
 from repro.obs.recorder import read_events
 from repro.obs.timeseries import summarize_timeseries, write_csv, write_jsonl
 
-__all__ = ["save_run", "load_run", "render_run_report"]
+__all__ = [
+    "save_run",
+    "load_run",
+    "contact_trace_from_manifest",
+    "render_run_report",
+]
 
 RESULT_FILE = "result.json"
 MANIFEST_FILE = "manifest.json"
@@ -107,6 +113,30 @@ def load_run(run_dir: str) -> Dict[str, Any]:
             else None
         ),
     }
+
+
+def contact_trace_from_manifest(manifest: Optional[Dict[str, Any]]):
+    """Rebuild the run's :class:`ContactTrace` from its manifest.
+
+    The manifest's hashed config embeds the full ``TraceSpec``
+    (``config.scenario.trace``), and trace construction is deterministic
+    from it, so the rebuilt trace is bit-identical to the one the run
+    used.  Returns ``None`` when the manifest is absent, predates the
+    scenario config layout, or the spec no longer builds — the fidelity
+    sections that need mobility information then degrade gracefully.
+    """
+    if not manifest:
+        return None
+    scenario = (manifest.get("config") or {}).get("scenario") or {}
+    record = scenario.get("trace")
+    if not isinstance(record, dict):
+        return None
+    from repro.scenario import TraceSpec, build_trace
+
+    try:
+        return build_trace(TraceSpec.from_dict(record))
+    except (ConfigurationError, KeyError, TypeError, ValueError, OSError):
+        return None
 
 
 # --- report rendering ------------------------------------------------------
@@ -255,10 +285,16 @@ def render_run_report(run_dir: str, audit_limit: int = 10) -> str:
     if data["timeseries"]:
         sections.append("\n".join(_timeseries_section(data["timeseries"])))
     if data["trace_path"]:
-        events = read_events(data["trace_path"])
+        events = list(read_events(data["trace_path"]))
         sections.append("\n".join(_event_counts_section(events)))
         audit = render_audit_report(events, limit=audit_limit)
         sections.append("## Trace audit\n\n```\n" + audit + "\n```")
+        diagnosis = run_diagnosis(
+            events,
+            contact_trace=contact_trace_from_manifest(data["manifest"]),
+            provenance=data["manifest"],
+        )
+        sections.append(render_diagnosis(diagnosis, level=2).rstrip())
 
     if len(sections) == 1:
         sections.append("(run directory is empty)")

@@ -1,0 +1,63 @@
+"""Kolmogorov–Smirnov distance between a sample and a model CDF.
+
+The fidelity diagnostics (``repro diagnose``) and the inter-contact
+analysis of :mod:`repro.traces.analysis` both need the same two-sided
+one-sample statistic
+
+    D_n = sup_x |F_n(x) − F(x)|
+
+computed against a continuous model CDF.  The supremum over a step
+empirical CDF is attained at a sample point, comparing the model against
+both the pre-jump (``i/n``) and post-jump (``(i−1)/n``) empirical levels.
+
+No p-values here on purpose: the paper's model only needs the
+exponential to be a *workable approximation*, so the diagnostics compare
+D_n against loose plausibility thresholds (DESIGN.md §7) rather than
+running a strict hypothesis test.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Sequence, Union
+
+import numpy as np
+
+__all__ = ["ks_statistic", "exponential_ks"]
+
+
+def ks_statistic(
+    samples: Sequence[float],
+    model_cdf: Union[Callable[[np.ndarray], np.ndarray], np.ndarray],
+) -> float:
+    """Two-sided KS distance of *samples* against *model_cdf*.
+
+    ``model_cdf`` is either a vectorised callable evaluated at the sorted
+    samples, or a precomputed array of model CDF values already aligned
+    with the sorted samples.  Raises :class:`ValueError` on an empty
+    sample.
+    """
+    ordered = np.sort(np.asarray(samples, dtype=float))
+    n = ordered.size
+    if n == 0:
+        raise ValueError("ks_statistic needs at least one sample")
+    if callable(model_cdf):
+        model = np.asarray(model_cdf(ordered), dtype=float)
+    else:
+        model = np.asarray(model_cdf, dtype=float)
+    if model.shape != ordered.shape:
+        raise ValueError(
+            f"model CDF shape {model.shape} does not match sample shape {ordered.shape}"
+        )
+    empirical_hi = np.arange(1, n + 1) / n
+    empirical_lo = np.arange(0, n) / n
+    return float(
+        np.maximum(np.abs(empirical_hi - model), np.abs(model - empirical_lo)).max()
+    )
+
+
+def exponential_ks(samples: Sequence[float], rate: float) -> float:
+    """KS distance of *samples* against Exp(*rate*)."""
+    if rate <= 0 or not math.isfinite(rate):
+        raise ValueError(f"rate must be positive and finite, got {rate}")
+    return ks_statistic(samples, lambda x: 1.0 - np.exp(-rate * x))

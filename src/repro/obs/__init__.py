@@ -9,6 +9,13 @@ stream — an independent accounting path that is cross-checked against
 the live counters of :class:`repro.metrics.collector.MetricsCollector`
 (see :func:`repro.sim.invariants.check_trace_consistency`).
 
+On top of the raw stream, :mod:`repro.obs.causality` reconstructs *why*
+each metric came out as it did (per-data push trees, per-query response
+DAGs, bit-exact chain↔counter cross-check), :mod:`repro.obs.fidelity`
+measures how far the realized run drifted from the paper's analytical
+model (KS, calibration curves, Brier scores, NCL load balance), and
+:mod:`repro.obs.diagnose` bundles both into ``repro diagnose``.
+
 Tracing is strictly opt-in: every hook guards on
 ``recorder.enabled``, and the default :data:`NULL_RECORDER` keeps the
 guard a single attribute read, so tracing-off runs pay no measurable
@@ -29,8 +36,35 @@ from repro.obs.derive import (
     DerivedMetrics,
     QueryAudit,
     audit_queries,
+    classify_outcome,
+    delivery_in_constraint,
     derive_metrics,
     render_audit_report,
+)
+from repro.obs.causality import (
+    CausalityIndex,
+    PushChain,
+    PushTree,
+    QueryCausality,
+    ResponseCopy,
+    assert_causal_consistency,
+    build_causality,
+    check_causal_consistency,
+    render_push_timeline,
+    render_query_timeline,
+    summarize_causality,
+)
+from repro.obs.fidelity import (
+    Calibration,
+    FidelityReport,
+    FidelityThresholds,
+    assess_fidelity,
+)
+from repro.obs.diagnose import (
+    Diagnosis,
+    diagnosis_to_dict,
+    render_diagnosis,
+    run_diagnosis,
 )
 from repro.obs.profile import (
     NULL_PROFILER,
@@ -73,8 +107,29 @@ __all__ = [
     "DerivedMetrics",
     "QueryAudit",
     "audit_queries",
+    "classify_outcome",
+    "delivery_in_constraint",
     "derive_metrics",
     "render_audit_report",
+    "CausalityIndex",
+    "QueryCausality",
+    "ResponseCopy",
+    "PushChain",
+    "PushTree",
+    "build_causality",
+    "check_causal_consistency",
+    "assert_causal_consistency",
+    "summarize_causality",
+    "render_query_timeline",
+    "render_push_timeline",
+    "Calibration",
+    "FidelityReport",
+    "FidelityThresholds",
+    "assess_fidelity",
+    "Diagnosis",
+    "run_diagnosis",
+    "render_diagnosis",
+    "diagnosis_to_dict",
     "Profiler",
     "NullProfiler",
     "NULL_PROFILER",

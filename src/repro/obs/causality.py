@@ -1,0 +1,868 @@
+"""Causal reconstruction of push trees and query response DAGs.
+
+The lifecycle trace (PR 2) records *what* happened; this module recovers
+*why*: for every data item, the custody chains its push copies took
+toward their NCLs (``data_generated`` → ``push.forwarded``* →
+``push_completed``), and for every query, the response DAG from creation
+through observation, the Sec. V-C response decisions, per-copy relay
+custody, and delivery (``query_created`` → ``query_observed`` →
+``response_decided``/``emitted``/``forwarded``/``delivered``).
+
+Two properties make the reconstruction exact rather than heuristic:
+
+* response events carry the bundle's process-unique ``sequence`` (one
+  physical copy = one sequence), so forwards and deliveries attach to
+  the right copy even when several responders serve one query;
+* push bundles are unique per ``(data_id, target_central)`` at any one
+  carrier, so a ``push.forwarded`` hop matches the chain whose custody
+  sits at its ``carrier``.
+
+Older traces without ``sequence`` attrs degrade to custody-based
+matching (flagged ``ambiguous`` when more than one copy qualifies).
+
+Chains crossing network-dynamics events terminate cleanly: a
+``node.failed``/``node.left`` at the custody holder breaks the chain and
+tags the break reason; a ``cache.migrated`` event opens a new
+migration-origin chain toward the new central.  Outcome classification
+shares :func:`repro.obs.derive.classify_outcome` and
+:func:`repro.obs.derive.delivery_in_constraint` with the audit layer, so
+boundary deliveries and truncated traces can never classify differently
+between the two paths — :func:`check_causal_consistency` additionally
+proves, event for event, that the causal chains reproduce the derived
+(and therefore the live collector's) metrics bit-exactly.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.errors import TraceConsistencyError
+from repro.obs.derive import (
+    classify_outcome,
+    delivery_in_constraint,
+    derive_metrics,
+)
+from repro.obs.events import TraceEvent, TraceEventKind
+
+__all__ = [
+    "HANDLED_KINDS",
+    "IGNORED_KINDS",
+    "Hop",
+    "ResponseCopy",
+    "QueryCausality",
+    "PushChain",
+    "PushTree",
+    "CausalityIndex",
+    "build_causality",
+    "check_causal_consistency",
+    "assert_causal_consistency",
+    "summarize_causality",
+    "render_query_timeline",
+    "render_push_timeline",
+]
+
+#: Event kinds the causal reconstruction dispatches on.  Together with
+#: :data:`IGNORED_KINDS` this must cover every :class:`TraceEventKind`
+#: member — enforced by ``scripts/check_trace_kinds.py`` — so a newly
+#: added event kind can never be dropped silently by the diagnose parser.
+HANDLED_KINDS = frozenset(
+    {
+        TraceEventKind.DATA_GENERATED,
+        TraceEventKind.PUSH_FORWARDED,
+        TraceEventKind.PUSH_COMPLETED,
+        TraceEventKind.DATA_EXPIRED,
+        TraceEventKind.QUERY_CREATED,
+        TraceEventKind.QUERY_OBSERVED,
+        TraceEventKind.RESPONSE_DECIDED,
+        TraceEventKind.RESPONSE_EMITTED,
+        TraceEventKind.RESPONSE_FORWARDED,
+        TraceEventKind.RESPONSE_DELIVERED,
+        TraceEventKind.QUERY_SATISFIED,
+        TraceEventKind.NODE_FAILED,
+        TraceEventKind.NODE_LEFT,
+        TraceEventKind.CACHE_MIGRATED,
+    }
+)
+
+#: Kinds that carry no custody information: router verdicts, buffer
+#: exchanges (data placement, not bundle custody), periodic samples,
+#: committee re-elections (the migration events that follow are what
+#: move copies) and node (re)joins (joining cannot break a chain).
+IGNORED_KINDS = frozenset(
+    {
+        TraceEventKind.ROUTE_DECISION,
+        TraceEventKind.EXCHANGE,
+        TraceEventKind.SAMPLE,
+        TraceEventKind.NCL_REELECTED,
+        TraceEventKind.NODE_JOINED,
+    }
+)
+
+
+@dataclass(frozen=True)
+class Hop:
+    """One custody transfer: *carrier* handed the copy to *node*."""
+
+    time: float
+    carrier: int
+    node: int
+    action: str  # "handover" / "replicate" (responses), "push" (pushes)
+
+
+@dataclass
+class ResponseCopy:
+    """One physical response copy (one :class:`ResponseBundle`)."""
+
+    query_id: int
+    responder: int
+    sequence: Optional[int] = None
+    emitted_at: Optional[float] = None
+    #: True for the degenerate zero-hop chain: the requester itself held
+    #: the data and the response decision delivered on the spot.
+    self_service: bool = False
+    hops: List[Hop] = field(default_factory=list)
+    custody: List[int] = field(default_factory=list)
+    delivered_at: Optional[float] = None
+    delivered_by: Optional[int] = None
+    break_reason: Optional[str] = None
+    #: set when a sequence-less trace left more than one candidate copy
+    orphan: bool = False
+
+    @property
+    def hop_count(self) -> int:
+        if self.self_service:
+            return 0
+        return len(self.hops) + (0 if self.delivered_at is None else 1)
+
+    def hop_delays(self) -> List[float]:
+        """Per-hop latencies along the custody chain, emission first."""
+        times = [self.emitted_at] if self.emitted_at is not None else []
+        times += [hop.time for hop in self.hops]
+        if self.delivered_at is not None:
+            times.append(self.delivered_at)
+        return [b - a for a, b in zip(times, times[1:])]
+
+
+@dataclass
+class QueryCausality:
+    """The full response DAG of one query."""
+
+    query_id: int
+    requester: Optional[int] = None
+    data_id: Optional[int] = None
+    created_at: Optional[float] = None
+    expires_at: Optional[float] = None
+    created_seen: bool = False
+    observed: List[Tuple[float, int]] = field(default_factory=list)
+    #: (time, node, respond, probability) per Sec. V-C decision
+    decisions: List[Tuple[float, int, bool, float]] = field(default_factory=list)
+    copies: List[ResponseCopy] = field(default_factory=list)
+    satisfied_at: Optional[float] = None  # from QUERY_SATISFIED events
+    #: chain-derived first in-constraint delivery (time, copy index)
+    first_delivery: Optional[Tuple[float, int]] = None
+    ambiguous: bool = False
+
+    @property
+    def satisfying_copy(self) -> Optional[ResponseCopy]:
+        if self.first_delivery is None:
+            return None
+        return self.copies[self.first_delivery[1]]
+
+    @property
+    def delay(self) -> Optional[float]:
+        if self.first_delivery is None or self.created_at is None:
+            return None
+        return self.first_delivery[0] - self.created_at
+
+    def outcome(self, trace_end: float) -> str:
+        """Chain-derived outcome through the shared predicate."""
+        satisfied = self.first_delivery[0] if self.first_delivery else None
+        return classify_outcome(satisfied, self.expires_at, trace_end)
+
+
+@dataclass
+class PushChain:
+    """Custody chain of one push copy toward one central node."""
+
+    data_id: int
+    target_central: int
+    origin: str  # "source" / "migration" / "unknown"
+    started_at: Optional[float] = None
+    start_node: Optional[int] = None
+    custody: Optional[int] = None
+    hops: List[Hop] = field(default_factory=list)
+    completed_at: Optional[float] = None
+    completed_node: Optional[int] = None
+    spilled: bool = False
+    break_reason: Optional[str] = None
+
+    @property
+    def hop_count(self) -> int:
+        return len(self.hops)
+
+    def hop_delays(self) -> List[float]:
+        times = [self.started_at] if self.started_at is not None else []
+        times += [hop.time for hop in self.hops]
+        return [b - a for a, b in zip(times, times[1:])]
+
+    def state(self, trace_end: float, expires_at: Optional[float]) -> str:
+        if self.completed_at is not None:
+            return "completed"
+        if self.break_reason is not None:
+            return f"broken:{self.break_reason}"
+        if expires_at is not None and trace_end >= expires_at:
+            return "expired"
+        return "in_flight"
+
+
+@dataclass
+class PushTree:
+    """All push chains of one data item (source → relays → NCLs)."""
+
+    data_id: int
+    source: Optional[int] = None
+    generated_at: Optional[float] = None
+    expires_at: Optional[float] = None
+    size: Optional[int] = None
+    chains: List[PushChain] = field(default_factory=list)
+    #: (time, node) records of copies aging out
+    expiries: List[Tuple[float, int]] = field(default_factory=list)
+
+    def open_chains(self) -> List[PushChain]:
+        return [
+            c for c in self.chains if c.completed_at is None and c.break_reason is None
+        ]
+
+
+@dataclass
+class CausalityIndex:
+    """Everything :func:`build_causality` reconstructed from one trace."""
+
+    queries: Dict[int, QueryCausality]
+    pushes: Dict[int, PushTree]
+    trace_end: float
+    data_generated: int
+    delivery_events: int
+    responses_emitted: int
+    #: (query_id, delivery time, delay) in stream order of the first
+    #: in-constraint delivery — replays the collector's summation order
+    satisfied_order: List[Tuple[int, float, float]]
+
+    def satisfied_ids(self) -> List[int]:
+        return [query_id for query_id, _, _ in self.satisfied_order]
+
+
+def _copy_for(
+    query: QueryCausality,
+    carrier: Optional[int],
+    responder: Optional[int],
+    sequence: Optional[int],
+) -> ResponseCopy:
+    """The copy a forward/delivery event belongs to.
+
+    Exact via ``sequence`` when present; otherwise custody + responder
+    narrowing (legacy traces), creating an orphan copy when nothing
+    matches (truncated traces).
+    """
+    if sequence is not None:
+        for copy in query.copies:
+            if copy.sequence == sequence:
+                return copy
+        copy = ResponseCopy(
+            query_id=query.query_id,
+            responder=responder if responder is not None else (carrier or -1),
+            sequence=sequence,
+            orphan=True,
+            custody=[carrier] if carrier is not None else [],
+        )
+        query.copies.append(copy)
+        return copy
+    candidates = [
+        copy
+        for copy in query.copies
+        if copy.delivered_at is None
+        and (carrier is None or carrier in copy.custody)
+        and (responder is None or copy.responder == responder)
+    ]
+    if len(candidates) > 1:
+        query.ambiguous = True
+    if candidates:
+        return candidates[0]
+    copy = ResponseCopy(
+        query_id=query.query_id,
+        responder=responder if responder is not None else (carrier or -1),
+        orphan=True,
+        custody=[carrier] if carrier is not None else [],
+    )
+    query.copies.append(copy)
+    return copy
+
+
+def _chain_for(
+    tree: PushTree, target: int, carrier: Optional[int]
+) -> Optional[PushChain]:
+    """The open chain toward *target* whose custody sits at *carrier*."""
+    for chain in tree.chains:
+        if (
+            chain.target_central == target
+            and chain.completed_at is None
+            and chain.break_reason is None
+            and (carrier is None or chain.custody == carrier)
+        ):
+            return chain
+    return None
+
+
+def build_causality(events: Iterable[TraceEvent]) -> CausalityIndex:
+    """Reconstruct push trees and response DAGs from an event stream."""
+    queries: Dict[int, QueryCausality] = {}
+    pushes: Dict[int, PushTree] = {}
+    satisfied_order: List[Tuple[int, float, float]] = []
+    chain_satisfied: Dict[int, float] = {}
+    trace_end = 0.0
+    data_generated = 0
+    delivery_events = 0
+    responses_emitted = 0
+
+    def query_for(query_id: int) -> QueryCausality:
+        query = queries.get(query_id)
+        if query is None:
+            query = queries[query_id] = QueryCausality(query_id=query_id)
+        return query
+
+    def tree_for(data_id: int) -> PushTree:
+        tree = pushes.get(data_id)
+        if tree is None:
+            tree = pushes[data_id] = PushTree(data_id=data_id)
+        return tree
+
+    def record_delivery(query: QueryCausality, index: int, time: float) -> None:
+        """First in-constraint delivery wins — the satisfying chain."""
+        if query.query_id in chain_satisfied:
+            return
+        if not delivery_in_constraint(time, query.expires_at):
+            return
+        chain_satisfied[query.query_id] = time
+        query.first_delivery = (time, index)
+        created = query.created_at if query.created_at is not None else time
+        satisfied_order.append((query.query_id, time, time - created))
+
+    for event in events:
+        trace_end = max(trace_end, event.time)
+        kind = event.kind
+
+        if kind is TraceEventKind.DATA_GENERATED:
+            data_generated += 1
+            assert event.data_id is not None
+            tree = tree_for(event.data_id)
+            tree.source = event.node
+            tree.generated_at = event.time
+            expires = event.attrs.get("expires_at")
+            tree.expires_at = float(expires) if expires is not None else None
+            size = event.attrs.get("size")
+            tree.size = int(size) if size is not None else None
+
+        elif kind is TraceEventKind.PUSH_FORWARDED:
+            assert event.data_id is not None and event.node is not None
+            tree = tree_for(event.data_id)
+            carrier = event.attrs.get("carrier")
+            target = int(event.attrs["target_central"])
+            chain = _chain_for(tree, target, carrier)
+            if chain is None:
+                origin = "source" if carrier == tree.source else "unknown"
+                chain = PushChain(
+                    data_id=event.data_id,
+                    target_central=target,
+                    origin=origin,
+                    started_at=tree.generated_at if origin == "source" else event.time,
+                    start_node=carrier,
+                    custody=carrier,
+                )
+                tree.chains.append(chain)
+            chain.hops.append(
+                Hop(
+                    time=event.time,
+                    carrier=int(carrier) if carrier is not None else -1,
+                    node=event.node,
+                    action="push",
+                )
+            )
+            chain.custody = event.node
+
+        elif kind is TraceEventKind.PUSH_COMPLETED:
+            assert event.data_id is not None and event.node is not None
+            tree = tree_for(event.data_id)
+            target = int(event.attrs["target_central"])
+            # Prefer the chain whose custody reached the completing node
+            # (normal arrival); a spill that found the NCL already served
+            # completes with custody still at the carrier.
+            chain = _chain_for(tree, target, event.node) or _chain_for(
+                tree, target, None
+            )
+            if chain is None:
+                chain = PushChain(
+                    data_id=event.data_id,
+                    target_central=target,
+                    origin="unknown",
+                    start_node=event.node,
+                )
+                tree.chains.append(chain)
+            chain.completed_at = event.time
+            chain.completed_node = event.node
+            chain.spilled = bool(event.attrs.get("spilled", False))
+            chain.custody = event.node
+
+        elif kind is TraceEventKind.DATA_EXPIRED:
+            if event.data_id is not None and event.node is not None:
+                tree_for(event.data_id).expiries.append((event.time, event.node))
+
+        elif kind is TraceEventKind.QUERY_CREATED:
+            assert event.query_id is not None
+            query = query_for(event.query_id)
+            query.created_seen = True
+            query.requester = event.node
+            query.data_id = event.data_id
+            query.created_at = event.time
+            constraint = event.attrs.get("time_constraint")
+            if constraint is not None:
+                query.expires_at = event.time + float(constraint)
+
+        elif kind is TraceEventKind.QUERY_OBSERVED:
+            if event.query_id is not None and event.node is not None:
+                query_for(event.query_id).observed.append((event.time, event.node))
+
+        elif kind is TraceEventKind.RESPONSE_DECIDED:
+            assert event.query_id is not None
+            query = query_for(event.query_id)
+            respond = bool(event.attrs.get("respond", False))
+            probability = float(event.attrs.get("probability", float("nan")))
+            node = event.node if event.node is not None else -1
+            query.decisions.append((event.time, node, respond, probability))
+            if respond and query.requester is not None and node == query.requester:
+                # Zero-hop chain: the requester served itself on the spot.
+                copy = ResponseCopy(
+                    query_id=query.query_id,
+                    responder=node,
+                    emitted_at=event.time,
+                    self_service=True,
+                    delivered_at=event.time,
+                    delivered_by=node,
+                )
+                query.copies.append(copy)
+                record_delivery(query, len(query.copies) - 1, event.time)
+
+        elif kind is TraceEventKind.RESPONSE_EMITTED:
+            assert event.query_id is not None
+            responses_emitted += 1
+            query = query_for(event.query_id)
+            responder = event.node if event.node is not None else -1
+            query.copies.append(
+                ResponseCopy(
+                    query_id=query.query_id,
+                    responder=responder,
+                    sequence=event.attrs.get("sequence"),
+                    emitted_at=event.time,
+                    custody=[responder],
+                )
+            )
+
+        elif kind is TraceEventKind.RESPONSE_FORWARDED:
+            assert event.query_id is not None and event.node is not None
+            query = query_for(event.query_id)
+            carrier = event.attrs.get("carrier")
+            copy = _copy_for(
+                query,
+                carrier,
+                event.attrs.get("responder"),
+                event.attrs.get("sequence"),
+            )
+            action = str(event.attrs.get("action", "handover"))
+            copy.hops.append(
+                Hop(
+                    time=event.time,
+                    carrier=int(carrier) if carrier is not None else -1,
+                    node=event.node,
+                    action=action,
+                )
+            )
+            if action == "handover" and carrier in copy.custody:
+                copy.custody.remove(carrier)
+            if event.node not in copy.custody:
+                copy.custody.append(event.node)
+
+        elif kind is TraceEventKind.RESPONSE_DELIVERED:
+            assert event.query_id is not None
+            delivery_events += 1
+            query = query_for(event.query_id)
+            if query.requester is None:
+                query.requester = event.node
+            carrier = event.attrs.get("carrier")
+            copy = _copy_for(
+                query,
+                carrier,
+                event.attrs.get("responder"),
+                event.attrs.get("sequence"),
+            )
+            copy.delivered_at = event.time
+            copy.delivered_by = int(carrier) if carrier is not None else None
+            if carrier in copy.custody:
+                copy.custody.remove(carrier)
+            record_delivery(query, query.copies.index(copy), event.time)
+
+        elif kind is TraceEventKind.QUERY_SATISFIED:
+            assert event.query_id is not None
+            query = query_for(event.query_id)
+            if query.satisfied_at is None:
+                query.satisfied_at = event.time
+                if query.created_at is None:
+                    created = event.attrs.get("created_at")
+                    if created is not None:
+                        query.created_at = float(created)
+
+        elif kind in (TraceEventKind.NODE_FAILED, TraceEventKind.NODE_LEFT):
+            assert event.node is not None
+            reason = kind.value
+            for query in queries.values():
+                for copy in query.copies:
+                    if copy.delivered_at is not None or copy.break_reason:
+                        continue
+                    if event.node in copy.custody:
+                        copy.custody.remove(event.node)
+                        if not copy.custody:
+                            copy.break_reason = reason
+            for tree in pushes.values():
+                for chain in tree.open_chains():
+                    if chain.custody == event.node:
+                        chain.break_reason = reason
+                        chain.custody = None
+
+        elif kind is TraceEventKind.CACHE_MIGRATED:
+            assert event.data_id is not None and event.node is not None
+            tree = tree_for(event.data_id)
+            tree.chains.append(
+                PushChain(
+                    data_id=event.data_id,
+                    target_central=int(event.attrs["to_central"]),
+                    origin="migration",
+                    started_at=event.time,
+                    start_node=event.node,
+                    custody=event.node,
+                )
+            )
+
+        # IGNORED_KINDS carry no custody information (see module doc).
+
+    return CausalityIndex(
+        queries=queries,
+        pushes=pushes,
+        trace_end=trace_end,
+        data_generated=data_generated,
+        delivery_events=delivery_events,
+        responses_emitted=responses_emitted,
+        satisfied_order=satisfied_order,
+    )
+
+
+# --- consistency cross-check ----------------------------------------------
+
+
+def _float_equal(a: float, b: float) -> bool:
+    if math.isnan(a) and math.isnan(b):
+        return True
+    return a == b
+
+
+def check_causal_consistency(
+    events: Iterable[TraceEvent],
+    causality: Optional[CausalityIndex] = None,
+) -> List[str]:
+    """Mismatches between the causal chains and the derived metrics.
+
+    Empty list on a consistent trace.  The chains must reproduce the
+    collector's arithmetic **bit-exactly**: satisfied queries (each
+    mapping to exactly one delivered chain), the delay sum in emission
+    order, and the delivery/response tallies.  ``caching_overhead`` is a
+    buffer-occupancy sample average, not a causal quantity, so it stays
+    with :func:`repro.obs.derive.derive_metrics`.
+    """
+    events = list(events)
+    if causality is None:
+        causality = build_causality(events)
+    derived = derive_metrics(events)
+    mismatches: List[str] = []
+
+    issued = sum(1 for q in causality.queries.values() if q.created_seen)
+    if issued != derived.queries_issued:
+        mismatches.append(
+            f"queries_issued: chains {issued} != derived {derived.queries_issued}"
+        )
+
+    chain_ids = causality.satisfied_ids()
+    event_ids = [
+        query.query_id
+        for query in causality.queries.values()
+        if query.satisfied_at is not None
+    ]
+    if set(chain_ids) != set(event_ids):
+        missing = sorted(set(event_ids) - set(chain_ids))
+        extra = sorted(set(chain_ids) - set(event_ids))
+        mismatches.append(
+            f"satisfied query sets differ: missing chains for {missing[:5]}, "
+            f"chains without query_satisfied for {extra[:5]}"
+        )
+
+    for query_id, time, _delay in causality.satisfied_order:
+        query = causality.queries[query_id]
+        if query.satisfied_at is not None and not _float_equal(
+            time, query.satisfied_at
+        ):
+            mismatches.append(
+                f"query {query_id}: first chain delivery at {time!r} but "
+                f"query_satisfied at {query.satisfied_at!r}"
+            )
+        delivered = [
+            c
+            for c in query.copies
+            if c.delivered_at is not None
+            and delivery_in_constraint(c.delivered_at, query.expires_at)
+        ]
+        first = [c for c in delivered if _float_equal(c.delivered_at, time)]
+        if query.first_delivery is None or not first:
+            mismatches.append(
+                f"query {query_id}: satisfied but no delivered chain matches"
+            )
+
+    if len(chain_ids) != derived.queries_satisfied:
+        mismatches.append(
+            f"queries_satisfied: chains {len(chain_ids)} != derived "
+            f"{derived.queries_satisfied}"
+        )
+
+    ratio = (len(chain_ids) / issued) if issued else 0.0
+    if not _float_equal(ratio, derived.successful_ratio):
+        mismatches.append(
+            f"successful_ratio: chains {ratio!r} != derived "
+            f"{derived.successful_ratio!r}"
+        )
+
+    delays = [delay for _, _, delay in causality.satisfied_order]
+    mean_delay = (sum(delays) / len(delays)) if delays else float("nan")
+    if not _float_equal(mean_delay, derived.mean_access_delay):
+        mismatches.append(
+            f"mean_access_delay: chains {mean_delay!r} != derived "
+            f"{derived.mean_access_delay!r}"
+        )
+
+    for name, chain_value, derived_value in (
+        ("delivery_events", causality.delivery_events, derived.delivery_events),
+        ("responses_emitted", causality.responses_emitted, derived.responses_emitted),
+        ("data_generated", causality.data_generated, derived.data_generated),
+    ):
+        if chain_value != derived_value:
+            mismatches.append(f"{name}: chains {chain_value} != derived {derived_value}")
+
+    return mismatches
+
+
+def assert_causal_consistency(
+    events: Iterable[TraceEvent],
+    causality: Optional[CausalityIndex] = None,
+) -> None:
+    """Raise :class:`TraceConsistencyError` on any chain/metric mismatch."""
+    mismatches = check_causal_consistency(events, causality)
+    if mismatches:
+        raise TraceConsistencyError(
+            "causal chains disagree with derived metrics:\n  "
+            + "\n  ".join(mismatches)
+        )
+
+
+# --- summaries -------------------------------------------------------------
+
+
+def _mean(values: List[float]) -> float:
+    return sum(values) / len(values) if values else float("nan")
+
+
+def summarize_causality(causality: CausalityIndex) -> Dict[str, object]:
+    """Aggregate chain statistics for the diagnose report."""
+    queries = list(causality.queries.values())
+    satisfying = [q.satisfying_copy for q in queries if q.satisfying_copy is not None]
+    hop_delays = [d for copy in satisfying for d in copy.hop_delays()]
+    fan_out = [len(q.copies) for q in queries if q.copies]
+    broken_copies: Dict[str, int] = {}
+    for query in queries:
+        for copy in query.copies:
+            if copy.break_reason:
+                broken_copies[copy.break_reason] = (
+                    broken_copies.get(copy.break_reason, 0) + 1
+                )
+    chains = [chain for tree in causality.pushes.values() for chain in tree.chains]
+    chain_states: Dict[str, int] = {}
+    for tree in causality.pushes.values():
+        for chain in tree.chains:
+            state = chain.state(causality.trace_end, tree.expires_at)
+            chain_states[state] = chain_states.get(state, 0) + 1
+    completed = [c for c in chains if c.completed_at is not None]
+    return {
+        "queries": len(queries),
+        "queries_satisfied": len(causality.satisfied_order),
+        "self_service_deliveries": sum(
+            1 for c in satisfying if c.self_service
+        ),
+        "mean_delivery_hops": _mean([float(c.hop_count) for c in satisfying]),
+        "mean_hop_delay": _mean(hop_delays),
+        "mean_copies_per_query": _mean([float(n) for n in fan_out]),
+        "max_copies_per_query": max(fan_out, default=0),
+        "delivery_events": causality.delivery_events,
+        "duplicate_deliveries": causality.delivery_events
+        - sum(1 for c in satisfying if not c.self_service),
+        "response_breaks": broken_copies,
+        "push_trees": len(causality.pushes),
+        "push_chains": len(chains),
+        "push_chain_states": chain_states,
+        "mean_push_hops": _mean([float(c.hop_count) for c in completed]),
+        "ambiguous_queries": sum(1 for q in queries if q.ambiguous),
+    }
+
+
+# --- drill-down rendering --------------------------------------------------
+
+
+def _rel(time: Optional[float], anchor: Optional[float]) -> str:
+    if time is None:
+        return "?"
+    if anchor is None:
+        return f"@{time:.1f}"
+    return f"+{time - anchor:.1f}s"
+
+
+def render_query_timeline(
+    causality: CausalityIndex, query_id: int
+) -> str:
+    """One query's response DAG as an indented timeline."""
+    query = causality.queries.get(query_id)
+    if query is None:
+        raise KeyError(f"query {query_id} not in trace")
+    anchor = query.created_at
+    outcome = query.outcome(causality.trace_end)
+    lines = [
+        f"query {query.query_id} [{outcome}] data={query.data_id} "
+        f"requester={query.requester} created={query.created_at} "
+        f"expires={query.expires_at}"
+    ]
+    if query.observed:
+        first_time, first_node = query.observed[0]
+        lines.append(
+            f"  observed by {len({n for _, n in query.observed})} node(s); "
+            f"first node {first_node} {_rel(first_time, anchor)}"
+        )
+    if query.decisions:
+        yes = sum(1 for _, _, respond, _ in query.decisions if respond)
+        lines.append(
+            f"  decisions: {len(query.decisions)} "
+            f"({yes} respond / {len(query.decisions) - yes} decline)"
+        )
+    satisfying = query.satisfying_copy
+    for index, copy in enumerate(query.copies):
+        tag = " (self-service)" if copy.self_service else ""
+        seq = f" seq={copy.sequence}" if copy.sequence is not None else ""
+        lines.append(
+            f"  copy #{index} responder={copy.responder}{seq} "
+            f"emitted {_rel(copy.emitted_at, anchor)}{tag}"
+        )
+        previous = copy.emitted_at
+        for hop in copy.hops:
+            delta = (
+                f"  [Δ {hop.time - previous:.1f}s]" if previous is not None else ""
+            )
+            lines.append(
+                f"    {_rel(hop.time, anchor)}  {hop.carrier} -> {hop.node} "
+                f"{hop.action}{delta}"
+            )
+            previous = hop.time
+        if copy.delivered_at is not None and not copy.self_service:
+            delta = (
+                f"  [Δ {copy.delivered_at - previous:.1f}s]"
+                if previous is not None
+                else ""
+            )
+            marker = ""
+            if copy is satisfying:
+                delay = query.delay
+                marker = (
+                    f"  <- satisfied (delay {delay:.1f}s)"
+                    if delay is not None
+                    else "  <- satisfied"
+                )
+            elif delivery_in_constraint(copy.delivered_at, query.expires_at):
+                marker = "  (duplicate delivery)"
+            else:
+                marker = "  (out of constraint)"
+            lines.append(
+                f"    {_rel(copy.delivered_at, anchor)}  "
+                f"{copy.delivered_by} -> {query.requester} delivered{delta}{marker}"
+            )
+        elif copy.self_service and copy is satisfying:
+            delay = query.delay
+            marker = (
+                f"  <- satisfied (delay {delay:.1f}s)"
+                if delay is not None
+                else "  <- satisfied"
+            )
+            lines.append(f"    delivered on the spot{marker}")
+        elif copy.break_reason:
+            lines.append(f"    chain broken: {copy.break_reason}")
+        elif copy.delivered_at is None:
+            state = classify_outcome(None, query.expires_at, causality.trace_end)
+            where = (
+                f" in custody of {sorted(copy.custody)}" if copy.custody else ""
+            )
+            lines.append(f"    undelivered [{state}]{where}")
+    if not query.copies:
+        lines.append("  no response copies")
+    return "\n".join(lines)
+
+
+def render_push_timeline(causality: CausalityIndex, data_id: int) -> str:
+    """One data item's push tree as an indented timeline."""
+    tree = causality.pushes.get(data_id)
+    if tree is None:
+        raise KeyError(f"data item {data_id} not in trace")
+    anchor = tree.generated_at
+    lines = [
+        f"data {tree.data_id} source={tree.source} generated={tree.generated_at} "
+        f"expires={tree.expires_at} size={tree.size}"
+    ]
+    for chain in tree.chains:
+        state = chain.state(causality.trace_end, tree.expires_at)
+        lines.append(
+            f"  chain -> central {chain.target_central} [{state}] "
+            f"origin={chain.origin} start=node {chain.start_node}"
+        )
+        previous = chain.started_at
+        for hop in chain.hops:
+            delta = (
+                f"  [Δ {hop.time - previous:.1f}s]" if previous is not None else ""
+            )
+            lines.append(
+                f"    {_rel(hop.time, anchor)}  {hop.carrier} -> {hop.node}{delta}"
+            )
+            previous = hop.time
+        if chain.completed_at is not None:
+            spill = " (spilled)" if chain.spilled else ""
+            lines.append(
+                f"    {_rel(chain.completed_at, anchor)}  cached at node "
+                f"{chain.completed_node}{spill}"
+            )
+        elif chain.break_reason:
+            lines.append(f"    chain broken: {chain.break_reason}")
+        elif chain.custody is not None:
+            lines.append(f"    custody at node {chain.custody}")
+    if not tree.chains:
+        lines.append("  no push chains")
+    if tree.expiries:
+        lines.append(f"  expired at {len(tree.expiries)} node(s)")
+    return "\n".join(lines)

@@ -23,10 +23,48 @@ from repro.obs.events import TraceEvent, TraceEventKind
 __all__ = [
     "DerivedMetrics",
     "QueryAudit",
+    "classify_outcome",
+    "delivery_in_constraint",
     "derive_metrics",
     "audit_queries",
     "render_audit_report",
 ]
+
+
+def delivery_in_constraint(time: float, expires_at: Optional[float]) -> bool:
+    """Does a delivery at *time* satisfy the query's time constraint?
+
+    Mirrors :meth:`repro.metrics.collector.MetricsCollector.
+    on_query_satisfied`, which rejects only ``now > expires_at`` — a
+    delivery landing **exactly at the boundary** counts as satisfied.
+    The causality layer must use this predicate (never ``<`` or ``>=``)
+    so trace reconstruction and the live counters classify boundary
+    deliveries identically.
+    """
+    return expires_at is None or time <= expires_at
+
+
+def classify_outcome(
+    satisfied_at: Optional[float],
+    expires_at: Optional[float],
+    trace_end: float,
+) -> str:
+    """``satisfied`` / ``expired`` / ``pending`` — the one shared rule.
+
+    A trace truncated before the constraint elapsed (``trace_end <
+    expires_at``) keeps the query *pending* rather than expired; a trace
+    ending exactly at the constraint boundary classifies as expired only
+    when no satisfaction was recorded (the collector would still have
+    accepted a delivery at that instant, see
+    :func:`delivery_in_constraint`).  Both :class:`QueryAudit` and the
+    causality layer (:mod:`repro.obs.causality`) classify through this
+    predicate so the two paths can never diverge.
+    """
+    if satisfied_at is not None:
+        return "satisfied"
+    if expires_at is not None and trace_end >= expires_at:
+        return "expired"
+    return "pending"
 
 
 @dataclass(frozen=True)
@@ -68,11 +106,7 @@ class QueryAudit:
 
     def outcome(self, trace_end: float) -> str:
         """``satisfied`` / ``expired`` / ``pending`` at *trace_end*."""
-        if self.satisfied_at is not None:
-            return "satisfied"
-        if self.expires_at is not None and trace_end >= self.expires_at:
-            return "expired"
-        return "pending"
+        return classify_outcome(self.satisfied_at, self.expires_at, trace_end)
 
 
 def derive_metrics(events: Iterable[TraceEvent]) -> DerivedMetrics:

@@ -25,6 +25,7 @@ class TraceEventKind(str, Enum):
     DATA_GENERATED = "data_generated"        # source created an item
     PUSH_COMPLETED = "push_completed"        # a push copy reached its NCL
     DATA_EXPIRED = "data_expired"            # an item aged out at a node
+    PUSH_FORWARDED = "push.forwarded"        # a push copy moved to a new relay
     # query lifecycle
     QUERY_CREATED = "query_created"          # requester issued the query
     QUERY_OBSERVED = "query_observed"        # a node recorded the query

@@ -25,6 +25,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.mathutils.ks import exponential_ks
 from repro.traces.contact import ContactTrace
 
 __all__ = [
@@ -83,15 +84,8 @@ def fit_exponential(samples: Sequence[float]) -> Optional[ExponentialFit]:
     if samples.size < 2:
         return None
     rate = 1.0 / samples.mean()
-    ordered = np.sort(samples)
-    n = ordered.size
-    model_cdf = 1.0 - np.exp(-rate * ordered)
-    empirical_hi = np.arange(1, n + 1) / n
-    empirical_lo = np.arange(0, n) / n
-    ks = float(
-        np.maximum(np.abs(empirical_hi - model_cdf), np.abs(model_cdf - empirical_lo)).max()
-    )
-    return ExponentialFit(rate=rate, sample_size=int(n), ks_distance=ks)
+    ks = exponential_ks(samples, rate)
+    return ExponentialFit(rate=rate, sample_size=int(samples.size), ks_distance=ks)
 
 
 def aggregate_intercontact_ccdf(

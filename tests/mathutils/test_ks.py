@@ -1,0 +1,75 @@
+"""The two-sided one-sample KS statistic behind the fidelity gates."""
+
+import numpy as np
+import pytest
+
+from repro.mathutils import exponential_ks, ks_statistic
+
+
+class TestKSStatistic:
+    def test_empty_sample_raises(self):
+        with pytest.raises(ValueError):
+            ks_statistic([], lambda x: x)
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            ks_statistic([1.0, 2.0], np.array([0.5]))
+
+    def test_single_sample_at_model_median(self):
+        # F(x) = 0.5 at the sample: sup over {|1 − 0.5|, |0.5 − 0|} = 0.5
+        assert ks_statistic([0.0], lambda x: np.full_like(x, 0.5)) == 0.5
+
+    def test_two_sided_supremum_checks_both_jump_sides(self):
+        # Model CDF 0.9 at a single sample: pre-jump side |0.9 − 0| wins
+        # over the post-jump side |1 − 0.9| — a one-sided (post-jump
+        # only) implementation would report 0.1.
+        assert ks_statistic([0.0], lambda x: np.full_like(x, 0.9)) == pytest.approx(0.9)
+
+    def test_matches_brute_force(self):
+        rng = np.random.default_rng(7)
+        samples = rng.exponential(2.0, size=200)
+        cdf = lambda x: 1.0 - np.exp(-x / 2.0)
+        ordered = np.sort(samples)
+        model = cdf(ordered)
+        n = len(ordered)
+        brute = max(
+            max(abs((i + 1) / n - model[i]), abs(model[i] - i / n))
+            for i in range(n)
+        )
+        assert ks_statistic(samples, cdf) == pytest.approx(brute)
+
+    def test_accepts_precomputed_model_values(self):
+        samples = [1.0, 2.0, 3.0]
+        cdf = lambda x: x / 4.0
+        precomputed = cdf(np.sort(np.asarray(samples)))
+        assert ks_statistic(samples, precomputed) == ks_statistic(samples, cdf)
+
+    def test_order_invariant(self):
+        cdf = lambda x: 1.0 - np.exp(-x)
+        assert ks_statistic([3.0, 1.0, 2.0], cdf) == ks_statistic(
+            [1.0, 2.0, 3.0], cdf
+        )
+
+
+class TestExponentialKS:
+    def test_invalid_rate_raises(self):
+        for rate in (0.0, -1.0, float("inf"), float("nan")):
+            with pytest.raises(ValueError):
+                exponential_ks([1.0], rate)
+
+    def test_well_matched_sample_scores_low(self):
+        rng = np.random.default_rng(11)
+        samples = rng.exponential(scale=10.0, size=5000)
+        assert exponential_ks(samples, 1 / 10.0) < 0.03
+
+    def test_heavy_tailed_sample_scores_high(self):
+        rng = np.random.default_rng(11)
+        samples = rng.pareto(1.2, size=5000) + 0.05
+        rate = 1.0 / samples.mean()  # the analysis layer's fitted rate
+        assert exponential_ks(samples, rate) > 0.25
+
+    def test_distance_is_bounded(self):
+        rng = np.random.default_rng(3)
+        samples = rng.uniform(0.0, 5.0, size=100)
+        d = exponential_ks(samples, 1.0)
+        assert 0.0 <= d <= 1.0

@@ -57,11 +57,27 @@ def test_flags_unguarded_trace_event_and_span(lint):
 def test_accepts_inline_guard(lint):
     source = (
         "def hot_path(prof, recorder, now):\n"
-        "    if prof.enabled:\n"
+        "    if prof.enabled and recorder.enabled:\n"
         "        with prof.span('x'):\n"
         "            recorder.emit(TraceEvent(time=now))\n"
     )
     assert lint._check_module("fake.py", source) == []
+
+
+def test_guard_family_must_match_hook_family(lint):
+    # A profiler guard does not cover trace hooks: the guard's receiver
+    # must belong to the same instrument family as the hook it protects.
+    source = (
+        "def hot_path(prof, recorder, now):\n"
+        "    if prof.enabled:\n"
+        "        with prof.span('x'):\n"
+        "            recorder.emit(TraceEvent(time=now))\n"
+    )
+    violations = lint._check_module("fake.py", source)
+    assert {v.hook for v in violations} == {
+        "recorder.emit(...)",
+        "TraceEvent(...)",
+    }
 
 
 def test_accepts_creation_time_guard(lint):

@@ -1,0 +1,63 @@
+"""The trace-kind lint: clean enum, plus the frozen-grammar invariants.
+
+``scripts/check_trace_kinds.py`` pins the two-era naming scheme of
+:class:`TraceEventKind` (closed legacy snake_case set, dotted grammar
+for everything newer) and proves the ``repro diagnose`` parser covers
+every kind.  Running it under pytest keeps the contract in tier-1
+instead of relying on a manual script invocation.
+"""
+
+import importlib.util
+import os
+
+import pytest
+
+from repro.obs.causality import HANDLED_KINDS, IGNORED_KINDS
+from repro.obs.events import TraceEventKind
+
+_SCRIPT = os.path.join(
+    os.path.dirname(__file__), os.pardir, os.pardir, "scripts", "check_trace_kinds.py"
+)
+
+
+@pytest.fixture(scope="module")
+def lint():
+    spec = importlib.util.spec_from_file_location("check_trace_kinds", _SCRIPT)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_enum_is_clean(lint):
+    violations = lint.collect_violations()
+    assert violations == [], "\n".join(str(v) for v in violations)
+
+
+def test_legacy_set_matches_the_enum(lint):
+    # The frozen list stays in sync with the enum: every legacy value is
+    # a real kind, and no dotted kind snuck into the legacy set.
+    values = {member.value for member in TraceEventKind}
+    assert lint.LEGACY_SNAKE_KINDS <= values
+    assert all("." not in value for value in lint.LEGACY_SNAKE_KINDS)
+
+
+def test_dotted_grammar_accepts_and_rejects(lint):
+    grammar = lint.DOTTED_GRAMMAR
+    assert grammar.match("node.failed")
+    assert grammar.match("cache.migrated")
+    assert grammar.match("push.forwarded_again")
+    assert not grammar.match("bare_snake")
+    assert not grammar.match("Upper.case")
+    assert not grammar.match("trailing.")
+    assert not grammar.match("double..dot")
+
+
+def test_parser_coverage_is_exhaustive_and_disjoint():
+    assert HANDLED_KINDS | IGNORED_KINDS == set(TraceEventKind)
+    assert not HANDLED_KINDS & IGNORED_KINDS
+
+
+def test_script_main_exits_zero(lint, capsys):
+    assert lint.main() == 0
+    out = capsys.readouterr().out
+    assert "naming grammar" in out

@@ -1,8 +1,19 @@
-"""Property-based tests for trace generation and statistics."""
+"""Property-based tests for trace generation and statistics.
+
+Also home of the outcome-classification property (satellite of the
+diagnose layer): the audit path (:class:`repro.obs.derive.QueryAudit`)
+and the causal path (:class:`repro.obs.causality.QueryCausality`) both
+classify through the shared :func:`repro.obs.derive.classify_outcome` /
+:func:`delivery_in_constraint` predicates, so boundary deliveries and
+truncated traces can never classify differently between the two.
+"""
 
 import hypothesis.strategies as st
 from hypothesis import given, settings
 
+from repro.obs import build_causality, delivery_in_constraint
+from repro.obs.derive import audit_queries, classify_outcome
+from repro.obs.events import TraceEvent, TraceEventKind
 from repro.traces.stats import summarize_trace
 from repro.traces.synthetic import SyntheticTraceConfig, generate_synthetic_trace
 
@@ -58,3 +69,98 @@ def test_summary_statistics_are_consistent(num_nodes, total_contacts, seed):
     assert 0.0 <= summary.fraction_pairs_met <= 1.0
     assert summary.pairwise_frequency_met >= summary.pairwise_frequency_all - 1e-12
     assert summary.mean_contact_duration >= 0.0
+
+
+def _query_events(created, constraint, delivery_offset, trail):
+    """One query's stream: created, response emitted, maybe delivered.
+
+    ``delivery_offset`` is the delivery time relative to ``expires_at``
+    (None = never delivered; 0.0 = exactly at the boundary); ``trail``
+    extends the trace past the last event, modelling truncation points
+    on either side of the constraint.  ``QUERY_SATISFIED`` is emitted
+    exactly when the recorder would have: for an in-constraint delivery.
+    """
+    K = TraceEventKind
+    expires_at = created + constraint
+    events = [
+        TraceEvent(
+            time=created, kind=K.QUERY_CREATED, node=0, data_id=1, query_id=1,
+            attrs={"time_constraint": constraint},
+        ),
+        TraceEvent(
+            time=created, kind=K.RESPONSE_EMITTED, node=2, query_id=1,
+            attrs={"sequence": 1},
+        ),
+    ]
+    last = created
+    if delivery_offset is not None:
+        delivered_at = expires_at + delivery_offset
+        events.append(
+            TraceEvent(
+                time=delivered_at, kind=K.RESPONSE_DELIVERED, node=0, query_id=1,
+                attrs={"carrier": 2, "responder": 2, "sequence": 1},
+            )
+        )
+        if delivery_in_constraint(delivered_at, expires_at):
+            events.append(
+                TraceEvent(
+                    time=delivered_at, kind=K.QUERY_SATISFIED, node=0, query_id=1,
+                    attrs={"created_at": created},
+                )
+            )
+        last = delivered_at
+    if trail > 0:
+        events.append(TraceEvent(time=last + trail, kind=K.SAMPLE, node=0))
+    return events
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    created=st.floats(min_value=0.0, max_value=1e6),
+    constraint=st.floats(min_value=1e-3, max_value=1e6),
+    delivery_offset=st.one_of(
+        st.none(),
+        st.just(0.0),  # exactly at the expiry boundary
+        st.floats(min_value=-1e6, max_value=1e6),
+    ),
+    trail=st.floats(min_value=0.0, max_value=2e6),
+)
+def test_audit_and_causality_outcomes_never_diverge(
+    created, constraint, delivery_offset, trail
+):
+    """Boundary deliveries and truncated traces classify identically
+    through the audit path and the causal-chain path."""
+    events = _query_events(created, constraint, delivery_offset, trail)
+    trace_end = max(e.time for e in events)
+    audit = audit_queries(events)[1]
+    causality = build_causality(events)
+    query = causality.queries[1]
+    assert causality.trace_end == trace_end
+    assert query.outcome(trace_end) == audit.outcome(trace_end)
+    # the shared predicate is the single source of the satisfied verdict
+    if delivery_offset is not None:
+        satisfied = delivery_in_constraint(
+            created + constraint + delivery_offset, created + constraint
+        )
+        assert (query.outcome(trace_end) == "satisfied") == satisfied
+
+
+def test_boundary_delivery_is_satisfied_in_both_layers():
+    """A delivery landing exactly at ``expires_at`` satisfies — ``<=``,
+    never ``<`` — in the audit, the chains, and the bare predicate."""
+    events = _query_events(10.0, 5.0, 0.0, trail=1.0)
+    trace_end = max(e.time for e in events)
+    assert delivery_in_constraint(15.0, 15.0)
+    assert audit_queries(events)[1].outcome(trace_end) == "satisfied"
+    assert build_causality(events).queries[1].outcome(trace_end) == "satisfied"
+
+
+def test_truncated_trace_is_pending_in_both_layers():
+    """A trace ending before the constraint elapsed keeps the query
+    pending (not expired) on both paths."""
+    events = _query_events(0.0, 100.0, None, trail=0.0)
+    trace_end = max(e.time for e in events)
+    assert trace_end < 100.0
+    assert classify_outcome(None, 100.0, trace_end) == "pending"
+    assert audit_queries(events)[1].outcome(trace_end) == "pending"
+    assert build_causality(events).queries[1].outcome(trace_end) == "pending"
