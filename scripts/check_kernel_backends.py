@@ -1,0 +1,218 @@
+#!/usr/bin/env python
+"""AST lint: every registered kernel must keep its oracle and its tests.
+
+The kernel-backend contract (DESIGN.md Performance) is that compiled
+overrides are *optional accelerations* of a retained pure-python
+implementation, pinned bit-for-bit by equivalence tests.  This script
+enforces the structural half of that contract from the registry
+declaration in ``repro.kernels.registry``:
+
+* each ``KERNELS`` entry names a ``reference`` beginning with
+  ``_reference_`` that is actually defined (function or assignment) in
+  the entry's ``module`` source file;
+* each reference name is mentioned in at least one file under
+  ``tests/`` — the equivalence test must name the oracle it checks;
+* the numba backend's ``build_overrides`` dict literal only registers
+  known kernel names, and covers every kernel that is not *derived*
+  (entries with a ``via`` key reuse another kernel's override and need
+  none of their own).
+
+Both ``KERNELS`` and ``build_overrides`` are read as literals from the
+AST — no imports, so the lint runs without numba installed and cannot
+be fooled by runtime monkey-patching.
+
+Run standalone (exit 1 on violations) or via the pytest wrapper in
+``tests/kernels/test_backend_lint.py``.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+import sys
+from typing import Dict, List, NamedTuple, Optional
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SOURCE_ROOT = os.path.join(REPO_ROOT, "src")
+REGISTRY_PATH = os.path.join(SOURCE_ROOT, "repro", "kernels", "registry.py")
+NUMBA_BACKEND_PATH = os.path.join(SOURCE_ROOT, "repro", "kernels", "numba_backend.py")
+TESTS_ROOT = os.path.join(REPO_ROOT, "tests")
+BENCHMARKS_ROOT = os.path.join(REPO_ROOT, "benchmarks")
+
+
+class Violation(NamedTuple):
+    where: str
+    kernel: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"{self.where}: kernel {self.kernel!r}: {self.message}"
+
+
+def _literal_dict_assignment(tree: ast.AST, name: str) -> Optional[dict]:
+    """The literal value of a module-level ``name = {...}`` assignment."""
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Assign):
+            targets = [t.id for t in node.targets if isinstance(t, ast.Name)]
+            if name in targets:
+                try:
+                    return ast.literal_eval(node.value)
+                except ValueError:
+                    return None
+    return None
+
+
+def _literal_return_dict(tree: ast.AST, function: str) -> Optional[dict]:
+    """The literal dict a ``return {...}`` inside *function* evaluates to,
+    with non-literal values (callables) replaced by their source names."""
+    for node in ast.walk(tree):
+        if isinstance(node, ast.FunctionDef) and node.name == function:
+            for inner in ast.walk(node):
+                if isinstance(inner, ast.Return) and isinstance(
+                    inner.value, ast.Dict
+                ):
+                    result = {}
+                    for key, value in zip(inner.value.keys, inner.value.values):
+                        if not isinstance(key, ast.Constant):
+                            return None
+                        result[key.value] = ast.unparse(value)
+                    return result
+    return None
+
+
+def _module_path(dotted: str) -> str:
+    return os.path.join(SOURCE_ROOT, *dotted.split(".")) + ".py"
+
+
+def _defined_names(path: str) -> set:
+    """Top-level function/assignment names defined in a module file."""
+    with open(path, "r", encoding="utf-8") as handle:
+        tree = ast.parse(handle.read(), filename=path)
+    names = set()
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            names.add(node.name)
+        elif isinstance(node, ast.Assign):
+            names.update(t.id for t in node.targets if isinstance(t, ast.Name))
+    return names
+
+
+def _test_corpus(roots=(TESTS_ROOT, BENCHMARKS_ROOT)) -> str:
+    """Concatenated text of every test/benchmark file."""
+    chunks: List[str] = []
+    for root in roots:
+        if not os.path.isdir(root):
+            continue
+        for dirpath, _, filenames in os.walk(root):
+            for filename in sorted(filenames):
+                if filename.endswith(".py"):
+                    path = os.path.join(dirpath, filename)
+                    with open(path, "r", encoding="utf-8") as handle:
+                        chunks.append(handle.read())
+    return "\n".join(chunks)
+
+
+def check_specs(
+    kernels: Dict[str, dict],
+    overrides: Optional[Dict[str, str]],
+    defined_names: Dict[str, set],
+    test_corpus: str,
+) -> List[Violation]:
+    """Pure rule core (synthetic-input testable, no filesystem access).
+
+    ``defined_names`` maps each kernel's dotted module to the names its
+    source file defines; ``overrides`` is the numba ``build_overrides``
+    key → callable-source mapping (None when the dict was unreadable).
+    """
+    violations: List[Violation] = []
+    for name, spec in sorted(kernels.items()):
+        reference = spec.get("reference", "")
+        module = spec.get("module", "")
+        if not reference.startswith("_reference_"):
+            violations.append(
+                Violation(
+                    "registry", name,
+                    f"reference {reference!r} must be named _reference_*",
+                )
+            )
+        if reference and reference not in defined_names.get(module, set()):
+            violations.append(
+                Violation(
+                    "registry", name,
+                    f"oracle {reference!r} is not defined in {module}",
+                )
+            )
+        if reference and reference not in test_corpus:
+            violations.append(
+                Violation(
+                    "tests", name,
+                    f"no test names the oracle {reference!r} "
+                    "(equivalence test missing?)",
+                )
+            )
+        via = spec.get("via")
+        if via is not None and via not in kernels:
+            violations.append(
+                Violation("registry", name, f"via target {via!r} is not a kernel")
+            )
+    if overrides is None:
+        violations.append(
+            Violation(
+                "numba_backend", "<all>",
+                "build_overrides must return a literal dict with constant keys",
+            )
+        )
+        return violations
+    for name in sorted(overrides):
+        if name not in kernels:
+            violations.append(
+                Violation(
+                    "numba_backend", name,
+                    "override for a name not registered in KERNELS",
+                )
+            )
+    for name, spec in sorted(kernels.items()):
+        if spec.get("via") is None and name not in overrides:
+            violations.append(
+                Violation(
+                    "numba_backend", name,
+                    "non-derived kernel has no numba override",
+                )
+            )
+    return violations
+
+
+def collect_violations() -> List[Violation]:
+    with open(REGISTRY_PATH, "r", encoding="utf-8") as handle:
+        registry_tree = ast.parse(handle.read(), filename=REGISTRY_PATH)
+    kernels = _literal_dict_assignment(registry_tree, "KERNELS")
+    if kernels is None:
+        return [
+            Violation(
+                "registry", "<all>", "KERNELS must be a literal dict assignment"
+            )
+        ]
+    with open(NUMBA_BACKEND_PATH, "r", encoding="utf-8") as handle:
+        backend_tree = ast.parse(handle.read(), filename=NUMBA_BACKEND_PATH)
+    overrides = _literal_return_dict(backend_tree, "build_overrides")
+    defined = {
+        spec["module"]: _defined_names(_module_path(spec["module"]))
+        for spec in kernels.values()
+        if "module" in spec
+    }
+    return check_specs(kernels, overrides, defined, _test_corpus())
+
+
+def main() -> int:
+    violations = collect_violations()
+    for violation in violations:
+        print(violation, file=sys.stderr)
+    if violations:
+        print(f"{len(violations)} kernel-backend violation(s)", file=sys.stderr)
+        return 1
+    print("all registered kernels have oracles, tests, and overrides")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

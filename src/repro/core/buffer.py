@@ -9,7 +9,9 @@ expired items eagerly.
 from __future__ import annotations
 
 import itertools
-from typing import Dict, Iterator, List, Optional
+from typing import Dict, Iterator, List, Optional, Tuple
+
+import numpy as np
 
 from repro.core.data import DataItem
 from repro.errors import BufferError_
@@ -34,6 +36,8 @@ class CacheBuffer:
         self._sequence = itertools.count()
         self._inserted_at: Dict[int, int] = {}   # data_id -> insertion seq no
         self._accessed_at: Dict[int, int] = {}   # data_id -> last access seq no
+        self._version = 0                        # bumped on every content change
+        self._expiry_cache: Optional[Tuple[int, np.ndarray]] = None
 
     # --- capacity accounting ---------------------------------------------
 
@@ -51,6 +55,32 @@ class CacheBuffer:
 
     def fits(self, item: DataItem) -> bool:
         return item.size <= self.free
+
+    @property
+    def version(self) -> int:
+        """Monotone counter bumped on every content change.
+
+        Lets callers (the simulator's periodic tick, node holdings)
+        cache derived views and invalidate them only when the buffer
+        actually changed.
+        """
+        return self._version
+
+    def live_count(self, now: float) -> int:
+        """Number of cached items not yet expired at *now*.
+
+        Uses a version-tagged expiry array so the per-tick sampling cost
+        is one vectorised comparison instead of a Python loop per item.
+        """
+        cache = self._expiry_cache
+        if cache is None or cache[0] != self._version:
+            cache = (
+                self._version,
+                np.array([d.expires_at for d in self._items.values()]),
+            )
+            self._expiry_cache = cache
+        # DataItem.is_expired is `now >= expires_at`, so live means >.
+        return int(np.count_nonzero(cache[1] > now))
 
     def __len__(self) -> int:
         return len(self._items)
@@ -82,6 +112,7 @@ class CacheBuffer:
         self._inserted_at[item.data_id] = seq
         self._accessed_at[item.data_id] = seq
         self._used += item.size
+        self._version += 1
         return True
 
     def get(self, data_id: int) -> Optional[DataItem]:
@@ -101,6 +132,7 @@ class CacheBuffer:
             self._used -= item.size
             self._inserted_at.pop(data_id, None)
             self._accessed_at.pop(data_id, None)
+            self._version += 1
         return item
 
     def clear(self) -> List[DataItem]:
@@ -110,6 +142,7 @@ class CacheBuffer:
         self._inserted_at.clear()
         self._accessed_at.clear()
         self._used = 0
+        self._version += 1
         return items
 
     def evict_expired(self, now: float) -> List[DataItem]:

@@ -10,19 +10,42 @@ so a literal O(n · S_A) table is infeasible; the solver first quantises
 sizes to a resolution chosen so the capacity axis has at most
 ``max_capacity_units`` cells.  Item sizes are rounded **up** and the
 capacity **down**, so a quantised solution never overfills the real
-buffer (it may only be slightly conservative — the error is bounded by
-one resolution unit per item and covered by property tests).
+buffer.
+
+Quantisation bound.  Rounding can only *exclude* value, never overfill:
+the solution is optimal for the quantised instance, and the true optimum
+exceeds it by at most the value displaced when each selected item grows
+by under one resolution unit (≤ n·resolution bits of phantom occupancy).
+One failure mode of naive rounding is repaired explicitly: an item whose
+rounded-up size exceeds the rounded-down capacity may still *truly* fit
+(its real size lies in ``(cap_units·resolution, capacity]``, a window
+narrower than one resolution unit).  At most one such item fits at a
+time — any two of them sum past the capacity — so after the DP the best
+truly-fitting oversize item replaces the DP selection when its value
+strictly beats the DP total (ties prefer the DP solution, and among
+oversize items the earliest highest-value one wins, preserving the
+solver's determinism contract).  What remains unrepaired is bounded:
+combining one oversize item with sub-resolution leftovers can be missed,
+costing at most the value packable into one resolution unit.
+
+The DP table fill is the registered ``knapsack_dp`` kernel: the pure
+Python loop in :func:`_reference_knapsack_dp` is the oracle, and the
+numba backend runs the same strict-improvement recurrence compiled —
+identical additions and comparisons, hence bitwise-identical keep tables.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Hashable, List, Sequence, Tuple
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.errors import KnapsackError
+from repro.kernels.registry import kernel_override
 
-__all__ = ["KnapsackItem", "KnapsackSolution", "solve_knapsack"]
+__all__ = ["KnapsackItem", "KnapsackSolution", "KnapsackPool", "solve_knapsack"]
 
 
 @dataclass(frozen=True)
@@ -54,10 +77,136 @@ class KnapsackSolution:
         return tuple(item.key for item in self.selected)
 
 
+_EMPTY_SOLUTION = KnapsackSolution(selected=(), total_value=0.0, total_size=0)
+
+
 def _resolution_for(capacity: int, max_capacity_units: int) -> int:
     if capacity <= max_capacity_units:
         return 1
     return math.ceil(capacity / max_capacity_units)
+
+
+def _reference_knapsack_dp(
+    values: Sequence[float], sizes: Sequence[int], cap_units: int
+) -> List[List[bool]]:
+    """Pure-Python 1-D 0/1 knapsack fill — the ``knapsack_dp`` oracle.
+
+    Returns the keep table (``keep[i][w]`` = item *i* taken at capacity
+    *w*); ties resolve toward earlier items via the strict ``>``.
+    """
+    width = cap_units + 1
+    best = [0.0] * width
+    keep: List[List[bool]] = []
+    for value, size in zip(values, sizes):
+        keep_row = [False] * width
+        # Iterate capacity descending: classic 1-D 0/1 knapsack update.
+        for w in range(cap_units, size - 1, -1):
+            candidate = best[w - size] + value
+            if candidate > best[w]:
+                best[w] = candidate
+                keep_row[w] = True
+        keep.append(keep_row)
+    return keep
+
+
+def _knapsack_keep(values: List[float], sizes: List[int], cap_units: int):
+    """Dispatch point of the ``knapsack_dp`` kernel.
+
+    Returns either the python list-of-lists table or the compiled
+    backend's boolean array — the traceback only indexes ``keep[i][w]``,
+    which both support with identical contents.
+    """
+    override = kernel_override("knapsack_dp")
+    if override is not None:
+        return override(
+            np.asarray(values, dtype=float),
+            np.asarray(sizes, dtype=np.int64),
+            cap_units,
+        )
+    return _reference_knapsack_dp(values, sizes, cap_units)
+
+
+def _solve(
+    items: Sequence[KnapsackItem],
+    capacity: int,
+    max_capacity_units: int,
+    qsize_cache: Optional[Dict[int, Dict[int, int]]],
+) -> KnapsackSolution:
+    """Shared solver core behind :func:`solve_knapsack` and
+    :meth:`KnapsackPool.solve` (one code path keeps them bitwise equal)."""
+    if capacity < 0:
+        raise KnapsackError(f"capacity must be non-negative, got {capacity}")
+    if max_capacity_units < 1:
+        raise KnapsackError("max_capacity_units must be >= 1")
+    items = list(items)
+    if not items or capacity == 0:
+        return _EMPTY_SOLUTION
+
+    resolution = _resolution_for(capacity, max_capacity_units)
+    cap_units = capacity // resolution
+    if qsize_cache is None:
+        sizes = [math.ceil(item.size / resolution) for item in items]
+    else:
+        # Memoised per (resolution, raw size): math.ceil of the same
+        # float division, so cached and uncached paths agree bitwise.
+        table = qsize_cache.setdefault(resolution, {})
+        sizes = []
+        for item in items:
+            quantised = table.get(item.size)
+            if quantised is None:
+                quantised = math.ceil(item.size / resolution)
+                table[item.size] = quantised
+            sizes.append(quantised)
+
+    feasible = [
+        (item, size) for item, size in zip(items, sizes) if size <= cap_units
+    ]
+    # Singleton repair (see module docstring): the best item whose
+    # rounded-up size overflows the quantised capacity but whose true
+    # size fits.  Strict > keeps earlier items on value ties.
+    best_single: Optional[KnapsackItem] = None
+    for item, size in zip(items, sizes):
+        if size > cap_units and item.size <= capacity:
+            if best_single is None or item.value > best_single.value:
+                best_single = item
+
+    if not feasible:
+        if best_single is not None and best_single.value > 0.0:
+            return KnapsackSolution(
+                selected=(best_single,),
+                total_value=best_single.value,
+                total_size=best_single.size,
+            )
+        return _EMPTY_SOLUTION
+
+    keep = _knapsack_keep(
+        [item.value for item, _ in feasible],
+        [size for _, size in feasible],
+        cap_units,
+    )
+
+    # Traceback from full capacity.
+    selected_indices: List[int] = []
+    w = cap_units
+    for i in range(len(feasible) - 1, -1, -1):
+        if keep[i][w]:
+            selected_indices.append(i)
+            w -= feasible[i][1]
+    selected_indices.reverse()
+
+    selected = tuple(feasible[i][0] for i in selected_indices)
+    total_value = sum(item.value for item in selected)
+    if best_single is not None and best_single.value > total_value:
+        return KnapsackSolution(
+            selected=(best_single,),
+            total_value=best_single.value,
+            total_size=best_single.size,
+        )
+    return KnapsackSolution(
+        selected=selected,
+        total_value=total_value,
+        total_size=sum(item.size for item in selected),
+    )
 
 
 def solve_knapsack(
@@ -71,51 +220,30 @@ def solve_knapsack(
     docstring).  Deterministic: ties are resolved by preferring items
     earlier in the input sequence.
     """
-    if capacity < 0:
-        raise KnapsackError(f"capacity must be non-negative, got {capacity}")
-    if max_capacity_units < 1:
-        raise KnapsackError("max_capacity_units must be >= 1")
-    items = list(items)
-    if not items or capacity == 0:
-        return KnapsackSolution(selected=(), total_value=0.0, total_size=0)
+    return _solve(items, capacity, max_capacity_units, qsize_cache=None)
 
-    resolution = _resolution_for(capacity, max_capacity_units)
-    cap_units = capacity // resolution
-    sizes = [math.ceil(item.size / resolution) for item in items]
 
-    feasible = [
-        (item, size) for item, size in zip(items, sizes) if size <= cap_units
-    ]
-    if not feasible:
-        return KnapsackSolution(selected=(), total_value=0.0, total_size=0)
+class KnapsackPool:
+    """Shared quantisation cache for the repeated Eq. 7 solves of a tick.
 
-    n = len(feasible)
-    width = cap_units + 1
-    # value[w] = best value with capacity w; keep[i][w] = item i taken at w.
-    values = [0.0] * width
-    keep: List[List[bool]] = []
-    for i, (item, size) in enumerate(feasible):
-        keep_row = [False] * width
-        # Iterate capacity descending: classic 1-D 0/1 knapsack update.
-        for w in range(cap_units, size - 1, -1):
-            candidate = values[w - size] + item.value
-            if candidate > values[w]:
-                values[w] = candidate
-                keep_row[w] = True
-        keep.append(keep_row)
+    Algorithm 1 re-solves the knapsack once per round per side over
+    overlapping item sets and shrinking capacities, and the simulator
+    may run several exchanges in one tick.  A pool memoises every item
+    size's quantisation per resolution, so each pool member is rounded
+    once per resolution instead of once per solve; on the numba backend
+    the compiled DP additionally reuses one keep-table scratch across
+    solves.  Results are those of :func:`solve_knapsack` call-for-call
+    (same code path), so batching is bitwise-invisible.
+    """
 
-    # Traceback from full capacity.
-    selected_indices: List[int] = []
-    w = cap_units
-    for i in range(n - 1, -1, -1):
-        if keep[i][w]:
-            selected_indices.append(i)
-            w -= feasible[i][1]
-    selected_indices.reverse()
+    def __init__(self, max_capacity_units: int = 4096):
+        if max_capacity_units < 1:
+            raise KnapsackError("max_capacity_units must be >= 1")
+        self._max_capacity_units = int(max_capacity_units)
+        self._qsize_cache: Dict[int, Dict[int, int]] = {}
 
-    selected = tuple(feasible[i][0] for i in selected_indices)
-    return KnapsackSolution(
-        selected=selected,
-        total_value=sum(item.value for item in selected),
-        total_size=sum(item.size for item in selected),
-    )
+    def solve(
+        self, items: Sequence[KnapsackItem], capacity: int
+    ) -> KnapsackSolution:
+        """Exactly :func:`solve_knapsack`, with the pool's caches."""
+        return _solve(items, capacity, self._max_capacity_units, self._qsize_cache)

@@ -66,6 +66,12 @@ def ncl_metrics(
     Runs through the vectorized all-pairs weight matrix (one scipy
     Dijkstra + one batched Eq. 2 evaluation, cached per graph content);
     :func:`_reference_ncl_metrics` is the retained pure-Python oracle.
+
+    Registered as the *derived* kernel ``ncl_metrics``: its hot loop is
+    the ``weight_matrix`` kernel (compiled under the numba backend),
+    while the row reduction below deliberately stays in shared numpy
+    code on every backend — ``np.sum`` accumulates pairwise, which a
+    sequential compiled loop cannot reproduce bitwise.
     """
     if graph.num_nodes < 2:
         raise ConfigurationError("NCL metric needs at least two nodes")

@@ -30,7 +30,29 @@ import numpy as np
 
 from repro.core.buffer import CacheBuffer
 from repro.core.data import DataItem
-from repro.core.knapsack import KnapsackItem, solve_knapsack
+from repro.core.knapsack import KnapsackItem, KnapsackPool
+
+
+def _memo_utility(
+    utility: Callable[[DataItem], float],
+) -> Callable[[DataItem], float]:
+    """Memoise a utility function by data id for the span of one exchange.
+
+    Scheme utilities (popularity × NCL path weight) only change when
+    queries are observed, never from buffer puts inside an exchange, so
+    caching the first call per item is bitwise-invisible while removing
+    the per-round recomputation from Algorithm 1's loop.
+    """
+    cache: Dict[str, float] = {}
+
+    def wrapped(item: DataItem) -> float:
+        value = cache.get(item.data_id)
+        if value is None:
+            value = utility(item)
+            cache[item.data_id] = value
+        return value
+
+    return wrapped
 
 __all__ = [
     "ExchangeContext",
@@ -406,6 +428,10 @@ class UtilityKnapsackPolicy(ReplacementPolicy):
             raise ValueError("max_rounds must be >= 1")
         self.probabilistic = probabilistic
         self.max_rounds = max_rounds
+        # Shared across all exchanges this policy handles: one size
+        # quantisation (and, on compiled backends, one DP scratch) per
+        # tick-wide pool instead of a per-solve recompute.
+        self._pool = KnapsackPool()
 
     # --- admit: utility-ordered eviction ------------------------------
 
@@ -425,7 +451,7 @@ class UtilityKnapsackPolicy(ReplacementPolicy):
             return True
         utility = utility or (lambda d: 0.0)
         pool = buffer.items() + [item]
-        solution = solve_knapsack(
+        solution = self._pool.solve(
             [
                 KnapsackItem(key=d.data_id, value=self._admit_value(d, item, utility), size=d.size)
                 for d in pool
@@ -463,9 +489,13 @@ class UtilityKnapsackPolicy(ReplacementPolicy):
         before_b = {d.data_id: d for d in buffer_b.items()}
         pool = self._withdraw_pool(buffer_a, buffer_b, context)
 
-        kept_a = self._select_for(buffer_a, pool, context.utility_a, context)
+        # One utility evaluation per (side, item) per exchange; see
+        # _memo_utility for why this is bitwise-invisible.
+        utility_a = _memo_utility(context.utility_a)
+        utility_b = _memo_utility(context.utility_b)
+        kept_a = self._select_for(buffer_a, pool, utility_a, context)
         remainder = [d for d in pool if d.data_id not in {x.data_id for x in kept_a}]
-        kept_b = self._select_for(buffer_b, remainder, context.utility_b, context)
+        kept_b = self._select_for(buffer_b, remainder, utility_b, context)
         kept_b_ids = {x.data_id for x in kept_b}
         leftover = [d for d in remainder if d.data_id not in kept_b_ids]
 
@@ -475,7 +505,7 @@ class UtilityKnapsackPolicy(ReplacementPolicy):
         # space remains, best utility first, before declaring them dropped.
         leftover.sort(
             key=lambda d: (
-                -max(context.utility_a(d), context.utility_b(d)),
+                -max(utility_a(d), utility_b(d)),
                 d.data_id,
             )
         )
@@ -507,7 +537,7 @@ class UtilityKnapsackPolicy(ReplacementPolicy):
             remaining = [d for d in remaining if d.size <= buffer.free]
             if not remaining:
                 break
-            solution = solve_knapsack(
+            solution = self._pool.solve(
                 [
                     KnapsackItem(
                         key=d.data_id,

@@ -26,6 +26,16 @@ twins bound the post-processing cost of ``repro diagnose`` on a traced
 run: the full causal reconstruction + consistency cross-check +
 fidelity assessment may add at most ``DIAGNOSE_OVERHEAD_THRESHOLD``
 (50%) on top of the traced simulation itself.
+
+Kernel benchmarks are parameterized by kernel backend and show up as
+``<name>[python]`` / ``<name>[numba]`` (the latter only when numba is
+installed).  Twin pairing and baseline lookup are bracket-aware — a
+suffixed twin pairs with its same-backend plain twin, and a
+parameterized name falls back to the bare baseline entry so baselines
+recorded before the backend split stay readable.  When both backends
+ran, the guard prints a compiled-vs-python speedup table (informational;
+the ≥3x floor is asserted inside the benchmark suite).  The baseline's
+provenance manifest records the active kernel backend.
 """
 
 from __future__ import annotations
@@ -47,6 +57,7 @@ __all__ = [
     "check_profiler_overhead",
     "check_reelection_overhead",
     "check_diagnose_overhead",
+    "check_backend_speedups",
     "run_guard",
     "main",
 ]
@@ -81,6 +92,19 @@ def load_benchmark_means(result_json: Path) -> Dict[str, float]:
     }
 
 
+def _split_param(name: str) -> Tuple[str, str]:
+    """``"test_x[numba]"`` → ``("test_x", "numba")``; no param → ``""``.
+
+    pytest-benchmark appends fixture parameters in brackets; twin and
+    backend pairing must operate on the base name while preserving the
+    parameter.
+    """
+    if name.endswith("]") and "[" in name:
+        base, _, param = name[:-1].partition("[")
+        return base, param
+    return name, ""
+
+
 def compare_against_baseline(
     current: Dict[str, float],
     baseline: Dict[str, float],
@@ -95,6 +119,11 @@ def compare_against_baseline(
     for name in sorted(current):
         mean = current[name]
         reference = baseline.get(name)
+        if reference is None:
+            # Baselines recorded before benchmarks grew a [backend]
+            # parameter carry bare names; fall back to the base name so
+            # old baselines keep guarding parameterized runs.
+            reference = baseline.get(_split_param(name)[0])
         regressed = reference is not None and mean > threshold * reference
         rows.append((name, mean, reference, regressed))
     return rows
@@ -113,9 +142,11 @@ def check_twin_overhead(
     """
     rows = []
     for name in sorted(current):
-        if not name.endswith(suffix):
+        base, param = _split_param(name)
+        if not base.endswith(suffix):
             continue
-        twin = current.get(name[: -len(suffix)])
+        twin_name = base[: -len(suffix)] + (f"[{param}]" if param else "")
+        twin = current.get(twin_name)
         if not twin:
             continue
         ratio = current[name] / twin
@@ -145,6 +176,31 @@ def check_diagnose_overhead(
 ) -> List[Tuple[str, float, bool]]:
     """``<name>_diagnose`` vs its trace-only twin (diagnosis cost)."""
     return check_twin_overhead(current, DIAGNOSE_SUFFIX, threshold)
+
+
+def check_backend_speedups(
+    current: Dict[str, float],
+) -> List[Tuple[str, float, float, float]]:
+    """Pair ``<name>[numba]`` with ``<name>[python]`` from the same run.
+
+    Returns ``(base name, python mean, numba mean, speedup)`` rows for
+    every benchmark that ran on both backends; purely informational —
+    the ≥3x floor is asserted by the benchmark suite itself (and only
+    when numba is installed).
+    """
+    by_base: Dict[str, Dict[str, float]] = {}
+    for name, mean in current.items():
+        base, param = _split_param(name)
+        if param in ("python", "numba"):
+            by_base.setdefault(base, {})[param] = mean
+    rows = []
+    for base in sorted(by_base):
+        means = by_base[base]
+        if "python" in means and "numba" in means and means["numba"] > 0:
+            rows.append(
+                (base, means["python"], means["numba"], means["python"] / means["numba"])
+            )
+    return rows
 
 
 def _run_benchmarks(benchmark_file: Path, result_json: Path) -> int:
@@ -224,6 +280,14 @@ def run_guard(
                 f"(limit {limit:.2f}x)"
             )
             overhead_failures += int(failed)
+    speedups = check_backend_speedups(current)
+    if speedups:
+        print("\ncompiled-kernel speedups (numba vs python, same run):")
+        for base, python_mean, numba_mean, speedup in speedups:
+            print(
+                f"     {base:45s} python {python_mean * 1e3:8.3f} ms  "
+                f"numba {numba_mean * 1e3:8.3f} ms  speedup {speedup:5.2f}x"
+            )
     if failures:
         print(
             f"{failures} kernel(s) regressed beyond {threshold:.2f}x baseline",

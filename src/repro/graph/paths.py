@@ -32,6 +32,7 @@ from scipy.sparse.csgraph import dijkstra as _csgraph_dijkstra
 
 from repro.errors import PathError
 from repro.graph.contact_graph import ContactGraph
+from repro.kernels.registry import kernel_override
 from repro.mathutils.hypoexponential import (
     hypoexponential_cdf_batch,
     path_delivery_probability,
@@ -358,12 +359,45 @@ def _shortest_path_weight_matrix(
     rates = graph.rate_matrix()
     # Rates are symmetric and Eq. (2) is invariant under hop reordering,
     # so p_ij = p_ji: only the upper triangle of reachable pairs is
-    # evaluated.  Hop rates are pulled out of the predecessor matrix one
-    # hop *slot* at a time across all pairs simultaneously — the batched
-    # CDF doesn't care about hop order, so no per-pair walk is needed.
+    # evaluated.  The Dijkstra pass itself stays in scipy's C
+    # implementation on every backend — its tie-breaking between
+    # equal-cost trees picks the rate multisets that define the result —
+    # and only the hop-slot extraction below is the dispatchable
+    # ``weight_matrix`` kernel.
     ii, jj = np.triu_indices(n, k=1)
     reachable = np.isfinite(dist[ii, jj])
     ii, jj = ii[reachable], jj[reachable]
+    weights = np.zeros((n, n))
+    np.fill_diagonal(weights, 1.0)  # trivial zero-hop path to oneself
+    if len(ii):
+        padded = _hop_slot_matrix(rates, pred, ii, jj)
+        pair_weights = hypoexponential_cdf_batch(padded, time_budget)
+        weights[ii, jj] = pair_weights
+        weights[jj, ii] = pair_weights
+    return weights
+
+
+def _hop_slot_matrix(
+    rates: np.ndarray, pred: np.ndarray, ii: np.ndarray, jj: np.ndarray
+) -> np.ndarray:
+    """Padded per-pair hop-rate matrix from the predecessor matrix — the
+    registered ``weight_matrix`` kernel.
+
+    Hop rates are pulled out of the predecessor matrix one hop *slot* at
+    a time (walking destination → source) across all pairs
+    simultaneously, then the slot columns are reversed so each row reads
+    source → destination with leading zero padding.  Eq. (2) is
+    order-invariant mathematically but *not* in float arithmetic — near
+    the closed form's separation threshold its coefficients are large
+    and cancelling, and summation order moves the result at the 1e-8
+    level — so rows are kept in the same hop order the scalar oracle
+    evaluates.  A compiled backend walks each pair instead; both fill
+    the same slots with the same rate-matrix entries, so the outputs
+    are bitwise identical.
+    """
+    override = kernel_override("weight_matrix")
+    if override is not None:
+        return override(rates, pred, ii, jj)
     columns: List[np.ndarray] = []
     cur = jj.copy()
     active = cur != ii
@@ -374,14 +408,25 @@ def _shortest_path_weight_matrix(
         columns.append(step)
         cur = prev
         active = cur != ii
-    weights = np.zeros((n, n))
-    np.fill_diagonal(weights, 1.0)  # trivial zero-hop path to oneself
-    if len(ii):
-        padded = np.column_stack(columns) if columns else np.zeros((len(ii), 1))
-        pair_weights = hypoexponential_cdf_batch(padded, time_budget)
-        weights[ii, jj] = pair_weights
-        weights[jj, ii] = pair_weights
-    return weights
+    columns.reverse()
+    return np.column_stack(columns) if columns else np.zeros((len(ii), 1))
+
+
+def _reference_weight_matrix(
+    graph: ContactGraph,
+    time_budget: float,
+    mode: PathMode = PathMode.EXPECTED_DELAY,
+) -> np.ndarray:
+    """Pure-Python oracle for :func:`shortest_path_weight_matrix`: one
+    reference single-source sweep per row.  The registered
+    ``weight_matrix`` kernel is pinned to this to 1e-9 on random graphs;
+    the python and numba backends are pinned to each other bitwise."""
+    return np.vstack(
+        [
+            _reference_shortest_path_weights_from(graph, s, time_budget, mode)
+            for s in range(graph.num_nodes)
+        ]
+    )
 
 
 def _reference_shortest_path_weights_from(

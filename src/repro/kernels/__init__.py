@@ -1,0 +1,42 @@
+"""Pluggable compiled-kernel backends for the four hot kernels.
+
+The registry (:mod:`repro.kernels.registry`) maps each hot kernel —
+the batched hypoexponential CDF (Eq. 2), the all-pairs weight matrix
+(Dijkstra + Eq. 2), the NCL metric (Eq. 3) and the knapsack DP
+(Eq. 7) — to an optional compiled override.  The ``python`` backend is
+the absence of overrides: the numpy/scipy implementations that live in
+the kernels' defining modules, each retained with a ``_reference_*``
+oracle.  The ``numba`` backend (:mod:`repro.kernels.numba_backend`)
+replaces the pure-arithmetic inner loops with ``@njit``-compiled cores
+and is **bitwise identical** to the python backend by construction —
+see DESIGN.md "Performance: kernel backends" for the dispatch rules.
+
+Backend selection: ``REPRO_KERNEL_BACKEND`` environment variable, the
+``repro --backend`` CLI flag (:func:`set_backend`), or the
+:func:`use_backend` context manager in tests and benchmarks.  When
+numba is not installed the registry silently degrades to ``python``;
+:func:`backend_status` reports both the requested and active backend
+and is stamped into provenance manifests.
+"""
+
+from repro.kernels.registry import (
+    KERNELS,
+    available_backend_names,
+    backend_status,
+    current_backend_name,
+    kernel_override,
+    set_backend,
+    use_backend,
+    warmup,
+)
+
+__all__ = [
+    "KERNELS",
+    "available_backend_names",
+    "backend_status",
+    "current_backend_name",
+    "kernel_override",
+    "set_backend",
+    "use_backend",
+    "warmup",
+]

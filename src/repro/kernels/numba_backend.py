@@ -1,0 +1,217 @@
+"""``@njit``-compiled overrides for the registered kernels.
+
+Importing this module requires numba (an optional extra); the registry
+probes the import once and silently stays on the python backend when it
+fails.  Every core here is **bitwise identical** to the python
+implementation it overrides, which constrains what may be compiled:
+
+* only pure IEEE-754 arithmetic (+, −, ×, ÷, comparisons) in the same
+  evaluation order as the numpy code — ``np.prod`` reduces strictly
+  sequentially, so the Eq. 2 coefficient product may be a loop, but
+  ``np.sum`` is pairwise for n > 8 and ``np.expm1``/``np.exp`` differ
+  in the last ulp from ``math.expm1``/``math.exp``, so every
+  transcendental and every sum reduction stays in shared numpy code at
+  the dispatch sites;
+* no re-implementation of scipy's Dijkstra: synthetic-trace rates k/T
+  produce exact float cost ties whose different shortest-path trees
+  carry different rate multisets, so both backends read the same scipy
+  predecessor matrix and only the hop-slot extraction is compiled.
+
+The equivalence is pinned bit-for-bit by
+``tests/properties/test_backend_equivalence.py``.
+
+The knapsack wrapper reuses module-level DP scratch buffers across
+calls (the batched-replacement path solves many small knapsacks per
+exchange); the returned keep table is a view into that scratch and is
+only valid until the next call — callers consume it immediately.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from numba import njit
+
+__all__ = ["build_overrides", "warmup"]
+
+#: must match repro.mathutils.hypoexponential._DISTINCT_RTOL
+_DISTINCT_RTOL = 1e-6
+
+
+# --- Eq. 2 closed-form coefficients --------------------------------------
+
+
+@njit(cache=True)
+def _coeffs_core(rates, mask):  # pragma: no cover - compiled
+    n_rows, width = rates.shape
+    coeff = np.empty((n_rows, width))
+    separated = np.empty(n_rows, np.bool_)
+    scratch = np.empty(width)
+    for i in range(n_rows):
+        # C[i, k] = prod_{s != k, valid} rate_s / (rate_s - rate_k); the
+        # factor order matches np.prod's sequential reduction, and the
+        # skipped factors are exactly the entries numpy overwrites with
+        # the multiplicative identity 1.0.
+        for k in range(width):
+            if not mask[i, k]:
+                coeff[i, k] = 1.0
+                continue
+            c = 1.0
+            for s in range(width):
+                if s == k or not mask[i, s]:
+                    continue
+                c *= rates[i, s] / (rates[i, s] - rates[i, k])
+            coeff[i, k] = c
+        # Row-wise _batch_rows_well_separated: sort the valid rates and
+        # require every adjacent gap to exceed _DISTINCT_RTOL * hi.
+        m = 0
+        for k in range(width):
+            if mask[i, k]:
+                scratch[m] = rates[i, k]
+                m += 1
+        for a in range(1, m):  # insertion sort (tiny m)
+            v = scratch[a]
+            b = a - 1
+            while b >= 0 and scratch[b] > v:
+                scratch[b + 1] = scratch[b]
+                b -= 1
+            scratch[b + 1] = v
+        ok = True
+        for a in range(1, m):
+            if not (scratch[a] - scratch[a - 1] > _DISTINCT_RTOL * scratch[a]):
+                ok = False
+                break
+        separated[i] = ok
+    return coeff, separated
+
+
+def hypoexp_coeffs(rates: np.ndarray, mask: np.ndarray):
+    """Override for the ``hypoexp_cdf_batch`` coefficient stage."""
+    return _coeffs_core(
+        np.ascontiguousarray(rates), np.ascontiguousarray(mask)
+    )
+
+
+# --- all-pairs hop-slot extraction ---------------------------------------
+
+
+@njit(cache=True)
+def _hop_slots_core(rates, pred, ii, jj):  # pragma: no cover - compiled
+    m = ii.shape[0]
+    max_hops = 1
+    for p in range(m):
+        src = ii[p]
+        cur = jj[p]
+        hops = 0
+        while cur != src:
+            cur = pred[src, cur]
+            hops += 1
+        if hops > max_hops:
+            max_hops = hops
+    padded = np.zeros((m, max_hops))
+    for p in range(m):
+        src = ii[p]
+        cur = jj[p]
+        slot = max_hops - 1
+        # Fill from the rightmost slot while walking destination ->
+        # source, so each row reads source -> destination with leading
+        # zero padding — the same layout as the python column-stack
+        # after its column reversal (hop order moves the ill-conditioned
+        # closed form at the 1e-8 level, so it must match the oracle's).
+        while cur != src:
+            prev = pred[src, cur]
+            padded[p, slot] = rates[prev, cur]
+            slot -= 1
+            cur = prev
+    return padded
+
+
+def weight_matrix_hops(
+    rates: np.ndarray, pred: np.ndarray, ii: np.ndarray, jj: np.ndarray
+) -> np.ndarray:
+    """Override for the ``weight_matrix`` hop-slot extraction stage."""
+    if ii.shape[0] == 0:
+        return np.zeros((0, 1))
+    return _hop_slots_core(
+        np.ascontiguousarray(rates),
+        np.ascontiguousarray(pred),
+        np.ascontiguousarray(ii),
+        np.ascontiguousarray(jj),
+    )
+
+
+# --- Eq. 7 knapsack DP ----------------------------------------------------
+
+
+@njit(cache=True)
+def _knapsack_core(values, sizes, cap_units, best, keep):  # pragma: no cover
+    n = values.shape[0]
+    for i in range(n):
+        size = sizes[i]
+        value = values[i]
+        for w in range(cap_units, size - 1, -1):
+            candidate = best[w - size] + value
+            if candidate > best[w]:
+                best[w] = candidate
+                keep[i, w] = True
+    return best[cap_units]
+
+
+_dp_best = np.zeros(0)
+_dp_keep = np.zeros((0, 0), dtype=np.bool_)
+
+
+def knapsack_dp(values: np.ndarray, sizes: np.ndarray, cap_units: int) -> np.ndarray:
+    """Override for the ``knapsack_dp`` keep-table fill.
+
+    Returns the boolean keep table (rows = items, columns = capacity
+    units).  The table lives in reused scratch: valid until the next
+    call.
+    """
+    global _dp_best, _dp_keep
+    n = values.shape[0]
+    width = cap_units + 1
+    if _dp_best.shape[0] < width:
+        _dp_best = np.zeros(width)
+    if _dp_keep.shape[0] < n or _dp_keep.shape[1] < width:
+        _dp_keep = np.zeros(
+            (max(n, _dp_keep.shape[0]), max(width, _dp_keep.shape[1])),
+            dtype=np.bool_,
+        )
+    best = _dp_best[:width]
+    keep = _dp_keep[:n, :width]
+    best[:] = 0.0
+    keep[:] = False
+    _knapsack_core(
+        np.ascontiguousarray(values),
+        np.ascontiguousarray(sizes),
+        cap_units,
+        best,
+        keep,
+    )
+    return keep
+
+
+# --- registry hooks -------------------------------------------------------
+
+
+def build_overrides():
+    """Kernel name -> override callable (keys linted against KERNELS)."""
+    return {
+        "hypoexp_cdf_batch": hypoexp_coeffs,
+        "weight_matrix": weight_matrix_hops,
+        "knapsack_dp": knapsack_dp,
+    }
+
+
+def warmup() -> None:
+    """Compile every core on tiny inputs (JIT cost paid here, once)."""
+    hypoexp_coeffs(
+        np.array([[1.0, 2.0]]), np.array([[True, True]])
+    )
+    weight_matrix_hops(
+        np.array([[0.0, 1.0], [1.0, 0.0]]),
+        np.array([[-9999, 0], [1, -9999]], dtype=np.int32),
+        np.array([0]),
+        np.array([1]),
+    )
+    knapsack_dp(np.array([1.0]), np.array([1], dtype=np.int64), 2)

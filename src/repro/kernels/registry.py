@@ -1,0 +1,202 @@
+"""Kernel-backend registry: ``python`` (oracle) vs ``numba`` (compiled).
+
+Each entry in :data:`KERNELS` names one hot kernel, the module that
+defines its python implementation, and the ``_reference_*`` oracle that
+pins its semantics (``scripts/check_kernel_backends.py`` lints this
+table, so it must stay a plain literal).  A backend is a set of
+*overrides*: callables the kernel's defining module consults at its
+dispatch point via :func:`kernel_override`.  The python backend is the
+empty override set — the existing numpy/scipy code runs unchanged — so
+there is no circular import between the registry and the kernel
+modules, and disabling numba can never change results.
+
+Kernels marked ``via`` are *derived*: their hot loop is another
+registered kernel (``ncl_metrics`` is a numpy reduction over the
+``weight_matrix`` kernel), so they have an oracle and equivalence tests
+but no backend entry of their own.  The reduction itself deliberately
+stays in shared numpy code on both backends: ``np.sum`` uses pairwise
+accumulation, which a sequential compiled loop cannot reproduce
+bitwise.
+
+Selection precedence: :func:`set_backend` (CLI ``--backend`` flag or
+:func:`use_backend` in tests) wins over the ``REPRO_KERNEL_BACKEND``
+environment variable, which wins over the default ``python``.
+Requesting ``numba`` when it is not importable silently degrades to
+``python`` — numba is an optional extra — and the degradation is
+visible in :func:`backend_status` (stamped into provenance manifests).
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from typing import Callable, Dict, Iterator, Optional, Tuple
+
+__all__ = [
+    "KERNELS",
+    "ENV_VAR",
+    "available_backend_names",
+    "backend_status",
+    "current_backend_name",
+    "kernel_override",
+    "set_backend",
+    "use_backend",
+    "warmup",
+]
+
+ENV_VAR = "REPRO_KERNEL_BACKEND"
+
+#: The registered hot kernels.  Plain literal — parsed (not imported)
+#: by ``scripts/check_kernel_backends.py``, which enforces that every
+#: kernel's ``reference`` oracle exists in ``module`` and is named by
+#: an equivalence test, and that the numba backend covers every
+#: non-derived kernel.
+KERNELS = {
+    "hypoexp_cdf_batch": {
+        "module": "repro.mathutils.hypoexponential",
+        "reference": "_reference_cdf_batch",
+        "doc": "Eq. 2 closed-form coefficients C_k over a padded rate batch",
+    },
+    "weight_matrix": {
+        "module": "repro.graph.paths",
+        "reference": "_reference_weight_matrix",
+        "doc": "all-pairs hop-slot extraction from the Dijkstra predecessor matrix",
+    },
+    "ncl_metrics": {
+        "module": "repro.core.ncl",
+        "reference": "_reference_ncl_metrics",
+        "via": "weight_matrix",
+        "doc": "Eq. 3 metric: numpy reduction over the weight_matrix kernel",
+    },
+    "knapsack_dp": {
+        "module": "repro.core.knapsack",
+        "reference": "_reference_knapsack_dp",
+        "doc": "Eq. 7 one-dimensional 0/1 knapsack keep-table fill",
+    },
+}
+
+_DEFAULT = "python"
+
+#: explicit request (set_backend / use_backend); None = defer to env
+_requested: Optional[str] = None
+#: resolved state: (active backend name, override table) or None
+_resolved: Optional[Tuple[str, Dict[str, Callable]]] = None
+#: cached numba availability probe (None = not probed yet)
+_numba_overrides: Optional[Dict[str, Callable]] = None
+_numba_probed = False
+
+
+def _probe_numba() -> Optional[Dict[str, Callable]]:
+    """Import the numba backend once; None when numba is unavailable."""
+    global _numba_overrides, _numba_probed
+    if not _numba_probed:
+        _numba_probed = True
+        try:
+            from repro.kernels import numba_backend
+
+            _numba_overrides = numba_backend.build_overrides()
+        except ImportError:
+            _numba_overrides = None
+    return _numba_overrides
+
+
+def available_backend_names() -> Tuple[str, ...]:
+    """Backends that can actually run here (``python`` always can)."""
+    names = ("python",)
+    if _probe_numba() is not None:
+        names = names + ("numba",)
+    return names
+
+
+def requested_backend_name() -> str:
+    """What was asked for (before any silent degradation)."""
+    if _requested is not None:
+        return _requested
+    return os.environ.get(ENV_VAR, _DEFAULT) or _DEFAULT
+
+
+def _resolve() -> Tuple[str, Dict[str, Callable]]:
+    global _resolved
+    if _resolved is None:
+        requested = requested_backend_name()
+        if requested == "numba":
+            overrides = _probe_numba()
+            if overrides is not None:
+                _resolved = ("numba", overrides)
+            else:
+                # numba is an optional extra: degrade silently.
+                _resolved = ("python", {})
+        else:
+            # Unknown names also fall back to python (the oracle), so a
+            # typo'd env var cannot take a run down an untested path.
+            _resolved = ("python", {})
+    return _resolved
+
+
+def current_backend_name() -> str:
+    """The backend actually in effect (after degradation)."""
+    return _resolve()[0]
+
+
+def kernel_override(name: str) -> Optional[Callable]:
+    """The active backend's override for kernel *name*, or ``None``.
+
+    ``None`` means "run the python implementation" — the dispatch sites
+    in the kernel modules fall through to their existing code.  Cheap
+    enough for per-call use: one dict lookup after first resolution.
+    """
+    return _resolve()[1].get(name)
+
+
+def set_backend(name: Optional[str]) -> str:
+    """Select a backend by name; returns the *active* backend.
+
+    ``None`` clears any explicit request (environment variable applies
+    again).  Requesting ``numba`` without numba installed degrades
+    silently to ``python`` — check the return value or
+    :func:`backend_status` to see what actually took effect.
+    """
+    global _requested, _resolved
+    _requested = name
+    _resolved = None
+    return current_backend_name()
+
+
+@contextmanager
+def use_backend(name: Optional[str]) -> Iterator[str]:
+    """Context manager form of :func:`set_backend` (tests, benchmarks)."""
+    global _requested, _resolved
+    previous = _requested
+    active = set_backend(name)
+    try:
+        yield active
+    finally:
+        _requested = previous
+        _resolved = None
+
+
+def backend_status() -> Dict[str, object]:
+    """Provenance-ready snapshot of the backend selection.
+
+    ``requested`` is what the env var / CLI asked for, ``active`` what
+    is actually running (they differ exactly when the request silently
+    degraded), ``available`` what this interpreter could run.
+    """
+    return {
+        "requested": requested_backend_name(),
+        "active": current_backend_name(),
+        "available": list(available_backend_names()),
+    }
+
+
+def warmup() -> None:
+    """Trigger JIT compilation of every active compiled kernel.
+
+    Benchmarks call this once before timing so measured rounds exclude
+    the one-off compile cost; a no-op on the python backend.
+    """
+    name, overrides = _resolve()
+    if name == "numba" and overrides:
+        from repro.kernels import numba_backend
+
+        numba_backend.warmup()

@@ -36,6 +36,8 @@ from typing import Iterable, List, Sequence, Union
 import numpy as np
 from scipy.linalg import expm
 
+from repro.kernels.registry import kernel_override
+
 __all__ = [
     "Hypoexponential",
     "hypoexponential_cdf",
@@ -201,6 +203,32 @@ def _batch_rows_well_separated(rates: np.ndarray, valid: np.ndarray) -> np.ndarr
     return np.where(pair_valid, gap_ok, True).all(axis=1)
 
 
+def _closed_form_coeff_batch(rates: np.ndarray, mask: np.ndarray):
+    """Eq. (2) coefficients C[i, k] = Π_{s≠k} λ_s / (λ_s − λ_k), plus the
+    per-row well-separated flag — the registered ``hypoexp_cdf_batch``
+    kernel.  Only pure arithmetic lives here (a compiled backend must
+    match it bitwise); the transcendentals and the final sum stay with
+    the caller in shared numpy code."""
+    override = kernel_override("hypoexp_cdf_batch")
+    if override is not None:
+        return override(rates, mask)
+    diff = rates[:, None, :] - rates[:, :, None]  # diff[i, k, s] = λ_s − λ_k
+    numer = np.broadcast_to(rates[:, None, :], diff.shape)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        ratio = numer / diff
+    # Pairs that must not contribute to the product: s == k, padded s, or
+    # (for padded k) any s at all — their factor is the identity.
+    contributes = mask[:, None, :] & mask[:, :, None]
+    eye = np.eye(rates.shape[1], dtype=bool)
+    np.copyto(ratio, 1.0, where=~contributes | eye)
+    # Rows with exactly-duplicated rates produce inf/nan coefficients
+    # here; they are routed to the matrix-exponential fallback by the
+    # caller, so the overflow noise is expected and silenced.
+    with np.errstate(invalid="ignore", over="ignore"):
+        coeff = ratio.prod(axis=2)
+    return coeff, _batch_rows_well_separated(rates, mask)
+
+
 def hypoexponential_cdf_batch(
     rate_rows: Union[np.ndarray, Sequence[Sequence[float]]],
     t: Union[float, np.ndarray],
@@ -250,26 +278,14 @@ def hypoexponential_cdf_batch(
     mask = valid[live]
     tt = times[live][:, None]
 
-    # Eq. (2) closed form, batched: C[i, k] = Π_{s≠k} λ_s / (λ_s − λ_k).
-    diff = rates[:, None, :] - rates[:, :, None]  # diff[i, k, s] = λ_s − λ_k
-    numer = np.broadcast_to(rates[:, None, :], diff.shape)
-    with np.errstate(divide="ignore", invalid="ignore"):
-        ratio = numer / diff
-    # Pairs that must not contribute to the product: s == k, padded s, or
-    # (for padded k) any s at all — their factor is the identity.
-    contributes = mask[:, None, :] & mask[:, :, None]
-    eye = np.eye(rates.shape[1], dtype=bool)
-    np.copyto(ratio, 1.0, where=~contributes | eye)
-    # Rows with exactly-duplicated rates produce inf/nan coefficients
-    # here; they are routed to the matrix-exponential fallback below, so
-    # the overflow noise is expected and silenced.
+    # Eq. (2) closed form, batched.  The coefficient stage is the
+    # dispatchable kernel (python or compiled backend, bitwise equal);
+    # the expm1 terms and the masked sum are shared numpy code.
+    coeff, separated = _closed_form_coeff_batch(rates, mask)
     with np.errstate(invalid="ignore", over="ignore"):
-        coeff = ratio.prod(axis=2)
         terms = coeff * -np.expm1(-rates * tt)
         closed = np.where(mask, terms, 0.0).sum(axis=1)
         # Single-rate rows: the closed form degenerates to exactly 1 − e^{-λt}.
-
-        separated = _batch_rows_well_separated(rates, mask)
         in_unit = (closed >= -1e-9) & (closed <= 1.0 + 1e-9)
     ok = separated & in_unit
     values = np.clip(closed, 0.0, 1.0)
@@ -281,6 +297,29 @@ def hypoexponential_cdf_batch(
         rate_lists = [rates[i][mask[i]].tolist() for i in bad]
         values[bad] = _matrix_cdf_batch(rate_lists, tt[bad, 0])
     out[live] = values
+    return out
+
+
+def _reference_cdf_batch(
+    rate_rows: Union[np.ndarray, Sequence[Sequence[float]]],
+    t: Union[float, np.ndarray],
+) -> np.ndarray:
+    """Scalar-loop oracle for :func:`hypoexponential_cdf_batch`.
+
+    One :func:`hypoexponential_cdf` call per row (zero-hop rows are 1,
+    non-positive times are 0).  The registered ``hypoexp_cdf_batch``
+    kernel is pinned to this to 1e-10 by property tests, and the python
+    and numba backends are pinned to each other bitwise.
+    """
+    padded = pad_rate_rows(rate_rows)
+    times = np.broadcast_to(np.asarray(t, dtype=float), (len(padded),))
+    out = np.zeros(len(padded))
+    for i, row in enumerate(padded):
+        rates = [float(r) for r in row if r > 0.0]
+        if not rates:
+            out[i] = 1.0
+        elif times[i] > 0.0:
+            out[i] = hypoexponential_cdf(rates, float(times[i]))
     return out
 
 

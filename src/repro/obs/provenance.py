@@ -11,6 +11,9 @@ or audit a run:
 * ``seeds`` — the root seeds of every repetition;
 * ``git`` — current revision and dirty flag (best-effort: absent when
   not in a git checkout);
+* ``kernel_backend`` — the requested/active kernel backend and whether
+  numba was importable (execution detail: backends are bitwise
+  equivalent, so this sits outside the hashed config);
 * ``packages`` — versions of the scientific stack actually imported;
 * ``platform`` — python version, implementation, OS.
 
@@ -38,7 +41,7 @@ __all__ = [
 ]
 
 #: packages whose versions materially affect numeric results
-_TRACKED_PACKAGES = ("numpy", "scipy", "networkx")
+_TRACKED_PACKAGES = ("numpy", "scipy", "networkx", "numba")
 
 
 def canonical_json(value: Any) -> str:
@@ -91,12 +94,18 @@ def build_manifest(
     config: Mapping[str, Any], seeds: Iterable[int]
 ) -> Dict[str, Any]:
     """Assemble a run manifest (see module docstring for the fields)."""
+    from repro.kernels import backend_status
+
     config = dict(config)
     return {
         "config": config,
         "config_hash": config_hash(config),
         "seeds": sorted(int(seed) for seed in seeds),
         "git": _git_info(),
+        # Execution detail, not experiment identity: backends are
+        # bitwise-equivalent, so the kernel backend is stamped outside
+        # the hashed config (like packages and platform).
+        "kernel_backend": backend_status(),
         "packages": _package_versions(),
         "platform": {
             "python": platform.python_version(),

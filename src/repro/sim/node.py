@@ -16,7 +16,7 @@ A node owns:
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, List, Optional, Set
+from typing import Dict, FrozenSet, Hashable, List, Optional, Set, Tuple
 
 from repro.core.buffer import CacheBuffer
 from repro.core.data import DataItem, Query
@@ -47,12 +47,29 @@ class Node:
         #: lifecycle trace sink (the simulator installs the run's recorder
         #: when tracing is on; the null default costs one attribute read)
         self.trace: TraceRecorder = NULL_RECORDER
+        self._origin_version = 0
+        self._holdings_cache: Optional[Tuple[Tuple[int, int], FrozenSet[int]]] = None
 
     # --- data availability ----------------------------------------------
 
     def generate_data(self, item: DataItem) -> None:
         """Register data this node generated (kept in the origin store)."""
         self.origin[item.data_id] = item
+        self._origin_version += 1
+
+    def holdings(self) -> FrozenSet[int]:
+        """Ids of all data this node holds (origin plus cache).
+
+        The frozenset is cached against the origin and buffer version
+        counters, so the per-tick query round rebuilds it only for nodes
+        whose contents actually changed since the last round.
+        """
+        key = (self._origin_version, self.buffer.version)
+        cache = self._holdings_cache
+        if cache is None or cache[0] != key:
+            cache = (key, frozenset(self.origin) | frozenset(self.buffer.data_ids()))
+            self._holdings_cache = cache
+        return cache[1]
 
     def live_own_data(self, now: float) -> List[DataItem]:
         """This node's own unexpired data items."""
@@ -77,6 +94,8 @@ class Node:
         for item in dropped:
             del self.origin[item.data_id]
             self.popularity.forget(item.data_id)
+        if dropped:
+            self._origin_version += 1
         dropped.extend(self.buffer.evict_expired(now))
         if dropped and self.trace.enabled:
             for item in dropped:
@@ -145,6 +164,7 @@ class Node:
         }
         self.buffer.clear()
         self.origin.clear()
+        self._origin_version += 1
         self._bundles.clear()
         self.active_queries.clear()
         self.responded_queries.clear()

@@ -262,11 +262,11 @@ class Simulator:
 
     def _query_round(self, event: Event) -> None:
         now = event.time
-        holdings: Dict[int, Set[int]] = {}
-        for node in self.nodes:
-            held = set(node.origin.keys())
-            held.update(node.buffer.data_ids())
-            holdings[node.node_id] = held
+        # Node.holdings() is version-cached: only nodes whose origin or
+        # buffer changed since the last round rebuild their id set.
+        holdings: Dict[int, Set[int]] = {
+            node.node_id: node.holdings() for node in self.nodes
+        }
         for query in self.workload_process.query_round(now, holdings):
             if not self.nodes[query.requester].active:
                 continue
@@ -389,7 +389,7 @@ class Simulator:
         cached = 0
         occupancy = 0.0
         for node in self.nodes:
-            cached += sum(1 for d in node.buffer.items() if not d.is_expired(now))
+            cached += node.buffer.live_count(now)
             occupancy += node.buffer.used / node.buffer.capacity
         self.metrics.sample_copies_per_item(cached, len(live))
         if self.recorder.enabled:
@@ -428,7 +428,7 @@ class Simulator:
             nearest = selection.nearest_central
             for node in self.nodes:
                 central = int(nearest[node.node_id])
-                held = sum(1 for d in node.buffer.items() if not d.is_expired(now))
+                held = node.buffer.live_count(now)
                 ncl_load[central] = ncl_load.get(central, 0) + held
         return TimeSeriesSample(
             time=now,

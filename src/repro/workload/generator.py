@@ -132,22 +132,24 @@ class WorkloadProcess:
             return []
         zipf = ZipfDistribution(len(live), self.config.zipf_exponent)
         probabilities = zipf.pmf_vector()
+        # One (nodes × ranks) fill of the RNG replaces the former
+        # per-node draws: PCG64 fills a 2-D request row-major, so the
+        # consumed stream — and hence every draw — is bitwise identical
+        # to num_nodes sequential random(len(live)) calls.
+        draws = self._rng.random((self.num_nodes, len(live)))
+        hit_nodes, hit_ranks = np.nonzero(draws < probabilities)
         queries: List[Query] = []
-        for node in range(self.num_nodes):
-            held = holdings.get(node, frozenset())
-            draws = self._rng.random(len(live))
-            for rank_index, item in enumerate(live):
-                if draws[rank_index] >= probabilities[rank_index]:
-                    continue
-                if item.source == node or item.data_id in held:
-                    continue
-                queries.append(
-                    Query.create(
-                        requester=node,
-                        data_id=item.data_id,
-                        created_at=now,
-                        time_constraint=self.config.query_time_constraint,
-                    )
+        for node, rank_index in zip(hit_nodes.tolist(), hit_ranks.tolist()):
+            item = live[rank_index]
+            if item.source == node or item.data_id in holdings.get(node, frozenset()):
+                continue
+            queries.append(
+                Query.create(
+                    requester=node,
+                    data_id=item.data_id,
+                    created_at=now,
+                    time_constraint=self.config.query_time_constraint,
                 )
+            )
         self._queries_issued += len(queries)
         return queries

@@ -79,6 +79,40 @@ class TestQuantisation:
         solution = solve_knapsack(items, 10, max_capacity_units=4096)
         assert solution.total_size == 3
 
+    def test_oversize_singleton_that_truly_fits_is_kept(self):
+        # Regression: capacity 4097 quantises to resolution 2 and
+        # cap_units 2048; an item of size 4097 rounds up to 2049 units
+        # (> cap_units) yet truly fits.  Naive rounding excluded it
+        # unconditionally and returned an empty solution.
+        item = KnapsackItem("only", 1.0, 4097)
+        solution = solve_knapsack([item], 4097)
+        assert solution.keys == ("only",)
+        assert solution.total_size == 4097
+
+    def test_oversize_singleton_never_beats_better_dp_solution(self):
+        # Same rounding window, but the DP over the regularly-sized
+        # items is worth strictly more — the repair must not displace it.
+        items = [
+            KnapsackItem("oversize", 0.5, 4097),
+            KnapsackItem("a", 0.4, 2048),
+            KnapsackItem("b", 0.3, 2048),
+        ]
+        solution = solve_knapsack(items, 4097)
+        assert set(solution.keys) == {"a", "b"}
+
+    def test_oversize_singleton_loses_value_ties_to_dp(self):
+        items = [
+            KnapsackItem("oversize", 0.7, 4097),
+            KnapsackItem("a", 0.4, 2048),
+            KnapsackItem("b", 0.3, 2048),
+        ]
+        solution = solve_knapsack(items, 4097)
+        assert set(solution.keys) == {"a", "b"}
+
+    def test_zero_value_oversize_singleton_not_selected(self):
+        item = KnapsackItem("only", 0.0, 4097)
+        assert solve_knapsack([item], 4097).selected == ()
+
 
 class TestDeterminism:
     def test_ties_prefer_earlier_items(self):

@@ -1,0 +1,79 @@
+"""Unit tests of the kernel-backend registry (selection, degradation)."""
+
+import pytest
+
+from repro import kernels
+from repro.kernels import registry
+
+
+@pytest.fixture(autouse=True)
+def _clean_backend_state(monkeypatch):
+    """Isolate each test from ambient backend selection."""
+    monkeypatch.delenv(registry.ENV_VAR, raising=False)
+    kernels.set_backend(None)
+    yield
+    kernels.set_backend(None)
+
+
+def test_default_backend_is_python():
+    assert kernels.current_backend_name() == "python"
+    # The python backend is the absence of overrides: dispatch sites
+    # fall through to the existing numpy/scipy implementations.
+    for name in kernels.KERNELS:
+        assert kernels.kernel_override(name) is None
+
+
+def test_python_always_available():
+    names = kernels.available_backend_names()
+    assert names[0] == "python"
+    assert set(names) <= {"python", "numba"}
+
+
+def test_env_var_selects_backend(monkeypatch):
+    monkeypatch.setenv(registry.ENV_VAR, "numba")
+    kernels.set_backend(None)  # re-resolve against the new environment
+    status = kernels.backend_status()
+    assert status["requested"] == "numba"
+    if "numba" in kernels.available_backend_names():
+        assert status["active"] == "numba"
+    else:
+        # Optional extra missing: silent degradation to the oracle.
+        assert status["active"] == "python"
+
+
+def test_explicit_request_beats_env(monkeypatch):
+    monkeypatch.setenv(registry.ENV_VAR, "numba")
+    active = kernels.set_backend("python")
+    assert active == "python"
+    assert kernels.current_backend_name() == "python"
+
+
+def test_unknown_backend_falls_back_to_python():
+    assert kernels.set_backend("fortran") == "python"
+
+
+def test_use_backend_restores_previous():
+    kernels.set_backend("python")
+    with kernels.use_backend("numba"):
+        assert kernels.current_backend_name() in ("numba", "python")
+    assert kernels.backend_status()["requested"] == "python"
+
+
+def test_backend_status_shape():
+    status = kernels.backend_status()
+    assert set(status) == {"requested", "active", "available"}
+    assert status["active"] in status["available"]
+
+
+def test_warmup_is_noop_on_python():
+    kernels.set_backend("python")
+    kernels.warmup()  # must not raise (and must not import numba)
+
+
+def test_kernels_table_is_well_formed():
+    for name, spec in kernels.KERNELS.items():
+        assert spec["module"].startswith("repro.")
+        assert spec["reference"].startswith("_reference_")
+        assert spec["doc"]
+        if "via" in spec:
+            assert spec["via"] in kernels.KERNELS
