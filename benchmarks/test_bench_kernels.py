@@ -23,7 +23,10 @@ import pytest
 
 from repro import kernels
 from repro.caching.nocache import NoCache
+from repro.core.data import Query
 from repro.core.knapsack import KnapsackItem, solve_knapsack
+from repro.experiments.serve import ServeSession
+from repro.metrics.collector import MetricsCollector
 from repro.core.ncl import _reference_ncl_metrics, ncl_metrics
 from repro.experiments.runner import run_repeated
 from repro.graph.contact_graph import ContactGraph
@@ -272,6 +275,82 @@ def test_bench_kernel_knapsack_n200(benchmark, backend):
     items = _knapsack_items(200)
     solution = benchmark(solve_knapsack, items, 2000 * MEGABIT)
     assert solution.total_size <= 2000 * MEGABIT
+
+
+#: per-round query count of the streaming-collector throughput benchmark
+COLLECTOR_FEED_QUERIES = 20_000
+
+
+def _feed_streaming_collector(queries):
+    collector = MetricsCollector(streaming=True)
+    for query in queries:
+        collector.on_query_created(query)
+        collector.record_delivery(query, query.created_at + 1.0)
+    return collector
+
+
+def test_bench_throughput_streaming_collector(benchmark):
+    """Raw bounded-memory collector throughput (queries/sec tier).
+
+    Publishes its deterministic per-round query count through
+    ``extra_info["queries"]``; the bench guard divides it by the mean
+    round time and fails when queries/sec drops below
+    baseline/threshold.
+    """
+    queries = [
+        Query(
+            query_id=index,
+            requester=0,
+            data_id=index,
+            created_at=float(index),
+            time_constraint=500.0,
+        )
+        for index in range(COLLECTOR_FEED_QUERIES)
+    ]
+    collector = benchmark(_feed_streaming_collector, queries)
+    assert collector.queries_issued == COLLECTOR_FEED_QUERIES
+    benchmark.extra_info["queries"] = COLLECTOR_FEED_QUERIES
+
+
+def _run_serve_batches():
+    from repro.scenario import (
+        RunSpec,
+        ScenarioSpec,
+        SchemeSpec,
+        TraceSpec,
+        build_trace,
+        scheme_factory,
+        simulator_config,
+    )
+
+    spec = ScenarioSpec(
+        trace=TraceSpec(name="mit_reality", node_factor=0.35, time_factor=0.08),
+        scheme=SchemeSpec(),
+        run=RunSpec(streaming_metrics=True),
+    )
+    trace = build_trace(spec.trace)
+    workload = WorkloadConfig(
+        mean_data_lifetime=trace.duration * 0.1,
+        mean_data_size=100_000_000,
+        arrival_process="bursty",
+    )
+    session = ServeSession(
+        trace, scheme_factory(spec)(), workload, simulator_config(spec)
+    )
+    for _ in range(4):
+        session.run_batch(rounds=4)
+    return session.finalize()
+
+
+def test_bench_throughput_serve_batches(benchmark):
+    """End-to-end serve-mode throughput on the bench-scale trace.
+
+    The per-round query count is deterministic (fresh session, same
+    seed each round), so the guard can derive queries/sec from it.
+    """
+    result = benchmark.pedantic(_run_serve_batches, rounds=2, iterations=1)
+    assert result.queries_issued > 0
+    benchmark.extra_info["queries"] = result.queries_issued
 
 
 def _best_of(callable_, repeats=3):

@@ -1,0 +1,108 @@
+#!/usr/bin/env python
+"""Arrival-process registry lint: every process has a determinism test.
+
+The arrival registry (:data:`repro.workload.arrivals.ARRIVALS`) decides
+what a ``WorkloadConfig.arrival_process`` may say.  Heavy-traffic runs
+lean on the paired-workload contract — same seed ⇒ same query stream —
+so an arrival process nobody determinism-tests is an arrival process
+nobody can trust in a paired comparison.  Two invariants:
+
+* **Determinism coverage** — every registered arrival-process name
+  appears in the ``DETERMINISM_PROCESSES`` list of
+  ``tests/workload/test_arrivals.py``, which parametrizes the
+  same-seed ⇒ same-query-stream test.
+* **Smoke coverage** — every registered name appears (as a whole word)
+  somewhere under ``tests/``, mirroring the scenario-registry lint.
+
+Run standalone (exit 1 on violations) or via the pytest wrapper in
+``tests/workload/test_registry_lint.py``.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+import re
+import sys
+from typing import Iterable, List, NamedTuple
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+TESTS_ROOT = os.path.join(REPO_ROOT, "tests")
+ARRIVALS_TEST = os.path.join(TESTS_ROOT, "workload", "test_arrivals.py")
+
+if os.path.join(REPO_ROOT, "src") not in sys.path:
+    sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+
+from repro.workload.arrivals import ARRIVALS  # noqa: E402  (path bootstrap)
+
+
+class Violation(NamedTuple):
+    name: str
+    problem: str
+
+    def __str__(self) -> str:
+        return f"arrival process {self.name!r}: {self.problem}"
+
+
+def determinism_tested_names(test_path: str = ARRIVALS_TEST) -> List[str]:
+    """The ``DETERMINISM_PROCESSES`` literal from the arrivals test.
+
+    Parsed via AST rather than imported so the lint works without
+    pytest's import machinery (conftest paths) and cannot execute test
+    code.
+    """
+    tree = ast.parse(open(test_path, "r", encoding="utf-8").read())
+    for node in tree.body:
+        if isinstance(node, ast.Assign):
+            targets = [t.id for t in node.targets if isinstance(t, ast.Name)]
+            if "DETERMINISM_PROCESSES" in targets:
+                value = ast.literal_eval(node.value)
+                if not isinstance(value, list) or not all(
+                    isinstance(item, str) for item in value
+                ):
+                    raise TypeError("DETERMINISM_PROCESSES must be a list of names")
+                return value
+    raise LookupError(f"no DETERMINISM_PROCESSES list in {test_path}")
+
+
+def iter_test_files(root: str = TESTS_ROOT) -> Iterable[str]:
+    for dirpath, _dirnames, filenames in os.walk(root):
+        for filename in sorted(filenames):
+            if filename.endswith(".py"):
+                yield os.path.join(dirpath, filename)
+
+
+def collect_violations(tests_root: str = TESTS_ROOT) -> List[Violation]:
+    violations: List[Violation] = []
+    tested = set(determinism_tested_names())
+    corpus = "\n".join(
+        open(path, "r", encoding="utf-8").read() for path in iter_test_files(tests_root)
+    )
+    for name in ARRIVALS.names():
+        if name not in tested:
+            violations.append(
+                Violation(name, "not in DETERMINISM_PROCESSES (test_arrivals.py)")
+            )
+        if not re.search(rf"\b{re.escape(name)}\b", corpus):
+            violations.append(Violation(name, "no smoke test mentions this name"))
+    for name in sorted(tested - set(ARRIVALS.names())):
+        violations.append(
+            Violation(name, "listed in DETERMINISM_PROCESSES but not registered")
+        )
+    return violations
+
+
+def main() -> int:
+    violations = collect_violations()
+    for violation in violations:
+        print(violation, file=sys.stderr)
+    if violations:
+        print(f"{len(violations)} arrival-registry violation(s)", file=sys.stderr)
+        return 1
+    names = ARRIVALS.names()
+    print(f"all {len(names)} arrival processes are determinism-tested")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

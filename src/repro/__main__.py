@@ -14,6 +14,9 @@ Commands
     Check the exponential inter-contact assumption on a preset trace.
 ``figure``
     Regenerate one of the paper's tables/figures at a chosen scale.
+``serve``
+    Fit the network once, then replay query batches against the fitted
+    state (heavy-traffic mode: streaming metrics, per-batch throughput).
 ``bench``
     Run the kernel microbenchmarks and fail on regression vs baseline.
 ``trace``
@@ -56,6 +59,7 @@ from repro.traces.analysis import exponential_fit_report
 from repro.traces.catalog import TRACE_PRESETS, load_preset_trace
 from repro.traces.stats import summarize_trace
 from repro.units import HOUR, MEGABIT
+from repro.workload import ARRIVALS
 from repro.workload.config import WorkloadConfig
 
 SCHEMES = SCHEME_REGISTRY.names()
@@ -113,10 +117,25 @@ def cmd_ncl(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_arrival_param(pair: str):
+    key, sep, value = pair.partition("=")
+    try:
+        if not sep or not key:
+            raise ValueError(pair)
+        return key, float(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected KEY=NUMBER, got {pair!r}"
+        ) from None
+
+
 def _workload_from_args(args: argparse.Namespace) -> WorkloadConfig:
+    params = dict(getattr(args, "arrival_param", None) or []) or None
     return WorkloadConfig(
         mean_data_lifetime=args.lifetime_hours * HOUR,
         mean_data_size=int(args.size_mb * MEGABIT),
+        arrival_process=getattr(args, "arrival", "periodic"),
+        arrival_params=params,
     )
 
 
@@ -150,6 +169,7 @@ def _print_registries() -> None:
         ("trace sources", TRACE_SOURCES),
         ("response strategies", RESPONSE_STRATEGIES),
         ("routers", ROUTERS),
+        ("arrival processes", ARRIVALS),
     ):
         print(f"{title}: {', '.join(registry.names())}")
 
@@ -232,6 +252,47 @@ def cmd_simulate(args: argparse.Namespace) -> int:
 def cmd_compare(args: argparse.Namespace) -> int:
     for scheme_name in SCHEMES:
         print(_result_line(_run_one(args, scheme_name)))
+    return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    from repro.experiments.serve import serve_repeated, summarize_throughput
+
+    spec = _scenario_from_args(args)
+    # Serving heavy traffic is the streaming collector's home turf.
+    spec = dataclasses.replace(
+        spec, run=dataclasses.replace(spec.run, streaming_metrics=True)
+    )
+    outcomes = serve_repeated(
+        build_trace(spec.trace),
+        scheme_factory(spec),
+        spec.workload,
+        seeds=spec.run.seeds,
+        batches=args.batches,
+        rounds_per_batch=args.rounds,
+        config=simulator_config(spec),
+        workers=args.workers,
+    )
+    all_batches = []
+    for seed, (result, batches) in zip(spec.run.seeds, outcomes):
+        for batch in batches:
+            print(
+                f"seed {seed} batch {batch.index:3d} "
+                f"[{batch.start / HOUR:7.1f}h, {batch.end / HOUR:7.1f}h) "
+                f"issued={batch.queries_issued:5d} "
+                f"satisfied={batch.queries_satisfied:5d} "
+                f"pending={batch.pending_queries:5d} "
+                f"{batch.queries_per_second:9.0f} q/s"
+            )
+        print(_result_line(result))
+        all_batches.extend(batches)
+    summary = summarize_throughput(all_batches)
+    print(
+        f"throughput: {summary['queries_issued']} queries in "
+        f"{summary['wall_seconds']:.2f}s wall = "
+        f"{summary['queries_per_second']:.0f} q/s "
+        f"over {summary['batches']} batches"
+    )
     return 0
 
 
@@ -420,14 +481,57 @@ def build_parser() -> argparse.ArgumentParser:
     p_ncl.add_argument("-k", type=int, default=5)
     p_ncl.set_defaults(func=cmd_ncl)
 
-    for name, func in (("simulate", cmd_simulate), ("compare", cmd_compare)):
-        p = sub.add_parser(name, help=f"{name} scheme(s) on a preset trace")
+    for name, func in (
+        ("simulate", cmd_simulate),
+        ("compare", cmd_compare),
+        ("serve", cmd_serve),
+    ):
+        p = sub.add_parser(
+            name,
+            help=(
+                "fit once, replay query batches (heavy-traffic mode)"
+                if name == "serve"
+                else f"{name} scheme(s) on a preset trace"
+            ),
+        )
         _add_trace_args(p)
         p.add_argument("--scheme", choices=SCHEMES, default="intentional")
         p.add_argument("-k", type=int, default=5)
         p.add_argument("--lifetime-hours", type=float, default=72.0)
         p.add_argument("--size-mb", type=float, default=100.0)
         p.add_argument("--seed", type=int, default=7)
+        p.add_argument(
+            "--arrival",
+            choices=ARRIVALS.names(),
+            default="periodic",
+            help="query arrival process (default: the paper's periodic rounds)",
+        )
+        p.add_argument(
+            "--arrival-param",
+            action="append",
+            type=_parse_arrival_param,
+            metavar="KEY=VALUE",
+            help="arrival-process knob, repeatable (e.g. --arrival-param burst=4)",
+        )
+        if name == "serve":
+            p.add_argument(
+                "--batches", type=int, default=8, metavar="N",
+                help="number of query batches to replay",
+            )
+            p.add_argument(
+                "--rounds", type=int, default=1, metavar="N",
+                help="query rounds per batch",
+            )
+            p.add_argument(
+                "--repeat", type=int, default=1, metavar="N",
+                help="serve sessions with seeds seed..seed+N-1",
+            )
+            p.add_argument(
+                "--workers", type=int, default=None, metavar="N",
+                help="process-pool size for --repeat > 1",
+            )
+            p.set_defaults(func=func)
+            continue
         p.add_argument(
             "--trace-out",
             default=None,

@@ -9,6 +9,8 @@
   ``fig12``, ``fig13``.
 * :mod:`repro.experiments.report` — ASCII rendering and CSV export of
   results.
+* :mod:`repro.experiments.serve` — long-lived batch replay
+  (``repro serve``): fit the network once, stream query batches.
 """
 
 from repro.experiments.configs import (
@@ -34,6 +36,12 @@ from repro.experiments.figures import (
 )
 from repro.experiments.runner import run_comparison, run_single
 from repro.experiments.report import render_figure, render_table, results_to_csv
+from repro.experiments.serve import (
+    BatchResult,
+    ServeSession,
+    serve_repeated,
+    summarize_throughput,
+)
 
 __all__ = [
     "ExperimentScale",
@@ -55,6 +63,10 @@ __all__ = [
     "fig13",
     "run_single",
     "run_comparison",
+    "BatchResult",
+    "ServeSession",
+    "serve_repeated",
+    "summarize_throughput",
     "render_figure",
     "render_table",
     "results_to_csv",

@@ -36,6 +36,14 @@ recorded before the backend split stay readable.  When both backends
 ran, the guard prints a compiled-vs-python speedup table (informational;
 the ≥3x floor is asserted inside the benchmark suite).  The baseline's
 provenance manifest records the active kernel backend.
+
+Benchmarks that publish ``benchmark.extra_info["queries"]`` (the
+heavy-traffic workload benchmarks) additionally form a **throughput
+tier**: the guard derives queries/sec from the deterministic per-round
+query count and the measured mean, records it under the baseline's
+``throughput`` map, and fails when a run's q/s drops below
+``baseline / threshold`` — the reciprocal of the mean-time rule,
+stated in the unit the heavy-traffic engine is specced in.
 """
 
 from __future__ import annotations
@@ -52,12 +60,14 @@ from repro.obs.provenance import build_manifest
 
 __all__ = [
     "load_benchmark_means",
+    "load_benchmark_queries",
     "compare_against_baseline",
     "check_twin_overhead",
     "check_profiler_overhead",
     "check_reelection_overhead",
     "check_diagnose_overhead",
     "check_backend_speedups",
+    "check_throughput",
     "run_guard",
     "main",
 ]
@@ -82,6 +92,11 @@ REELECT_OVERHEAD_THRESHOLD = 1.05
 DIAGNOSE_SUFFIX = "_diagnose"
 DIAGNOSE_OVERHEAD_THRESHOLD = 1.5
 
+#: a throughput benchmark may drop to at most baseline/threshold q/s —
+#: the reciprocal of the mean-time regression rule, stated in the unit
+#: the heavy-traffic engine is specced in.
+THROUGHPUT_THRESHOLD = DEFAULT_THRESHOLD
+
 
 def load_benchmark_means(result_json: Path) -> Dict[str, float]:
     """Extract ``{benchmark name: mean seconds}`` from pytest-benchmark JSON."""
@@ -90,6 +105,22 @@ def load_benchmark_means(result_json: Path) -> Dict[str, float]:
         entry["name"]: float(entry["stats"]["mean"])
         for entry in payload.get("benchmarks", [])
     }
+
+
+def load_benchmark_queries(result_json: Path) -> Dict[str, int]:
+    """``{benchmark name: queries processed per round}`` from the report.
+
+    Throughput benchmarks publish their deterministic per-round query
+    count through ``benchmark.extra_info["queries"]``; benchmarks
+    without it are not throughput benchmarks.
+    """
+    payload = json.loads(Path(result_json).read_text())
+    queries = {}
+    for entry in payload.get("benchmarks", []):
+        count = entry.get("extra_info", {}).get("queries")
+        if count:
+            queries[entry["name"]] = int(count)
+    return queries
 
 
 def _split_param(name: str) -> Tuple[str, str]:
@@ -203,6 +234,30 @@ def check_backend_speedups(
     return rows
 
 
+def check_throughput(
+    means: Dict[str, float],
+    queries: Dict[str, int],
+    baseline_qps: Dict[str, float],
+    threshold: float = THROUGHPUT_THRESHOLD,
+) -> List[Tuple[str, float, Optional[float], bool]]:
+    """Per-benchmark ``(name, q/s, baseline q/s, regressed)`` rows.
+
+    A throughput benchmark regresses when its queries/sec falls below
+    ``baseline / threshold``; benchmarks without a baseline entry never
+    regress (they are NEW).
+    """
+    rows = []
+    for name in sorted(queries):
+        mean = means.get(name)
+        if not mean:
+            continue
+        qps = queries[name] / mean
+        reference = baseline_qps.get(name)
+        regressed = reference is not None and qps < reference / threshold
+        rows.append((name, qps, reference, regressed))
+    return rows
+
+
 def _run_benchmarks(benchmark_file: Path, result_json: Path) -> int:
     env = dict(os.environ)
     src = str(Path(__file__).resolve().parents[2])
@@ -235,15 +290,28 @@ def run_guard(
         print("benchmark run failed", file=sys.stderr)
         return status
     current = load_benchmark_means(result_json)
+    query_counts = load_benchmark_queries(result_json)
+    current_qps = {
+        name: query_counts[name] / current[name]
+        for name in query_counts
+        if current.get(name)
+    }
     if update_baseline:
         # The manifest pins where these numbers came from (git revision,
         # package versions, platform) — baselines are machine-dependent.
         manifest = build_manifest(
             {"benchmark_file": str(benchmark_file), "threshold": threshold}, []
         )
-        payload = {"benchmarks": current, "provenance": manifest}
+        payload = {
+            "benchmarks": current,
+            "throughput": current_qps,
+            "provenance": manifest,
+        }
         baseline_path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
-        print(f"baseline updated: {baseline_path} ({len(current)} kernels)")
+        print(
+            f"baseline updated: {baseline_path} ({len(current)} kernels, "
+            f"{len(current_qps)} throughput)"
+        )
         return 0
     if not baseline_path.exists():
         print(
@@ -280,6 +348,20 @@ def run_guard(
                 f"(limit {limit:.2f}x)"
             )
             overhead_failures += int(failed)
+    throughput_failures = 0
+    throughput_rows = check_throughput(
+        current, query_counts, payload.get("throughput", {}), threshold
+    )
+    if throughput_rows:
+        print("\nthroughput (queries/sec, floor = baseline / threshold):")
+        for name, qps, reference, regressed in throughput_rows:
+            if reference is None:
+                verdict, detail = "NEW", "no baseline entry"
+            else:
+                verdict = "FAIL" if regressed else "ok"
+                detail = f"baseline {reference:10.0f} q/s  ratio {qps / reference:5.2f}x"
+                throughput_failures += int(regressed)
+            print(f"{verdict:4s} {name:45s} {qps:10.0f} q/s  {detail}")
     speedups = check_backend_speedups(current)
     if speedups:
         print("\ncompiled-kernel speedups (numba vs python, same run):")
@@ -297,6 +379,13 @@ def run_guard(
     if overhead_failures:
         print(
             f"{overhead_failures} benchmark(s) exceed their twin overhead limit",
+            file=sys.stderr,
+        )
+        return 1
+    if throughput_failures:
+        print(
+            f"{throughput_failures} benchmark(s) fell below baseline/"
+            f"{threshold:.2f} queries/sec",
             file=sys.stderr,
         )
         return 1

@@ -196,7 +196,7 @@ def fig9a(scale: ExperimentScale, lifetime_fractions: Sequence[float] = (0.05, 0
                 own[item.source] = item.expires_at
             live_samples.append(len(process.live_items(t)))
             t += workload.data_generation_period
-        generated.append(float(len(process.generated_items)))
+        generated.append(float(process.data_items_generated))
         live.append(float(np.mean(live_samples)))
     x = [lifetime / HOUR for lifetime in lifetimes]
     return FigureResult(

@@ -33,6 +33,8 @@ class SimulationResult:
     responses_emitted: int
     responses_delivered: int
     bits_transferred: int
+    duplicate_deliveries: int = 0  # redundant copies for satisfied queries
+    late_deliveries: int = 0       # copies arriving past the constraint
 
     def as_row(self) -> Dict[str, object]:
         """Flat dict for report tables."""

@@ -89,7 +89,9 @@ HANDLED_KINDS = frozenset(
 #: Kinds that carry no custody information: router verdicts, buffer
 #: exchanges (data placement, not bundle custody), periodic samples,
 #: committee re-elections (the migration events that follow are what
-#: move copies) and node (re)joins (joining cannot break a chain).
+#: move copies), node (re)joins (joining cannot break a chain), and the
+#: delivery-classification audit events (the custody chain already
+#: carries the RESPONSE_DELIVERED hop; duplicate/late only label it).
 IGNORED_KINDS = frozenset(
     {
         TraceEventKind.ROUTE_DECISION,
@@ -97,6 +99,8 @@ IGNORED_KINDS = frozenset(
         TraceEventKind.SAMPLE,
         TraceEventKind.NCL_REELECTED,
         TraceEventKind.NODE_JOINED,
+        TraceEventKind.DELIVERY_DUPLICATE,
+        TraceEventKind.DELIVERY_LATE,
     }
 )
 

@@ -79,6 +79,8 @@ class DerivedMetrics:
     data_generated: int
     delivery_events: int
     responses_emitted: int
+    duplicate_deliveries: int = 0
+    late_deliveries: int = 0
 
 
 @dataclass
@@ -124,6 +126,8 @@ def derive_metrics(events: Iterable[TraceEvent]) -> DerivedMetrics:
     data_generated = 0
     delivery_events = 0
     responses_emitted = 0
+    duplicate_deliveries = 0
+    late_deliveries = 0
     for event in events:
         kind = event.kind
         if kind is TraceEventKind.QUERY_CREATED:
@@ -145,6 +149,10 @@ def derive_metrics(events: Iterable[TraceEvent]) -> DerivedMetrics:
             delivery_events += 1
         elif kind is TraceEventKind.RESPONSE_EMITTED:
             responses_emitted += 1
+        elif kind is TraceEventKind.DELIVERY_DUPLICATE:
+            duplicate_deliveries += 1
+        elif kind is TraceEventKind.DELIVERY_LATE:
+            late_deliveries += 1
     issued_count = len(issued)
     return DerivedMetrics(
         queries_issued=issued_count,
@@ -157,6 +165,8 @@ def derive_metrics(events: Iterable[TraceEvent]) -> DerivedMetrics:
         data_generated=data_generated,
         delivery_events=delivery_events,
         responses_emitted=responses_emitted,
+        duplicate_deliveries=duplicate_deliveries,
+        late_deliveries=late_deliveries,
     )
 
 

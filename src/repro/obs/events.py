@@ -34,6 +34,8 @@ class TraceEventKind(str, Enum):
     RESPONSE_FORWARDED = "response_forwarded"  # a relay took over a response
     RESPONSE_DELIVERED = "response_delivered"  # a copy reached the requester
     QUERY_SATISFIED = "query_satisfied"      # first in-constraint delivery
+    DELIVERY_DUPLICATE = "delivery.duplicate"  # redundant copy, already satisfied
+    DELIVERY_LATE = "delivery.late"          # copy arrived past the constraint
     # network-wide bookkeeping
     ROUTE_DECISION = "route_decision"        # a router's forwarding verdict
     EXCHANGE = "exchange"                    # Sec. V-D pairwise replacement

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import csv
 import json
+import math
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Mapping, Sequence, Tuple
 
@@ -52,6 +53,8 @@ SCALAR_COLUMNS: Tuple[str, ...] = (
     "cache_hit_ratio",
     "mean_buffer_occupancy",
     "max_buffer_occupancy",
+    "delay_p50",
+    "delay_p95",
 )
 
 
@@ -71,6 +74,9 @@ class TimeSeriesSample:
     node_occupancy: Tuple[float, ...] = ()
     #: cached item count per NCL central node (empty for NCL-less schemes)
     ncl_load: Mapping[int, int] = field(default_factory=dict)
+    #: running P² delay-quantile estimates (NaN until deliveries arrive)
+    delay_p50: float = float("nan")
+    delay_p95: float = float("nan")
 
     @property
     def copies_per_item(self) -> float:
@@ -96,10 +102,17 @@ class TimeSeriesSample:
         return max(self.node_occupancy) if self.node_occupancy else 0.0
 
     def as_row(self) -> Dict[str, object]:
-        """Flat JSON-ready dict: scalar columns plus the two vectors."""
-        row: Dict[str, object] = {
-            name: getattr(self, name) for name in SCALAR_COLUMNS
-        }
+        """Flat JSON-ready dict: scalar columns plus the two vectors.
+
+        NaN-valued columns (quantiles before any delivery) export as
+        ``None`` — JSON ``null`` round-trips, bare NaN does not.
+        """
+        row: Dict[str, object] = {}
+        for name in SCALAR_COLUMNS:
+            value = getattr(self, name)
+            if isinstance(value, float) and math.isnan(value):
+                value = None
+            row[name] = value
         row["node_occupancy"] = list(self.node_occupancy)
         row["ncl_load"] = {str(k): v for k, v in sorted(self.ncl_load.items())}
         return row
@@ -194,7 +207,13 @@ def summarize_timeseries(
     rows = list(rows)
     summary: Dict[str, Dict[str, float]] = {}
     for name in SCALAR_COLUMNS:
-        values = [float(row[name]) for row in rows if name in row]
+        values = [
+            value
+            for row in rows
+            if row.get(name) is not None
+            for value in (float(row[name]),)
+            if not math.isnan(value)
+        ]
         if not values:
             continue
         summary[name] = {

@@ -1,0 +1,69 @@
+"""The generic name → value registry used across the package.
+
+A :class:`Registry` is an *ordered* mapping with decorator registration
+and duplicate rejection.  It lives in its own dependency-free module so
+that both the scenario layer (schemes, routers, traces — see
+:mod:`repro.scenario.registry`) and the workload layer (arrival
+processes — see :mod:`repro.workload.arrivals`) can share one
+implementation without creating an import cycle between them.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generic, Iterator, Optional, Tuple, TypeVar
+
+from repro.errors import ConfigurationError
+
+__all__ = ["Registry"]
+
+T = TypeVar("T")
+
+
+class Registry(Generic[T]):
+    """An ordered name → value mapping with decorator registration."""
+
+    def __init__(self, kind: str):
+        self.kind = kind
+        self._entries: Dict[str, T] = {}
+
+    def register(self, name: str, value: Optional[T] = None):
+        """Register *value* under *name*; usable as a decorator.
+
+        Duplicate names are rejected — silently shadowing a scheme would
+        change what every existing scenario file means.
+        """
+        if name in self._entries:
+            raise ConfigurationError(
+                f"{self.kind} {name!r} is already registered"
+            )
+
+        def _store(entry: T) -> T:
+            self._entries[name] = entry
+            return entry
+
+        if value is None:
+            return _store
+        return _store(value)
+
+    def get(self, name: str) -> T:
+        try:
+            return self._entries[name]
+        except KeyError:
+            raise ConfigurationError(
+                f"unknown {self.kind} {name!r}; available: {sorted(self._entries)}"
+            ) from None
+
+    def names(self) -> Tuple[str, ...]:
+        return tuple(self._entries)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._entries
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._entries)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Registry({self.kind}: {list(self._entries)})"

@@ -131,6 +131,7 @@ def simulator_config(
         trace_path=trace_path,
         profile=run.profile,
         timeseries=run.timeseries,
+        streaming_metrics=run.streaming_metrics,
         dynamics=spec.dynamics if spec.dynamics else None,
     )
 

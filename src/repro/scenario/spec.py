@@ -102,6 +102,8 @@ class RunSpec:
     profile: bool = False
     timeseries: bool = False
     validate_invariants: bool = False
+    #: bounded-memory metrics collection (the heavy-traffic path)
+    streaming_metrics: bool = False
 
     def __post_init__(self) -> None:
         if self.repeat < 1:

@@ -142,6 +142,12 @@ def check_trace_consistency(
         ("caching_overhead", result.caching_overhead, derived.caching_overhead),
         ("data_generated", result.data_generated, derived.data_generated),
         ("responses_delivered", result.responses_delivered, derived.delivery_events),
+        (
+            "duplicate_deliveries",
+            result.duplicate_deliveries,
+            derived.duplicate_deliveries,
+        ),
+        ("late_deliveries", result.late_deliveries, derived.late_deliveries),
     )
     for name, counted, traced in checks:
         if isinstance(counted, float) or isinstance(traced, float):

@@ -20,7 +20,7 @@ every random decision draws from a named child stream of the root seed.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Set
 
 from repro.caching.base import CachingScheme, SchemeServices
@@ -102,6 +102,14 @@ class SimulatorConfig:
         (:class:`repro.obs.timeseries.TimeSeriesSampler`: per-node
         occupancy, per-NCL load, cache-hit ratio, pending queries) at
         every ``SAMPLE_METRICS`` event.  Off by default.
+    streaming_metrics:
+        Run the collector in bounded-memory streaming mode
+        (:class:`repro.metrics.collector.MetricsCollector` with running
+        sums, a delay reservoir and pruned per-query state) — the
+        heavy-traffic path.  Off by default: the exact mode retains the
+        full query record.
+    reservoir_size:
+        Capacity of the streaming mode's uniform delay sample.
     """
 
     seed: int = 0
@@ -115,6 +123,8 @@ class SimulatorConfig:
     profile: bool = False
     timeseries: bool = False
     dynamics: Optional[DynamicsConfig] = None
+    streaming_metrics: bool = False
+    reservoir_size: int = 256
 
     def __post_init__(self) -> None:
         if self.link_capacity <= 0:
@@ -125,6 +135,8 @@ class SimulatorConfig:
             raise ConfigurationError("snapshot_period must be non-negative")
         if self.sample_period is not None and self.sample_period <= 0:
             raise ConfigurationError("sample_period must be positive")
+        if self.reservoir_size < 1:
+            raise ConfigurationError("reservoir_size must be >= 1")
 
 
 class Simulator:
@@ -157,7 +169,18 @@ class Simulator:
             self.recorder = NULL_RECORDER
 
         self._factory = SeedSequenceFactory(self.config.seed)
-        self.metrics = MetricsCollector()
+        # The streaming collector's reservoir draws from its own named
+        # stream; the exact collector draws nothing (and gets no stream,
+        # keeping its construction byte-identical to the legacy path).
+        self.metrics = (
+            MetricsCollector(
+                streaming=True,
+                reservoir_size=self.config.reservoir_size,
+                rng=self._factory.generator("metrics"),
+            )
+            if self.config.streaming_metrics
+            else MetricsCollector()
+        )
         self.timeline = TimelineRecorder()
         # Aggregate instruments are always on (an inc is one integer add);
         # spans and extended sampling are opt-in behind enabled guards.
@@ -193,10 +216,23 @@ class Simulator:
         if self.recorder.enabled:
             for node in self.nodes:
                 node.trace = self.recorder
+        # The arrival process gets its own named stream: the default
+        # periodic process never touches it, and stochastic processes
+        # draw from it without perturbing the workload stream — same
+        # seed, different arrival process, identical data catalogue.
         self.workload_process = WorkloadProcess(
-            workload, trace.num_nodes, self._factory.generator("workload")
+            workload,
+            trace.num_nodes,
+            self._factory.generator("workload"),
+            arrival_rng=self._factory.generator("workload.arrivals"),
         )
         self._ran = False
+        # Serve-mode (long-lived session) state; see start_session().
+        self._session_active = False
+        self._eval_contacts: List[Contact] = []
+        self._serve_cycle = 0
+        self._serve_index = 0
+        self._round_cursor: Dict[EventKind, int] = {}
 
     # --- derived times ---------------------------------------------------
 
@@ -441,6 +477,8 @@ class Simulator:
             cache_hits=self.metrics.cache_hits,
             node_occupancy=node_occupancy,
             ncl_load=ncl_load,
+            delay_p50=self.metrics.delay_p50,
+            delay_p95=self.metrics.delay_p95,
         )
 
     # --- run ------------------------------------------------------------
@@ -462,7 +500,26 @@ class Simulator:
 
     def _run(self) -> SimulationResult:
         warmup_end = self.warmup_end
-        # Phase 1: warm-up — estimator only, no discrete events needed.
+        eval_contacts = self._warmup()
+        self._prepare(warmup_end)
+        for contact in eval_contacts:
+            self.engine.schedule(contact.start, EventKind.CONTACT, contact)
+        end = self.trace.end_time
+        self._schedule_rounds(end)
+        if self._dynamics is not None:
+            # Dynamics land inside the evaluation window; same-instant
+            # ordering (NETWORK_DYNAMICS < GRAPH_REFRESH) applies churn
+            # before any coinciding refresh reads the topology.
+            self._dynamics.schedule(self.engine, warmup_end, end)
+
+        self.engine.run()
+        return self._finalize()
+
+    # --- run phases (shared with serve mode) ------------------------------
+
+    def _warmup(self) -> List[Contact]:
+        """Phase 1: feed the estimator; return the evaluation contacts."""
+        warmup_end = self.warmup_end
         eval_contacts: List[Contact] = []
         for contact in self.trace:
             if contact.start < warmup_end:
@@ -471,8 +528,11 @@ class Simulator:
                 )
             else:
                 eval_contacts.append(contact)
+        self.workload_process.set_window(warmup_end, self.trace.end_time)
+        return eval_contacts
 
-        # Phase 2: setup at the midpoint.
+    def _prepare(self, warmup_end: float) -> None:
+        """Phase 2 + handler registration: scheme setup at the midpoint."""
         services = SchemeServices(
             nodes=self.nodes,
             rng=self._factory.generator("scheme"),
@@ -488,7 +548,6 @@ class Simulator:
         with maybe_span(self.profiler, "sim.setup"):
             self._setup(services, warmup_end)
 
-        # Phase 3: evaluation events.
         engine = self.engine
         engine.register(EventKind.CONTACT, self._handle_contact)
         engine.register(EventKind.DATA_GENERATION, self._handle_data_round)
@@ -498,46 +557,46 @@ class Simulator:
         if self._dynamics is not None:
             engine.register(EventKind.NETWORK_DYNAMICS, self._handle_dynamics)
 
-        for contact in eval_contacts:
-            engine.schedule(contact.start, EventKind.CONTACT, contact)
+    def _round_specs(self) -> "List[tuple]":
+        """(kind, period, first-index) of every periodic round family.
 
-        end = self.trace.end_time
-
-        def schedule_periodic(kind: EventKind, period: float, first: int) -> None:
-            # Round k fires at warmup_end + k·period by index multiplication
-            # (not t += period accumulation), so long traces cannot drift
-            # the round times through float rounding.
-            k = first
-            while True:
-                t = warmup_end + k * period
-                if t >= end:
-                    break
-                engine.schedule(t, kind)
-                k += 1
-
-        schedule_periodic(
-            EventKind.DATA_GENERATION, self.workload.data_generation_period, first=0
-        )
-        # Queries start one period after the first data round so the first
-        # pushes have had a chance to leave the sources (Sec. VI-A issues
-        # data and queries throughout the second half; the offset choice
-        # is documented in DESIGN.md).
+        Queries start one period after the first data round so the first
+        pushes have had a chance to leave the sources (Sec. VI-A issues
+        data and queries throughout the second half; the offset choice
+        is documented in DESIGN.md).
+        """
         query_period = self.workload.query_generation_period
-        schedule_periodic(EventKind.QUERY_GENERATION, query_period, first=1)
         refresh_period = self.config.graph_refresh_period or max(
             self.eval_duration / 20.0, 1.0
         )
-        schedule_periodic(EventKind.GRAPH_REFRESH, refresh_period, first=1)
-        schedule_periodic(
-            EventKind.SAMPLE_METRICS, self.config.sample_period or query_period, first=1
-        )
-        if self._dynamics is not None:
-            # Dynamics land inside the evaluation window; same-instant
-            # ordering (NETWORK_DYNAMICS < GRAPH_REFRESH) applies churn
-            # before any coinciding refresh reads the topology.
-            self._dynamics.schedule(engine, warmup_end, end)
+        return [
+            (EventKind.DATA_GENERATION, self.workload.data_generation_period, 0),
+            (EventKind.QUERY_GENERATION, query_period, 1),
+            (EventKind.GRAPH_REFRESH, refresh_period, 1),
+            (EventKind.SAMPLE_METRICS, self.config.sample_period or query_period, 1),
+        ]
 
-        engine.run()
+    def _schedule_rounds(self, until: float) -> None:
+        """Schedule every periodic round with time < *until*.
+
+        Round k fires at warmup_end + k·period by index multiplication
+        (not t += period accumulation), so long horizons cannot drift
+        the round times through float rounding.  Per-kind cursors let
+        serve mode extend the schedule window-by-window without ever
+        re-issuing or skipping a round.
+        """
+        warmup_end = self.warmup_end
+        for kind, period, first in self._round_specs():
+            k = self._round_cursor.get(kind, first)
+            while True:
+                t = warmup_end + k * period
+                if t >= until:
+                    break
+                self.engine.schedule(t, kind)
+                k += 1
+            self._round_cursor[kind] = k
+
+    def _finalize(self) -> SimulationResult:
         result = self.metrics.finalize(name=self.scheme.name, seed=self.config.seed)
         if isinstance(self.recorder, MemoryRecorder):
             # In-memory traces are cheap to re-derive, so every traced
@@ -546,6 +605,66 @@ class Simulator:
         if self._owns_recorder:
             self.recorder.close()
         return result
+
+    # --- serve mode (long-lived session) ----------------------------------
+
+    def start_session(self) -> None:
+        """Fit the network once for batch replay (``repro serve``).
+
+        Runs the warm-up and scheme setup exactly as :meth:`run` would,
+        but schedules nothing: :meth:`advance_session` then replays the
+        evaluation contacts cycle after cycle, window by window, and
+        :meth:`finalize_session` freezes the metrics.  A session and a
+        plain run are mutually exclusive on one instance.
+        """
+        if self._ran:
+            raise ConfigurationError("a Simulator instance runs exactly once")
+        if self._dynamics is not None:
+            raise ConfigurationError(
+                "serve sessions keep the network static (no dynamics schedule)"
+            )
+        self._ran = True
+        self._session_active = True
+        self._eval_contacts = self._warmup()
+        self._prepare(self.warmup_end)
+
+    def advance_session(self, until: float) -> None:
+        """Replay contacts and rounds with time < *until*, then drain.
+
+        Contacts cycle: evaluation-window contact *i* of cycle *c*
+        replays at its original time shifted by ``c · eval_duration``,
+        so every window sees the trace's own contact structure while the
+        periodic rounds keep their drift-free ``warmup_end + k·period``
+        grid across windows.
+        """
+        if not self._session_active:
+            raise ConfigurationError("start_session() must run first")
+        duration = self.eval_duration
+        contacts = self._eval_contacts
+        while contacts:
+            if self._serve_index >= len(contacts):
+                self._serve_index = 0
+                self._serve_cycle += 1
+            base = contacts[self._serve_index]
+            shift = self._serve_cycle * duration
+            start = base.start + shift
+            if start >= until:
+                break
+            self.engine.schedule(
+                start,
+                EventKind.CONTACT,
+                replace(base, start=start, end=base.end + shift),
+            )
+            self._serve_index += 1
+        self._schedule_rounds(until)
+        self.engine.run()
+
+    def finalize_session(self) -> SimulationResult:
+        """Close a serve session and freeze its metrics."""
+        if not self._session_active:
+            raise ConfigurationError("start_session() must run first")
+        self._session_active = False
+        return self._finalize()
 
     def _setup(self, services: SchemeServices, warmup_end: float) -> None:
         """Midpoint setup: attach the scheme and run NCL selection."""
@@ -561,8 +680,8 @@ class Simulator:
         return self.workload_process.item_by_id(data_id)
 
     def _deliver(self, query: Query, data: DataItem, now: float) -> None:
-        first = self.metrics.on_query_satisfied(query, now)
-        if first:
+        outcome = self.metrics.record_delivery(query, now)
+        if outcome == "first":
             self.registry.counter("sim.queries_satisfied").inc()
             self.registry.histogram("sim.delivery_delay").observe(
                 now - query.created_at
@@ -580,3 +699,24 @@ class Simulator:
                 )
             requester = self.nodes[query.requester]
             self.scheme.on_data_delivered(requester, data, query, now)
+        elif self.recorder.enabled and outcome == "duplicate":
+            self.recorder.emit(
+                TraceEvent(
+                    time=now,
+                    kind=TraceEventKind.DELIVERY_DUPLICATE,
+                    node=query.requester,
+                    data_id=data.data_id,
+                    query_id=query.query_id,
+                )
+            )
+        elif self.recorder.enabled and outcome == "late":
+            self.recorder.emit(
+                TraceEvent(
+                    time=now,
+                    kind=TraceEventKind.DELIVERY_LATE,
+                    node=query.requester,
+                    data_id=data.data_id,
+                    query_id=query.query_id,
+                    attrs={"expires_at": query.expires_at},
+                )
+            )

@@ -1,13 +1,23 @@
-"""Workload generation (paper Sec. VI-A).
+"""Workload generation (paper Sec. VI-A) and the heavy-traffic engine.
 
 * :mod:`repro.workload.config` — parameters: generation probability
   p_G = 0.2, mean lifetime T_L, mean size s_avg, Zipf exponent s, node
-  buffer range [200 Mb, 600 Mb].
+  buffer range [200 Mb, 600 Mb], plus the arrival-process selection.
 * :mod:`repro.workload.generator` — the periodic data-generation and
   query-generation rounds the simulator executes.
+* :mod:`repro.workload.arrivals` — registry-selectable arrival
+  processes (periodic / bursty / diurnal / flash_crowd) modulating the
+  per-round query intensity.
 """
 
+from repro.workload.arrivals import ARRIVALS, ArrivalProcess, build_arrivals
 from repro.workload.config import WorkloadConfig
 from repro.workload.generator import WorkloadProcess
 
-__all__ = ["WorkloadConfig", "WorkloadProcess"]
+__all__ = [
+    "ARRIVALS",
+    "ArrivalProcess",
+    "WorkloadConfig",
+    "WorkloadProcess",
+    "build_arrivals",
+]

@@ -10,6 +10,7 @@ every T_L/2, and carry the fixed time constraint T_L/2.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Mapping, Optional
 
 from repro.errors import ConfigurationError
 from repro.units import MEGABIT, WEEK
@@ -19,7 +20,18 @@ __all__ = ["WorkloadConfig"]
 
 @dataclass(frozen=True)
 class WorkloadConfig:
-    """All knobs of the paper's synthetic workload."""
+    """All knobs of the paper's synthetic workload.
+
+    ``arrival_process`` selects how query intensity varies over the
+    evaluation window (see :mod:`repro.workload.arrivals`); the default
+    ``"periodic"`` is the paper's constant-rate round structure and is
+    bitwise identical to the pre-arrival-process engine.
+    ``arrival_params`` carries the process's own knobs as a plain
+    name → number mapping so configs stay JSON round-trippable; the
+    names are validated when the :class:`~repro.workload.generator.
+    WorkloadProcess` is built (not here, to keep this module free of
+    registry imports).
+    """
 
     mean_data_lifetime: float = 1 * WEEK          # T_L
     mean_data_size: int = 100 * MEGABIT           # s_avg
@@ -27,6 +39,8 @@ class WorkloadConfig:
     zipf_exponent: float = 1.0                    # s
     buffer_min: int = 200 * MEGABIT
     buffer_max: int = 600 * MEGABIT
+    arrival_process: str = "periodic"
+    arrival_params: Optional[Mapping[str, float]] = None
 
     def __post_init__(self) -> None:
         if self.mean_data_lifetime <= 0:
@@ -39,6 +53,14 @@ class WorkloadConfig:
             raise ConfigurationError("zipf_exponent must be non-negative")
         if not 0 < self.buffer_min <= self.buffer_max:
             raise ConfigurationError("buffer range must satisfy 0 < min <= max")
+        if not self.arrival_process:
+            raise ConfigurationError("arrival_process must be a non-empty name")
+        if self.arrival_params is not None:
+            for key, value in self.arrival_params.items():
+                if not isinstance(value, (int, float)):
+                    raise ConfigurationError(
+                        f"arrival_params[{key!r}] must be a number"
+                    )
 
     @property
     def data_generation_period(self) -> float:

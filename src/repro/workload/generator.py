@@ -15,18 +15,34 @@ generated or currently caches.  Each query carries the fixed time
 constraint T_L/2.
 
 The process draws from its own RNG stream, so two schemes simulated with
-the same seed face an *identical* workload (paired comparison).
+the same seed face an *identical* workload (paired comparison).  An
+optional :mod:`arrival process <repro.workload.arrivals>` modulates the
+per-round request intensity from a second, independent stream; the
+default ``periodic`` process leaves the query stream bitwise untouched.
+
+Heavy-traffic bookkeeping: the catalogue is **pruned** — items whose
+expiry lies more than one query constraint in the past can never be
+queried, served, or counted live again, so they are dropped from every
+index.  ``generated_items`` therefore exposes the *retained* items in
+creation order (the cumulative count lives in
+:attr:`WorkloadProcess.data_items_generated`), and the live-catalogue
+views (:meth:`live_items`, :meth:`popularity_rank`) are O(live) per
+round instead of O(history): items are kept popularity-ordered
+incrementally and both views are memoised per (time, catalogue
+version).
 """
 
 from __future__ import annotations
 
+import bisect
 import itertools
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.core.data import DataItem, Query
 from repro.mathutils.zipf import ZipfDistribution
+from repro.workload.arrivals import ArrivalProcess, build_arrivals
 from repro.workload.config import WorkloadConfig
 
 __all__ = ["WorkloadProcess"]
@@ -40,6 +56,7 @@ class WorkloadProcess:
         config: WorkloadConfig,
         num_nodes: int,
         rng: np.random.Generator,
+        arrival_rng: Optional[np.random.Generator] = None,
     ):
         self.config = config
         self.num_nodes = int(num_nodes)
@@ -48,39 +65,122 @@ class WorkloadProcess:
         self._generated: List[DataItem] = []
         self._by_id: Dict[int, DataItem] = {}
         self._popularity_key: Dict[int, float] = {}
+        # Popularity order maintained incrementally: ``_ordered_keys`` is
+        # the sorted list of (key, data_id) pairs and ``_ordered_items``
+        # the matching items.  data_id is creation-ordered, so the pair
+        # reproduces exactly what the old "stable sort by key over the
+        # creation-ordered history" produced — live_items output stays
+        # bitwise identical.
+        self._ordered_keys: List[Tuple[float, int]] = []
+        self._ordered_items: List[DataItem] = []
         self._queries_issued = 0
+        self._data_items_generated = 0
+        # Expired items stay resolvable for one query constraint (a
+        # response for an expiring item is at most that old); beyond the
+        # grace they are unreachable and pruned.
+        self._retention_grace = config.query_time_constraint
+        self._next_prune_at = float("inf")
+        self._version = 0
+        self._live_cache: Tuple[Tuple[float, int], List[DataItem]] = ((-1.0, -1), [])
+        self._rank_cache: Tuple[Tuple[float, int], Dict[int, int]] = ((-1.0, -1), {})
+        self._zipf: Optional[ZipfDistribution] = None
+
+        self._arrivals: ArrivalProcess = build_arrivals(
+            config.arrival_process, config.arrival_params
+        )
+        if self._arrivals.uses_rng and arrival_rng is None:
+            # A stochastic process without a dedicated stream seeds one
+            # from the workload stream (a single draw).  The default
+            # periodic process never reaches this, so legacy callers see
+            # an untouched workload stream.
+            arrival_rng = np.random.default_rng(int(rng.integers(2**62)))
+        if arrival_rng is not None:
+            self._arrivals.bind(arrival_rng)
 
     # --- bookkeeping ------------------------------------------------------
 
     @property
     def generated_items(self) -> Sequence[DataItem]:
-        """Every data item generated so far, in creation order."""
+        """Retained (not yet pruned) data items, in creation order."""
         return tuple(self._generated)
+
+    @property
+    def data_items_generated(self) -> int:
+        """Cumulative count of every item ever generated (prune-proof)."""
+        return self._data_items_generated
 
     @property
     def queries_issued(self) -> int:
         return self._queries_issued
 
+    @property
+    def arrivals(self) -> ArrivalProcess:
+        """The arrival process modulating query rounds."""
+        return self._arrivals
+
+    def set_window(self, start: float, end: float) -> None:
+        """Tell the arrival process the evaluation window it spans."""
+        self._arrivals.set_window(start, end)
+
     def live_items(self, now: float) -> List[DataItem]:
         """Unexpired items in Zipf rank order (most popular first)."""
+        key = (now, self._version)
+        if self._live_cache[0] == key:
+            return list(self._live_cache[1])
         live = [
             d
-            for d in self._generated
+            for d in self._ordered_items
             if not d.is_expired(now) and d.created_at <= now
         ]
-        live.sort(key=lambda d: self._popularity_key[d.data_id])
-        return live
+        self._live_cache = (key, live)
+        return list(live)
 
     def popularity_rank(self, data_id: int, now: float) -> "int | None":
         """1-based Zipf rank of a live item (None if not live/unknown)."""
-        for rank, item in enumerate(self.live_items(now), start=1):
-            if item.data_id == data_id:
-                return rank
-        return None
+        key = (now, self._version)
+        if self._rank_cache[0] != key:
+            ranks = {
+                item.data_id: rank
+                for rank, item in enumerate(self.live_items(now), start=1)
+            }
+            self._rank_cache = (key, ranks)
+        return self._rank_cache[1].get(data_id)
 
     def item_by_id(self, data_id: int) -> "DataItem | None":
-        """Catalogue lookup by data id."""
+        """Catalogue lookup by data id (retained items only)."""
         return self._by_id.get(data_id)
+
+    # --- pruning ---------------------------------------------------------
+
+    def _prune(self, now: float) -> None:
+        """Drop items expired for longer than the retention grace."""
+        if now < self._next_prune_at:
+            return
+        horizon = now - self._retention_grace
+        keep = [d for d in self._generated if d.expires_at >= horizon]
+        if len(keep) != len(self._generated):
+            self._generated = keep
+            self._by_id = {d.data_id: d for d in keep}
+            kept_ids = set(self._by_id)
+            self._popularity_key = {
+                data_id: key
+                for data_id, key in self._popularity_key.items()
+                if data_id in kept_ids
+            }
+            # Filtering preserves the existing popularity order.
+            pairs = [
+                (pair, item)
+                for pair, item in zip(self._ordered_keys, self._ordered_items)
+                if item.data_id in kept_ids
+            ]
+            self._ordered_keys = [pair for pair, _ in pairs]
+            self._ordered_items = [item for _, item in pairs]
+            self._version += 1
+        self._next_prune_at = (
+            min(d.expires_at for d in self._generated) + self._retention_grace
+            if self._generated
+            else float("inf")
+        )
 
     # --- data round ------------------------------------------------------
 
@@ -92,6 +192,7 @@ class WorkloadProcess:
         """
         if len(nodes_with_live_data) != self.num_nodes:
             raise ValueError("nodes_with_live_data must cover every node")
+        self._prune(now)
         lo_life, hi_life = self.config.lifetime_bounds
         lo_size, hi_size = self.config.size_bounds
         new_items: List[DataItem] = []
@@ -111,8 +212,19 @@ class WorkloadProcess:
             )
             self._generated.append(item)
             self._by_id[item.data_id] = item
-            self._popularity_key[item.data_id] = float(self._rng.random())
+            key = float(self._rng.random())
+            self._popularity_key[item.data_id] = key
+            pair = (key, item.data_id)
+            index = bisect.bisect_right(self._ordered_keys, pair)
+            self._ordered_keys.insert(index, pair)
+            self._ordered_items.insert(index, item)
+            self._next_prune_at = min(
+                self._next_prune_at, item.expires_at + self._retention_grace
+            )
             new_items.append(item)
+        if new_items:
+            self._version += 1
+            self._data_items_generated += len(new_items)
         return new_items
 
     # --- query round ---------------------------------------------------
@@ -127,11 +239,25 @@ class WorkloadProcess:
         ``holdings[node]`` is the set of data ids node already holds
         (own or cached); the node will not request those.
         """
+        self._prune(now)
         live = self.live_items(now)
         if not live:
             return []
-        zipf = ZipfDistribution(len(live), self.config.zipf_exponent)
-        probabilities = zipf.pmf_vector()
+        # One shared distribution, re-normalised as the catalogue size
+        # changes: resize() recomputes the weights exactly as a fresh
+        # construction would, so the probabilities are bitwise identical
+        # to the former per-round instantiation.
+        if self._zipf is None:
+            self._zipf = ZipfDistribution(len(live), self.config.zipf_exponent)
+        else:
+            self._zipf.resize(len(live))
+        probabilities = self._zipf.pmf_vector()
+        intensity = self._arrivals.round_intensity(now)
+        if intensity != 1.0:
+            # Poisson thinning / boosting of the per-rank Bernoulli
+            # draws; the periodic default reports exactly 1.0 and skips
+            # this so the paper-faithful stream stays untouched.
+            probabilities = np.clip(probabilities * intensity, 0.0, 1.0)
         # One (nodes × ranks) fill of the RNG replaces the former
         # per-node draws: PCG64 fills a 2-D request row-major, so the
         # consumed stream — and hence every draw — is bitwise identical
@@ -151,5 +277,24 @@ class WorkloadProcess:
                     time_constraint=self.config.query_time_constraint,
                 )
             )
+        surge = self._arrivals.flash_fraction(now)
+        if surge > 0.0:
+            target = live[min(self._arrivals.flash_rank, len(live)) - 1]
+            assert self._arrivals.rng is not None
+            flash_draws = self._arrivals.rng.random(self.num_nodes)
+            for node in np.nonzero(flash_draws < surge)[0].tolist():
+                if (
+                    target.source == node
+                    or target.data_id in holdings.get(node, frozenset())
+                ):
+                    continue
+                queries.append(
+                    Query.create(
+                        requester=node,
+                        data_id=target.data_id,
+                        created_at=now,
+                        time_constraint=self.config.query_time_constraint,
+                    )
+                )
         self._queries_issued += len(queries)
         return queries

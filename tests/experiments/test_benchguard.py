@@ -7,9 +7,11 @@ import pytest
 from repro.experiments.benchguard import (
     check_profiler_overhead,
     check_reelection_overhead,
+    check_throughput,
     check_twin_overhead,
     compare_against_baseline,
     load_benchmark_means,
+    load_benchmark_queries,
 )
 
 
@@ -83,3 +85,58 @@ class TestLoadMeans:
         path = tmp_path / "bench.json"
         path.write_text("{}")
         assert load_benchmark_means(path) == {}
+
+
+class TestLoadQueries:
+    def test_extracts_query_counts_from_extra_info(self, tmp_path):
+        report = {
+            "benchmarks": [
+                {
+                    "name": "test_bench_throughput_x",
+                    "stats": {"mean": 0.5},
+                    "extra_info": {"queries": 20000},
+                },
+                # Plain benchmarks carry no queries and are excluded.
+                {"name": "test_bench_kernel_y", "stats": {"mean": 1.5}},
+                {
+                    "name": "test_bench_kernel_z",
+                    "stats": {"mean": 1.0},
+                    "extra_info": {"other": 3},
+                },
+            ]
+        }
+        path = tmp_path / "bench.json"
+        path.write_text(json.dumps(report))
+        assert load_benchmark_queries(path) == {"test_bench_throughput_x": 20000}
+
+    def test_empty_report_yields_empty_map(self, tmp_path):
+        path = tmp_path / "bench.json"
+        path.write_text("{}")
+        assert load_benchmark_queries(path) == {}
+
+
+class TestThroughput:
+    def test_within_threshold_passes(self):
+        # 1000 q / 0.5 s = 2000 q/s against a 2500 q/s baseline: above
+        # the 2500/1.5 floor, so not a regression.
+        rows = check_throughput({"t": 0.5}, {"t": 1000}, {"t": 2500.0})
+        assert rows == [("t", 2000.0, 2500.0, False)]
+
+    def test_below_floor_fails(self):
+        rows = check_throughput(
+            {"t": 1.0}, {"t": 1000}, {"t": 2000.0}, threshold=1.5
+        )
+        assert rows == [("t", 1000.0, 2000.0, True)]
+
+    def test_new_benchmark_without_baseline_never_fails(self):
+        rows = check_throughput({"t": 0.5}, {"t": 1000}, {})
+        assert rows == [("t", 2000.0, None, False)]
+
+    def test_benchmark_without_mean_yields_no_row(self):
+        assert check_throughput({}, {"t": 1000}, {}) == []
+
+    def test_rows_sorted_by_name(self):
+        rows = check_throughput(
+            {"b": 1.0, "a": 1.0}, {"b": 10, "a": 10}, {}
+        )
+        assert [row[0] for row in rows] == ["a", "b"]

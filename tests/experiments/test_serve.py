@@ -1,0 +1,181 @@
+"""Tests for the long-lived batch replay (``repro serve``)."""
+
+import dataclasses
+import math
+
+import pytest
+
+from repro.caching.nocache import NoCache
+from repro.errors import ConfigurationError
+from repro.experiments.serve import (
+    BatchResult,
+    ServeSession,
+    serve_repeated,
+    summarize_throughput,
+)
+from repro.sim.dynamics import DynamicsConfig, DynamicsEvent
+from repro.sim.simulator import Simulator, SimulatorConfig
+from repro.traces.synthetic import SyntheticTraceConfig, generate_synthetic_trace
+from repro.units import DAY, HOUR, MEGABIT
+from repro.workload.config import WorkloadConfig
+
+
+def serve_trace(seed=4):
+    return generate_synthetic_trace(
+        SyntheticTraceConfig(
+            name="serve-tiny",
+            num_nodes=12,
+            duration=6 * DAY,
+            total_contacts=2500,
+            granularity=60.0,
+            seed=seed,
+        )
+    )
+
+
+def workload(**overrides):
+    return WorkloadConfig(
+        mean_data_lifetime=12 * HOUR, mean_data_size=20 * MEGABIT, **overrides
+    )
+
+
+def results_equal(a, b):
+    """SimulationResult equality that treats NaN == NaN (an idle batch
+    leaves ``mean_access_delay`` NaN in both runs; dataclass ``==``
+    would call that a mismatch)."""
+    for field in dataclasses.fields(a):
+        va, vb = getattr(a, field.name), getattr(b, field.name)
+        if isinstance(va, float) and math.isnan(va) and math.isnan(vb):
+            continue
+        if va != vb:
+            return False
+    return True
+
+
+class TestServeSession:
+    def test_batches_cover_contiguous_windows(self):
+        session = ServeSession(serve_trace(), NoCache(), workload())
+        first = session.run_batch()
+        second = session.run_batch(rounds=2)
+        period = session.query_period
+        warmup = session.simulator.warmup_end
+        assert first.start == warmup
+        assert first.end == warmup + period
+        assert second.start == first.end
+        assert second.end == warmup + 3 * period
+        assert session.batches_run == 2
+        session.finalize()
+
+    def test_batches_issue_queries(self):
+        session = ServeSession(serve_trace(), NoCache(), workload())
+        batches = [session.run_batch() for _ in range(4)]
+        assert sum(b.queries_issued for b in batches) > 0
+        assert all(b.wall_seconds >= 0.0 for b in batches)
+        result = session.finalize()
+        assert result.queries_issued == sum(b.queries_issued for b in batches)
+
+    def test_session_outlives_the_recorded_trace(self):
+        """The whole point of serve mode: batches keep running after the
+        trace's own evaluation window ends, by cycling its contacts."""
+        trace = serve_trace()
+        session = ServeSession(trace, NoCache(), workload())
+        rounds_in_trace = int(
+            (trace.end_time - session.simulator.warmup_end) / session.query_period
+        )
+        batches = [session.run_batch() for _ in range(rounds_in_trace + 4)]
+        assert batches[-1].end > trace.end_time
+        tail = sum(b.queries_issued for b in batches[rounds_in_trace:])
+        assert tail > 0
+        session.finalize()
+
+    def test_defaults_to_streaming_collector(self):
+        session = ServeSession(serve_trace(), NoCache(), workload())
+        assert session.simulator.metrics.streaming
+        session.finalize()
+
+    def test_run_batch_after_finalize_rejected(self):
+        session = ServeSession(serve_trace(), NoCache(), workload())
+        session.finalize()
+        with pytest.raises(ConfigurationError):
+            session.run_batch()
+
+    def test_zero_round_batch_rejected(self):
+        session = ServeSession(serve_trace(), NoCache(), workload())
+        with pytest.raises(ConfigurationError):
+            session.run_batch(rounds=0)
+        session.finalize()
+
+    def test_dynamics_incompatible_with_serving(self):
+        dynamics = DynamicsConfig(events=(DynamicsEvent("leave", 0.5, node=1),))
+        config = SimulatorConfig(streaming_metrics=True, dynamics=dynamics)
+        with pytest.raises(ConfigurationError):
+            ServeSession(serve_trace(), NoCache(), workload(), config)
+
+    def test_run_and_serve_are_exclusive(self):
+        sim = Simulator(serve_trace(), NoCache(), workload(), SimulatorConfig(seed=1))
+        sim.run()
+        with pytest.raises(ConfigurationError):
+            sim.start_session()
+
+
+class TestBatchResult:
+    def test_queries_per_second(self):
+        batch = BatchResult(0, 0.0, 1.0, 500, 10, 0, 0, 3, wall_seconds=0.25)
+        assert batch.queries_per_second == 2000.0
+
+    def test_idle_batch_reports_zero(self):
+        batch = BatchResult(0, 0.0, 1.0, 0, 0, 0, 0, 0, wall_seconds=0.25)
+        assert batch.queries_per_second == 0.0
+
+    def test_deterministic_fields_exclude_wall_clock(self):
+        a = BatchResult(0, 0.0, 1.0, 5, 2, 1, 0, 3, wall_seconds=0.1)
+        b = dataclasses.replace(a, wall_seconds=99.0)
+        assert a.deterministic_fields == b.deterministic_fields
+
+    def test_summarize_throughput(self):
+        batches = [
+            BatchResult(0, 0.0, 1.0, 100, 40, 0, 0, 5, wall_seconds=0.5),
+            BatchResult(1, 1.0, 2.0, 300, 60, 0, 0, 2, wall_seconds=0.5),
+        ]
+        summary = summarize_throughput(batches)
+        assert summary["batches"] == 2
+        assert summary["queries_issued"] == 400
+        assert summary["queries_satisfied"] == 100
+        assert summary["queries_per_second"] == pytest.approx(400.0)
+
+    def test_summarize_empty(self):
+        assert summarize_throughput([])["queries_per_second"] == 0.0
+
+
+class TestServeRepeated:
+    def test_workers_match_serial_bitwise(self):
+        """workers=4 must reproduce the serial serve outcomes bit for bit
+        on every deterministic field (satellite e's batch contract)."""
+        trace = serve_trace()
+        seeds = [1, 2, 3, 4]
+        serial = serve_repeated(
+            trace, NoCache, workload(), seeds=seeds, batches=3
+        )
+        parallel = serve_repeated(
+            trace, NoCache, workload(), seeds=seeds, batches=3, workers=4
+        )
+        assert len(serial) == len(parallel) == len(seeds)
+        for (res_s, batches_s), (res_p, batches_p) in zip(serial, parallel):
+            assert results_equal(res_s, res_p)
+            assert [b.deterministic_fields for b in batches_s] == [
+                b.deterministic_fields for b in batches_p
+            ]
+
+    def test_seeds_are_pinned_in_order(self):
+        outcomes = serve_repeated(
+            serve_trace(), NoCache, workload(), seeds=[7, 8], batches=1
+        )
+        assert [result.seed for result, _ in outcomes] == [7, 8]
+
+    def test_bursty_arrivals_served(self):
+        wl = workload(arrival_process="bursty")
+        outcomes = serve_repeated(
+            serve_trace(), NoCache, wl, seeds=[5], batches=4
+        )
+        result, batches = outcomes[0]
+        assert result.queries_issued == sum(b.queries_issued for b in batches)

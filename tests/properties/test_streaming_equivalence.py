@@ -1,0 +1,175 @@
+"""Property tests: the streaming collector matches the exact collector.
+
+Two layers:
+
+* **Event-stream level** — random delivery schedules fed to a paired
+  exact/streaming collector: every shared counter and the mean delay
+  must agree bitwise (the running ``_delay_sum`` adds in the identical
+  order as the exact path's ``sum(list)``), and the documented
+  divergence (post-expiry duplicates may classify late) is bounded by
+  the duplicates+late sum staying equal.
+* **Whole-simulation level** — the same (trace, scheme, workload, seed)
+  run with ``streaming_metrics`` off and on must produce equal
+  :class:`SimulationResult`\\ s (NaN-aware: an idle run's NaN delay is
+  equal to itself).
+"""
+
+import dataclasses
+import math
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.caching import IntentionalCaching, IntentionalConfig, NoCache
+from repro.core.data import Query
+from repro.metrics.collector import MetricsCollector
+from repro.sim.simulator import Simulator, SimulatorConfig
+from repro.traces.synthetic import SyntheticTraceConfig, generate_synthetic_trace
+from repro.units import DAY, HOUR, MEGABIT
+from repro.workload.config import WorkloadConfig
+
+
+def _results_equal(a, b) -> bool:
+    for field in dataclasses.fields(a):
+        va, vb = getattr(a, field.name), getattr(b, field.name)
+        if isinstance(va, float) and math.isnan(va) and math.isnan(vb):
+            continue
+        if va != vb:
+            return False
+    return True
+
+
+#: one schedule entry: (query index, issue time, constraint, delivery offsets)
+query_schedules = st.lists(
+    st.tuples(
+        st.floats(min_value=0.0, max_value=1000.0),   # created_at
+        st.floats(min_value=1.0, max_value=500.0),    # time_constraint
+        st.lists(                                     # delivery delays
+            st.floats(min_value=0.0, max_value=800.0),
+            max_size=4,
+        ),
+    ),
+    min_size=1,
+    max_size=60,
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(schedule=query_schedules)
+def test_collectors_agree_on_any_delivery_schedule(schedule):
+    exact = MetricsCollector()
+    streaming = MetricsCollector(streaming=True)
+
+    # Replay in global time order, as a simulation would.
+    events = []
+    for index, (created_at, constraint, delays) in enumerate(schedule):
+        query = Query(
+            query_id=index,
+            requester=0,
+            data_id=index,
+            created_at=created_at,
+            time_constraint=constraint,
+        )
+        events.append((created_at, 0, "create", query))
+        for delay in delays:
+            events.append((created_at + delay, 1, "deliver", query))
+    events.sort(key=lambda e: (e[0], e[1], e[3].query_id))
+
+    for now, _, kind, query in events:
+        if kind == "create":
+            exact.on_query_created(query)
+            streaming.on_query_created(query)
+        else:
+            exact.record_delivery(query, now)
+            streaming.record_delivery(query, now)
+
+    assert streaming.queries_issued == exact.queries_issued
+    assert streaming.queries_satisfied == exact.queries_satisfied
+    # Documented divergence: a duplicate arriving after the query expired
+    # may classify "late" in streaming mode — only the sum is invariant.
+    assert (
+        streaming.duplicate_deliveries + streaming.late_deliveries
+        == exact.duplicate_deliveries + exact.late_deliveries
+    )
+
+    result_exact = exact.finalize("prop", seed=0)
+    result_streaming = streaming.finalize("prop", seed=0)
+    assert result_streaming.queries_issued == result_exact.queries_issued
+    assert result_streaming.queries_satisfied == result_exact.queries_satisfied
+    assert result_streaming.successful_ratio == result_exact.successful_ratio
+    # Bitwise: both sides add the same delays in the same (delivery) order.
+    if result_exact.queries_satisfied:
+        assert result_streaming.mean_access_delay == result_exact.mean_access_delay
+    else:
+        assert math.isnan(result_streaming.mean_access_delay)
+        assert math.isnan(result_exact.mean_access_delay)
+
+
+@settings(max_examples=60, deadline=None)
+@given(schedule=query_schedules)
+def test_streaming_state_stays_bounded(schedule):
+    """After every query expires, the open set must be empty and the
+    satisfied set prunable — no per-query dict survives in streaming
+    mode (the acceptance criterion's memory contract, in miniature)."""
+    streaming = MetricsCollector(streaming=True, reservoir_size=8)
+    horizon = 0.0
+    for index, (created_at, constraint, delays) in enumerate(schedule):
+        query = Query(
+            query_id=index,
+            requester=0,
+            data_id=index,
+            created_at=created_at,
+            time_constraint=constraint,
+        )
+        streaming.on_query_created(query)
+        for delay in sorted(delays):
+            streaming.record_delivery(query, created_at + delay)
+        horizon = max(horizon, query.expires_at)
+    assert streaming._queries is None           # no full record exists
+    assert streaming._satisfied_at is None
+    assert len(streaming.delay_reservoir) <= 8
+    assert streaming.pending_queries(horizon + 1.0) == 0
+    assert streaming.open_queries == 0
+    streaming._retire_satisfied(horizon + 1.0)
+    assert len(streaming._satisfied) == 0
+
+
+@settings(max_examples=6, deadline=None)
+@given(
+    num_nodes=st.integers(min_value=6, max_value=14),
+    contacts=st.integers(min_value=300, max_value=1500),
+    lifetime_hours=st.floats(min_value=4.0, max_value=20.0),
+    use_ncl=st.booleans(),
+    seed=st.integers(min_value=0, max_value=30),
+)
+def test_streaming_simulation_matches_exact(
+    num_nodes, contacts, lifetime_hours, use_ncl, seed
+):
+    trace = generate_synthetic_trace(
+        SyntheticTraceConfig(
+            name="prop-streaming",
+            num_nodes=num_nodes,
+            duration=3 * DAY,
+            total_contacts=contacts,
+            granularity=60.0,
+            seed=seed,
+        )
+    )
+    workload = WorkloadConfig(
+        mean_data_lifetime=lifetime_hours * HOUR, mean_data_size=20 * MEGABIT
+    )
+
+    def scheme():
+        if use_ncl:
+            return IntentionalCaching(
+                IntentionalConfig(num_ncls=2, ncl_time_budget=2 * HOUR)
+            )
+        return NoCache()
+
+    exact = Simulator(
+        trace, scheme(), workload, SimulatorConfig(seed=seed)
+    ).run()
+    streaming = Simulator(
+        trace, scheme(), workload, SimulatorConfig(seed=seed, streaming_metrics=True)
+    ).run()
+    assert _results_equal(streaming, exact)

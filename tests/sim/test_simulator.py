@@ -102,7 +102,7 @@ class TestEventScheduling:
         sim = Simulator(tiny_trace(), NoCache(), workload(), SimulatorConfig(seed=1))
         result = sim.run()
         assert result.queries_satisfied <= result.responses_emitted + result.queries_satisfied
-        assert result.data_generated == len(sim.workload_process.generated_items)
+        assert result.data_generated == sim.workload_process.data_items_generated
 
 
 class TestConfigValidation:

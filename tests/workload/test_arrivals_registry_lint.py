@@ -1,0 +1,60 @@
+"""The arrival-registry lint: clean tree, plus synthetic violations.
+
+``scripts/check_workload_registry.py`` asserts every registered arrival
+process appears in ``DETERMINISM_PROCESSES`` (the paired-determinism
+parametrization in ``test_arrivals.py``) and is smoke tested somewhere
+under ``tests/``.  Running it under pytest keeps the contract in tier-1
+instead of relying on a manual script invocation.
+"""
+
+import importlib.util
+import os
+
+import pytest
+
+from repro.workload.arrivals import ARRIVALS
+
+_SCRIPT = os.path.join(
+    os.path.dirname(__file__),
+    os.pardir,
+    os.pardir,
+    "scripts",
+    "check_workload_registry.py",
+)
+
+
+@pytest.fixture(scope="module")
+def lint():
+    spec = importlib.util.spec_from_file_location("check_workload_registry", _SCRIPT)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_every_arrival_process_is_determinism_tested(lint):
+    violations = lint.collect_violations()
+    assert violations == [], "\n".join(str(v) for v in violations)
+
+
+def test_registry_is_nonempty(lint):
+    assert ARRIVALS.names(), "arrival registry is empty"
+
+
+def test_missing_coverage_is_flagged(lint, tmp_path):
+    # An empty tests tree covers nothing: every name must be flagged as
+    # missing its smoke mention (the determinism list still parses from
+    # the real test file, so only the smoke violations appear per name).
+    (tmp_path / "test_nothing.py").write_text("def test_nothing():\n    pass\n")
+    violations = lint.collect_violations(str(tmp_path))
+    flagged = {v.name for v in violations}
+    for name in ARRIVALS.names():
+        assert name in flagged
+
+
+def test_parsed_list_matches_registry(lint):
+    assert set(lint.determinism_tested_names()) == set(ARRIVALS.names())
+
+
+def test_script_main_exits_zero(lint, capsys):
+    assert lint.main() == 0
+    assert "determinism-tested" in capsys.readouterr().out

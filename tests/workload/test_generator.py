@@ -144,6 +144,91 @@ class TestDeterminism:
         ]
 
 
+class TestPruning:
+    def test_expired_items_prune_after_grace(self):
+        proc, config = process(num_nodes=200)
+        items = proc.data_round(0.0, [False] * 200)
+        total = len(items)
+        assert proc.data_items_generated == total
+        far = max(d.expires_at for d in items) + config.query_time_constraint + 1.0
+        proc.query_round(far, {})
+        assert proc.generated_items == ()
+        assert proc.item_by_id(items[0].data_id) is None
+        # The cumulative counter is prune-proof.
+        assert proc.data_items_generated == total
+
+    def test_items_within_grace_survive(self):
+        """An expired item stays resolvable for one query constraint —
+        a response for it may still be in flight — and drops only once
+        past the grace."""
+        proc, config = process(num_nodes=300)
+        items = proc.data_round(0.0, [False] * 300)
+        first = min(items, key=lambda d: d.expires_at)
+        last = max(items, key=lambda d: d.expires_at)
+        now = first.expires_at + config.query_time_constraint + 1.0
+        proc.query_round(now, {})
+        assert proc.item_by_id(first.data_id) is None
+        assert proc.item_by_id(last.data_id) is last
+
+    def test_creation_order_contract_preserved(self):
+        proc, _ = process(num_nodes=200)
+        a = proc.data_round(0.0, [False] * 200)
+        b = proc.data_round(2500.0, [False] * 200)
+        # Round-1 items (expiry <= 1500, grace 500) prune when round 2 runs.
+        retained = proc.generated_items
+        assert list(retained) == b
+        ids = [d.data_id for d in retained]
+        assert ids == sorted(ids)
+        assert proc.data_items_generated == len(a) + len(b)
+
+    def test_live_views_consistent_after_prune(self):
+        proc, _ = process(num_nodes=300)
+        proc.data_round(0.0, [False] * 300)
+        proc.data_round(2500.0, [False] * 300)
+        live = proc.live_items(2501.0)
+        assert live  # only round-2 items
+        keys = [proc._popularity_key[d.data_id] for d in live]
+        assert keys == sorted(keys)
+        assert proc.popularity_rank(live[0].data_id, 2501.0) == 1
+
+
+class TestZipfReuse:
+    def test_distribution_reused_across_rounds(self):
+        proc, _ = process(num_nodes=100)
+        proc.data_round(0.0, [False] * 100)
+        proc.query_round(10.0, {})
+        shared = proc._zipf
+        assert shared is not None
+        proc.data_round(1200.0, [False] * 100)
+        proc.query_round(1210.0, {})
+        assert proc._zipf is shared  # resized in place, never rebuilt
+
+    def test_reuse_pins_probabilities_and_rng_stream(self):
+        """The shared, resized distribution must reproduce the former
+        construct-fresh-every-round behaviour bitwise: identical pmf
+        over a changing catalogue and an identically consumed RNG
+        stream, hence identical queries."""
+        from repro.mathutils.zipf import ZipfDistribution
+
+        proc, config = process(seed=17, num_nodes=80)
+        ref, _ = process(seed=17, num_nodes=80)
+        for data_t, query_t in ((0.0, 10.0), (1200.0, 1210.0), (2400.0, 2410.0)):
+            proc.data_round(data_t, [False] * 80)
+            ref.data_round(data_t, [False] * 80)
+            live = ref.live_items(query_t)
+            fresh = ZipfDistribution(len(live), config.zipf_exponent).pmf_vector()
+            draws = ref._rng.random((80, len(live)))
+            expected = []
+            hit_nodes, hit_ranks = np.nonzero(draws < fresh)
+            for node, rank in zip(hit_nodes.tolist(), hit_ranks.tolist()):
+                item = live[rank]
+                if item.source != node:
+                    expected.append((node, item.data_id))
+            got = [(q.requester, q.data_id) for q in proc.query_round(query_t, {})]
+            assert got == expected
+            np.testing.assert_array_equal(proc._zipf.pmf_vector(), fresh)
+
+
 class TestVectorizedQueryRound:
     def test_batched_draws_match_sequential_reference(self):
         """The one-call (nodes × ranks) RNG fill must reproduce the
