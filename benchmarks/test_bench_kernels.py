@@ -312,7 +312,7 @@ def test_bench_throughput_streaming_collector(benchmark):
     benchmark.extra_info["queries"] = COLLECTOR_FEED_QUERIES
 
 
-def _run_serve_batches():
+def _run_serve_batches(health=None):
     from repro.scenario import (
         RunSpec,
         ScenarioSpec,
@@ -335,11 +335,19 @@ def _run_serve_batches():
         arrival_process="bursty",
     )
     session = ServeSession(
-        trace, scheme_factory(spec)(), workload, simulator_config(spec)
+        trace, scheme_factory(spec)(), workload, simulator_config(spec),
+        health=health,
     )
     for _ in range(4):
         session.run_batch(rounds=4)
     return session.finalize()
+
+
+def _run_serve_batches_health():
+    from repro.obs.health import HealthMonitor
+    from repro.obs.slo import SLO_PRESETS
+
+    return _run_serve_batches(health=HealthMonitor(tuple(SLO_PRESETS.values())))
 
 
 def test_bench_throughput_serve_batches(benchmark):
@@ -349,6 +357,19 @@ def test_bench_throughput_serve_batches(benchmark):
     seed each round), so the guard can derive queries/sec from it.
     """
     result = benchmark.pedantic(_run_serve_batches, rounds=2, iterations=1)
+    assert result.queries_issued > 0
+    benchmark.extra_info["queries"] = result.queries_issued
+
+
+def test_bench_throughput_serve_batches_health(benchmark):
+    """Monitored twin: same serve run with the live health monitor on.
+
+    Per-batch ``observe_window`` snapshots, all four preset SLO rules,
+    and the anomaly detectors run on every batch.  The bench guard
+    pairs this with its unmonitored twin and fails when the monitor
+    costs more than ``HEALTH_OVERHEAD_THRESHOLD`` (5%).
+    """
+    result = benchmark.pedantic(_run_serve_batches_health, rounds=2, iterations=1)
     assert result.queries_issued > 0
     benchmark.extra_info["queries"] = result.queries_issued
 

@@ -1,0 +1,130 @@
+#!/usr/bin/env python
+"""SLO rule lint: every registered rule targets a real snapshot field.
+
+The SLO engine evaluates rules with ``getattr(snapshot, rule.field)``,
+so a rule whose ``field`` doesn't name a :class:`HealthSnapshot`
+attribute would raise at serve time — long after the config parsed
+cleanly.  This lint closes the gap statically: every rule in
+``SLO_PRESETS`` (the set users reach by name via ``--slo availability``)
+must
+
+* name an existing, *numeric* snapshot field (``bool`` flags and the
+  window-identity fields ``index``/``start``/``end`` are not
+  monitorable signals),
+* use a registered comparison op with a finite target and a positive
+  sustain count, and
+* round-trip through :func:`parse_slo_rule` via its ``spec`` string, so
+  the CLI can always re-parse what the preset table prints.
+
+Run standalone (exit 1 on violations) or via the pytest wrapper in
+``tests/obs/test_slo_rules_lint.py``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+import os
+import sys
+from typing import List, NamedTuple
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+if os.path.join(REPO_ROOT, "src") not in sys.path:
+    sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+
+from repro.obs.health import HealthSnapshot  # noqa: E402
+from repro.obs.slo import SLO_PRESETS, parse_slo_rule  # noqa: E402
+
+#: Snapshot fields a rule may legitimately target: numeric observations.
+#: Window identity (index/start/end) and boolean flags are excluded —
+#: comparing ``start >= 42`` is a config bug, not a health signal.
+_IDENTITY_FIELDS = frozenset({"index", "start", "end"})
+
+MONITORABLE_FIELDS = frozenset(
+    field.name
+    for field in dataclasses.fields(HealthSnapshot)
+    if field.name not in _IDENTITY_FIELDS and field.type in ("int", "float", int, float)
+)
+
+VALID_OPS = frozenset({">=", "<="})
+
+
+class Violation(NamedTuple):
+    rule: str
+    problem: str
+
+    def __str__(self) -> str:
+        return f"SLO rule {self.rule!r}: {self.problem}"
+
+
+def check_fields() -> List[Violation]:
+    """Every preset targets a monitorable HealthSnapshot field."""
+    violations = []
+    for name, rule in SLO_PRESETS.items():
+        if rule.field not in MONITORABLE_FIELDS:
+            violations.append(
+                Violation(
+                    name,
+                    f"field {rule.field!r} is not a numeric HealthSnapshot "
+                    f"field (monitorable: {', '.join(sorted(MONITORABLE_FIELDS))})",
+                )
+            )
+    return violations
+
+
+def check_shape() -> List[Violation]:
+    """Ops, targets, and sustain windows are well-formed."""
+    violations = []
+    for name, rule in SLO_PRESETS.items():
+        if rule.op not in VALID_OPS:
+            violations.append(Violation(name, f"op {rule.op!r} not in {sorted(VALID_OPS)}"))
+        if not math.isfinite(rule.target):
+            violations.append(Violation(name, f"target {rule.target!r} is not finite"))
+        if rule.sustain < 1:
+            violations.append(Violation(name, f"sustain {rule.sustain} must be >= 1"))
+        if name != rule.name:
+            violations.append(
+                Violation(name, f"preset key differs from rule.name {rule.name!r}")
+            )
+    return violations
+
+
+def check_spec_round_trip() -> List[Violation]:
+    """``rule.spec`` re-parses to an equivalent rule via parse_slo_rule."""
+    violations = []
+    for name, rule in SLO_PRESETS.items():
+        try:
+            parsed = parse_slo_rule(rule.spec)
+        except Exception as exc:  # pragma: no cover - defensive
+            violations.append(Violation(name, f"spec {rule.spec!r} failed to parse: {exc}"))
+            continue
+        got = (parsed.field, parsed.op, parsed.target, parsed.sustain)
+        want = (rule.field, rule.op, rule.target, rule.sustain)
+        if got != want:
+            violations.append(
+                Violation(name, f"spec {rule.spec!r} round-tripped to {got}, not {want}")
+            )
+    return violations
+
+
+def collect_violations() -> List[Violation]:
+    return check_fields() + check_shape() + check_spec_round_trip()
+
+
+def main() -> int:
+    violations = collect_violations()
+    for violation in violations:
+        print(violation, file=sys.stderr)
+    if violations:
+        print(f"{len(violations)} SLO rule violation(s)", file=sys.stderr)
+        return 1
+    print(
+        f"all {len(SLO_PRESETS)} registered SLO rules target monitorable "
+        "snapshot fields and round-trip through the parser"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -60,6 +60,23 @@ LEGACY_SNAKE_KINDS = frozenset(
 #: lowercase snake_case event (``node.failed``, ``push.forwarded``).
 DOTTED_GRAMMAR = re.compile(r"^[a-z]+(\.[a-z]+(_[a-z]+)*)+$")
 
+#: The registered first-segment namespaces of the dotted grammar.  A new
+#: kind in an existing namespace just works; a new *namespace* must be
+#: added here deliberately (one line, reviewed), so a typo'd prefix
+#: (``slos.violated``) can't slip in as a fresh namespace unnoticed.
+KNOWN_NAMESPACES = frozenset(
+    {
+        "push",        # custody of push copies
+        "node",        # churn: joins, departures, failures
+        "ncl",         # central-node re-election
+        "cache",       # cached-copy migration
+        "delivery",    # duplicate/late delivery classification
+        "slo",         # live-health SLO state edges
+        "health",      # anomaly detector firings
+        "workload",    # workload announcements (flash-crowd window)
+    }
+)
+
 
 class Violation(NamedTuple):
     kind: str
@@ -82,6 +99,25 @@ def check_grammar() -> List[Violation]:
                     value,
                     "new kinds must use the dotted grammar "
                     "`namespace.event` (the legacy snake_case set is closed)",
+                )
+            )
+    return violations
+
+
+def check_namespaces() -> List[Violation]:
+    """Every dotted kind's first segment is a registered namespace."""
+    violations = []
+    for member in TraceEventKind:
+        value = member.value
+        if value in LEGACY_SNAKE_KINDS or "." not in value:
+            continue
+        namespace = value.split(".", 1)[0]
+        if namespace not in KNOWN_NAMESPACES:
+            violations.append(
+                Violation(
+                    value,
+                    f"namespace {namespace!r} is not registered in "
+                    "KNOWN_NAMESPACES (add it deliberately or fix the typo)",
                 )
             )
     return violations
@@ -123,7 +159,12 @@ def check_parser_coverage() -> List[Violation]:
 
 
 def collect_violations() -> List[Violation]:
-    return check_grammar() + check_member_names() + check_parser_coverage()
+    return (
+        check_grammar()
+        + check_namespaces()
+        + check_member_names()
+        + check_parser_coverage()
+    )
 
 
 def main() -> int:

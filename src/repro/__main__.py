@@ -17,6 +17,11 @@ Commands
 ``serve``
     Fit the network once, then replay query batches against the fitted
     state (heavy-traffic mode: streaming metrics, per-batch throughput).
+    ``--slo``/``--out``/``--prom-out`` add live health telemetry: SLO
+    rules, anomaly detection, a JSONL health log, Prometheus text.
+``watch``
+    Render the health log of a serve run directory (or a bare
+    ``health.jsonl``); ``--follow`` re-renders as the log grows.
 ``bench``
     Run the kernel microbenchmarks and fail on regression vs baseline.
 ``trace``
@@ -256,7 +261,22 @@ def cmd_compare(args: argparse.Namespace) -> int:
 
 
 def cmd_serve(args: argparse.Namespace) -> int:
+    import os
+    from pathlib import Path
+
+    from repro.errors import ConfigurationError
+    from repro.experiments.runstore import HEALTH_FILE, MANIFEST_FILE
     from repro.experiments.serve import serve_repeated, summarize_throughput
+    from repro.obs.health import render_prometheus, write_health_log
+    from repro.obs.provenance import build_manifest, write_manifest
+    from repro.obs.slo import SLOEngine, parse_slo_rule
+
+    try:
+        rules = tuple(parse_slo_rule(spec_text) for spec_text in (args.slo or []))
+    except ConfigurationError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    monitor = bool(rules or args.out or args.prom_out)
 
     spec = _scenario_from_args(args)
     # Serving heavy traffic is the streaming collector's home turf.
@@ -272,10 +292,12 @@ def cmd_serve(args: argparse.Namespace) -> int:
         rounds_per_batch=args.rounds,
         config=simulator_config(spec),
         workers=args.workers,
+        slo_rules=rules,
+        monitor_health=monitor,
     )
     all_batches = []
-    for seed, (result, batches) in zip(spec.run.seeds, outcomes):
-        for batch in batches:
+    for seed, outcome in zip(spec.run.seeds, outcomes):
+        for batch in outcome.batches:
             print(
                 f"seed {seed} batch {batch.index:3d} "
                 f"[{batch.start / HOUR:7.1f}h, {batch.end / HOUR:7.1f}h) "
@@ -284,8 +306,21 @@ def cmd_serve(args: argparse.Namespace) -> int:
                 f"pending={batch.pending_queries:5d} "
                 f"{batch.queries_per_second:9.0f} q/s"
             )
-        print(_result_line(result))
-        all_batches.extend(batches)
+        print(_result_line(outcome.result))
+        if outcome.health is not None:
+            for transition in outcome.health.transitions:
+                print(
+                    f"seed {seed} {transition.kind} rule={transition.rule} "
+                    f"t={transition.time / HOUR:.1f}h "
+                    f"{transition.field}={transition.value:.4g} "
+                    f"(target {transition.target:.4g})"
+                )
+            if outcome.health.anomalies:
+                print(
+                    f"seed {seed} anomalies: "
+                    f"{len(outcome.health.anomalies)} detector firing(s)"
+                )
+        all_batches.extend(outcome.batches)
     summary = summarize_throughput(all_batches)
     print(
         f"throughput: {summary['queries_issued']} queries in "
@@ -293,7 +328,63 @@ def cmd_serve(args: argparse.Namespace) -> int:
         f"{summary['queries_per_second']:.0f} q/s "
         f"over {summary['batches']} batches"
     )
+
+    first_health = outcomes[0].health if outcomes else None
+    if args.out and first_health is not None:
+        os.makedirs(args.out, exist_ok=True)
+        write_health_log(Path(args.out) / HEALTH_FILE, first_health)
+        write_manifest(
+            build_manifest(
+                spec.provenance_config(), spec.run.seeds, slo_rules=rules
+            ),
+            os.path.join(args.out, MANIFEST_FILE),
+        )
+        note = " (first seed)" if len(outcomes) > 1 else ""
+        print(f"health log{note} written to {args.out} (render with `repro watch`)")
+    if args.prom_out and first_health is not None:
+        # Rebuild the final SLO state by replaying the frozen snapshot
+        # stream (pure function of the stream, so this is exact).
+        engine = SLOEngine(rules)
+        for snapshot in first_health.snapshots:
+            engine.evaluate(snapshot)
+        with open(args.prom_out, "w", encoding="utf-8") as handle:
+            handle.write(render_prometheus(first_health, engine))
+        print(f"Prometheus exposition written to {args.prom_out}")
     return 0
+
+
+def cmd_watch(args: argparse.Namespace) -> int:
+    import os
+    import time
+    from pathlib import Path
+
+    from repro.experiments.runstore import HEALTH_FILE
+    from repro.obs.health import read_health_log, render_health_table
+
+    path = args.path
+    if os.path.isdir(path):
+        path = os.path.join(path, HEALTH_FILE)
+    if not os.path.exists(path):
+        print(
+            f"no health log at {path!r} (serve with --slo/--out to record one)",
+            file=sys.stderr,
+        )
+        return 2
+    if not args.follow:
+        print(render_health_table(read_health_log(Path(path)), limit=args.limit))
+        return 0
+    last_size = -1
+    try:
+        while True:
+            size = os.path.getsize(path)
+            if size != last_size:
+                last_size = size
+                print(
+                    render_health_table(read_health_log(Path(path)), limit=args.limit)
+                )
+            time.sleep(args.interval)
+    except KeyboardInterrupt:
+        return 0
 
 
 def cmd_fit(args: argparse.Namespace) -> int:
@@ -530,6 +621,23 @@ def build_parser() -> argparse.ArgumentParser:
                 "--workers", type=int, default=None, metavar="N",
                 help="process-pool size for --repeat > 1",
             )
+            p.add_argument(
+                "--slo", action="append", default=None, metavar="SPEC",
+                help="SLO rule: a preset name (availability, latency, "
+                "backlog, hit_ratio) or field>=TARGET[:SUSTAIN] / "
+                "field<=TARGET[:SUSTAIN]; repeatable; implies health "
+                "monitoring",
+            )
+            p.add_argument(
+                "--out", default=None, metavar="DIR",
+                help="write health.jsonl + manifest.json to this run "
+                "directory (render with `repro watch DIR`)",
+            )
+            p.add_argument(
+                "--prom-out", default=None, metavar="PATH",
+                help="write the final health state in Prometheus text "
+                "exposition format",
+            )
             p.set_defaults(func=func)
             continue
         p.add_argument(
@@ -671,6 +779,24 @@ def build_parser() -> argparse.ArgumentParser:
         "--limit", type=int, default=10, help="max queries in the trace audit section"
     )
     p_report.set_defaults(func=cmd_report)
+
+    p_watch = sub.add_parser(
+        "watch", help="render a serve run's live health log"
+    )
+    p_watch.add_argument("path", help="run directory (serve --out) or health.jsonl")
+    p_watch.add_argument(
+        "--limit", type=int, default=20, metavar="N",
+        help="show at most the last N health windows",
+    )
+    p_watch.add_argument(
+        "--follow", action="store_true",
+        help="keep watching and re-render whenever the log grows",
+    )
+    p_watch.add_argument(
+        "--interval", type=float, default=2.0, metavar="SECONDS",
+        help="poll interval for --follow",
+    )
+    p_watch.set_defaults(func=cmd_watch)
     return parser
 
 

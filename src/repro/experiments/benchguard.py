@@ -25,7 +25,12 @@ without churn pays essentially nothing for it.  ``<name>_diagnose``
 twins bound the post-processing cost of ``repro diagnose`` on a traced
 run: the full causal reconstruction + consistency cross-check +
 fidelity assessment may add at most ``DIAGNOSE_OVERHEAD_THRESHOLD``
-(50%) on top of the traced simulation itself.
+(50%) on top of the traced simulation itself.  ``<name>_health`` twins
+bound the live health monitor: a serve run with per-batch
+``HealthMonitor.observe_window`` snapshots + SLO evaluation + anomaly
+detectors may cost at most ``HEALTH_OVERHEAD_THRESHOLD`` (5%) over the
+unmonitored serve run — health telemetry is meant to be always-on in
+serve mode, so its price must stay in the noise.
 
 Kernel benchmarks are parameterized by kernel backend and show up as
 ``<name>[python]`` / ``<name>[numba]`` (the latter only when numba is
@@ -66,6 +71,7 @@ __all__ = [
     "check_profiler_overhead",
     "check_reelection_overhead",
     "check_diagnose_overhead",
+    "check_health_overhead",
     "check_backend_speedups",
     "check_throughput",
     "run_guard",
@@ -91,6 +97,12 @@ REELECT_OVERHEAD_THRESHOLD = 1.05
 #: but it must stay cheap enough to run after every traced simulation.
 DIAGNOSE_SUFFIX = "_diagnose"
 DIAGNOSE_OVERHEAD_THRESHOLD = 1.5
+
+#: ``<name>_health`` (serve run with the live health monitor attached)
+#: may cost at most 5% over its unmonitored twin — O(1) windowed deltas
+#: keep always-on telemetry in the noise.
+HEALTH_SUFFIX = "_health"
+HEALTH_OVERHEAD_THRESHOLD = 1.05
 
 #: a throughput benchmark may drop to at most baseline/threshold q/s —
 #: the reciprocal of the mean-time regression rule, stated in the unit
@@ -207,6 +219,14 @@ def check_diagnose_overhead(
 ) -> List[Tuple[str, float, bool]]:
     """``<name>_diagnose`` vs its trace-only twin (diagnosis cost)."""
     return check_twin_overhead(current, DIAGNOSE_SUFFIX, threshold)
+
+
+def check_health_overhead(
+    current: Dict[str, float],
+    threshold: float = HEALTH_OVERHEAD_THRESHOLD,
+) -> List[Tuple[str, float, bool]]:
+    """``<name>_health`` vs its unmonitored twin (live telemetry cost)."""
+    return check_twin_overhead(current, HEALTH_SUFFIX, threshold)
 
 
 def check_backend_speedups(
@@ -339,6 +359,7 @@ def run_guard(
         ("profiler", check_profiler_overhead(current), PROFILER_OVERHEAD_THRESHOLD),
         ("re-election", check_reelection_overhead(current), REELECT_OVERHEAD_THRESHOLD),
         ("diagnose", check_diagnose_overhead(current), DIAGNOSE_OVERHEAD_THRESHOLD),
+        ("health", check_health_overhead(current), HEALTH_OVERHEAD_THRESHOLD),
     ]
     for label, rows, limit in pairings:
         for name, ratio, failed in rows:

@@ -11,6 +11,7 @@ A *run directory* is the on-disk form of an
 ``timeseries.jsonl``      seed-tagged samples (absent when sampling was off)
 ``timeseries.csv``        scalar columns of the same samples
 ``trace.jsonl``           lifecycle trace (only when tracing was on)
+``health.jsonl``          serve-mode health log (only with ``--slo``/health)
 ========================  ==================================================
 
 ``python -m repro report <run-dir>`` renders the whole directory as one
@@ -24,12 +25,14 @@ import dataclasses
 import json
 import math
 import os
+from pathlib import Path
 from typing import Any, Dict, List, Optional
 
 from repro.errors import ConfigurationError
 from repro.experiments.runner import ExperimentResult
 from repro.obs.derive import render_audit_report
 from repro.obs.diagnose import render_diagnosis, run_diagnosis
+from repro.obs.health import read_health_log, render_health_table
 from repro.obs.profile import check_profile_tree, render_profile_table
 from repro.obs.provenance import write_manifest
 from repro.obs.recorder import read_events
@@ -49,6 +52,7 @@ PROFILE_FILE = "profile.json"
 TIMESERIES_FILE = "timeseries.jsonl"
 TIMESERIES_CSV_FILE = "timeseries.csv"
 TRACE_FILE = "trace.jsonl"
+HEALTH_FILE = "health.jsonl"
 
 
 def _dump(value: Any, path: str) -> None:
@@ -110,6 +114,11 @@ def load_run(run_dir: str) -> Dict[str, Any]:
         "trace_path": (
             os.path.join(run_dir, TRACE_FILE)
             if os.path.exists(os.path.join(run_dir, TRACE_FILE))
+            else None
+        ),
+        "health_path": (
+            os.path.join(run_dir, HEALTH_FILE)
+            if os.path.exists(os.path.join(run_dir, HEALTH_FILE))
             else None
         ),
     }
@@ -295,6 +304,13 @@ def render_run_report(run_dir: str, audit_limit: int = 10) -> str:
             provenance=data["manifest"],
         )
         sections.append(render_diagnosis(diagnosis, level=2).rstrip())
+    if data["health_path"]:
+        health = read_health_log(Path(data["health_path"]))
+        sections.append(
+            "## Live health\n\n```\n"
+            + render_health_table(health, limit=audit_limit)
+            + "\n```"
+        )
 
     if len(sections) == 1:
         sections.append("(run directory is empty)")

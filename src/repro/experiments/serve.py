@@ -24,6 +24,13 @@ Arrival-process caveats: the evaluation window announced to the arrival
 process is the trace's own second half, so a ``flash_crowd`` fires in
 the first replay cycle only, while ``diurnal``/``bursty`` modulation
 continues across every cycle.
+
+Live health: pass ``slo_rules``/``monitor_health`` to
+:func:`serve_repeated` (or a :class:`~repro.obs.health.HealthMonitor`
+to :class:`ServeSession`) and every batch also freezes a
+:class:`~repro.obs.health.HealthSnapshot` whose windowed deltas sum
+bit-exactly to the final collector totals — asserted per session via
+:func:`~repro.obs.health.check_health_consistency`.
 """
 
 from __future__ import annotations
@@ -32,18 +39,21 @@ import dataclasses
 import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence, Tuple
+from typing import Callable, List, NamedTuple, Optional, Sequence, Tuple
 
 from repro.caching.base import CachingScheme
 from repro.errors import ConfigurationError
 from repro.metrics.results import SimulationResult
+from repro.obs.health import HealthMonitor, HealthReport, check_health_consistency
 from repro.obs.recorder import TraceRecorder
+from repro.obs.slo import SLORule
 from repro.sim.simulator import Simulator, SimulatorConfig
 from repro.traces.contact import ContactTrace
 from repro.workload.config import WorkloadConfig
 
 __all__ = [
     "BatchResult",
+    "ServeOutcome",
     "ServeSession",
     "serve_repeated",
     "summarize_throughput",
@@ -96,11 +106,15 @@ class ServeSession:
         workload: WorkloadConfig,
         config: Optional[SimulatorConfig] = None,
         recorder: Optional[TraceRecorder] = None,
+        health: Optional[HealthMonitor] = None,
     ):
         if config is None:
             config = SimulatorConfig(streaming_metrics=True)
         self.simulator = Simulator(trace, scheme, workload, config, recorder)
         self.simulator.start_session()
+        self.health = health
+        if health is not None:
+            health.attach(self.simulator)
         self._rounds_advanced = 0
         self._batch_index = 0
         self._finalized = False
@@ -148,6 +162,11 @@ class ServeSession:
             pending_queries=metrics.pending_queries(until),
             wall_seconds=wall,
         )
+        if self.health is not None:
+            # Health windows share the batch's simulated-time edges, so
+            # their deltas tile the session exactly (delta-consistency
+            # is asserted against the collector at finalize time).
+            self.health.observe_window(self._batch_index, start, until)
         self._batch_index += 1
         return batch
 
@@ -157,7 +176,21 @@ class ServeSession:
         return self.simulator.finalize_session()
 
 
-#: One picklable serve task: (trace, factory, workload, config, batches, rounds)
+class ServeOutcome(NamedTuple):
+    """Product of one serve session: frozen result, per-batch deltas,
+    and — when health monitoring was requested — the health report.
+
+    ``health`` is None on unmonitored sessions; every field is
+    picklable, so outcomes cross the worker-pool boundary unchanged.
+    """
+
+    result: SimulationResult
+    batches: List[BatchResult]
+    health: Optional[HealthReport]
+
+
+#: One picklable serve task:
+#: (trace, factory, workload, config, batches, rounds, slo_rules, monitor)
 _ServeTask = Tuple[
     ContactTrace,
     Callable[[], CachingScheme],
@@ -165,15 +198,31 @@ _ServeTask = Tuple[
     SimulatorConfig,
     int,
     int,
+    Tuple[SLORule, ...],
+    bool,
 ]
 
 
-def _serve_task(task: _ServeTask) -> Tuple[SimulationResult, List[BatchResult]]:
-    """Worker entry point; module-level so it pickles under any start method."""
-    trace, scheme_factory, workload, config, batches, rounds = task
-    session = ServeSession(trace, scheme_factory(), workload, config)
+def _serve_task(task: _ServeTask) -> ServeOutcome:
+    """Worker entry point; module-level so it pickles under any start method.
+
+    The worker builds its own :class:`HealthMonitor` (monitors hold a
+    simulator reference and are not picklable; frozen SLO rules are) and
+    ships back only the frozen :class:`HealthReport`.  Monitored
+    sessions additionally prove the snapshot stream delta-consistent
+    with the final collector totals before returning.
+    """
+    trace, scheme_factory, workload, config, batches, rounds, rules, monitor = task
+    health = HealthMonitor(rules) if (monitor or rules) else None
+    session = ServeSession(trace, scheme_factory(), workload, config, health=health)
     batch_results = [session.run_batch(rounds) for _ in range(batches)]
-    return session.finalize(), batch_results
+    totals = session.simulator.metrics.totals()
+    result = session.finalize()
+    report: Optional[HealthReport] = None
+    if health is not None:
+        report = health.report()
+        check_health_consistency(report, totals, baseline=health.baseline)
+    return ServeOutcome(result, batch_results, report)
 
 
 def serve_repeated(
@@ -185,14 +234,19 @@ def serve_repeated(
     rounds_per_batch: int = 1,
     config: Optional[SimulatorConfig] = None,
     workers: Optional[int] = None,
-) -> List[Tuple[SimulationResult, List[BatchResult]]]:
+    slo_rules: Sequence[SLORule] = (),
+    monitor_health: bool = False,
+) -> List[ServeOutcome]:
     """Run one serve session per seed, optionally on a process pool.
 
     Outcomes are returned in seed order; each task carries its pinned
     seed, so ``workers > 1`` reproduces the serial results bit for bit
     on every deterministic field (wall-clock times naturally differ).
+    Health snapshots and SLO verdicts derive only from simulated time
+    and collector counters, so they are part of that bitwise payload.
     """
     base = config or SimulatorConfig(streaming_metrics=True)
+    rules = tuple(slo_rules)
     tasks: List[_ServeTask] = [
         (
             trace,
@@ -201,6 +255,8 @@ def serve_repeated(
             dataclasses.replace(base, seed=seed),
             batches,
             rounds_per_batch,
+            rules,
+            monitor_health,
         )
         for seed in seeds
     ]
@@ -211,14 +267,25 @@ def serve_repeated(
 
 
 def summarize_throughput(batches: Sequence[BatchResult]) -> dict:
-    """Whole-session throughput rollup for reports and the CLI."""
+    """Whole-session throughput rollup for reports and the CLI.
+
+    Total-safe on degenerate input: an empty batch list, zero-duration
+    batches, and batches that issued nothing all roll up without
+    division errors (rates report 0.0 when the denominator is empty).
+    """
     queries = sum(b.queries_issued for b in batches)
     satisfied = sum(b.queries_satisfied for b in batches)
     wall = sum(b.wall_seconds for b in batches)
+    sim_seconds = sum(b.end - b.start for b in batches)
     return {
         "batches": len(batches),
         "queries_issued": queries,
         "queries_satisfied": satisfied,
+        "success_ratio": (satisfied / queries) if queries > 0 else 0.0,
         "wall_seconds": wall,
+        "sim_seconds": sim_seconds,
         "queries_per_second": (queries / wall) if wall > 0 and queries else 0.0,
+        "queries_per_sim_second": (
+            (queries / sim_seconds) if sim_seconds > 0 and queries else 0.0
+        ),
     }

@@ -46,7 +46,7 @@ O(queries ever issued).
 from __future__ import annotations
 
 import heapq
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, NamedTuple, Optional, Tuple
 
 import numpy as np
 
@@ -54,7 +54,31 @@ from repro.core.data import DataItem, Query
 from repro.metrics.results import SimulationResult
 from repro.metrics.streaming import P2Quantile, ReservoirSampler
 
-__all__ = ["MetricsCollector"]
+__all__ = ["CollectorTotals", "MetricsCollector"]
+
+
+class CollectorTotals(NamedTuple):
+    """Cheap immutable view of the collector's cumulative counters.
+
+    Every field is a plain integer read, so capturing one view per
+    health window costs a tuple allocation — the delta between two
+    views is exactly the activity of the window between them (the
+    foundation of :class:`repro.obs.health.HealthMonitor`'s
+    snapshot-sum == collector-total contract).
+    """
+
+    queries_issued: int
+    queries_satisfied: int
+    duplicate_deliveries: int
+    late_deliveries: int
+    cache_lookups: int
+    cache_hits: int
+    data_generated: int
+    responses_delivered: int
+
+    def delta(self, earlier: "CollectorTotals") -> "CollectorTotals":
+        """Field-wise difference ``self - earlier`` (window activity)."""
+        return CollectorTotals(*(a - b for a, b in zip(self, earlier)))
 
 
 class MetricsCollector:
@@ -95,6 +119,7 @@ class MetricsCollector:
         self._copy_count = 0
         self._delay_p50 = P2Quantile(0.5)
         self._delay_p95 = P2Quantile(0.95)
+        self._delay_p99 = P2Quantile(0.99)
         self._data_generated = 0
         self._copy_samples: Optional[List[float]] = None if streaming else []
         self._replaced_items = 0
@@ -171,6 +196,7 @@ class MetricsCollector:
         self._delay_sum += delay
         self._delay_p50.observe(delay)
         self._delay_p95.observe(delay)
+        self._delay_p99.observe(delay)
         if self._reservoir is not None:
             self._reservoir.observe(delay)
         return "first"
@@ -329,6 +355,28 @@ class MetricsCollector:
     def delay_p95(self) -> float:
         """Running P² estimate of the 95th-percentile delay (NaN early)."""
         return self._delay_p95.value
+
+    @property
+    def delay_p99(self) -> float:
+        """Running P² estimate of the 99th-percentile delay (NaN early)."""
+        return self._delay_p99.value
+
+    def totals(self) -> CollectorTotals:
+        """Snapshot the cumulative counters as a :class:`CollectorTotals`.
+
+        O(1) attribute reads in both storage modes — the per-window
+        delta view used by the live health monitor.
+        """
+        return CollectorTotals(
+            queries_issued=self.queries_issued,
+            queries_satisfied=self.queries_satisfied,
+            duplicate_deliveries=self._duplicate_deliveries,
+            late_deliveries=self._late_deliveries,
+            cache_lookups=self._cache_lookups,
+            cache_hits=self._cache_hits,
+            data_generated=self._data_generated,
+            responses_delivered=self._responses_delivered,
+        )
 
     @property
     def delay_reservoir(self) -> Tuple[float, ...]:

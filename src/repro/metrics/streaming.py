@@ -19,11 +19,29 @@ the repo's bitwise reproducibility contracts.
 from __future__ import annotations
 
 import bisect
-from typing import List, Tuple
+from typing import List, NamedTuple, Tuple
 
 import numpy as np
 
-__all__ = ["ReservoirSampler", "P2Quantile"]
+__all__ = ["ReservoirSampler", "ReservoirView", "P2Quantile", "SketchView"]
+
+
+class SketchView(NamedTuple):
+    """O(1) frozen view of a :class:`P2Quantile`: observation count plus
+    the current estimate.  The health monitor captures one per window;
+    the count is monotone over the stream, which windowed-delta
+    consumers rely on (property-tested)."""
+
+    count: int
+    estimate: float
+
+
+class ReservoirView(NamedTuple):
+    """O(1) frozen view of a :class:`ReservoirSampler`: observations
+    seen (monotone) and samples currently held (≤ capacity)."""
+
+    count: int
+    held: int
 
 
 class ReservoirSampler:
@@ -61,6 +79,10 @@ class ReservoirSampler:
         slot = int(self._rng.integers(0, self._count))
         if slot < self._capacity:
             self._samples[slot] = value
+
+    def view(self) -> ReservoirView:
+        """Cheap frozen (count, held) view — the windowed-delta probe."""
+        return ReservoirView(count=self._count, held=len(self._samples))
 
     def quantile(self, q: float) -> float:
         """Empirical quantile of the reservoir (NaN when empty)."""
@@ -172,3 +194,7 @@ class P2Quantile:
             index = min(len(self._initial) - 1, int(self._q * len(self._initial)))
             return self._initial[index]
         return self._heights[2]
+
+    def view(self) -> SketchView:
+        """Cheap frozen (count, estimate) view — the windowed-delta probe."""
+        return SketchView(count=self._count, estimate=self.value)

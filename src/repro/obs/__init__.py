@@ -91,6 +91,27 @@ from repro.obs.provenance import (
     read_manifest,
     write_manifest,
 )
+from repro.obs.slo import (
+    SLO_PRESETS,
+    SLOEngine,
+    SLORule,
+    SLOTransition,
+    parse_slo_rule,
+)
+from repro.obs.health import (
+    ANOMALY_SIGNALS,
+    CUSUMChangePoint,
+    EWMADrift,
+    HealthAnomaly,
+    HealthMonitor,
+    HealthReport,
+    HealthSnapshot,
+    check_health_consistency,
+    read_health_log,
+    render_health_table,
+    render_prometheus,
+    write_health_log,
+)
 
 __all__ = [
     "TraceEvent",
@@ -149,4 +170,21 @@ __all__ = [
     "config_hash",
     "read_manifest",
     "write_manifest",
+    "SLORule",
+    "SLOTransition",
+    "SLOEngine",
+    "SLO_PRESETS",
+    "parse_slo_rule",
+    "HealthSnapshot",
+    "HealthAnomaly",
+    "HealthReport",
+    "HealthMonitor",
+    "EWMADrift",
+    "CUSUMChangePoint",
+    "ANOMALY_SIGNALS",
+    "check_health_consistency",
+    "write_health_log",
+    "read_health_log",
+    "render_health_table",
+    "render_prometheus",
 ]

@@ -89,9 +89,12 @@ HANDLED_KINDS = frozenset(
 #: Kinds that carry no custody information: router verdicts, buffer
 #: exchanges (data placement, not bundle custody), periodic samples,
 #: committee re-elections (the migration events that follow are what
-#: move copies), node (re)joins (joining cannot break a chain), and the
+#: move copies), node (re)joins (joining cannot break a chain), the
 #: delivery-classification audit events (the custody chain already
-#: carries the RESPONSE_DELIVERED hop; duplicate/late only label it).
+#: carries the RESPONSE_DELIVERED hop; duplicate/late only label it),
+#: and the live-health annotations (SLO transitions, anomaly flags and
+#: the flash-crowd window are commentary *about* the run, not steps of
+#: any item's custody).
 IGNORED_KINDS = frozenset(
     {
         TraceEventKind.ROUTE_DECISION,
@@ -101,6 +104,10 @@ IGNORED_KINDS = frozenset(
         TraceEventKind.NODE_JOINED,
         TraceEventKind.DELIVERY_DUPLICATE,
         TraceEventKind.DELIVERY_LATE,
+        TraceEventKind.SLO_VIOLATED,
+        TraceEventKind.SLO_RECOVERED,
+        TraceEventKind.HEALTH_ANOMALY,
+        TraceEventKind.WORKLOAD_FLASH_CROWD_WINDOW,
     }
 )
 

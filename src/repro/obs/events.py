@@ -46,6 +46,11 @@ class TraceEventKind(str, Enum):
     NODE_FAILED = "node.failed"              # a node crashed, losing its state
     NCL_REELECTED = "ncl.reelected"          # the top-K central set changed
     CACHE_MIGRATED = "cache.migrated"        # a copy re-pushed toward new NCLs
+    # live health telemetry (serve-mode SLOs and anomaly detection)
+    SLO_VIOLATED = "slo.violated"            # a rule breached for its sustain window
+    SLO_RECOVERED = "slo.recovered"          # a previously violated rule is healthy
+    HEALTH_ANOMALY = "health.anomaly"        # EWMA drift / CUSUM change-point fired
+    WORKLOAD_FLASH_CROWD_WINDOW = "workload.flash_crowd_window"  # one-time surge-window announcement
 
 
 @dataclass(frozen=True)

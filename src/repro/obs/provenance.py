@@ -14,6 +14,9 @@ or audit a run:
 * ``kernel_backend`` — the requested/active kernel backend and whether
   numba was importable (execution detail: backends are bitwise
   equivalent, so this sits outside the hashed config);
+* ``slo_rules`` — the live-health SLO rules a serve run monitored
+  (observation detail: rules never influence the simulation, so they
+  too sit outside the hashed config; absent when none were set);
 * ``packages`` — versions of the scientific stack actually imported;
 * ``platform`` — python version, implementation, OS.
 
@@ -91,13 +94,15 @@ def _package_versions() -> Dict[str, str]:
 
 
 def build_manifest(
-    config: Mapping[str, Any], seeds: Iterable[int]
+    config: Mapping[str, Any],
+    seeds: Iterable[int],
+    slo_rules: Optional[Iterable[Any]] = None,
 ) -> Dict[str, Any]:
     """Assemble a run manifest (see module docstring for the fields)."""
     from repro.kernels import backend_status
 
     config = dict(config)
-    return {
+    manifest = {
         "config": config,
         "config_hash": config_hash(config),
         "seeds": sorted(int(seed) for seed in seeds),
@@ -114,6 +119,15 @@ def build_manifest(
             "machine": platform.machine(),
         },
     }
+    if slo_rules:
+        # Observation detail: SLO rules watch the run without touching
+        # it, so — like the backend — they are stamped outside the
+        # hashed config for auditability.
+        manifest["slo_rules"] = [
+            rule.to_dict() if hasattr(rule, "to_dict") else dict(rule)
+            for rule in slo_rules
+        ]
+    return manifest
 
 
 def write_manifest(manifest: Mapping[str, Any], path: str) -> None:

@@ -451,13 +451,13 @@ class Simulator:
         if self.timeseries.enabled:
             self.timeseries.record(self._build_sample(now, len(live), cached))
 
-    def _build_sample(
-        self, now: float, live_items: int, cached_copies: int
-    ) -> TimeSeriesSample:
-        """Assemble one extended telemetry sample (sampler enabled only)."""
-        node_occupancy = tuple(
-            node.buffer.used / node.buffer.capacity for node in self.nodes
-        )
+    def ncl_load(self, now: float) -> Dict[int, int]:
+        """Live cached copies per NCL basin: central node id → copies
+        held by the nodes whose nearest central node it is.
+
+        Empty for schemes without NCL selection — consumers (telemetry
+        sampler, health monitor) treat that as "no skew signal".
+        """
         ncl_load: Dict[int, int] = {}
         selection = getattr(self.scheme, "selection", None)
         if selection is not None:
@@ -466,6 +466,16 @@ class Simulator:
                 central = int(nearest[node.node_id])
                 held = node.buffer.live_count(now)
                 ncl_load[central] = ncl_load.get(central, 0) + held
+        return ncl_load
+
+    def _build_sample(
+        self, now: float, live_items: int, cached_copies: int
+    ) -> TimeSeriesSample:
+        """Assemble one extended telemetry sample (sampler enabled only)."""
+        node_occupancy = tuple(
+            node.buffer.used / node.buffer.capacity for node in self.nodes
+        )
+        ncl_load = self.ncl_load(now)
         return TimeSeriesSample(
             time=now,
             live_items=live_items,
@@ -501,6 +511,7 @@ class Simulator:
     def _run(self) -> SimulationResult:
         warmup_end = self.warmup_end
         eval_contacts = self._warmup()
+        self._announce_flash_window(warmup_end)
         self._prepare(warmup_end)
         for contact in eval_contacts:
             self.engine.schedule(contact.start, EventKind.CONTACT, contact)
@@ -530,6 +541,32 @@ class Simulator:
                 eval_contacts.append(contact)
         self.workload_process.set_window(warmup_end, self.trace.end_time)
         return eval_contacts
+
+    def _announce_flash_window(self, warmup_end: float) -> None:
+        """One-time trace announcement of the workload's surge window.
+
+        Emitted at the evaluation-window start so live consumers
+        (``repro watch``) can annotate upcoming flash-crowd windows; in
+        serve mode the surge only exists in the first replay cycle
+        (later cycles keep the baseline rounds), which the event states
+        explicitly.
+        """
+        if not self.recorder.enabled:
+            return
+        window = self.workload_process.arrivals.flash_window()
+        if window is None:
+            return
+        self.recorder.emit(
+            TraceEvent(
+                time=warmup_end,
+                kind=TraceEventKind.WORKLOAD_FLASH_CROWD_WINDOW,
+                attrs={
+                    "start": window[0],
+                    "end": window[1],
+                    "first_cycle_only": True,
+                },
+            )
+        )
 
     def _prepare(self, warmup_end: float) -> None:
         """Phase 2 + handler registration: scheme setup at the midpoint."""
@@ -626,6 +663,7 @@ class Simulator:
         self._ran = True
         self._session_active = True
         self._eval_contacts = self._warmup()
+        self._announce_flash_window(self.warmup_end)
         self._prepare(self.warmup_end)
 
     def advance_session(self, until: float) -> None:

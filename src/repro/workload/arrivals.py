@@ -103,6 +103,11 @@ class ArrivalProcess:
         """Per-node probability of one extra query for the flash target."""
         return 0.0
 
+    def flash_window(self) -> Optional[Tuple[float, float]]:
+        """The absolute [start, end) surge window, for processes that
+        have one (None otherwise, and before :meth:`set_window`)."""
+        return None
+
     @property
     def flash_rank(self) -> int:
         """1-based popularity rank of the flash-crowd target item."""
@@ -212,14 +217,17 @@ class FlashCrowdArrivals(ArrivalProcess):
         if self.params["rank"] < 1:
             raise ConfigurationError("flash_crowd rank must be >= 1")
 
-    def flash_fraction(self, now: float) -> float:
+    def flash_window(self) -> Optional[Tuple[float, float]]:
         if self._window is None:
-            return 0.0
+            return None
         start, end = self._window
         span = end - start
         flash_start = start + self.params["at"] * span
-        flash_end = flash_start + self.params["duration"] * span
-        if flash_start <= now < flash_end:
+        return (flash_start, flash_start + self.params["duration"] * span)
+
+    def flash_fraction(self, now: float) -> float:
+        window = self.flash_window()
+        if window is not None and window[0] <= now < window[1]:
             return self.params["probability"]
         return 0.0
 

@@ -5,6 +5,8 @@ import json
 import pytest
 
 from repro.experiments.benchguard import (
+    HEALTH_OVERHEAD_THRESHOLD,
+    check_health_overhead,
     check_profiler_overhead,
     check_reelection_overhead,
     check_throughput,
@@ -39,6 +41,7 @@ class TestTwinOverhead:
         [
             (check_profiler_overhead, "k_profiled"),
             (check_reelection_overhead, "k_reelect"),
+            (check_health_overhead, "k_health"),
         ],
     )
     def test_within_limit_passes(self, check, suffixed):
@@ -50,6 +53,7 @@ class TestTwinOverhead:
         [
             (check_profiler_overhead, "k_profiled"),
             (check_reelection_overhead, "k_reelect"),
+            (check_health_overhead, "k_health"),
         ],
     )
     def test_beyond_limit_fails(self, check, suffixed):
@@ -64,6 +68,15 @@ class TestTwinOverhead:
 
     def test_plain_benchmarks_are_not_paired(self):
         assert check_twin_overhead({"a": 1.0, "b": 2.0}, "_reelect", 1.05) == []
+
+    def test_health_pairs_with_unmonitored_serve_twin(self):
+        means = {
+            "test_bench_throughput_serve_batches": 2.0,
+            "test_bench_throughput_serve_batches_health": 2.06,
+        }
+        rows = check_health_overhead(means)
+        assert rows == [("test_bench_throughput_serve_batches_health", 1.03, False)]
+        assert HEALTH_OVERHEAD_THRESHOLD == 1.05
 
 
 class TestLoadMeans:

@@ -49,6 +49,7 @@ class TestSaveLoad:
             experiment.aggregate
         )
         assert loaded["trace_path"] is None  # tracing was off
+        assert loaded["health_path"] is None  # serve-mode only
 
     def test_load_missing_directory(self, tmp_path):
         with pytest.raises(ConfigurationError):
@@ -76,6 +77,32 @@ class TestRenderReport:
         assert experiment.manifest["config_hash"] in report
         # mean ± 95% CI rendering of the aggregate
         assert "±" in report
+
+    def test_health_log_renders_live_health_section(self, experiment, tmp_path):
+        from pathlib import Path
+
+        from repro.obs.health import HealthReport, HealthSnapshot, write_health_log
+
+        run_dir = str(tmp_path / "run")
+        save_run(experiment, run_dir)
+        snapshot = HealthSnapshot(
+            index=0, start=0.0, end=3600.0,
+            queries_issued=10, queries_satisfied=4, duplicate_deliveries=0,
+            late_deliveries=0, cache_lookups=10, cache_hits=4,
+            data_generated=2, responses_delivered=4, backlog=6,
+            backlog_delta=6, success_ratio=0.4, cache_hit_ratio=0.4,
+            queries_per_sim_second=10 / 3600.0, delay_p50=30.0,
+            delay_p95=120.0, delay_p99=200.0, ncl_load_cv=0.0,
+            flash_crowd=False,
+        )
+        report = HealthReport(
+            snapshots=(snapshot,), transitions=(), anomalies=(), flash_window=None
+        )
+        write_health_log(Path(run_dir) / "health.jsonl", report)
+        rendered = render_run_report(run_dir)
+        assert "## Live health" in rendered
+        assert "1 windows" in rendered
+        assert load_run(run_dir)["health_path"] is not None
 
     def test_profile_tree_is_checked_before_rendering(self, experiment, tmp_path):
         run_dir = str(tmp_path / "run")

@@ -9,10 +9,13 @@ from repro.caching.nocache import NoCache
 from repro.errors import ConfigurationError
 from repro.experiments.serve import (
     BatchResult,
+    ServeOutcome,
     ServeSession,
     serve_repeated,
     summarize_throughput,
 )
+from repro.obs.health import HealthMonitor, check_health_consistency
+from repro.obs.slo import SLORule, parse_slo_rule
 from repro.sim.dynamics import DynamicsConfig, DynamicsEvent
 from repro.sim.simulator import Simulator, SimulatorConfig
 from repro.traces.synthetic import SyntheticTraceConfig, generate_synthetic_trace
@@ -37,6 +40,26 @@ def workload(**overrides):
     return WorkloadConfig(
         mean_data_lifetime=12 * HOUR, mean_data_size=20 * MEGABIT, **overrides
     )
+
+
+def bitwise_equal(a, b):
+    """Recursive bitwise equality: floats compare by their IEEE-754
+    bytes (NaN == NaN when the bit patterns match, +0.0 != -0.0),
+    containers and dataclasses recurse."""
+    import struct
+
+    if isinstance(a, float) and isinstance(b, float):
+        return struct.pack("<d", a) == struct.pack("<d", b)
+    if dataclasses.is_dataclass(a) and dataclasses.is_dataclass(b):
+        return type(a) is type(b) and all(
+            bitwise_equal(getattr(a, f.name), getattr(b, f.name))
+            for f in dataclasses.fields(a)
+        )
+    if isinstance(a, (list, tuple)) and isinstance(b, (list, tuple)):
+        return len(a) == len(b) and all(
+            bitwise_equal(x, y) for x, y in zip(a, b)
+        )
+    return a == b
 
 
 def results_equal(a, b):
@@ -144,7 +167,37 @@ class TestBatchResult:
         assert summary["queries_per_second"] == pytest.approx(400.0)
 
     def test_summarize_empty(self):
-        assert summarize_throughput([])["queries_per_second"] == 0.0
+        """Satellite regression: an empty batch list must roll up to all
+        zeros, never raise (rates have empty denominators)."""
+        summary = summarize_throughput([])
+        assert summary["batches"] == 0
+        assert summary["queries_per_second"] == 0.0
+        assert summary["queries_per_sim_second"] == 0.0
+        assert summary["success_ratio"] == 0.0
+        assert summary["sim_seconds"] == 0
+
+    def test_summarize_zero_duration_batches(self):
+        """Satellite regression: batches with zero wall-clock AND zero
+        simulated duration must not divide by zero."""
+        batches = [
+            BatchResult(0, 5.0, 5.0, 10, 4, 0, 0, 1, wall_seconds=0.0),
+            BatchResult(1, 5.0, 5.0, 0, 0, 0, 0, 1, wall_seconds=0.0),
+        ]
+        summary = summarize_throughput(batches)
+        assert summary["queries_issued"] == 10
+        assert summary["queries_per_second"] == 0.0
+        assert summary["queries_per_sim_second"] == 0.0
+        assert summary["success_ratio"] == pytest.approx(0.4)
+
+    def test_summarize_success_and_sim_rate(self):
+        batches = [
+            BatchResult(0, 0.0, 10.0, 100, 40, 0, 0, 5, wall_seconds=0.5),
+            BatchResult(1, 10.0, 20.0, 300, 60, 0, 0, 2, wall_seconds=0.5),
+        ]
+        summary = summarize_throughput(batches)
+        assert summary["success_ratio"] == pytest.approx(0.25)
+        assert summary["sim_seconds"] == pytest.approx(20.0)
+        assert summary["queries_per_sim_second"] == pytest.approx(20.0)
 
 
 class TestServeRepeated:
@@ -160,22 +213,138 @@ class TestServeRepeated:
             trace, NoCache, workload(), seeds=seeds, batches=3, workers=4
         )
         assert len(serial) == len(parallel) == len(seeds)
-        for (res_s, batches_s), (res_p, batches_p) in zip(serial, parallel):
-            assert results_equal(res_s, res_p)
-            assert [b.deterministic_fields for b in batches_s] == [
-                b.deterministic_fields for b in batches_p
+        for out_s, out_p in zip(serial, parallel):
+            assert results_equal(out_s.result, out_p.result)
+            assert [b.deterministic_fields for b in out_s.batches] == [
+                b.deterministic_fields for b in out_p.batches
             ]
 
     def test_seeds_are_pinned_in_order(self):
         outcomes = serve_repeated(
             serve_trace(), NoCache, workload(), seeds=[7, 8], batches=1
         )
-        assert [result.seed for result, _ in outcomes] == [7, 8]
+        assert [outcome.result.seed for outcome in outcomes] == [7, 8]
+
+    def test_unmonitored_outcome_has_no_health(self):
+        outcomes = serve_repeated(
+            serve_trace(), NoCache, workload(), seeds=[7], batches=1
+        )
+        assert isinstance(outcomes[0], ServeOutcome)
+        assert outcomes[0].health is None
 
     def test_bursty_arrivals_served(self):
         wl = workload(arrival_process="bursty")
         outcomes = serve_repeated(
             serve_trace(), NoCache, wl, seeds=[5], batches=4
         )
-        result, batches = outcomes[0]
+        result, batches, _ = outcomes[0]
         assert result.queries_issued == sum(b.queries_issued for b in batches)
+
+
+class TestServeHealth:
+    """Tentpole: live health snapshots riding along serve sessions."""
+
+    RULES = (
+        SLORule("tight", "success_ratio", ">=", 0.99, sustain=1),
+        SLORule("lenient_backlog", "backlog", "<=", 1e9, sustain=1),
+    )
+
+    def test_snapshots_tile_the_session(self):
+        monitor = HealthMonitor()
+        session = ServeSession(serve_trace(), NoCache(), workload(), health=monitor)
+        batches = [session.run_batch() for _ in range(4)]
+        session.finalize()
+        report = monitor.report()
+        assert len(report.snapshots) == 4
+        for batch, snap in zip(batches, report.snapshots):
+            assert (snap.index, snap.start, snap.end) == (
+                batch.index,
+                batch.start,
+                batch.end,
+            )
+            assert snap.queries_issued == batch.queries_issued
+            assert snap.queries_satisfied == batch.queries_satisfied
+            assert snap.backlog == batch.pending_queries
+
+    def test_snapshot_deltas_sum_to_collector_totals(self):
+        monitor = HealthMonitor()
+        session = ServeSession(serve_trace(), NoCache(), workload(), health=monitor)
+        for _ in range(5):
+            session.run_batch()
+        totals = session.simulator.metrics.totals()
+        result = session.finalize()
+        report = monitor.report()
+        check_health_consistency(report, totals, baseline=monitor.baseline)
+        assert sum(s.queries_issued for s in report.snapshots) == result.queries_issued
+        assert (
+            sum(s.queries_satisfied for s in report.snapshots)
+            == result.queries_satisfied
+        )
+
+    def test_health_matches_serial_vs_workers_bitwise(self):
+        """The tentpole determinism contract: health snapshots, SLO
+        transitions and anomalies are simulated-time functions only, so
+        workers=4 reproduces the serial stream bit for bit."""
+        trace = serve_trace()
+        seeds = [1, 2, 3, 4]
+        serial = serve_repeated(
+            trace, NoCache, workload(), seeds=seeds, batches=3,
+            slo_rules=self.RULES,
+        )
+        parallel = serve_repeated(
+            trace, NoCache, workload(), seeds=seeds, batches=3, workers=4,
+            slo_rules=self.RULES,
+        )
+        for out_s, out_p in zip(serial, parallel):
+            assert out_s.health is not None and out_p.health is not None
+            # IEEE-754 byte comparison: NaN == NaN when the bit patterns
+            # match, and any drift in a real value breaks it.
+            assert bitwise_equal(out_s.health, out_p.health)
+
+    def test_always_breaching_rule_fires_deterministically(self):
+        """An unreachable floor must violate on the first evidence-bearing
+        window, in both serial and parallel runs."""
+        rule = SLORule("impossible", "success_ratio", ">=", 2.0, sustain=1)
+        outcomes = serve_repeated(
+            serve_trace(), NoCache, workload(), seeds=[7], batches=3,
+            slo_rules=(rule,),
+        )
+        health = outcomes[0].health
+        assert health is not None
+        violated = [t for t in health.transitions if t.kind == "slo.violated"]
+        assert len(violated) == 1
+        assert violated[0].rule == "impossible"
+        first_evidence = next(
+            s for s in health.snapshots if s.queries_issued > 0
+        )
+        assert violated[0].time == first_evidence.end
+
+    def test_flash_crowd_window_annotated(self):
+        """Flash-crowd serves record the surge window and mark the
+        overlapping snapshots (the first replay cycle only)."""
+        wl = workload(
+            arrival_process="flash_crowd",
+            arrival_params={"at": 0.0, "duration": 0.5, "probability": 0.9},
+        )
+        outcomes = serve_repeated(
+            serve_trace(), NoCache, wl, seeds=[5], batches=4,
+            monitor_health=True,
+        )
+        health = outcomes[0].health
+        assert health is not None
+        assert health.flash_window is not None
+        start, end = health.flash_window
+        assert start < end
+        flagged = [s for s in health.snapshots if s.flash_crowd]
+        assert flagged, "no snapshot overlapped the surge window"
+        for snap in health.snapshots:
+            assert snap.flash_crowd == (snap.start < end and start < snap.end)
+
+    def test_slo_cli_specs_work_through_serve(self):
+        outcomes = serve_repeated(
+            serve_trace(), NoCache, workload(), seeds=[7], batches=2,
+            slo_rules=(parse_slo_rule("backlog<=1e9"),),
+        )
+        health = outcomes[0].health
+        assert health is not None
+        assert health.transitions == ()

@@ -1,0 +1,163 @@
+"""Tests for the declarative SLO rule engine (``repro.obs.slo``)."""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs.events import TraceEventKind
+from repro.obs.recorder import MemoryRecorder
+from repro.obs.slo import (
+    SLO_PRESETS,
+    SLOEngine,
+    SLORule,
+    parse_slo_rule,
+    rules_from_config,
+    rules_to_config,
+)
+
+
+class FakeSnapshot:
+    """Minimal snapshot: any keyword becomes an attribute; ``end`` is
+    the evaluation timestamp."""
+
+    def __init__(self, end=0.0, **fields):
+        self.end = end
+        for key, value in fields.items():
+            setattr(self, key, value)
+
+
+class TestSLORule:
+    def test_floor_and_ceiling_semantics(self):
+        floor = SLORule("floor", "success_ratio", ">=", 0.5)
+        assert floor.healthy(0.5) and floor.healthy(0.9)
+        assert not floor.healthy(0.49)
+        ceiling = SLORule("ceil", "backlog", "<=", 100.0)
+        assert ceiling.healthy(100.0) and not ceiling.healthy(100.5)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            SLORule("", "f", ">=", 1.0)
+        with pytest.raises(ConfigurationError):
+            SLORule("r", "", ">=", 1.0)
+        with pytest.raises(ConfigurationError):
+            SLORule("r", "f", ">", 1.0)
+        with pytest.raises(ConfigurationError):
+            SLORule("r", "f", ">=", 1.0, sustain=0)
+        with pytest.raises(ConfigurationError):
+            SLORule("r", "f", ">=", float("nan"))
+
+    def test_dict_round_trip(self):
+        rule = SLORule("r", "delay_p95", "<=", 3600.0, sustain=4)
+        assert SLORule.from_dict(rule.to_dict()) == rule
+        assert rules_from_config(rules_to_config([rule])) == (rule,)
+
+    def test_spec_round_trips_through_parser(self):
+        for rule in SLO_PRESETS.values():
+            parsed = parse_slo_rule(rule.spec)
+            assert (parsed.field, parsed.op, parsed.target, parsed.sustain) == (
+                rule.field,
+                rule.op,
+                rule.target,
+                rule.sustain,
+            )
+
+
+class TestParseSLORule:
+    def test_parses_floor_spec(self):
+        rule = parse_slo_rule("success_ratio>=0.25")
+        assert rule.field == "success_ratio"
+        assert rule.op == ">="
+        assert rule.target == 0.25
+        assert rule.sustain == 1
+
+    def test_parses_ceiling_with_sustain(self):
+        rule = parse_slo_rule("delay_p95<=86400:3")
+        assert (rule.field, rule.op, rule.target, rule.sustain) == (
+            "delay_p95",
+            "<=",
+            86400.0,
+            3,
+        )
+
+    def test_preset_names_resolve(self):
+        assert parse_slo_rule("availability") is SLO_PRESETS["availability"]
+
+    def test_garbage_rejected(self):
+        for bad in ("nonsense", "field>=abc", "field>=1:x", "field=1"):
+            with pytest.raises(ConfigurationError):
+                parse_slo_rule(bad)
+
+
+class TestSLOEngine:
+    def test_sustain_counts_consecutive_breaches(self):
+        engine = SLOEngine([SLORule("r", "x", ">=", 1.0, sustain=3)])
+        times = iter(range(1, 10))
+        # two breaches, a healthy window resetting the streak, then three
+        breaches = [0.0, 0.0, 5.0, 0.0, 0.0, 0.0]
+        fired = []
+        for value in breaches:
+            fired += engine.evaluate(FakeSnapshot(end=float(next(times)), x=value))
+        assert [t.kind for t in fired] == ["slo.violated"]
+        assert fired[0].time == 6.0
+        assert engine.violated_rules() == ("r",)
+
+    def test_recovery_is_edge_triggered(self):
+        engine = SLOEngine([SLORule("r", "x", ">=", 1.0, sustain=1)])
+        stream = [0.0, 0.0, 2.0, 2.0]
+        fired = []
+        for i, value in enumerate(stream):
+            fired += engine.evaluate(FakeSnapshot(end=float(i), x=value))
+        assert [t.kind for t in fired] == ["slo.violated", "slo.recovered"]
+        assert engine.violated_rules() == ()
+
+    def test_nan_windows_carry_no_evidence(self):
+        engine = SLOEngine([SLORule("r", "x", ">=", 1.0, sustain=2)])
+        nan = float("nan")
+        engine.evaluate(FakeSnapshot(end=0.0, x=0.0))
+        engine.evaluate(FakeSnapshot(end=1.0, x=nan))
+        assert engine.transitions == ()
+        # the NaN neither broke nor extended the streak
+        fired = engine.evaluate(FakeSnapshot(end=2.0, x=0.0))
+        assert [t.kind for t in fired] == ["slo.violated"]
+
+    def test_duplicate_rule_names_rejected(self):
+        rules = [SLORule("r", "x", ">=", 1.0), SLORule("r", "y", "<=", 2.0)]
+        with pytest.raises(ConfigurationError):
+            SLOEngine(rules)
+
+    def test_emits_trace_events_through_recorder(self):
+        recorder = MemoryRecorder()
+        engine = SLOEngine([SLORule("r", "x", ">=", 1.0, sustain=1)])
+        engine.evaluate(FakeSnapshot(end=10.0, x=0.0), recorder)
+        engine.evaluate(FakeSnapshot(end=20.0, x=5.0), recorder)
+        kinds = [event.kind for event in recorder.events]
+        assert kinds == [TraceEventKind.SLO_VIOLATED, TraceEventKind.SLO_RECOVERED]
+        violated = recorder.events[0]
+        assert violated.time == 10.0
+        assert violated.attrs["rule"] == "r"
+        assert violated.attrs["value"] == 0.0
+        assert violated.attrs["target"] == 1.0
+
+    def test_transition_payload(self):
+        engine = SLOEngine([SLORule("r", "x", "<=", 2.0, sustain=1)])
+        (transition,) = engine.evaluate(FakeSnapshot(end=3.0, x=9.0))
+        assert transition.rule == "r"
+        assert transition.kind == "slo.violated"
+        assert transition.field == "x"
+        assert transition.value == 9.0
+        assert transition.target == 2.0
+        payload = transition.to_dict()
+        assert payload["kind"] == "slo.violated"
+        assert payload["t"] == 3.0
+
+    def test_deterministic_replay(self):
+        """Same snapshot stream → identical transitions (pure function)."""
+        stream = [0.3, 0.1, math.inf, 0.9, 0.2, 0.2, 1.5]
+        runs = []
+        for _ in range(2):
+            engine = SLOEngine([SLORule("r", "x", ">=", 1.0, sustain=2)])
+            for i, value in enumerate(stream):
+                engine.evaluate(FakeSnapshot(end=float(i), x=value))
+            runs.append(engine.transitions)
+        assert runs[0] == runs[1]

@@ -1,0 +1,65 @@
+"""The SLO rule lint: presets name real snapshot fields.
+
+``scripts/check_slo_rules.py`` proves every rule in ``SLO_PRESETS``
+targets a numeric :class:`HealthSnapshot` field with a well-formed
+op/target/sustain and a spec string the CLI parser can re-read.
+Running it under pytest keeps the contract in tier-1 instead of
+relying on a manual script invocation.
+"""
+
+import dataclasses
+import os
+import importlib.util
+
+import pytest
+
+from repro.obs.health import HealthSnapshot
+from repro.obs.slo import SLO_PRESETS
+
+_SCRIPT = os.path.join(
+    os.path.dirname(__file__), os.pardir, os.pardir, "scripts", "check_slo_rules.py"
+)
+
+
+@pytest.fixture(scope="module")
+def lint():
+    spec = importlib.util.spec_from_file_location("check_slo_rules", _SCRIPT)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_presets_are_clean(lint):
+    violations = lint.collect_violations()
+    assert violations == [], "\n".join(str(v) for v in violations)
+
+
+def test_monitorable_fields_track_the_snapshot(lint):
+    names = {field.name for field in dataclasses.fields(HealthSnapshot)}
+    assert lint.MONITORABLE_FIELDS <= names
+    # Identity and flag fields stay excluded.
+    assert not lint.MONITORABLE_FIELDS & {"index", "start", "end", "flash_crowd"}
+    # The signals the presets rely on are monitorable.
+    assert {"success_ratio", "delay_p95", "backlog", "cache_hit_ratio"} <= (
+        lint.MONITORABLE_FIELDS
+    )
+
+
+def test_lint_catches_bogus_field(lint, monkeypatch):
+    # Sanity: a rule naming a nonexistent field would actually be flagged.
+    from repro.obs.slo import SLORule
+
+    bogus = SLORule("bogus", "no_such_field", ">=", 1.0)
+    monkeypatch.setitem(lint.SLO_PRESETS, "bogus", bogus)
+    problems = [v for v in lint.check_fields() if v.rule == "bogus"]
+    assert problems and "no_such_field" in problems[0].problem
+
+
+def test_script_main_exits_zero(lint, capsys):
+    assert lint.main() == 0
+    out = capsys.readouterr().out
+    assert "registered SLO rules" in out
+
+
+def test_every_preset_key_matches_rule_name():
+    assert all(name == rule.name for name, rule in SLO_PRESETS.items())

@@ -52,6 +52,20 @@ def test_dotted_grammar_accepts_and_rejects(lint):
     assert not grammar.match("double..dot")
 
 
+def test_every_dotted_kind_uses_a_registered_namespace(lint):
+    for member in TraceEventKind:
+        if "." not in member.value:
+            continue
+        namespace = member.value.split(".", 1)[0]
+        assert namespace in lint.KNOWN_NAMESPACES, member.value
+
+
+def test_namespace_check_catches_unregistered_prefix(lint):
+    # Sanity: the checker would actually flag a typo'd namespace.
+    assert "slos" not in lint.KNOWN_NAMESPACES
+    assert {"slo", "health", "workload"} <= lint.KNOWN_NAMESPACES
+
+
 def test_parser_coverage_is_exhaustive_and_disjoint():
     assert HANDLED_KINDS | IGNORED_KINDS == set(TraceEventKind)
     assert not HANDLED_KINDS & IGNORED_KINDS

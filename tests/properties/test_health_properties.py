@@ -1,0 +1,203 @@
+"""Property tests for the windowed-delta health contracts.
+
+Two invariants back the live health monitor's design:
+
+* **Delta consistency** — chopping a stream of collector events into
+  arbitrary windows and summing each window's
+  :meth:`CollectorTotals.delta` must reproduce the final totals
+  bit-exactly, whatever the window boundaries (the foundation of
+  :func:`repro.obs.health.check_health_consistency`).
+* **Monotone sketch counts** — the O(1) ``view()`` probes of
+  :class:`P2Quantile` and :class:`ReservoirSampler` report observation
+  counts that never decrease and grow by exactly the number of
+  observations between views, so windowed consumers can difference
+  them safely.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.data import Query
+from repro.metrics.collector import CollectorTotals, MetricsCollector
+from repro.metrics.streaming import P2Quantile, ReservoirSampler
+from repro.obs.health import HealthMonitor, check_health_consistency
+from repro.obs.slo import SLORule
+
+# One collector event: (kind, payload) applied in stream order.
+_EVENTS = st.lists(
+    st.sampled_from(["query", "deliver", "lookup_hit", "lookup_miss", "data"]),
+    min_size=0,
+    max_size=60,
+)
+
+
+def _apply_events(collector, kinds):
+    """Drive the collector with a deterministic event stream; yields the
+    collector after every event so callers can snapshot anywhere."""
+    qid = 0
+    open_queries = []
+    for kind in kinds:
+        if kind == "query":
+            query = Query(
+                query_id=qid, requester=0, data_id=qid, created_at=float(qid),
+                time_constraint=1e9,
+            )
+            collector.on_query_created(query)
+            open_queries.append(query)
+            qid += 1
+        elif kind == "deliver" and open_queries:
+            query = open_queries.pop(0)
+            collector.on_query_satisfied(query, query.created_at + 1.0)
+        elif kind == "lookup_hit":
+            collector.on_cache_lookup(True)
+        elif kind == "lookup_miss":
+            collector.on_cache_lookup(False)
+        elif kind == "data":
+            collector._data_generated += 1  # cheap stand-in for on_data_generated
+        yield collector
+
+
+@given(kinds=_EVENTS, cuts=st.sets(st.integers(min_value=0, max_value=60)))
+@settings(max_examples=200, deadline=None)
+def test_window_deltas_sum_to_totals(kinds, cuts):
+    """Sum of per-window CollectorTotals deltas == final totals, for any
+    choice of window boundaries over any event stream."""
+    collector = MetricsCollector(streaming=True)
+    views = [collector.totals()]
+    for i, state in enumerate(_apply_events(collector, kinds)):
+        if i in cuts:
+            views.append(state.totals())
+    views.append(collector.totals())
+    deltas = [later.delta(earlier) for earlier, later in zip(views, views[1:])]
+    summed = CollectorTotals(
+        *(sum(delta[i] for delta in deltas) for i in range(len(CollectorTotals._fields)))
+    )
+    assert summed == collector.totals().delta(views[0])
+
+
+@given(kinds=_EVENTS)
+@settings(max_examples=100, deadline=None)
+def test_totals_are_monotone_per_field(kinds):
+    """Every CollectorTotals counter is non-decreasing in stream order."""
+    collector = MetricsCollector(streaming=True)
+    previous = collector.totals()
+    for state in _apply_events(collector, kinds):
+        current = state.totals()
+        assert all(a >= b for a, b in zip(current, previous))
+        previous = current
+
+
+@given(
+    values=st.lists(
+        st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+        min_size=0,
+        max_size=120,
+    ),
+    q=st.sampled_from([0.5, 0.95, 0.99]),
+)
+@settings(max_examples=150, deadline=None)
+def test_p2_view_counts_monotone_and_exact(values, q):
+    """P2Quantile.view(): counts increase by exactly one per observation
+    and the view's estimate equals the live property at capture time."""
+    sketch = P2Quantile(q)
+    last = sketch.view()
+    assert last.count == 0
+    for i, value in enumerate(values):
+        sketch.observe(value)
+        view = sketch.view()
+        assert view.count == last.count + 1 == i + 1
+        assert view.estimate == sketch.value or (
+            np.isnan(view.estimate) and np.isnan(sketch.value)
+        )
+        last = view
+
+
+@given(
+    values=st.lists(
+        st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+        min_size=0,
+        max_size=120,
+    ),
+    capacity=st.integers(min_value=1, max_value=16),
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+)
+@settings(max_examples=150, deadline=None)
+def test_reservoir_view_counts_monotone_and_bounded(values, capacity, seed):
+    """ReservoirSampler.view(): counts monotone by one per observation,
+    held size equals min(count, capacity) for Algorithm R."""
+    sampler = ReservoirSampler(capacity, np.random.default_rng(seed))
+    last = sampler.view()
+    for value in values:
+        sampler.observe(value)
+        view = sampler.view()
+        assert view.count == last.count + 1
+        assert view.held == min(view.count, capacity)
+        last = view
+
+
+@given(
+    windows=st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=30),   # issued
+            st.integers(min_value=0, max_value=30),   # satisfied (capped below)
+        ),
+        min_size=1,
+        max_size=20,
+    )
+)
+@settings(max_examples=100, deadline=None)
+def test_monitor_snapshots_delta_consistent_for_any_schedule(windows):
+    """HealthMonitor over a scripted metrics source: whatever the
+    per-window activity, check_health_consistency accepts the stream
+    and snapshot deltas reproduce the totals."""
+
+    class FakeMetrics:
+        def __init__(self):
+            self.totals_value = CollectorTotals(0, 0, 0, 0, 0, 0, 0, 0)
+            self.open = 0
+            self.delay_p50 = float("nan")
+            self.delay_p95 = float("nan")
+            self.delay_p99 = float("nan")
+
+        def totals(self):
+            return self.totals_value
+
+        @property
+        def open_queries(self):
+            return self.open
+
+        def pending_queries(self, now):
+            return self.open
+
+    class FakeSimulator:
+        def __init__(self):
+            self.metrics = FakeMetrics()
+            self.workload_process = type("WP", (), {"arrivals": None})()
+
+        def ncl_load(self, now):
+            return {}
+
+    sim = FakeSimulator()
+    monitor = HealthMonitor([SLORule("r", "backlog", "<=", 1e9)])
+    monitor.attach(sim)
+    for i, (issued, satisfied) in enumerate(windows):
+        satisfied = min(satisfied, issued + sim.metrics.open)
+        t = sim.metrics.totals_value
+        sim.metrics.totals_value = CollectorTotals(
+            t.queries_issued + issued,
+            t.queries_satisfied + satisfied,
+            t.duplicate_deliveries,
+            t.late_deliveries,
+            t.cache_lookups + issued,
+            t.cache_hits + satisfied,
+            t.data_generated + 1,
+            t.responses_delivered + satisfied,
+        )
+        sim.metrics.open += issued - satisfied
+        monitor.observe_window(i, i * 10.0, (i + 1) * 10.0)
+    report = monitor.report()
+    check_health_consistency(report, sim.metrics.totals(), baseline=monitor.baseline)
+    assert sum(s.queries_issued for s in report.snapshots) == (
+        sim.metrics.totals().queries_issued
+    )

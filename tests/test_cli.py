@@ -235,6 +235,72 @@ class TestRunDirectoryAndReport:
         )
         assert "--repeat 1" in capsys.readouterr().err
 
+    def test_serve_slo_out_prom_and_watch(self, capsys, tmp_path):
+        """End-to-end: serve with an always-breaching SLO writes the
+        health log + manifest + Prometheus exposition, and `repro
+        watch` renders the run directory's table."""
+        import json
+
+        run_dir = tmp_path / "run"
+        prom = tmp_path / "health.prom"
+        assert (
+            main(
+                [
+                    "serve",
+                    "--trace",
+                    "infocom05",
+                    *FAST_TRACE,
+                    "--scheme",
+                    "nocache",
+                    "--lifetime-hours",
+                    "4",
+                    "--batches",
+                    "3",
+                    "--slo",
+                    "success_ratio>=2.0",
+                    "--out",
+                    str(run_dir),
+                    "--prom-out",
+                    str(prom),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "slo.violated rule=success_ratio>=2.0" in out
+        assert "health log" in out
+        assert (run_dir / "health.jsonl").exists()
+        manifest = json.load(open(run_dir / "manifest.json"))
+        assert manifest["slo_rules"][0]["field"] == "success_ratio"
+        exposition = prom.read_text()
+        assert "repro_health_windows_total 3" in exposition
+        assert 'repro_slo_violated{rule="success_ratio>=2.0"} 1' in exposition
+        assert main(["watch", str(run_dir)]) == 0
+        table = capsys.readouterr().out
+        assert "backlog" in table  # table header
+        assert "!success_ratio>=2.0" in table  # violation edge flag
+        assert "windows" in table  # summary footer
+
+    def test_serve_bad_slo_spec_rejected(self, capsys):
+        assert (
+            main(
+                [
+                    "serve",
+                    "--trace",
+                    "infocom05",
+                    *FAST_TRACE,
+                    "--slo",
+                    "not_a_rule",
+                ]
+            )
+            == 2
+        )
+        assert "not_a_rule" in capsys.readouterr().err
+
+    def test_watch_missing_log(self, capsys, tmp_path):
+        assert main(["watch", str(tmp_path / "absent")]) == 2
+        assert "no health log" in capsys.readouterr().err
+
     def test_repeat_merges_seeds_into_run_directory(self, capsys, tmp_path):
         import json
 
