@@ -153,6 +153,29 @@ def test_bench_kernel_weight_matrix_n200(benchmark, backend):
     assert matrix.shape == (graph.num_nodes, graph.num_nodes)
 
 
+def test_bench_kernel_knn_rows_n2048_sparse(benchmark, backend):
+    """The scale-out kernel: k-NN truncated rows on a forced-sparse
+    graph just past the auto-sparse threshold."""
+    from repro.core.ncl import DEFAULT_KNN_K
+    from repro.graph.sparse import knn_weight_rows
+    from repro.traces.stream import SparseSyntheticConfig, stream_synthetic_contacts
+
+    stream = stream_synthetic_contacts(
+        SparseSyntheticConfig(
+            name="bench-knn", num_nodes=2048, duration=2 * DAY,
+            total_contacts=40_000, granularity=120.0, seed=5,
+        )
+    )
+    graph = ContactGraph.from_trace(stream, sparse=True)
+
+    def cold_rows():
+        shared_weight_cache().clear()
+        return knn_weight_rows(graph, 1 * DAY, DEFAULT_KNN_K)
+
+    rows = benchmark.pedantic(cold_rows, rounds=2, iterations=1)
+    assert rows.indptr.shape == (graph.num_nodes + 1,)
+
+
 def test_bench_kernel_weight_matrix_profiled(benchmark, backend):
     """Same kernel with an *enabled* active profiler.
 

@@ -15,7 +15,12 @@ declaration in ``repro.kernels.registry``:
 * the numba backend's ``build_overrides`` dict literal only registers
   known kernel names, and covers every kernel that is not *derived*
   (entries with a ``via`` key reuse another kernel's override and need
-  none of their own).
+  none of their own);
+* every kernel flagged ``sparse: True`` keeps a *dense* oracle: its
+  ``_reference_*`` docstring must say so (the word "dense"), because a
+  sparse kernel checked only against another sparse implementation could
+  share its truncation bugs — the oracle must materialise the full
+  matrix the sparse path avoids.
 
 Both ``KERNELS`` and ``build_overrides`` are read as literals from the
 AST — no imports, so the lint runs without numba installed and cannot
@@ -97,6 +102,17 @@ def _defined_names(path: str) -> set:
     return names
 
 
+def _docstrings(path: str) -> Dict[str, str]:
+    """Top-level function name → docstring for a module file."""
+    with open(path, "r", encoding="utf-8") as handle:
+        tree = ast.parse(handle.read(), filename=path)
+    return {
+        node.name: ast.get_docstring(node) or ""
+        for node in tree.body
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+    }
+
+
 def _test_corpus(roots=(TESTS_ROOT, BENCHMARKS_ROOT)) -> str:
     """Concatenated text of every test/benchmark file."""
     chunks: List[str] = []
@@ -117,12 +133,15 @@ def check_specs(
     overrides: Optional[Dict[str, str]],
     defined_names: Dict[str, set],
     test_corpus: str,
+    oracle_docs: Optional[Dict[str, str]] = None,
 ) -> List[Violation]:
     """Pure rule core (synthetic-input testable, no filesystem access).
 
     ``defined_names`` maps each kernel's dotted module to the names its
     source file defines; ``overrides`` is the numba ``build_overrides``
-    key → callable-source mapping (None when the dict was unreadable).
+    key → callable-source mapping (None when the dict was unreadable);
+    ``oracle_docs`` maps oracle names to their docstrings (used by the
+    sparse-kernel dense-oracle rule; ``None`` skips that rule).
     """
     violations: List[Violation] = []
     for name, spec in sorted(kernels.items()):
@@ -150,6 +169,18 @@ def check_specs(
                     "(equivalence test missing?)",
                 )
             )
+        if spec.get("sparse") and oracle_docs is not None:
+            doc = oracle_docs.get(reference, "")
+            if "dense" not in doc.lower():
+                violations.append(
+                    Violation(
+                        "registry", name,
+                        f"sparse kernel's oracle {reference!r} is not "
+                        "documented as a dense reference (its docstring "
+                        "must say 'dense' — a sparse-vs-sparse check "
+                        "would share the truncation bugs)",
+                    )
+                )
         via = spec.get("via")
         if via is not None and via not in kernels:
             violations.append(
@@ -200,7 +231,11 @@ def collect_violations() -> List[Violation]:
         for spec in kernels.values()
         if "module" in spec
     }
-    return check_specs(kernels, overrides, defined, _test_corpus())
+    oracle_docs: Dict[str, str] = {}
+    for spec in kernels.values():
+        if "module" in spec:
+            oracle_docs.update(_docstrings(_module_path(spec["module"])))
+    return check_specs(kernels, overrides, defined, _test_corpus(), oracle_docs)
 
 
 def main() -> int:

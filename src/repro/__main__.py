@@ -61,7 +61,8 @@ from repro.scenario import (
 )
 from repro.sim.simulator import Simulator
 from repro.traces.analysis import exponential_fit_report
-from repro.traces.catalog import TRACE_PRESETS, load_preset_trace
+from repro.traces.catalog import STREAM_PRESETS, TRACE_PRESETS, load_preset_trace
+from repro.traces.contact import ContactTrace
 from repro.traces.stats import summarize_trace
 from repro.units import HOUR, MEGABIT
 from repro.workload import ARRIVALS
@@ -71,18 +72,26 @@ SCHEMES = SCHEME_REGISTRY.names()
 
 
 def _add_trace_args(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument("--trace", choices=sorted(TRACE_PRESETS), default="mit_reality")
+    parser.add_argument(
+        "--trace",
+        choices=sorted(TRACE_SOURCES.names()),
+        default="mit_reality",
+        help="Table I preset, or a streaming large-scale source "
+        f"({', '.join(sorted(STREAM_PRESETS))})",
+    )
     parser.add_argument("--node-factor", type=float, default=0.6)
     parser.add_argument("--time-factor", type=float, default=0.15)
     parser.add_argument("--trace-seed", type=int, default=1)
 
 
 def _load_trace(args: argparse.Namespace):
-    return load_preset_trace(
-        args.trace,
-        seed=args.trace_seed,
-        node_factor=args.node_factor,
-        time_factor=args.time_factor,
+    return build_trace(
+        TraceSpec(
+            name=args.trace,
+            seed=args.trace_seed,
+            node_factor=args.node_factor,
+            time_factor=args.time_factor,
+        )
     )
 
 
@@ -112,7 +121,9 @@ def cmd_traces(args: argparse.Namespace) -> int:
 
 def cmd_ncl(args: argparse.Namespace) -> int:
     trace = _load_trace(args)
-    preset = TRACE_PRESETS[args.trace]
+    preset = TRACE_PRESETS.get(args.trace) or STREAM_PRESETS[args.trace]
+    # from_trace iterates the trace lazily, so a streaming source builds
+    # its (sparse) graph without ever materialising the contacts.
     graph = ContactGraph.from_trace(trace)
     selection = select_ncls(graph, args.k, preset.ncl_time_budget)
     print(f"trace: {trace}")
@@ -155,9 +166,17 @@ def _scenario_from_args(
             node_factor=args.node_factor,
             time_factor=args.time_factor,
         ),
-        scheme=SchemeSpec(name=scheme_name or args.scheme, num_ncls=args.k),
+        scheme=SchemeSpec(
+            name=scheme_name or args.scheme,
+            num_ncls=args.k,
+            knn_k=getattr(args, "knn_k", None),
+        ),
         workload=_workload_from_args(args),
-        run=RunSpec(seed=args.seed, repeat=getattr(args, "repeat", 1)),
+        run=RunSpec(
+            seed=args.seed,
+            repeat=getattr(args, "repeat", 1),
+            sparse_graph=getattr(args, "sparse", None),
+        ),
     )
 
 
@@ -389,6 +408,8 @@ def cmd_watch(args: argparse.Namespace) -> int:
 
 def cmd_fit(args: argparse.Namespace) -> int:
     trace = _load_trace(args)
+    if not isinstance(trace, ContactTrace):
+        trace = trace.materialize()  # the fit needs random access
     report = exponential_fit_report(trace)
     print(f"trace: {trace}")
     for key, value in report.as_row().items():
@@ -542,6 +563,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
     from repro.experiments.benchguard import run_guard
 
     return run_guard(
+        benchmark_file=args.benchmark_file,
         baseline_path=args.baseline,
         result_json=args.json,
         threshold=args.threshold,
@@ -588,6 +610,21 @@ def build_parser() -> argparse.ArgumentParser:
         _add_trace_args(p)
         p.add_argument("--scheme", choices=SCHEMES, default="intentional")
         p.add_argument("-k", type=int, default=5)
+        p.add_argument(
+            "--sparse",
+            action=argparse.BooleanOptionalAction,
+            default=None,
+            help="force adjacency-list (--sparse) or dense (--no-sparse) "
+            "contact-graph storage; default auto-selects by node count",
+        )
+        p.add_argument(
+            "--knn-k",
+            type=int,
+            default=None,
+            metavar="K",
+            help="truncate the NCL metric to each node's K nearest "
+            "contacts (default: exact on dense graphs, K=32 on sparse)",
+        )
         p.add_argument("--lifetime-hours", type=float, default=72.0)
         p.add_argument("--size-mb", type=float, default=100.0)
         p.add_argument("--seed", type=int, default=7)
@@ -712,6 +749,15 @@ def build_parser() -> argparse.ArgumentParser:
     from pathlib import Path
 
     p_bench = sub.add_parser("bench", help="kernel benchmark regression guard")
+    from repro.experiments.benchguard import DEFAULT_BENCHMARK_FILE
+
+    p_bench.add_argument(
+        "--benchmark-file",
+        type=Path,
+        default=DEFAULT_BENCHMARK_FILE,
+        help="pytest file holding the benchmarks (e.g. the opt-in "
+        "benchmarks/test_bench_sim_large.py tier)",
+    )
     p_bench.add_argument("--baseline", type=Path, default=DEFAULT_BASELINE)
     p_bench.add_argument("--json", type=Path, default=DEFAULT_RESULT_JSON)
     p_bench.add_argument("--threshold", type=float, default=DEFAULT_THRESHOLD)

@@ -95,6 +95,11 @@ class IntentionalConfig:
 
     num_ncls: int = 8
     ncl_time_budget: Optional[float] = None
+    #: k of the k-NN truncated NCL metric (sparse scale-out path).
+    #: ``None`` keeps the exact dense metric on dense graphs and the
+    #: default truncation (:data:`repro.core.ncl.DEFAULT_KNN_K`) on
+    #: sparse ones; setting it forces truncation everywhere.
+    knn_k: Optional[int] = None
     response_strategy: str = "sigmoid"
     p_min: float = 0.45
     p_max: float = 0.8
@@ -111,6 +116,8 @@ class IntentionalConfig:
             raise ConfigurationError("num_ncls must be >= 1")
         if self.ncl_time_budget is not None and self.ncl_time_budget <= 0:
             raise ConfigurationError("ncl_time_budget must be positive")
+        if self.knn_k is not None and self.knn_k < 1:
+            raise ConfigurationError("knn_k must be >= 1")
         if self.response_strategy not in ("sigmoid", "path_aware", "always"):
             raise ConfigurationError(
                 f"unknown response strategy {self.response_strategy!r}"
@@ -171,6 +178,7 @@ class IntentionalCaching(CachingScheme):
             horizon,
             strategy=self.config.selection_strategy,
             mode=self.config.path_mode,
+            knn_k=self.config.knn_k,
         )
         # Pushes and query multicast copies are single-copy gradient
         # handovers (Sec. V-A: the relay "deletes its own data copy
@@ -234,6 +242,7 @@ class IntentionalCaching(CachingScheme):
             horizon,
             strategy=self.config.selection_strategy,
             mode=self.config.path_mode,
+            knn_k=self.config.knn_k,
         )
         services.count("scheme.reelection_rounds")
         old_set = {int(c) for c in old.central_nodes}

@@ -319,8 +319,22 @@ def run_guard(
     if update_baseline:
         # The manifest pins where these numbers came from (git revision,
         # package versions, platform) — baselines are machine-dependent.
+        # The sparsity knobs are stamped too: a baseline measured with a
+        # different auto-sparse threshold or truncation depth is not
+        # comparable to the current tree's numbers.
+        from repro.core.ncl import DEFAULT_KNN_K
+        from repro.graph.contact_graph import DENSE_NODE_THRESHOLD
+
         manifest = build_manifest(
-            {"benchmark_file": str(benchmark_file), "threshold": threshold}, []
+            {
+                "benchmark_file": str(benchmark_file),
+                "threshold": threshold,
+                "sparsity": {
+                    "dense_node_threshold": DENSE_NODE_THRESHOLD,
+                    "default_knn_k": DEFAULT_KNN_K,
+                },
+            },
+            [],
         )
         payload = {
             "benchmarks": current,

@@ -38,6 +38,12 @@ class OnlineContactGraphEstimator:
         Minimum simulated-time spacing between freshly built
         :class:`ContactGraph` snapshots; requests inside the window are
         served from cache.  ``0`` disables caching.
+    sparse:
+        Storage mode of the snapshot graphs, forwarded to
+        :class:`ContactGraph`: ``True``/``False`` force it, ``None``
+        (default) lets the graph auto-select by node count — dense
+        below the threshold (the historical representation), adjacency
+        lists above it.
     """
 
     def __init__(
@@ -46,6 +52,7 @@ class OnlineContactGraphEstimator:
         origin: float = 0.0,
         min_contacts: int = 1,
         snapshot_period: float = 0.0,
+        sparse: Optional[bool] = None,
     ):
         if num_nodes < 1:
             raise ConfigurationError("estimator needs at least one node")
@@ -57,6 +64,7 @@ class OnlineContactGraphEstimator:
         self._origin = float(origin)
         self._min_contacts = int(min_contacts)
         self._snapshot_period = float(snapshot_period)
+        self._sparse = sparse
         self._estimators: Dict[Tuple[int, int], RateEstimator] = {}
         self._inactive: Set[int] = set()
         self._cached_graph: Optional[ContactGraph] = None
@@ -148,14 +156,16 @@ class OnlineContactGraphEstimator:
             # ranking purposes unless the caller forces a rebuild.
             if self._snapshot_period > 0:
                 return self._cached_graph
-        graph = ContactGraph(self._num_nodes)
+        graph = ContactGraph(self._num_nodes, sparse=self._sparse)
         elapsed = now - self._origin
         if elapsed > 0:
-            for (i, j), estimator in self._estimators.items():
-                if i in self._inactive or j in self._inactive:
-                    continue
-                if estimator.count >= self._min_contacts:
-                    graph.set_rate(i, j, estimator.count / elapsed)
+            graph.set_edge_rates(
+                (i, j, estimator.count / elapsed)
+                for (i, j), estimator in self._estimators.items()
+                if i not in self._inactive
+                and j not in self._inactive
+                and estimator.count >= self._min_contacts
+            )
         self._cached_graph = graph
         self._cached_at = now
         self._dirty = False

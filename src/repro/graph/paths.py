@@ -28,6 +28,7 @@ from enum import Enum
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
+from scipy.sparse import csr_matrix as _scipy_csr_matrix
 from scipy.sparse.csgraph import dijkstra as _csgraph_dijkstra
 
 from repro.errors import PathError
@@ -221,7 +222,23 @@ def _expected_delay_dijkstra(
 
     Both outputs are 2D, one row per requested source (all nodes when
     *sources* is ``None``).  Zero-rate entries are non-edges.
+
+    Dense graphs pass the dense cost matrix to scipy exactly as they
+    always have (its internal tie-breaking defines the pinned results);
+    sparse graphs hand over a CSR cost matrix built from the adjacency
+    structure, never allocating N×N.
     """
+    if graph.is_sparse:
+        indptr, indices, data = graph.csr_rates()
+        n = graph.num_nodes
+        costs = _scipy_csr_matrix((1.0 / data, indices, indptr), shape=(n, n))
+        dist, predecessors = _csgraph_dijkstra(
+            costs,
+            directed=False,
+            indices=sources,
+            return_predecessors=True,
+        )
+        return np.atleast_2d(dist), np.atleast_2d(predecessors)
     rates = graph.rate_matrix()
     with np.errstate(divide="ignore"):
         costs = np.where(rates > 0.0, 1.0 / np.maximum(rates, 1e-300), 0.0)
@@ -235,7 +252,7 @@ def _expected_delay_dijkstra(
 
 
 def _rate_tuples_from_predecessors(
-    rates: np.ndarray,
+    graph: ContactGraph,
     source: int,
     dist_row: np.ndarray,
     pred_row: np.ndarray,
@@ -244,7 +261,9 @@ def _rate_tuples_from_predecessors(
 
     Nodes are processed in increasing-distance order so every node's
     predecessor tuple already exists (hop costs are strictly positive,
-    hence dist[pred] < dist[node]).
+    hence dist[pred] < dist[node]).  Rates are read edge by edge through
+    :meth:`ContactGraph.rate`, which works in both storage modes without
+    materialising the matrix.
     """
     tuples: Dict[int, Tuple[float, ...]] = {source: ()}
     reachable = np.isfinite(dist_row)
@@ -255,7 +274,7 @@ def _rate_tuples_from_predecessors(
         if node == source:
             continue
         pred = int(pred_row[node])
-        tuples[node] = tuples[pred] + (float(rates[pred, node]),)
+        tuples[node] = tuples[pred] + (graph.rate(pred, node),)
     return tuples
 
 
@@ -290,8 +309,7 @@ def _hop_rate_tuples_from(
         paths = shortest_paths_from(graph, source, time_budget, mode)
         return {node: path.rates for node, path in paths.items()}
     dist, pred = _expected_delay_dijkstra(graph, sources=[source])
-    rates = graph.rate_matrix()
-    return _rate_tuples_from_predecessors(rates, source, dist[0], pred[0])
+    return _rate_tuples_from_predecessors(graph, source, dist[0], pred[0])
 
 
 def shortest_path_weights_from(
@@ -355,6 +373,22 @@ def _shortest_path_weight_matrix(
         return np.vstack(
             [shortest_path_weights_from(graph, s, time_budget, mode) for s in range(n)]
         )
+    weights, _, _ = _expected_delay_weight_matrix(graph, time_budget)
+    return weights
+
+
+def _expected_delay_weight_matrix(
+    graph: ContactGraph,
+    time_budget: float,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """All-pairs weight matrix plus the Dijkstra tree that produced it.
+
+    Returns ``(weights, dist, pred)``; the shortest-path tree is what
+    the incremental NCL update (:mod:`repro.graph.incremental`) diffs
+    against, so it is computed once here and reused rather than
+    re-derived.
+    """
+    n = graph.num_nodes
     dist, pred = _expected_delay_dijkstra(graph)
     rates = graph.rate_matrix()
     # Rates are symmetric and Eq. (2) is invariant under hop reordering,
@@ -370,11 +404,38 @@ def _shortest_path_weight_matrix(
     weights = np.zeros((n, n))
     np.fill_diagonal(weights, 1.0)  # trivial zero-hop path to oneself
     if len(ii):
-        padded = _hop_slot_matrix(rates, pred, ii, jj)
-        pair_weights = hypoexponential_cdf_batch(padded, time_budget)
+        pair_weights, _ = _pair_weights_from_tree(
+            rates, pred, ii, jj, time_budget
+        )
         weights[ii, jj] = pair_weights
         weights[jj, ii] = pair_weights
-    return weights
+    return weights, dist, pred
+
+
+def _pair_weights_from_tree(
+    rates: np.ndarray,
+    pred: np.ndarray,
+    ii: np.ndarray,
+    jj: np.ndarray,
+    time_budget: float,
+    pad_width: Optional[int] = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Eq. (2) weights for the pairs ``(ii[p], jj[p])`` given a
+    predecessor matrix; returns ``(pair_weights, hop_counts)``.
+
+    *pad_width* left-extends the hop-slot rows with extra zero padding.
+    The incremental updater passes the full build's pad width here so a
+    re-evaluated subset feeds :func:`hypoexponential_cdf_batch` rows
+    that are bitwise identical to the rows the from-scratch batch would
+    contain (the batched reduction is sensitive to column count at the
+    last ulp once rows exceed numpy's pairwise-summation block).
+    """
+    padded = _hop_slot_matrix(rates, pred, ii, jj)
+    hop_counts = (padded > 0.0).sum(axis=1)
+    if pad_width is not None and padded.shape[1] < pad_width:
+        extension = np.zeros((padded.shape[0], pad_width - padded.shape[1]))
+        padded = np.hstack([extension, padded])
+    return hypoexponential_cdf_batch(padded, time_budget), hop_counts
 
 
 def _hop_slot_matrix(

@@ -41,6 +41,7 @@ from typing import Dict, Hashable, Optional, Tuple
 
 import numpy as np
 
+from repro.graph import incremental as _incremental
 from repro.graph.contact_graph import ContactGraph
 from repro.graph.paths import (
     PathMode,
@@ -48,9 +49,20 @@ from repro.graph.paths import (
     shortest_path_weight_matrix,
     shortest_path_weights_from,
 )
+from repro.graph.sparse import KnnWeightRows, knn_weight_rows
 from repro.obs.profile import active_profiler, maybe_span
 
 __all__ = ["PathWeightCache", "shared_weight_cache", "cached_path_weights"]
+
+
+def _entry_bytes(value: object) -> int:
+    """Approximate heap footprint of a cached value (arrays only — the
+    rate-tuple dicts are small and counted as entries, not bytes)."""
+    if isinstance(value, np.ndarray):
+        return int(value.nbytes)
+    if isinstance(value, KnnWeightRows):
+        return int(value.indptr.nbytes + value.indices.nbytes + value.weights.nbytes)
+    return 0
 
 
 class PathWeightCache:
@@ -61,11 +73,24 @@ class PathWeightCache:
     so no cross-process coherency is needed.
     """
 
-    def __init__(self, maxsize: int = 256):
+    def __init__(self, maxsize: int = 256, maxbytes: int = 512 * 1024 * 1024):
         if maxsize < 1:
             raise ValueError("cache maxsize must be >= 1")
+        if maxbytes < 1:
+            raise ValueError("cache maxbytes must be >= 1")
         self._maxsize = int(maxsize)
+        # At trace scale every entry is tiny and the entry-count LRU is
+        # the binding limit; at 10⁵ nodes a single k-NN row set or weight
+        # vector is megabytes, so a byte budget keeps the resident cache
+        # bounded no matter the graph size.
+        self._maxbytes = int(maxbytes)
+        self._bytes = 0
         self._entries: "OrderedDict[Hashable, object]" = OrderedDict()
+        # Incremental all-pairs tree state, keyed (num_nodes, budget).
+        # Deliberately separate from the LRU: states are mutable masters,
+        # never handed to callers.
+        self._tree_states: "OrderedDict[Hashable, object]" = OrderedDict()
+        self._max_tree_states = 4
         self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
@@ -75,9 +100,16 @@ class PathWeightCache:
     def __len__(self) -> int:
         return len(self._entries)
 
+    @property
+    def nbytes(self) -> int:
+        """Tracked bytes of array payloads currently cached."""
+        return self._bytes
+
     def clear(self) -> None:
         with self._lock:
             self._entries.clear()
+            self._tree_states.clear()
+            self._bytes = 0
             self.hits = 0
             self.misses = 0
 
@@ -93,10 +125,17 @@ class PathWeightCache:
 
     def _store(self, key: Hashable, value: object) -> None:
         with self._lock:
+            old = self._entries.get(key)
+            if old is not None:
+                self._bytes -= _entry_bytes(old)
             self._entries[key] = value
             self._entries.move_to_end(key)
-            while len(self._entries) > self._maxsize:
-                self._entries.popitem(last=False)
+            self._bytes += _entry_bytes(value)
+            while len(self._entries) > self._maxsize or (
+                self._bytes > self._maxbytes and len(self._entries) > 1
+            ):
+                _, evicted = self._entries.popitem(last=False)
+                self._bytes -= _entry_bytes(evicted)
 
     # --- cached computations -------------------------------------------
 
@@ -135,6 +174,13 @@ class PathWeightCache:
         Rows are also installed as single-source entries, so a
         selection/refresh that computed the full matrix hands the routers
         their per-central vectors for free.
+
+        In expected-delay mode on a dense graph the miss path maintains
+        incremental Dijkstra-tree state (:mod:`repro.graph.incremental`):
+        when only a few rates changed since the previous miss, only the
+        affected source rows are recomputed.  The result is bitwise
+        identical to a from-scratch build — ``REPRO_INCREMENTAL_NCL=0``
+        forces scratch builds if that ever needs ruling out.
         """
         prof = active_profiler()
         if prof.enabled:
@@ -143,7 +189,7 @@ class PathWeightCache:
         cached = self._lookup(key)
         if cached is None:
             with maybe_span(prof, "weight_cache.matrix.miss"):
-                cached = shortest_path_weight_matrix(graph, time_budget, mode)
+                cached = self._compute_weight_matrix(graph, time_budget, mode)
             cached.flags.writeable = False
             self._store(key, cached)
             for source in range(graph.num_nodes):
@@ -154,6 +200,58 @@ class PathWeightCache:
                 )
         elif prof.enabled:
             prof.add("weight_cache.matrix.hit", perf_counter() - t0)
+        return cached  # type: ignore[return-value]
+
+    def _compute_weight_matrix(
+        self, graph: ContactGraph, time_budget: float, mode: PathMode
+    ) -> np.ndarray:
+        """Miss-path compute: incremental when eligible, else scratch."""
+        if (
+            mode is not PathMode.EXPECTED_DELAY
+            or graph.is_sparse
+            or not _incremental.incremental_enabled()
+        ):
+            return shortest_path_weight_matrix(graph, time_budget, mode)
+        state_key = ("T", graph.num_nodes, float(time_budget))
+        with self._lock:
+            state = self._tree_states.get(state_key)
+        weights = None
+        if state is not None:
+            with maybe_span(active_profiler(), "kernel.weight_matrix_update"):
+                weights = _incremental.update_state(state, graph, time_budget)
+        if weights is None:
+            with maybe_span(active_profiler(), "kernel.weight_matrix"):
+                weights, state = _incremental.build_state(graph, time_budget)
+        with self._lock:
+            self._tree_states[state_key] = state
+            self._tree_states.move_to_end(state_key)
+            while len(self._tree_states) > self._max_tree_states:
+                self._tree_states.popitem(last=False)
+        return weights
+
+    def knn_rows(
+        self,
+        graph: ContactGraph,
+        time_budget: float,
+        k: int,
+        mode: PathMode = PathMode.EXPECTED_DELAY,
+    ) -> KnnWeightRows:
+        """Cached :func:`repro.graph.sparse.knn_weight_rows` (frozen rows).
+
+        The CSR arrays inside the returned :class:`KnnWeightRows` are the
+        cached payload; treat them as read-only.
+        """
+        prof = active_profiler()
+        if prof.enabled:
+            t0 = perf_counter()
+        key = ("k", graph.fingerprint(), float(time_budget), int(k), mode)
+        cached = self._lookup(key)
+        if cached is None:
+            with maybe_span(prof, "weight_cache.knn_rows.miss"):
+                cached = knn_weight_rows(graph, time_budget, k, mode)
+            self._store(key, cached)
+        elif prof.enabled:
+            prof.add("weight_cache.knn_rows.hit", perf_counter() - t0)
         return cached  # type: ignore[return-value]
 
     def rate_tuples(

@@ -139,6 +139,133 @@ def weight_matrix_hops(
     )
 
 
+# --- k-NN early-stopped sparse Dijkstra -----------------------------------
+
+
+@njit(cache=True)
+def _knn_rows_njit(indptr, indices, data, sources, k):  # pragma: no cover
+    m = sources.shape[0]
+    n = indptr.shape[0] - 1
+    dest = np.full(m * k, -1, dtype=np.int64)
+    hop_rows = np.zeros((m * k, k))
+    counts = np.zeros(m, dtype=np.int64)
+    # Per-node labels are version-stamped instead of cleared, so the
+    # per-source reset is O(1) rather than O(N).
+    dist = np.zeros(n)
+    labeled = np.zeros(n, dtype=np.int64)
+    settled = np.zeros(n, dtype=np.int64)
+    pred = np.zeros(n, dtype=np.int64)
+    pred_rate = np.zeros(n)
+    # Binary heap keyed on the lexicographic pair (dist, node).  Every
+    # entry's key is distinct — a node is re-pushed only on a strict
+    # distance improvement — so the pop sequence is exactly the sorted
+    # key order that python's heapq produces: settle order and
+    # predecessors match the python core bitwise.
+    capacity = data.shape[0] + 1
+    heap_d = np.zeros(capacity)
+    heap_n = np.zeros(capacity, dtype=np.int64)
+    for t in range(m):
+        s = sources[t]
+        version = t + 1
+        labeled[s] = version
+        dist[s] = 0.0
+        heap_d[0] = 0.0
+        heap_n[0] = s
+        size = 1
+        base = t * k
+        found = 0
+        while size > 0 and found < k:
+            d = heap_d[0]
+            node = heap_n[0]
+            size -= 1
+            heap_d[0] = heap_d[size]
+            heap_n[0] = heap_n[size]
+            i = 0
+            while True:
+                left = 2 * i + 1
+                right = left + 1
+                best = i
+                if left < size and (
+                    heap_d[left] < heap_d[best]
+                    or (heap_d[left] == heap_d[best] and heap_n[left] < heap_n[best])
+                ):
+                    best = left
+                if right < size and (
+                    heap_d[right] < heap_d[best]
+                    or (heap_d[right] == heap_d[best] and heap_n[right] < heap_n[best])
+                ):
+                    best = right
+                if best == i:
+                    break
+                heap_d[i], heap_d[best] = heap_d[best], heap_d[i]
+                heap_n[i], heap_n[best] = heap_n[best], heap_n[i]
+                i = best
+            if settled[node] == version:
+                continue
+            settled[node] = version
+            if node != s:
+                row = base + found
+                dest[row] = node
+                hops = 0
+                cur = node
+                while cur != s:
+                    hops += 1
+                    cur = pred[cur]
+                cur = node
+                slot = hops - 1
+                while cur != s:
+                    hop_rows[row, slot] = pred_rate[cur]
+                    slot -= 1
+                    cur = pred[cur]
+                found += 1
+                if found == k:
+                    break
+            for e in range(indptr[node], indptr[node + 1]):
+                nb = indices[e]
+                if settled[nb] == version:
+                    continue
+                candidate = d + 1.0 / data[e]
+                if labeled[nb] != version or candidate < dist[nb]:
+                    dist[nb] = candidate
+                    labeled[nb] = version
+                    pred[nb] = node
+                    pred_rate[nb] = data[e]
+                    heap_d[size] = candidate
+                    heap_n[size] = nb
+                    size += 1
+                    i = size - 1
+                    while i > 0:
+                        parent = (i - 1) // 2
+                        if heap_d[i] < heap_d[parent] or (
+                            heap_d[i] == heap_d[parent]
+                            and heap_n[i] < heap_n[parent]
+                        ):
+                            heap_d[i], heap_d[parent] = heap_d[parent], heap_d[i]
+                            heap_n[i], heap_n[parent] = heap_n[parent], heap_n[i]
+                            i = parent
+                        else:
+                            break
+        counts[t] = found
+    return dest, hop_rows, counts
+
+
+def knn_rows(
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    data: np.ndarray,
+    sources: np.ndarray,
+    k: int,
+):
+    """Override for the ``knn_weight_rows`` per-source Dijkstra stage."""
+    return _knn_rows_njit(
+        np.ascontiguousarray(indptr),
+        np.ascontiguousarray(indices),
+        np.ascontiguousarray(data),
+        np.ascontiguousarray(sources),
+        k,
+    )
+
+
 # --- Eq. 7 knapsack DP ----------------------------------------------------
 
 
@@ -200,6 +327,7 @@ def build_overrides():
         "hypoexp_cdf_batch": hypoexp_coeffs,
         "weight_matrix": weight_matrix_hops,
         "knapsack_dp": knapsack_dp,
+        "knn_weight_rows": knn_rows,
     }
 
 
@@ -215,3 +343,10 @@ def warmup() -> None:
         np.array([1]),
     )
     knapsack_dp(np.array([1.0]), np.array([1], dtype=np.int64), 2)
+    knn_rows(
+        np.array([0, 1, 2], dtype=np.int64),
+        np.array([1, 0], dtype=np.int64),
+        np.array([1.0, 1.0]),
+        np.array([0], dtype=np.int64),
+        1,
+    )

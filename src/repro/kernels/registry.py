@@ -13,7 +13,10 @@ modules, and disabling numba can never change results.
 Kernels marked ``via`` are *derived*: their hot loop is another
 registered kernel (``ncl_metrics`` is a numpy reduction over the
 ``weight_matrix`` kernel), so they have an oracle and equivalence tests
-but no backend entry of their own.  The reduction itself deliberately
+but no backend entry of their own.  Kernels marked ``sparse`` operate
+on the CSR/adjacency representation and never allocate N×N; the lint
+additionally requires their oracle to be a documented *dense* reference
+(the dense path is the ground truth the sparse path is pinned to).  The reduction itself deliberately
 stays in shared numpy code on both backends: ``np.sum`` uses pairwise
 accumulation, which a sequential compiled loop cannot reproduce
 bitwise.
@@ -72,6 +75,19 @@ KERNELS = {
         "module": "repro.core.knapsack",
         "reference": "_reference_knapsack_dp",
         "doc": "Eq. 7 one-dimensional 0/1 knapsack keep-table fill",
+    },
+    "knn_weight_rows": {
+        "module": "repro.graph.sparse",
+        "reference": "_reference_knn_weight_rows",
+        "sparse": True,
+        "doc": "early-stopped sparse Dijkstra + Eq. 2 rows to the k nearest contacts",
+    },
+    "sparse_ncl_metrics": {
+        "module": "repro.core.ncl",
+        "reference": "_reference_sparse_ncl_metrics",
+        "via": "knn_weight_rows",
+        "sparse": True,
+        "doc": "Eq. 3 metric over k-NN truncated weight rows (bincount reduction)",
     },
 }
 

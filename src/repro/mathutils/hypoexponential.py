@@ -49,6 +49,9 @@ __all__ = [
 #: Minimum relative gap between two rates for the closed form to be trusted.
 _DISTINCT_RTOL = 1e-6
 
+#: Batch size from which duplicate-row collapsing pays for its sort.
+_DEDUP_MIN_ROWS = 64
+
 
 def _validate_rates(rates: Sequence[float]) -> List[float]:
     rates = [float(r) for r in rates]
@@ -126,6 +129,16 @@ def _matrix_cdf(rates: Sequence[float], t: float) -> float:
     return float(1.0 - survival)
 
 
+#: Cross-batch memo for the expm fallback.  Trace-quantised rates repeat
+#: the same hop tuples across every per-source sweep of a run, and expm
+#: costs ~200µs per matrix even stacked (scipy iterates per matrix), so
+#: remembering (tuple, t) → CDF turns the steady state into dict hits.
+#: Bounded by wholesale reset — the workload is a small recurring
+#: vocabulary, so an LRU's bookkeeping would cost more than it saves.
+_MATRIX_CDF_CACHE: dict = {}
+_MATRIX_CDF_CACHE_MAX = 1 << 18
+
+
 def _matrix_cdf_batch(rate_lists: Sequence[List[float]], times: np.ndarray) -> np.ndarray:
     """Matrix-exponential CDF for many rate tuples at once.
 
@@ -133,15 +146,24 @@ def _matrix_cdf_batch(rate_lists: Sequence[List[float]], times: np.ndarray) -> n
     :func:`scipy.linalg.expm` call (scipy applies the same scaling-and-
     squaring per matrix, so values are identical to the scalar path).
     Rates are pre-clustered exactly like :func:`hypoexponential_cdf`.
+    Results are memoised per (rate tuple, t) across calls.
     """
     out = np.zeros(len(rate_lists))
     by_length: dict = {}
     for index, rates in enumerate(rate_lists):
-        by_length.setdefault(len(rates), []).append(index)
+        key = (tuple(rates), float(times[index]))
+        cached = _MATRIX_CDF_CACHE.get(key)
+        if cached is not None:
+            out[index] = cached
+        else:
+            by_length.setdefault(len(rates), []).append(index)
+    if len(_MATRIX_CDF_CACHE) > _MATRIX_CDF_CACHE_MAX:
+        _MATRIX_CDF_CACHE.clear()
     for length, indices in by_length.items():
         if length == 1:
             for i in indices:
                 out[i] = 1.0 - math.exp(-rate_lists[i][0] * times[i])
+                _MATRIX_CDF_CACHE[(tuple(rate_lists[i]), float(times[i]))] = out[i]
             continue
         stacked = np.zeros((len(indices), length, length))
         for row, i in enumerate(indices):
@@ -149,6 +171,8 @@ def _matrix_cdf_batch(rate_lists: Sequence[List[float]], times: np.ndarray) -> n
             stacked[row] = _generator_matrix(clustered) * times[i]
         survival = expm(stacked)[:, 0, :].sum(axis=1)
         out[indices] = np.clip(1.0 - survival, 0.0, 1.0)
+        for i in indices:
+            _MATRIX_CDF_CACHE[(tuple(rate_lists[i]), float(times[i]))] = out[i]
     return out
 
 
@@ -261,6 +285,22 @@ def hypoexponential_cdf_batch(
     n_rows, width = padded.shape
     if n_rows == 0:
         return np.zeros(0)
+    if n_rows >= _DEDUP_MIN_ROWS:
+        # Trace estimation quantises rates to count/elapsed, so large
+        # batches (one row per destination of a 10⁵-node sweep) repeat
+        # the same hop tuples thousands of times.  Every stage below is
+        # row-independent — the closed-form coefficients, the gap check,
+        # and scipy's per-matrix expm — so collapsing duplicate
+        # (row, t) pairs returns bitwise the same values at a fraction
+        # of the expm cost.
+        times_col = np.broadcast_to(np.asarray(t, dtype=float), (n_rows,))
+        keyed = np.column_stack([padded, times_col])
+        unique, inverse = np.unique(keyed, axis=0, return_inverse=True)
+        if len(unique) < n_rows:
+            values = hypoexponential_cdf_batch(
+                np.ascontiguousarray(unique[:, :width]), unique[:, width]
+            )
+            return values[inverse]
     valid = padded > 0.0
     if not np.isfinite(padded).all() or (padded < 0.0).any():
         raise ValueError("rates must be positive and finite (zero = padding)")

@@ -46,12 +46,13 @@ class RateGradientRouter(ObservableRouter):
         if graph is self._graph:
             return
         self._graph = graph
-        rates = graph.rate_matrix()
-        self._aggregate = rates.sum(axis=1)
-        max_aggregate = float(self._aggregate.max())
+        # CSR-based: identical in both storage modes, never N×N.
+        self._aggregate = graph.aggregate_rates()
+        max_aggregate = float(self._aggregate.max()) if self._aggregate.size else 0.0
         # Scale hubness scores into (0, smallest positive direct rate):
         # any node with direct history always outranks any node without.
-        positive = rates[rates > 0]
+        _indptr, _indices, data = graph.csr_rates()
+        positive = data[data > 0]
         floor = float(positive.min()) if positive.size else 1.0
         self._hub_scale = (floor / (max_aggregate + 1.0)) * 0.5 if max_aggregate > 0 else 0.0
 

@@ -25,7 +25,7 @@ from repro.core.replacement import ReplacementPolicy
 from repro.scenario.registry import SCHEMES, TRACE_SOURCES
 from repro.scenario.spec import ScenarioSpec, SchemeSpec, TraceSpec
 from repro.sim.simulator import SimulatorConfig
-from repro.traces.catalog import TRACE_PRESETS
+from repro.traces.catalog import STREAM_PRESETS, TRACE_PRESETS
 from repro.traces.contact import ContactTrace
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -60,6 +60,7 @@ def _build_intentional(
             response_strategy=spec.response_strategy,
             selection_strategy=spec.selection_strategy,
             reelect=spec.reelect,
+            knn_k=spec.knn_k,
         ),
         replacement=replacement,
     )
@@ -80,21 +81,32 @@ _register_baseline("bundlecache", BundleCache)
 
 
 def build_trace(spec: TraceSpec) -> ContactTrace:
-    """Load the contact trace a spec names, via ``TRACE_SOURCES``."""
+    """Load the contact trace a spec names, via ``TRACE_SOURCES``.
+
+    Streaming sources (``STREAM_PRESETS``) return a lazy
+    :class:`~repro.traces.stream.StreamingTrace` rather than a
+    materialised :class:`ContactTrace`; the simulator accepts either.
+    """
     return TRACE_SOURCES.get(spec.name)(spec)
 
 
 def resolve_ncl_time_budget(spec: ScenarioSpec) -> Optional[float]:
     """The NCL time budget T this scenario runs with.
 
-    An explicit value wins; otherwise a preset trace supplies its
-    published per-trace T (Sec. IV-B), and a non-preset trace leaves it
-    ``None`` so the scheme's adaptive calibration runs at warm-up.
+    An explicit value wins; otherwise a preset trace (Table I or a
+    streaming preset) supplies its published per-trace T (Sec. IV-B),
+    and a non-preset trace leaves it ``None`` so the scheme's adaptive
+    calibration runs at warm-up.  Streaming presets always carry an
+    explicit T: the adaptive calibration samples all-pairs delays,
+    which is exactly the O(N²) work the sparse path exists to avoid.
     """
     if spec.scheme.ncl_time_budget is not None:
         return spec.scheme.ncl_time_budget
     preset = TRACE_PRESETS.get(spec.trace.name)
-    return preset.ncl_time_budget if preset is not None else None
+    if preset is not None:
+        return preset.ncl_time_budget
+    stream_preset = STREAM_PRESETS.get(spec.trace.name)
+    return stream_preset.ncl_time_budget if stream_preset is not None else None
 
 
 def build_scheme(
@@ -132,6 +144,7 @@ def simulator_config(
         profile=run.profile,
         timeseries=run.timeseries,
         streaming_metrics=run.streaming_metrics,
+        sparse_graph=run.sparse_graph,
         dynamics=spec.dynamics if spec.dynamics else None,
     )
 

@@ -30,7 +30,12 @@ from repro.routing import (
     RateGradientRouter,
     SprayAndWaitRouter,
 )
-from repro.traces.catalog import TRACE_PRESETS, load_preset_trace
+from repro.traces.catalog import (
+    STREAM_PRESETS,
+    TRACE_PRESETS,
+    load_preset_trace,
+    load_stream_trace,
+)
 
 __all__ = [
     "Registry",
@@ -76,6 +81,20 @@ def _register_presets() -> None:
             )
 
         TRACE_SOURCES.register(key, _load)
+
+    # Scale-out streaming sources: resolve to a lazy StreamingTrace
+    # (bounded memory); the simulator feeds itself one contact ahead.
+    for key in STREAM_PRESETS:
+
+        def _load_stream(spec, _key: str = key):
+            return load_stream_trace(
+                _key,
+                seed=spec.seed,
+                node_factor=spec.node_factor,
+                time_factor=spec.time_factor,
+            )
+
+        TRACE_SOURCES.register(key, _load_stream)
 
 
 _register_presets()

@@ -75,12 +75,17 @@ class SchemeSpec:
     response_strategy: str = "sigmoid"
     selection_strategy: str = "metric"
     reelect: bool = False
+    #: k for the sparse k-NN NCL metric; ``None`` keeps the exact dense
+    #: metric on dense graphs (sparse graphs default to DEFAULT_KNN_K)
+    knn_k: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.num_ncls < 1:
             raise ConfigurationError("num_ncls must be >= 1")
         if self.ncl_time_budget is not None and self.ncl_time_budget <= 0:
             raise ConfigurationError("ncl_time_budget must be positive")
+        if self.knn_k is not None and self.knn_k < 1:
+            raise ConfigurationError("knn_k must be >= 1")
 
     def to_dict(self) -> Dict[str, Any]:
         return _clean(dataclasses.asdict(self))
@@ -104,6 +109,9 @@ class RunSpec:
     validate_invariants: bool = False
     #: bounded-memory metrics collection (the heavy-traffic path)
     streaming_metrics: bool = False
+    #: contact-graph storage: True/False force adjacency-list/dense,
+    #: ``None`` auto-selects by node count (the scale-out path)
+    sparse_graph: Optional[bool] = None
 
     def __post_init__(self) -> None:
         if self.repeat < 1:

@@ -21,7 +21,7 @@ every random decision draws from a named child stream of the root seed.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Dict, List, Optional, Set
+from typing import Dict, Iterator, List, Optional, Set, Union
 
 from repro.caching.base import CachingScheme, SchemeServices
 from repro.core.data import DataItem, Query
@@ -49,6 +49,7 @@ from repro.sim.invariants import check_nodes, check_trace_consistency
 from repro.sim.network import TransferBudget
 from repro.sim.node import Node
 from repro.traces.contact import Contact, ContactTrace
+from repro.traces.stream import ContactStream
 from repro.units import BLUETOOTH_EDR_BITS_PER_SECOND
 from repro.workload.config import WorkloadConfig
 from repro.workload.generator import WorkloadProcess
@@ -110,6 +111,12 @@ class SimulatorConfig:
         full query record.
     reservoir_size:
         Capacity of the streaming mode's uniform delay sample.
+    sparse_graph:
+        Storage mode of the estimator's contact-graph snapshots:
+        ``True``/``False`` force adjacency-list/dense storage, ``None``
+        (default) auto-selects by node count.  Sparse snapshots route
+        NCL selection through the k-NN truncated metric and keep memory
+        O(edges) — the 10⁵-node path.
     """
 
     seed: int = 0
@@ -125,6 +132,7 @@ class SimulatorConfig:
     dynamics: Optional[DynamicsConfig] = None
     streaming_metrics: bool = False
     reservoir_size: int = 256
+    sparse_graph: Optional[bool] = None
 
     def __post_init__(self) -> None:
         if self.link_capacity <= 0:
@@ -144,13 +152,15 @@ class Simulator:
 
     def __init__(
         self,
-        trace: ContactTrace,
+        trace: Union[ContactTrace, ContactStream],
         scheme: CachingScheme,
         workload: WorkloadConfig,
         config: Optional[SimulatorConfig] = None,
         recorder: Optional[TraceRecorder] = None,
     ):
-        if trace.num_contacts == 0:
+        # A materialised trace knows it is empty up front; a lazy stream
+        # (repro.traces.stream) is only discovered empty during warm-up.
+        if isinstance(trace, ContactTrace) and trace.num_contacts == 0:
             raise ConfigurationError("cannot simulate an empty trace")
         self.trace = trace
         self.scheme = scheme
@@ -195,6 +205,7 @@ class Simulator:
             origin=trace.start_time,
             min_contacts=self.config.min_contacts_for_rate,
             snapshot_period=self.config.snapshot_period,
+            sparse=self.config.sparse_graph,
         )
         # Validates event node ids against the network size up front.
         self._dynamics: Optional[NetworkDynamics] = (
@@ -233,6 +244,10 @@ class Simulator:
         self._serve_cycle = 0
         self._serve_index = 0
         self._round_cursor: Dict[EventKind, int] = {}
+        # One-ahead stream feed (bounded-memory trace path): the live
+        # evaluation-contact iterator and the next contact to schedule.
+        self._contact_feed: Optional[Iterator[Contact]] = None
+        self._next_contact: Optional[Contact] = None
 
     # --- derived times ---------------------------------------------------
 
@@ -248,6 +263,16 @@ class Simulator:
 
     def _handle_contact(self, event: Event) -> None:
         contact: Contact = event.payload
+        if self._contact_feed is not None:
+            # One-ahead feed: pull the stream's next contact while this
+            # one is handled.  Contacts enter the queue in stream (time)
+            # order, so their relative sequence numbers — and hence the
+            # full event order — match up-front scheduling exactly.
+            upcoming = next(self._contact_feed, None)
+            if upcoming is None:
+                self._contact_feed = None
+            else:
+                self.engine.schedule(upcoming.start, EventKind.CONTACT, upcoming)
         node_a = self.nodes[contact.node_a]
         node_b = self.nodes[contact.node_b]
         if not (node_a.active and node_b.active):
@@ -515,6 +540,13 @@ class Simulator:
         self._prepare(warmup_end)
         for contact in eval_contacts:
             self.engine.schedule(contact.start, EventKind.CONTACT, contact)
+        if self._next_contact is not None:
+            # Streaming path: seed the one-ahead feed with the first
+            # evaluation contact; _handle_contact pulls the rest.
+            self.engine.schedule(
+                self._next_contact.start, EventKind.CONTACT, self._next_contact
+            )
+            self._next_contact = None
         end = self.trace.end_time
         self._schedule_rounds(end)
         if self._dynamics is not None:
@@ -529,16 +561,35 @@ class Simulator:
     # --- run phases (shared with serve mode) ------------------------------
 
     def _warmup(self) -> List[Contact]:
-        """Phase 1: feed the estimator; return the evaluation contacts."""
+        """Phase 1: feed the estimator; return the evaluation contacts.
+
+        On a lazy :class:`~repro.traces.stream.ContactStream` the
+        evaluation half is *not* collected: warm-up consumes the stream
+        up to the midpoint, then parks the live iterator and its first
+        evaluation contact for the one-ahead feed — peak memory is one
+        contact, not half the trace.
+        """
         warmup_end = self.warmup_end
         eval_contacts: List[Contact] = []
-        for contact in self.trace:
-            if contact.start < warmup_end:
-                self.estimator.record_contact(
-                    contact.node_a, contact.node_b, contact.start
-                )
-            else:
-                eval_contacts.append(contact)
+        if isinstance(self.trace, ContactTrace):
+            for contact in self.trace:
+                if contact.start < warmup_end:
+                    self.estimator.record_contact(
+                        contact.node_a, contact.node_b, contact.start
+                    )
+                else:
+                    eval_contacts.append(contact)
+        else:
+            feed = iter(self.trace)
+            for contact in feed:
+                if contact.start < warmup_end:
+                    self.estimator.record_contact(
+                        contact.node_a, contact.node_b, contact.start
+                    )
+                else:
+                    self._contact_feed = feed
+                    self._next_contact = contact
+                    break
         self.workload_process.set_window(warmup_end, self.trace.end_time)
         return eval_contacts
 
@@ -656,6 +707,11 @@ class Simulator:
         """
         if self._ran:
             raise ConfigurationError("a Simulator instance runs exactly once")
+        if not isinstance(self.trace, ContactTrace):
+            raise ConfigurationError(
+                "serve sessions replay the evaluation window repeatedly and "
+                "need a materialised ContactTrace; call stream.materialize()"
+            )
         if self._dynamics is not None:
             raise ConfigurationError(
                 "serve sessions keep the network static (no dynamics schedule)"

@@ -11,6 +11,8 @@ process.  Those datasets are not redistributable, so this package ships
 * :mod:`repro.traces.synthetic` — seeded generators reproducing each
   trace's Table I statistics and heterogeneous node-popularity structure;
 * :mod:`repro.traces.catalog` — named presets for the four paper traces;
+* :mod:`repro.traces.stream` — bounded-memory contact streams and the
+  sparse 10⁵-node synthetic generator (scale-out path);
 * :mod:`repro.traces.stats` — the Table I summary computation.
 """
 
@@ -34,6 +36,12 @@ from repro.traces.mobility import (
     contacts_from_mobility,
 )
 from repro.traces.stats import TraceSummary, summarize_trace
+from repro.traces.stream import (
+    ContactStream,
+    SparseSyntheticConfig,
+    StreamingTrace,
+    stream_synthetic_contacts,
+)
 from repro.traces.synthetic import SyntheticTraceConfig, generate_synthetic_trace
 from repro.traces.toolkit import (
     filter_nodes,
@@ -56,6 +64,11 @@ __all__ = [
     "summarize_trace",
     "SyntheticTraceConfig",
     "generate_synthetic_trace",
+    # streaming
+    "ContactStream",
+    "StreamingTrace",
+    "SparseSyntheticConfig",
+    "stream_synthetic_contacts",
     # analysis
     "ExponentialFit",
     "fit_exponential",

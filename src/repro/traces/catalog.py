@@ -6,6 +6,14 @@ default number of NCLs its evaluation picks (Sec. VI-B / VI-D).  Loading a
 preset produces a seeded synthetic trace calibrated to those statistics
 (see :mod:`repro.traces.synthetic` and the substitution table in
 DESIGN.md).
+
+``STREAM_PRESETS`` are the scale-out counterparts: sparse-topology
+synthetic sources loaded as bounded-memory
+:class:`~repro.traces.stream.StreamingTrace` streams rather than
+materialised traces, sized well beyond what the Table I generator can
+reach (the headline ``sparse1e5`` preset is a 10⁵-node trace).  Each
+carries an explicit NCL time budget so the adaptive calibration — an
+all-pairs sample, O(N²) by construction — never runs at that scale.
 """
 
 from __future__ import annotations
@@ -14,10 +22,18 @@ from dataclasses import dataclass
 from typing import Dict
 
 from repro.traces.contact import ContactTrace
+from repro.traces.stream import SparseSyntheticConfig, StreamingTrace, stream_synthetic_contacts
 from repro.traces.synthetic import SyntheticTraceConfig, generate_synthetic_trace
 from repro.units import DAY, HOUR, WEEK
 
-__all__ = ["TracePreset", "TRACE_PRESETS", "load_preset_trace"]
+__all__ = [
+    "TracePreset",
+    "TRACE_PRESETS",
+    "load_preset_trace",
+    "StreamPreset",
+    "STREAM_PRESETS",
+    "load_stream_trace",
+]
 
 
 @dataclass(frozen=True)
@@ -133,4 +149,77 @@ def load_preset_trace(
         ) from None
     return generate_synthetic_trace(
         preset.synthetic_config(seed=seed, node_factor=node_factor, time_factor=time_factor)
+    )
+
+
+@dataclass(frozen=True)
+class StreamPreset:
+    """Parameters of one streaming large-scale synthetic trace source."""
+
+    key: str
+    num_devices: int
+    duration_days: float
+    num_contacts: int
+    granularity_seconds: float
+    ncl_time_budget: float
+    default_num_ncls: int
+    ring_neighbors: int = 8
+    shortcut_neighbors: int = 4
+
+    def stream_config(
+        self,
+        seed: int = 0,
+        node_factor: float = 1.0,
+        time_factor: float = 1.0,
+    ) -> SparseSyntheticConfig:
+        """Sparse stream configuration scaled by the trace-spec factors.
+
+        Contact volume scales with node_factor × time_factor: edge count
+        is O(N · degree), so this keeps the per-edge contact rate — and
+        hence the estimated topology — invariant under scaling.
+        """
+        return SparseSyntheticConfig(
+            name=self.key,
+            num_nodes=max(3, round(self.num_devices * node_factor)),
+            duration=self.duration_days * DAY * time_factor,
+            total_contacts=max(1, round(self.num_contacts * node_factor * time_factor)),
+            granularity=self.granularity_seconds,
+            ring_neighbors=self.ring_neighbors,
+            shortcut_neighbors=self.shortcut_neighbors,
+            seed=seed,
+        )
+
+
+#: Scale-out streaming sources (not part of the paper's Table I).
+STREAM_PRESETS: Dict[str, StreamPreset] = {
+    "sparse1e5": StreamPreset(
+        key="sparse1e5",
+        num_devices=100_000,
+        duration_days=7,
+        num_contacts=2_000_000,
+        granularity_seconds=120,
+        ncl_time_budget=1 * DAY,
+        default_num_ncls=32,
+    ),
+}
+
+
+def load_stream_trace(
+    key: str,
+    seed: int = 0,
+    node_factor: float = 1.0,
+    time_factor: float = 1.0,
+) -> StreamingTrace:
+    """Build the lazy stream for one of the ``STREAM_PRESETS``.
+
+    Raises ``KeyError`` listing the available presets for an unknown key.
+    """
+    try:
+        preset = STREAM_PRESETS[key]
+    except KeyError:
+        raise KeyError(
+            f"unknown stream preset {key!r}; available: {sorted(STREAM_PRESETS)}"
+        ) from None
+    return stream_synthetic_contacts(
+        preset.stream_config(seed=seed, node_factor=node_factor, time_factor=time_factor)
     )

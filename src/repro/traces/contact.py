@@ -78,6 +78,12 @@ class ContactTrace:
         reporting (Table I), not simulation.
     name:
         Human-readable trace name for reports.
+    start_time / end_time:
+        Declared observation window.  If omitted, derived from the first
+        contact's start and the last contact's end — the historical
+        behaviour for the Table I traces.  Streams declare their window
+        up front, and ``materialize()`` passes it through so rate
+        estimation sees the same elapsed time either way.
     """
 
     def __init__(
@@ -86,8 +92,25 @@ class ContactTrace:
         num_nodes: Optional[int] = None,
         granularity: float = 0.0,
         name: str = "unnamed",
+        start_time: Optional[float] = None,
+        end_time: Optional[float] = None,
     ):
         self._contacts: List[Contact] = sorted(contacts)
+        if self._contacts:
+            derived_start = self._contacts[0].start
+            derived_end = max(c.end for c in self._contacts)
+            if start_time is not None and start_time > derived_start:
+                raise TraceConsistencyError(
+                    f"declared start {start_time} is after the first "
+                    f"contact at {derived_start}"
+                )
+            if end_time is not None and end_time < derived_end:
+                raise TraceConsistencyError(
+                    f"declared end {end_time} precedes the last contact "
+                    f"ending at {derived_end}"
+                )
+        self._start_time = None if start_time is None else float(start_time)
+        self._end_time = None if end_time is None else float(end_time)
         if num_nodes is None:
             if not self._contacts:
                 raise TraceConsistencyError("empty trace requires explicit num_nodes")
@@ -126,10 +149,14 @@ class ContactTrace:
 
     @property
     def start_time(self) -> float:
+        if self._start_time is not None:
+            return self._start_time
         return self._contacts[0].start if self._contacts else 0.0
 
     @property
     def end_time(self) -> float:
+        if self._end_time is not None:
+            return self._end_time
         return max((c.end for c in self._contacts), default=0.0)
 
     @property
@@ -138,6 +165,11 @@ class ContactTrace:
 
     def nodes(self) -> range:
         return range(self._num_nodes)
+
+    def materialize(self) -> "ContactTrace":
+        """Already materialised — self.  (:class:`repro.traces.stream.
+        ContactStream` conformance, so trace and stream interchange.)"""
+        return self
 
     def __len__(self) -> int:
         return len(self._contacts)

@@ -14,27 +14,48 @@ three loaders are provided:
 
 All loaders normalise to zero-based contiguous node ids and shift time so
 the first contact starts at t = 0, matching the conventions of
-:class:`repro.traces.contact.ContactTrace`.
+:class:`repro.traces.contact.ContactTrace`.  Normalisation needs the
+global id set and time origin, so these loaders still *return* a
+materialised trace — but they read their input line by line
+(:func:`_iter_lines`), never holding the raw file in memory, so peak
+memory is the parsed records, not records + text.
+
+:func:`stream_csv_contacts` is the bounded-memory alternative for large
+pre-normalised inputs: given a CSV already zero-based and time-sorted, it
+returns a lazy :class:`repro.traces.stream.StreamingTrace` whose memory
+is one contact regardless of file size.
 """
 
 from __future__ import annotations
 
 import csv
 from pathlib import Path
-from typing import Dict, Iterable, List, TextIO, Tuple, Union
+from typing import Dict, Iterable, Iterator, List, TextIO, Tuple, Union
 
 from repro.errors import TraceFormatError
 from repro.traces.contact import Contact, ContactTrace
+from repro.traces.stream import StreamingTrace
 
-__all__ = ["load_crawdad_imote", "load_one_connectivity", "load_csv_contacts"]
+__all__ = [
+    "load_crawdad_imote",
+    "load_one_connectivity",
+    "load_csv_contacts",
+    "stream_csv_contacts",
+]
 
 PathOrFile = Union[str, Path, TextIO]
 
 
-def _open_lines(source: PathOrFile) -> List[str]:
+def _iter_lines(source: PathOrFile) -> Iterator[str]:
+    """Yield input lines lazily; file handles are read as-is, paths are
+    opened per iteration (so a path-based source is replayable)."""
     if hasattr(source, "read"):
-        return list(source)  # type: ignore[arg-type]
-    return Path(source).read_text().splitlines()
+        for line in source:  # type: ignore[union-attr]
+            yield line
+        return
+    with Path(source).open() as handle:
+        for line in handle:
+            yield line
 
 
 def _normalise(
@@ -68,7 +89,7 @@ def load_crawdad_imote(
     skipped.
     """
     raw: List[Tuple[int, int, float, float]] = []
-    for lineno, line in enumerate(_open_lines(source), start=1):
+    for lineno, line in enumerate(_iter_lines(source), start=1):
         line = line.strip()
         if not line or line.startswith("#"):
             continue
@@ -102,7 +123,7 @@ def load_one_connectivity(
     open_links: Dict[Tuple[int, int], float] = {}
     raw: List[Tuple[int, int, float, float]] = []
     last_time = 0.0
-    for lineno, line in enumerate(_open_lines(source), start=1):
+    for lineno, line in enumerate(_iter_lines(source), start=1):
         line = line.strip()
         if not line or line.startswith("#"):
             continue
@@ -141,7 +162,7 @@ def load_csv_contacts(
     A header row is detected and skipped if the first field is not
     numeric.
     """
-    lines = _open_lines(source)
+    lines = _iter_lines(source)
     reader = csv.reader(lines)
     raw: List[Tuple[int, int, float, float]] = []
     for lineno, row in enumerate(reader, start=1):
@@ -159,3 +180,48 @@ def load_csv_contacts(
             raise TraceFormatError(f"line {lineno}: {exc}") from exc
         raw.append((a, b, start, end))
     return _normalise(raw, granularity, name)
+
+
+def stream_csv_contacts(
+    source: Union[str, Path],
+    num_nodes: int,
+    end_time: float,
+    granularity: float = 1.0,
+    name: str = "csv-stream",
+) -> StreamingTrace:
+    """Lazy :class:`StreamingTrace` over a pre-normalised contact CSV.
+
+    The file must already satisfy the stream contract the loaders
+    usually establish by materialising: zero-based node ids below
+    *num_nodes*, rows sorted by start time, times within
+    ``[0, end_time]``.  Sortedness and id ranges are enforced lazily by
+    the stream wrapper as rows are consumed.  Only path sources are
+    accepted — a file handle is single-shot, and the simulator iterates
+    a stream more than once.
+    """
+    path = Path(source)
+
+    def generate() -> Iterator[Contact]:
+        for lineno, row in enumerate(csv.reader(_iter_lines(path)), start=1):
+            if not row or not "".join(row).strip():
+                continue
+            first = row[0].strip()
+            if lineno == 1 and not first.lstrip("-").replace(".", "", 1).isdigit():
+                continue  # header
+            if len(row) < 4:
+                raise TraceFormatError(
+                    f"line {lineno}: expected 4 columns, got {len(row)}"
+                )
+            try:
+                yield Contact(float(row[2]), float(row[3]), int(row[0]), int(row[1]))
+            except ValueError as exc:
+                raise TraceFormatError(f"line {lineno}: {exc}") from exc
+
+    return StreamingTrace(
+        name=name,
+        num_nodes=num_nodes,
+        start_time=0.0,
+        end_time=end_time,
+        factory=generate,
+        granularity=granularity,
+    )

@@ -95,6 +95,38 @@ def test_flags_unreadable_overrides(lint):
     assert any("literal dict" in v.message for v in violations)
 
 
+def test_flags_sparse_kernel_without_dense_oracle_doc(lint):
+    kernels = {
+        "k": {"module": "m", "reference": "_reference_k", "sparse": True},
+    }
+    docs = {"_reference_k": "Sparse-vs-sparse check of the k kernel."}
+    violations = lint.check_specs(
+        kernels, {"k": "f"}, {"m": {"_reference_k"}}, "_reference_k", docs
+    )
+    assert any("dense reference" in v.message for v in violations)
+
+
+def test_sparse_kernel_with_dense_oracle_doc_is_clean(lint):
+    kernels = {
+        "k": {"module": "m", "reference": "_reference_k", "sparse": True},
+    }
+    docs = {"_reference_k": "Dense pure-python oracle for the k kernel."}
+    violations = lint.check_specs(
+        kernels, {"k": "f"}, {"m": {"_reference_k"}}, "_reference_k", docs
+    )
+    assert violations == []
+
+
+def test_sparse_rule_skipped_without_docstrings(lint):
+    # oracle_docs=None (the synthetic default) must not fire the rule —
+    # filesystem-free callers opt in by passing the docstring map.
+    kernels = {
+        "k": {"module": "m", "reference": "_reference_k", "sparse": True},
+    }
+    violations = _specs(lint, kernels, {"k": "f"}, {"m": {"_reference_k"}}, "_reference_k")
+    assert violations == []
+
+
 def test_script_main_exits_zero(lint, capsys):
     assert lint.main() == 0
     out = capsys.readouterr().out

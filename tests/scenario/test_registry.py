@@ -73,4 +73,5 @@ class TestStockRegistrations:
             "infocom05",
             "infocom06",
             "ucsd",
+            "sparse1e5",
         }

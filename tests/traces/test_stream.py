@@ -1,0 +1,242 @@
+"""Streaming trace layer: contract, determinism, and bounded memory.
+
+The scale-out trace path replaces the materialised contact list with
+replayable bounded-memory iterators.  These tests pin:
+
+* the stream contract (sorted starts, in-range ids, replayability);
+* ``materialize()`` as the explicit escape hatch — streamed contacts
+  and the materialised trace are the same events in the same order;
+* graph estimation and full simulation agree between the streamed and
+  materialised forms of the same trace;
+* iteration memory stays bounded (tracemalloc), unlike materialising;
+* the ``sparse1e5`` catalog preset and its scenario-registry wiring.
+"""
+
+import csv
+import math
+import tracemalloc
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, TraceConsistencyError
+from repro.graph.contact_graph import ContactGraph
+from repro.traces.catalog import STREAM_PRESETS, load_stream_trace
+from repro.traces.contact import Contact, ContactTrace
+from repro.traces.loaders import stream_csv_contacts
+from repro.traces.stream import (
+    ContactStream,
+    SparseSyntheticConfig,
+    StreamingTrace,
+    stream_synthetic_contacts,
+)
+from repro.units import DAY, HOUR
+
+
+def _small_stream(num_nodes=60, total_contacts=2_000, seed=3):
+    return stream_synthetic_contacts(
+        SparseSyntheticConfig(
+            name="stream-test",
+            num_nodes=num_nodes,
+            duration=1 * DAY,
+            total_contacts=total_contacts,
+            granularity=60.0,
+            ring_neighbors=4,
+            shortcut_neighbors=2,
+            seed=seed,
+        )
+    )
+
+
+# --- protocol & contract ---------------------------------------------------
+
+
+def test_streaming_trace_satisfies_protocol():
+    stream = _small_stream()
+    assert isinstance(stream, ContactStream)
+    assert isinstance(ContactTrace([], num_nodes=2, granularity=1.0), ContactStream)
+
+
+def test_stream_is_replayable_and_deterministic():
+    stream = _small_stream()
+    first = list(stream)
+    second = list(stream)
+    assert first == second
+    assert len(first) > 0
+    starts = [c.start for c in first]
+    assert starts == sorted(starts)
+
+
+def test_same_seed_same_contacts_different_seed_differs():
+    assert list(_small_stream(seed=5)) == list(_small_stream(seed=5))
+    assert list(_small_stream(seed=5)) != list(_small_stream(seed=6))
+
+
+def test_materialize_escape_hatch_preserves_events():
+    stream = _small_stream()
+    trace = stream.materialize()
+    assert isinstance(trace, ContactTrace)
+    assert trace.num_nodes == stream.num_nodes
+    assert trace.granularity == stream.granularity
+    assert list(trace) == list(stream)
+
+
+def test_unsorted_stream_rejected_lazily():
+    contacts = [Contact(100.0, 160.0, 0, 1), Contact(40.0, 100.0, 1, 2)]
+    stream = StreamingTrace(
+        name="bad", num_nodes=3, start_time=0.0, end_time=200.0,
+        factory=lambda: iter(contacts),
+    )
+    with pytest.raises(TraceConsistencyError, match="not time-sorted"):
+        list(stream)
+
+
+def test_out_of_range_node_rejected_lazily():
+    contacts = [Contact(10.0, 20.0, 0, 7)]
+    stream = StreamingTrace(
+        name="bad", num_nodes=3, start_time=0.0, end_time=30.0,
+        factory=lambda: iter(contacts),
+    )
+    with pytest.raises(TraceConsistencyError, match="num_nodes"):
+        list(stream)
+
+
+def test_stream_validation():
+    with pytest.raises(ConfigurationError):
+        StreamingTrace(name="x", num_nodes=0, start_time=0.0, end_time=1.0,
+                       factory=list)
+    with pytest.raises(ConfigurationError):
+        StreamingTrace(name="x", num_nodes=2, start_time=5.0, end_time=1.0,
+                       factory=list)
+
+
+# --- estimation & simulation equivalence -----------------------------------
+
+
+def test_graph_estimation_identical_streamed_vs_materialized():
+    stream = _small_stream()
+    from_stream = ContactGraph.from_trace(stream)
+    from_trace = ContactGraph.from_trace(stream.materialize())
+    a = from_stream.csr_rates()
+    b = from_trace.csr_rates()
+    assert all(np.array_equal(x, y) for x, y in zip(a, b))
+
+
+def test_simulation_identical_streamed_vs_materialized():
+    import dataclasses
+
+    from repro.caching.intentional import IntentionalCaching, IntentionalConfig
+    from repro.sim.simulator import Simulator, SimulatorConfig
+    from repro.workload.config import WorkloadConfig
+
+    stream = _small_stream(num_nodes=30, total_contacts=800)
+    workload = WorkloadConfig(
+        mean_data_lifetime=6 * HOUR, mean_data_size=100_000_000
+    )
+
+    def run(trace):
+        sim = Simulator(
+            trace,
+            IntentionalCaching(IntentionalConfig(num_ncls=3, ncl_time_budget=6 * HOUR)),
+            workload,
+            SimulatorConfig(seed=11),
+        )
+        return dataclasses.asdict(sim.run())
+
+    streamed = run(stream)
+    materialized = run(stream.materialize())
+    for key, value in streamed.items():
+        other = materialized[key]
+        if isinstance(value, float) and math.isnan(value):
+            assert isinstance(other, float) and math.isnan(other), key
+        else:
+            assert value == other, key
+
+
+# --- bounded memory --------------------------------------------------------
+
+
+def test_stream_iteration_memory_is_bounded():
+    """Consuming the stream must not accumulate contacts: its traced
+    peak stays far below the materialised list of the same events."""
+    stream = _small_stream(num_nodes=400, total_contacts=60_000)
+
+    tracemalloc.start()
+    count = 0
+    for _contact in stream:
+        count += 1
+    _, stream_peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+
+    tracemalloc.start()
+    trace = stream.materialize()
+    _, materialize_peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+
+    assert count == len(trace.contacts)
+    assert count > 10_000
+    # One window of contacts in flight vs the whole trace resident.
+    assert stream_peak < materialize_peak / 3
+
+
+def test_csv_stream_memory_is_bounded(tmp_path):
+    rows = 30_000
+    path = tmp_path / "contacts.csv"
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["node_a", "node_b", "start", "end"])
+        for i in range(rows):
+            writer.writerow([i % 50, (i + 1) % 50, float(i), float(i) + 30.0])
+
+    stream = stream_csv_contacts(path, num_nodes=50, end_time=rows + 40.0)
+
+    tracemalloc.start()
+    count = sum(1 for _ in stream)
+    _, stream_peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+
+    tracemalloc.start()
+    materialized = stream.materialize()
+    _, materialize_peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+
+    assert count == rows == len(materialized.contacts)
+    assert stream_peak < materialize_peak / 3
+
+
+# --- catalog preset & scenario wiring --------------------------------------
+
+
+def test_sparse1e5_preset_is_registered():
+    preset = STREAM_PRESETS["sparse1e5"]
+    assert preset.num_devices == 100_000
+    assert preset.ncl_time_budget > 0
+
+
+def test_load_stream_trace_scales_like_trace_presets():
+    stream = load_stream_trace("sparse1e5", seed=2, node_factor=0.001, time_factor=0.05)
+    assert isinstance(stream, StreamingTrace)
+    assert stream.num_nodes == 100
+    contacts = list(stream)
+    assert contacts == list(stream)
+    assert all(c.node_a < 100 and c.node_b < 100 for c in contacts)
+
+
+def test_load_stream_trace_unknown_key():
+    with pytest.raises(KeyError, match="sparse1e5"):
+        load_stream_trace("nope")
+
+
+def test_scenario_build_trace_returns_stream():
+    from repro.scenario import TraceSpec, build_trace
+    from repro.scenario.build import resolve_ncl_time_budget
+    from repro.scenario import ScenarioSpec, SchemeSpec
+
+    spec = TraceSpec(name="sparse1e5", seed=1, node_factor=0.0005, time_factor=0.05)
+    trace = build_trace(spec)
+    assert isinstance(trace, StreamingTrace)
+    assert trace.num_nodes == 50
+    # The stream preset supplies the explicit NCL time budget, so the
+    # adaptive (O(N²)) calibration never runs on the scale-out path.
+    scenario = ScenarioSpec(trace=spec, scheme=SchemeSpec(num_ncls=4))
+    assert resolve_ncl_time_budget(scenario) == STREAM_PRESETS["sparse1e5"].ncl_time_budget
