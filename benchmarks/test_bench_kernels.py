@@ -32,6 +32,7 @@ from repro.experiments.runner import run_repeated
 from repro.graph.contact_graph import ContactGraph
 from repro.graph.paths import shortest_path_weight_matrix, shortest_paths_from
 from repro.graph.weight_cache import shared_weight_cache
+from repro.obs.memory import peak_rss_bytes
 from repro.obs.profile import Profiler, set_active_profiler
 from repro.mathutils.hypoexponential import (
     hypoexponential_cdf,
@@ -197,8 +198,9 @@ def test_bench_kernel_weight_matrix_profiled(benchmark, backend):
     assert "kernel.weight_matrix" in profiler.as_dict()
 
 
-def _run_static_sim(reelect):
+def _run_static_sim(reelect, mem_profile=False):
     from repro.scenario import (
+        RunSpec,
         ScenarioSpec,
         SchemeSpec,
         TraceSpec,
@@ -211,17 +213,20 @@ def _run_static_sim(reelect):
     spec = ScenarioSpec(
         trace=TraceSpec(name="mit_reality", node_factor=0.35, time_factor=0.08),
         scheme=SchemeSpec(reelect=reelect),
+        run=RunSpec(mem_profile=mem_profile),
     )
     trace = build_trace(spec.trace)
     workload = WorkloadConfig(
         mean_data_lifetime=trace.duration * 0.1, mean_data_size=100_000_000
     )
     sim = Simulator(trace, scheme_factory(spec)(), workload, simulator_config(spec))
-    return sim.run()
+    return sim, sim.run()
 
 
 def test_bench_sim_static(benchmark):
-    result = benchmark.pedantic(_run_static_sim, args=(False,), rounds=2, iterations=1)
+    sim, result = benchmark.pedantic(
+        _run_static_sim, args=(False,), rounds=2, iterations=1
+    )
     assert result.queries_issued > 0
 
 
@@ -232,8 +237,29 @@ def test_bench_sim_static_reelect(benchmark):
     when enabling re-election costs more than 5% — on a network with no
     churn the topology gate must keep the selection pass from running.
     """
-    result = benchmark.pedantic(_run_static_sim, args=(True,), rounds=2, iterations=1)
+    _, result = benchmark.pedantic(
+        _run_static_sim, args=(True,), rounds=2, iterations=1
+    )
     assert result.queries_issued > 0
+
+
+def test_bench_sim_static_memory(benchmark):
+    """Same static run with ``mem_profile`` sampling enabled.
+
+    The bench guard pairs this with ``test_bench_sim_static`` and fails
+    when footprint sampling costs more than 5% — measuring where the
+    bytes live must stay cheap enough to switch on the moment a run is
+    suspected of bloating.  The final breakdown and the process peak RSS
+    are stamped into ``extra_info``, which feeds the guard's memory tier
+    (footprint ceiling = 1.2x the committed baseline).
+    """
+    sim, result = benchmark.pedantic(
+        _run_static_sim, args=(False, True), rounds=2, iterations=1
+    )
+    assert result.queries_issued > 0
+    assert sim.memory.enabled and sim.memory.samples
+    benchmark.extra_info["peak_rss_mb"] = peak_rss_bytes() / 2**20
+    benchmark.extra_info["mem_subsystems"] = sim.memory_breakdown()
 
 
 def _run_traced_sim(diagnose):

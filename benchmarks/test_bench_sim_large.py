@@ -8,20 +8,24 @@ baseline lives in ``benchmarks/sim_large_baseline.json``:
         --benchmark-file benchmarks/test_bench_sim_large.py \
         --baseline benchmarks/sim_large_baseline.json [--update-baseline]
 
-Each benchmark also acts as a memory guard: peak RSS
-(``resource.getrusage``, whole process, high-water mark) must stay
-under the documented budget.  The budgets are deliberately loose bounds
-on the documented measurements (README "Large-scale quickstart") — they
-catch an accidental return of an N×N allocation (80 GB at 10⁵ nodes),
-not kilobyte-level drift.
+Each benchmark also acts as a memory guard twice over: peak RSS
+(:func:`repro.obs.memory.peak_rss_bytes`, whole process, high-water
+mark) must stay under the documented budget *here*, and the same peak
+plus the per-subsystem attribution of ``Simulator.memory_breakdown()``
+is stamped into ``extra_info`` so the bench guard's memory tier fails
+any future run whose footprint grows past 1.2x the committed baseline.
+The in-file budgets are deliberately loose bounds on the documented
+measurements (README "Large-scale quickstart") — they catch an
+accidental return of an N×N allocation (80 GB at 10⁵ nodes), not
+kilobyte-level drift.
 """
 
 import os
-import resource
 
 import pytest
 
 from repro.graph.contact_graph import ContactGraph
+from repro.obs.memory import peak_rss_bytes
 from repro.scenario import (
     RunSpec,
     ScenarioSpec,
@@ -42,13 +46,14 @@ pytestmark = pytest.mark.skipif(
 #: Peak-RSS budgets (MB).  A dense 10⁵×10⁵ float64 matrix alone would
 #: be ~80 000 MB, so these bounds prove the sparse path held.  Measured
 #: on the reference box: setup ≈ 0.8 GB, end-to-end ≈ 18 GB (the
-#: simulator's per-node/per-query state dominates, not the graph).
+#: simulator's per-node/per-query state dominates, not the graph — see
+#: the attributed breakdown in README "Memory profiling").
 SETUP_RSS_BUDGET_MB = 2_000
 END_TO_END_RSS_BUDGET_MB = 24_000
 
 
 def _peak_rss_mb() -> float:
-    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0
+    return peak_rss_bytes() / 2**20
 
 
 def _spec(node_factor: float, time_factor: float, duration_fraction: float = 0.25):
@@ -98,6 +103,7 @@ def test_bench_large_setup_1e5(benchmark):
     assert graph.num_nodes == 100_000
     assert len(selection.central_nodes) == 32
     peak = _peak_rss_mb()
+    benchmark.extra_info["peak_rss_mb"] = peak
     assert peak < SETUP_RSS_BUDGET_MB, f"peak RSS {peak:.0f} MB over budget"
 
 
@@ -109,18 +115,34 @@ def test_bench_large_end_to_end_1e5(benchmark):
     full 100 000.  ``duration_fraction=0.5`` halves the query rounds:
     query volume scales with the node count, and at 10⁵ nodes the
     default cadence would make this a half-hour benchmark.
+
+    Runs with ``mem_profile`` on, so the stamped ``mem_subsystems``
+    attribution says *which* subsystem owns the documented ~18 GB — the
+    bench guard's memory tier then holds both the total and the shape.
     """
     trace, spec = _spec(node_factor=1.0, time_factor=0.05, duration_fraction=0.5)
+    spec = ScenarioSpec(
+        trace=spec.trace,
+        scheme=spec.scheme,
+        workload=spec.workload,
+        run=RunSpec(
+            graph_refresh_period=trace.duration,
+            mem_profile=True,
+        ),
+    )
 
     def run():
         sim = Simulator(
             trace, scheme_factory(spec)(), spec.workload, simulator_config(spec)
         )
-        return sim.run()
+        return sim, sim.run()
 
-    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    sim, result = benchmark.pedantic(run, rounds=1, iterations=1)
     assert result.queries_issued > 0
+    assert sim.memory.samples, "mem_profile produced no samples"
     peak = _peak_rss_mb()
+    benchmark.extra_info["peak_rss_mb"] = peak
+    benchmark.extra_info["mem_subsystems"] = sim.memory_breakdown()
     assert peak < END_TO_END_RSS_BUDGET_MB, f"peak RSS {peak:.0f} MB over budget"
 
 
@@ -133,7 +155,9 @@ def test_bench_large_end_to_end_20k(benchmark):
         sim = Simulator(
             trace, scheme_factory(spec)(), spec.workload, simulator_config(spec)
         )
-        return sim.run()
+        return sim, sim.run()
 
-    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    sim, result = benchmark.pedantic(run, rounds=1, iterations=1)
     assert result.queries_issued > 0
+    benchmark.extra_info["peak_rss_mb"] = _peak_rss_mb()
+    benchmark.extra_info["mem_subsystems"] = sim.memory_breakdown()

@@ -1,0 +1,197 @@
+#!/usr/bin/env python
+"""AST lint: the memory-attribution universe must stay fully accounted.
+
+The memory-observability contract (DESIGN.md §7c) is that
+``Simulator.memory_breakdown()`` attributes the run's footprint to the
+named subsystems of ``repro.obs.memory.SUBSYSTEMS`` — and that every
+accountant is *honest*, cross-checked by a test against an independent
+sizeof oracle rather than trusted because it returns a number.  This
+script enforces the structural half of that contract:
+
+* ``SUBSYSTEMS`` (the attribution universe) is a literal dict with a
+  non-empty description per name;
+* the literal keys of the dict ``Simulator._build_memory_accountants``
+  returns are exactly the ``SUBSYSTEMS`` names — no orphan subsystem
+  without an accountant, no accountant outside the universe;
+* every subsystem name has an ``oracle_nbytes_<name>`` mention in the
+  test corpus — the per-subsystem accountant test must name the oracle
+  function it checks the accountant against.
+
+Both dicts are read as literals from the AST — no imports, so the lint
+cannot be fooled by runtime registration tricks.
+
+Run standalone (exit 1 on violations) or via the pytest wrapper in
+``tests/obs/test_memory_lint.py``.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+import sys
+from typing import Dict, List, NamedTuple, Optional
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SOURCE_ROOT = os.path.join(REPO_ROOT, "src")
+MEMORY_PATH = os.path.join(SOURCE_ROOT, "repro", "obs", "memory.py")
+SIMULATOR_PATH = os.path.join(SOURCE_ROOT, "repro", "sim", "simulator.py")
+TESTS_ROOT = os.path.join(REPO_ROOT, "tests")
+BENCHMARKS_ROOT = os.path.join(REPO_ROOT, "benchmarks")
+
+#: the test that proves subsystem <name>'s accountant honest must
+#: mention this identifier (convention mirrors the kernel oracles)
+ORACLE_PREFIX = "oracle_nbytes_"
+
+
+class Violation(NamedTuple):
+    where: str
+    subsystem: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"{self.where}: memory subsystem {self.subsystem!r}: {self.message}"
+
+
+def _literal_dict_assignment(tree: ast.AST, name: str) -> Optional[dict]:
+    """The literal value of a module-level ``name = {...}`` assignment."""
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Assign):
+            targets = [t.id for t in node.targets if isinstance(t, ast.Name)]
+            if name in targets:
+                try:
+                    return ast.literal_eval(node.value)
+                except ValueError:
+                    return None
+    return None
+
+
+def _returned_dict_keys(tree: ast.AST, function: str) -> Optional[List[str]]:
+    """Constant keys of the dict literal *function* returns.
+
+    Values are closures (not literals), so only the keys are read;
+    a non-constant key or a non-dict return yields ``None``.
+    """
+    for node in ast.walk(tree):
+        if isinstance(node, ast.FunctionDef) and node.name == function:
+            for inner in ast.walk(node):
+                if isinstance(inner, ast.Return) and isinstance(
+                    inner.value, ast.Dict
+                ):
+                    keys = []
+                    for key in inner.value.keys:
+                        if not isinstance(key, ast.Constant) or not isinstance(
+                            key.value, str
+                        ):
+                            return None
+                        keys.append(key.value)
+                    return keys
+    return None
+
+
+def _test_corpus(roots=(TESTS_ROOT, BENCHMARKS_ROOT)) -> str:
+    """Concatenated text of every test/benchmark file."""
+    chunks: List[str] = []
+    for root in roots:
+        if not os.path.isdir(root):
+            continue
+        for dirpath, _, filenames in os.walk(root):
+            for filename in sorted(filenames):
+                if filename.endswith(".py"):
+                    path = os.path.join(dirpath, filename)
+                    with open(path, "r", encoding="utf-8") as handle:
+                        chunks.append(handle.read())
+    return "\n".join(chunks)
+
+
+def check_accountants(
+    subsystems: Dict[str, str],
+    accountant_keys: Optional[List[str]],
+    test_corpus: str,
+) -> List[Violation]:
+    """Pure rule core (synthetic-input testable, no filesystem access)."""
+    violations: List[Violation] = []
+    for name, description in sorted(subsystems.items()):
+        if not isinstance(description, str) or not description.strip():
+            violations.append(
+                Violation("SUBSYSTEMS", name, "description must be non-empty")
+            )
+        oracle = ORACLE_PREFIX + name
+        if oracle not in test_corpus:
+            violations.append(
+                Violation(
+                    "tests", name,
+                    f"no test names the oracle {oracle!r} — the accountant "
+                    "must be cross-checked against an independent sizeof "
+                    "oracle, not trusted",
+                )
+            )
+    if accountant_keys is None:
+        violations.append(
+            Violation(
+                "simulator", "<all>",
+                "_build_memory_accountants must return a dict literal with "
+                "constant string keys (the lint reads them from the AST)",
+            )
+        )
+        return violations
+    registered = set(accountant_keys)
+    for name in sorted(set(subsystems) - registered):
+        violations.append(
+            Violation(
+                "simulator", name,
+                "in SUBSYSTEMS but never registered by "
+                "_build_memory_accountants — its bytes would be invisible",
+            )
+        )
+    for name in sorted(registered - set(subsystems)):
+        violations.append(
+            Violation(
+                "simulator", name,
+                "registered by _build_memory_accountants but missing from "
+                "SUBSYSTEMS — add it to the universe deliberately",
+            )
+        )
+    duplicates = sorted(
+        {name for name in accountant_keys if accountant_keys.count(name) > 1}
+    )
+    for name in duplicates:
+        violations.append(
+            Violation("simulator", name, "registered more than once")
+        )
+    return violations
+
+
+def collect_violations() -> List[Violation]:
+    with open(MEMORY_PATH, "r", encoding="utf-8") as handle:
+        memory_tree = ast.parse(handle.read(), filename=MEMORY_PATH)
+    subsystems = _literal_dict_assignment(memory_tree, "SUBSYSTEMS")
+    if subsystems is None:
+        return [
+            Violation(
+                "SUBSYSTEMS", "<all>",
+                "SUBSYSTEMS must be a literal dict assignment",
+            )
+        ]
+    with open(SIMULATOR_PATH, "r", encoding="utf-8") as handle:
+        simulator_tree = ast.parse(handle.read(), filename=SIMULATOR_PATH)
+    accountant_keys = _returned_dict_keys(
+        simulator_tree, "_build_memory_accountants"
+    )
+    return check_accountants(subsystems, accountant_keys, _test_corpus())
+
+
+def main() -> int:
+    violations = collect_violations()
+    for violation in violations:
+        print(violation, file=sys.stderr)
+    if violations:
+        print(f"{len(violations)} memory-accountant violation(s)", file=sys.stderr)
+        return 1
+    print(
+        "all memory subsystems have accountants and oracle-backed tests"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -14,7 +14,8 @@ Hook sites checked:
 * ``TraceEvent(...)`` constructions and ``<recv>.emit(...)`` calls,
 * ``<prof>.span(...)`` / ``<prof>.add(...)`` / ``<prof>.start(...)``
   calls on profiler-named receivers,
-* ``<...timeseries...>.record(...)`` sampler calls.
+* ``<...timeseries...>.record(...)`` sampler calls,
+* ``<...memory...>.sample(...)`` memory-monitor calls.
 
 A site counts as guarded when an ``if``/ternary test reading
 ``.enabled`` **on a receiver of the same instrument family** (trace
@@ -47,12 +48,14 @@ EXCLUDED_PARTS = ("obs",)
 TRACE_HINTS = ("recorder", "trace", "recording")
 PROFILER_HINTS = ("prof", "profiler")
 SAMPLER_HINTS = ("timeseries", "sampler")
+MEMORY_HINTS = ("memory",)
 
 #: hook family → receiver hints an ``.enabled`` guard must match
 FAMILY_HINTS = {
     "trace": TRACE_HINTS,
     "profiler": PROFILER_HINTS,
     "sampler": SAMPLER_HINTS,
+    "memory": MEMORY_HINTS,
 }
 
 
@@ -92,6 +95,8 @@ def _hook_name(call: ast.Call) -> Optional[Tuple[str, str]]:
         return f"{receiver}.{func.attr}(...)", "profiler"
     if func.attr == "record" and any(hint in receiver for hint in SAMPLER_HINTS):
         return f"{receiver}.record(...)", "sampler"
+    if func.attr == "sample" and any(hint in receiver for hint in MEMORY_HINTS):
+        return f"{receiver}.sample(...)", "memory"
     return None
 
 

@@ -74,6 +74,7 @@ KNOWN_NAMESPACES = frozenset(
         "slo",         # live-health SLO state edges
         "health",      # anomaly detector firings
         "workload",    # workload announcements (flash-crowd window)
+        "memory",      # footprint telemetry (RSS/heap/attribution samples)
     }
 )
 

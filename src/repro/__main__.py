@@ -176,6 +176,7 @@ def _scenario_from_args(
             seed=args.seed,
             repeat=getattr(args, "repeat", 1),
             sparse_graph=getattr(args, "sparse", None),
+            mem_profile=getattr(args, "mem_profile", False),
         ),
     )
 
@@ -202,8 +203,9 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     import os
 
     from repro.experiments.runner import ExperimentResult
-    from repro.experiments.runstore import save_run
+    from repro.experiments.runstore import MEMORY_FILE, save_run
     from repro.metrics.results import aggregate_results
+    from repro.obs.memory import render_memory_breakdown, write_memory_log
     from repro.obs.profile import render_profile_table
     from repro.obs.provenance import build_manifest
     from repro.obs.timeseries import merge_timeseries
@@ -228,11 +230,19 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     )
     repeat = spec.run.repeat
 
+    memory_samples = ()
     if repeat > 1 or (args.workers and args.workers > 1):
         if args.trace_out or args.timeline_out:
             print(
                 "--trace-out/--timeline-out record one run; "
                 "use --repeat 1 without --workers",
+                file=sys.stderr,
+            )
+            return 2
+        if spec.run.mem_profile:
+            print(
+                "--mem-profile records one process; use --repeat 1 "
+                "without --workers",
                 file=sys.stderr,
             )
             return 2
@@ -252,6 +262,10 @@ def cmd_simulate(args: argparse.Namespace) -> int:
         simulator = Simulator(trace, scheme_factory(spec)(), spec.workload, config)
         result = simulator.run()
         print(_result_line(result))
+        memory_samples = tuple(simulator.memory.samples)
+        if spec.run.mem_profile:
+            print()
+            print(render_memory_breakdown(simulator.memory_breakdown()))
         if args.timeline_out:
             simulator.timeline.to_csv(args.timeline_out)
             print(f"timeline written to {args.timeline_out}")
@@ -266,6 +280,8 @@ def cmd_simulate(args: argparse.Namespace) -> int:
 
     if args.out:
         save_run(experiment, args.out)
+        if memory_samples:
+            write_memory_log(os.path.join(args.out, MEMORY_FILE), memory_samples)
         print(f"run directory written to {args.out} (render with `repro report`)")
     if args.profile:
         print()
@@ -284,9 +300,10 @@ def cmd_serve(args: argparse.Namespace) -> int:
     from pathlib import Path
 
     from repro.errors import ConfigurationError
-    from repro.experiments.runstore import HEALTH_FILE, MANIFEST_FILE
+    from repro.experiments.runstore import HEALTH_FILE, MANIFEST_FILE, MEMORY_FILE
     from repro.experiments.serve import serve_repeated, summarize_throughput
     from repro.obs.health import render_prometheus, write_health_log
+    from repro.obs.memory import write_memory_log
     from repro.obs.provenance import build_manifest, write_manifest
     from repro.obs.slo import SLOEngine, parse_slo_rule
 
@@ -349,9 +366,12 @@ def cmd_serve(args: argparse.Namespace) -> int:
     )
 
     first_health = outcomes[0].health if outcomes else None
+    first_memory = outcomes[0].memory if outcomes else ()
     if args.out and first_health is not None:
         os.makedirs(args.out, exist_ok=True)
         write_health_log(Path(args.out) / HEALTH_FILE, first_health)
+        if first_memory:
+            write_memory_log(Path(args.out) / MEMORY_FILE, first_memory)
         write_manifest(
             build_manifest(
                 spec.provenance_config(), spec.run.seeds, slo_rules=rules
@@ -366,8 +386,9 @@ def cmd_serve(args: argparse.Namespace) -> int:
         engine = SLOEngine(rules)
         for snapshot in first_health.snapshots:
             engine.evaluate(snapshot)
+        last_memory = first_memory[-1] if first_memory else None
         with open(args.prom_out, "w", encoding="utf-8") as handle:
-            handle.write(render_prometheus(first_health, engine))
+            handle.write(render_prometheus(first_health, engine, memory=last_memory))
         print(f"Prometheus exposition written to {args.prom_out}")
     return 0
 
@@ -377,20 +398,46 @@ def cmd_watch(args: argparse.Namespace) -> int:
     import time
     from pathlib import Path
 
-    from repro.experiments.runstore import HEALTH_FILE
+    from repro.experiments.runstore import HEALTH_FILE, MEMORY_FILE
     from repro.obs.health import read_health_log, render_health_table
+    from repro.obs.memory import read_memory_log, render_memory_table
 
     path = args.path
+    memory_path = None
     if os.path.isdir(path):
+        candidate = os.path.join(path, MEMORY_FILE)
+        memory_path = candidate if os.path.exists(candidate) else None
         path = os.path.join(path, HEALTH_FILE)
     if not os.path.exists(path):
-        print(
-            f"no health log at {path!r} (serve with --slo/--out to record one)",
-            file=sys.stderr,
-        )
-        return 2
+        if memory_path is None:
+            print(
+                f"no health log at {path!r} and no memory log either "
+                "(serve with --slo/--out, or simulate with --mem-profile)",
+                file=sys.stderr,
+            )
+            return 2
+        # A mem-profiled simulate run has no health log; watch the
+        # memory samples alone (the growth poll then follows them).
+        path = memory_path
+        memory_path = None
+
+        def _render() -> str:
+            return render_memory_table(read_memory_log(Path(path)), limit=args.limit)
+
+    else:
+
+        def _render() -> str:
+            text = render_health_table(
+                read_health_log(Path(path)), limit=args.limit
+            )
+            if memory_path:
+                text += "\n\n" + render_memory_table(
+                    read_memory_log(Path(memory_path)), limit=args.limit
+                )
+            return text
+
     if not args.follow:
-        print(render_health_table(read_health_log(Path(path)), limit=args.limit))
+        print(_render())
         return 0
     last_size = -1
     try:
@@ -398,9 +445,7 @@ def cmd_watch(args: argparse.Namespace) -> int:
             size = os.path.getsize(path)
             if size != last_size:
                 last_size = size
-                print(
-                    render_health_table(read_health_log(Path(path)), limit=args.limit)
-                )
+                print(_render())
             time.sleep(args.interval)
     except KeyboardInterrupt:
         return 0
@@ -641,6 +686,14 @@ def build_parser() -> argparse.ArgumentParser:
             metavar="KEY=VALUE",
             help="arrival-process knob, repeatable (e.g. --arrival-param burst=4)",
         )
+        if name in ("simulate", "serve"):
+            p.add_argument(
+                "--mem-profile",
+                action="store_true",
+                help="sample RSS/heap and the per-subsystem byte "
+                "attribution at each telemetry boundary (writes "
+                "memory.jsonl under --out)",
+            )
         if name == "serve":
             p.add_argument(
                 "--batches", type=int, default=8, metavar="N",
@@ -661,8 +714,8 @@ def build_parser() -> argparse.ArgumentParser:
             p.add_argument(
                 "--slo", action="append", default=None, metavar="SPEC",
                 help="SLO rule: a preset name (availability, latency, "
-                "backlog, hit_ratio) or field>=TARGET[:SUSTAIN] / "
-                "field<=TARGET[:SUSTAIN]; repeatable; implies health "
+                "backlog, hit_ratio, memory) or field>=TARGET[:SUSTAIN] "
+                "/ field<=TARGET[:SUSTAIN]; repeatable; implies health "
                 "monitoring",
             )
             p.add_argument(

@@ -162,6 +162,20 @@ class CacheBuffer:
         """Items least-recently-accessed first (LRU eviction order)."""
         return sorted(self._items.values(), key=lambda d: self._accessed_at[d.data_id])
 
+    # --- memory accounting -------------------------------------------------
+
+    def nbytes(self) -> int:
+        """Deep heap footprint of the buffer in bytes (bookkeeping dicts,
+        the expiry cache, and the cached :class:`DataItem` objects).
+
+        Attribution is by holder: an item cached on two nodes counts on
+        both, which is the documented overcount tolerance of
+        :func:`repro.obs.memory.check_memory_consistency`.
+        """
+        from repro.obs.memory import deep_sizeof
+
+        return deep_sizeof(self)
+
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (
             f"CacheBuffer(capacity={self._capacity}, used={self._used}, "

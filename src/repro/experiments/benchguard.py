@@ -49,6 +49,17 @@ query count and the measured mean, records it under the baseline's
 ``throughput`` map, and fails when a run's q/s drops below
 ``baseline / threshold`` — the reciprocal of the mean-time rule,
 stated in the unit the heavy-traffic engine is specced in.
+
+Benchmarks that publish ``benchmark.extra_info["peak_rss_mb"]`` (and
+optionally ``extra_info["mem_subsystems"]``, the per-subsystem byte
+attribution of :meth:`repro.sim.simulator.Simulator.memory_breakdown`)
+form a **memory tier**: peak RSS and the attribution are stamped into
+the baseline's ``memory`` map, and the guard fails when a run's
+footprint exceeds ``MEMORY_FOOTPRINT_THRESHOLD`` (1.2×) its baseline —
+time regressions and footprint regressions are caught by the same
+gate.  ``<name>_memory`` twins bound the *cost of measuring*: a run
+with ``mem_profile`` sampling on may cost at most
+``MEMORY_OVERHEAD_THRESHOLD`` (5%) over its unprofiled twin.
 """
 
 from __future__ import annotations
@@ -66,12 +77,15 @@ from repro.obs.provenance import build_manifest
 __all__ = [
     "load_benchmark_means",
     "load_benchmark_queries",
+    "load_benchmark_memory",
     "compare_against_baseline",
     "check_twin_overhead",
     "check_profiler_overhead",
     "check_reelection_overhead",
     "check_diagnose_overhead",
     "check_health_overhead",
+    "check_memory_overhead",
+    "check_memory_footprint",
     "check_backend_speedups",
     "check_throughput",
     "run_guard",
@@ -104,6 +118,17 @@ DIAGNOSE_OVERHEAD_THRESHOLD = 1.5
 HEALTH_SUFFIX = "_health"
 HEALTH_OVERHEAD_THRESHOLD = 1.05
 
+#: ``<name>_memory`` (mem-profile sampling enabled) may cost at most 5%
+#: over its unprofiled twin — footprint observability must be cheap
+#: enough to leave on whenever a run is suspected of bloating.
+MEMORY_SUFFIX = "_memory"
+MEMORY_OVERHEAD_THRESHOLD = 1.05
+
+#: a benchmark's peak RSS may grow to at most 1.2x its baseline —
+#: footprint regressions gate exactly like time regressions, just with
+#: a tighter multiplier (RSS is far less noisy than wall-clock).
+MEMORY_FOOTPRINT_THRESHOLD = 1.2
+
 #: a throughput benchmark may drop to at most baseline/threshold q/s —
 #: the reciprocal of the mean-time regression rule, stated in the unit
 #: the heavy-traffic engine is specced in.
@@ -133,6 +158,32 @@ def load_benchmark_queries(result_json: Path) -> Dict[str, int]:
         if count:
             queries[entry["name"]] = int(count)
     return queries
+
+
+def load_benchmark_memory(result_json: Path) -> Dict[str, Dict[str, object]]:
+    """``{benchmark name: {"peak_rss_mb": .., "subsystems": {..}}}``.
+
+    Memory-tier benchmarks publish their peak RSS (MB, via
+    :func:`repro.obs.memory.peak_rss_bytes`) through
+    ``benchmark.extra_info["peak_rss_mb"]`` and optionally the
+    per-subsystem byte attribution through
+    ``extra_info["mem_subsystems"]``; benchmarks without the RSS stamp
+    are not memory benchmarks.
+    """
+    payload = json.loads(Path(result_json).read_text())
+    memory: Dict[str, Dict[str, object]] = {}
+    for entry in payload.get("benchmarks", []):
+        extra = entry.get("extra_info", {})
+        peak = extra.get("peak_rss_mb")
+        if peak:
+            record: Dict[str, object] = {"peak_rss_mb": float(peak)}
+            subsystems = extra.get("mem_subsystems")
+            if subsystems:
+                record["subsystems"] = {
+                    str(k): int(v) for k, v in subsystems.items()
+                }
+            memory[entry["name"]] = record
+    return memory
 
 
 def _split_param(name: str) -> Tuple[str, str]:
@@ -229,6 +280,39 @@ def check_health_overhead(
     return check_twin_overhead(current, HEALTH_SUFFIX, threshold)
 
 
+def check_memory_overhead(
+    current: Dict[str, float],
+    threshold: float = MEMORY_OVERHEAD_THRESHOLD,
+) -> List[Tuple[str, float, bool]]:
+    """``<name>_memory`` vs its unprofiled twin (sampling cost)."""
+    return check_twin_overhead(current, MEMORY_SUFFIX, threshold)
+
+
+def check_memory_footprint(
+    current: Dict[str, Dict[str, object]],
+    baseline: Dict[str, Dict[str, object]],
+    threshold: float = MEMORY_FOOTPRINT_THRESHOLD,
+) -> List[Tuple[str, float, Optional[float], bool]]:
+    """Per-benchmark ``(name, peak MB, baseline MB, regressed)`` rows.
+
+    A benchmark regresses when its peak RSS exceeds ``threshold ×`` its
+    baseline peak; benchmarks without a baseline entry never regress
+    (they are NEW).  Peak RSS is a process-wide high-water mark, so
+    within one pytest process later benchmarks inherit earlier peaks —
+    footprint baselines are only meaningful for the run order the
+    benchmark file fixes, which is why the stamp lives in the benches
+    themselves rather than in a post-hoc probe.
+    """
+    rows = []
+    for name in sorted(current):
+        peak = float(current[name]["peak_rss_mb"])  # type: ignore[arg-type]
+        entry = baseline.get(name) or baseline.get(_split_param(name)[0])
+        reference = float(entry["peak_rss_mb"]) if entry else None  # type: ignore[index]
+        regressed = reference is not None and peak > threshold * reference
+        rows.append((name, peak, reference, regressed))
+    return rows
+
+
 def check_backend_speedups(
     current: Dict[str, float],
 ) -> List[Tuple[str, float, float, float]]:
@@ -311,6 +395,7 @@ def run_guard(
         return status
     current = load_benchmark_means(result_json)
     query_counts = load_benchmark_queries(result_json)
+    current_memory = load_benchmark_memory(result_json)
     current_qps = {
         name: query_counts[name] / current[name]
         for name in query_counts
@@ -339,12 +424,13 @@ def run_guard(
         payload = {
             "benchmarks": current,
             "throughput": current_qps,
+            "memory": current_memory,
             "provenance": manifest,
         }
         baseline_path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
         print(
             f"baseline updated: {baseline_path} ({len(current)} kernels, "
-            f"{len(current_qps)} throughput)"
+            f"{len(current_qps)} throughput, {len(current_memory)} memory)"
         )
         return 0
     if not baseline_path.exists():
@@ -374,6 +460,7 @@ def run_guard(
         ("re-election", check_reelection_overhead(current), REELECT_OVERHEAD_THRESHOLD),
         ("diagnose", check_diagnose_overhead(current), DIAGNOSE_OVERHEAD_THRESHOLD),
         ("health", check_health_overhead(current), HEALTH_OVERHEAD_THRESHOLD),
+        ("memory", check_memory_overhead(current), MEMORY_OVERHEAD_THRESHOLD),
     ]
     for label, rows, limit in pairings:
         for name, ratio, failed in rows:
@@ -397,6 +484,23 @@ def run_guard(
                 detail = f"baseline {reference:10.0f} q/s  ratio {qps / reference:5.2f}x"
                 throughput_failures += int(regressed)
             print(f"{verdict:4s} {name:45s} {qps:10.0f} q/s  {detail}")
+    memory_failures = 0
+    memory_rows = check_memory_footprint(
+        current_memory, payload.get("memory", {}), MEMORY_FOOTPRINT_THRESHOLD
+    )
+    if memory_rows:
+        print(
+            "\nmemory footprint (peak RSS, ceiling = "
+            f"{MEMORY_FOOTPRINT_THRESHOLD:.2f}x baseline):"
+        )
+        for name, peak, reference, regressed in memory_rows:
+            if reference is None:
+                verdict, detail = "NEW", "no baseline entry"
+            else:
+                verdict = "FAIL" if regressed else "ok"
+                detail = f"baseline {reference:10.1f} MB  ratio {peak / reference:5.2f}x"
+                memory_failures += int(regressed)
+            print(f"{verdict:4s} {name:45s} {peak:10.1f} MB  {detail}")
     speedups = check_backend_speedups(current)
     if speedups:
         print("\ncompiled-kernel speedups (numba vs python, same run):")
@@ -421,6 +525,13 @@ def run_guard(
         print(
             f"{throughput_failures} benchmark(s) fell below baseline/"
             f"{threshold:.2f} queries/sec",
+            file=sys.stderr,
+        )
+        return 1
+    if memory_failures:
+        print(
+            f"{memory_failures} benchmark(s) exceeded "
+            f"{MEMORY_FOOTPRINT_THRESHOLD:.2f}x their baseline peak RSS",
             file=sys.stderr,
         )
         return 1

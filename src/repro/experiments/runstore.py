@@ -12,6 +12,7 @@ A *run directory* is the on-disk form of an
 ``timeseries.csv``        scalar columns of the same samples
 ``trace.jsonl``           lifecycle trace (only when tracing was on)
 ``health.jsonl``          serve-mode health log (only with ``--slo``/health)
+``memory.jsonl``          RSS/heap/attribution samples (``--mem-profile``)
 ========================  ==================================================
 
 ``python -m repro report <run-dir>`` renders the whole directory as one
@@ -33,6 +34,7 @@ from repro.experiments.runner import ExperimentResult
 from repro.obs.derive import render_audit_report
 from repro.obs.diagnose import render_diagnosis, run_diagnosis
 from repro.obs.health import read_health_log, render_health_table
+from repro.obs.memory import read_memory_log, render_memory_table
 from repro.obs.profile import check_profile_tree, render_profile_table
 from repro.obs.provenance import write_manifest
 from repro.obs.recorder import read_events
@@ -53,6 +55,7 @@ TIMESERIES_FILE = "timeseries.jsonl"
 TIMESERIES_CSV_FILE = "timeseries.csv"
 TRACE_FILE = "trace.jsonl"
 HEALTH_FILE = "health.jsonl"
+MEMORY_FILE = "memory.jsonl"
 
 
 def _dump(value: Any, path: str) -> None:
@@ -119,6 +122,11 @@ def load_run(run_dir: str) -> Dict[str, Any]:
         "health_path": (
             os.path.join(run_dir, HEALTH_FILE)
             if os.path.exists(os.path.join(run_dir, HEALTH_FILE))
+            else None
+        ),
+        "memory_path": (
+            os.path.join(run_dir, MEMORY_FILE)
+            if os.path.exists(os.path.join(run_dir, MEMORY_FILE))
             else None
         ),
     }
@@ -309,6 +317,13 @@ def render_run_report(run_dir: str, audit_limit: int = 10) -> str:
         sections.append(
             "## Live health\n\n```\n"
             + render_health_table(health, limit=audit_limit)
+            + "\n```"
+        )
+    if data["memory_path"]:
+        memory = read_memory_log(Path(data["memory_path"]))
+        sections.append(
+            "## Memory\n\n```\n"
+            + render_memory_table(memory, limit=audit_limit)
             + "\n```"
         )
 

@@ -45,6 +45,7 @@ from repro.caching.base import CachingScheme
 from repro.errors import ConfigurationError
 from repro.metrics.results import SimulationResult
 from repro.obs.health import HealthMonitor, HealthReport, check_health_consistency
+from repro.obs.memory import MemorySample
 from repro.obs.recorder import TraceRecorder
 from repro.obs.slo import SLORule
 from repro.sim.simulator import Simulator, SimulatorConfig
@@ -180,13 +181,17 @@ class ServeOutcome(NamedTuple):
     """Product of one serve session: frozen result, per-batch deltas,
     and — when health monitoring was requested — the health report.
 
-    ``health`` is None on unmonitored sessions; every field is
-    picklable, so outcomes cross the worker-pool boundary unchanged.
+    ``health`` is None on unmonitored sessions; ``memory`` is empty
+    unless the session's config enabled ``mem_profile`` (RSS/heap are
+    process counters, so they stay outside the deterministic payload).
+    Every field is picklable, so outcomes cross the worker-pool
+    boundary unchanged.
     """
 
     result: SimulationResult
     batches: List[BatchResult]
     health: Optional[HealthReport]
+    memory: Tuple[MemorySample, ...] = ()
 
 
 #: One picklable serve task:
@@ -217,12 +222,13 @@ def _serve_task(task: _ServeTask) -> ServeOutcome:
     session = ServeSession(trace, scheme_factory(), workload, config, health=health)
     batch_results = [session.run_batch(rounds) for _ in range(batches)]
     totals = session.simulator.metrics.totals()
+    memory = tuple(session.simulator.memory.samples)
     result = session.finalize()
     report: Optional[HealthReport] = None
     if health is not None:
         report = health.report()
         check_health_consistency(report, totals, baseline=health.baseline)
-    return ServeOutcome(result, batch_results, report)
+    return ServeOutcome(result, batch_results, report, memory)
 
 
 def serve_repeated(

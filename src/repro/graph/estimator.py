@@ -171,6 +171,15 @@ class OnlineContactGraphEstimator:
         self._dirty = False
         return graph
 
+    def nbytes(self) -> int:
+        """Deep heap footprint of the estimator state in bytes: the
+        per-pair :class:`RateEstimator` dict (the dominant O(observed
+        pairs) term), the inactive-node set, and the cached snapshot
+        graph when one is held."""
+        from repro.obs.memory import deep_sizeof
+
+        return deep_sizeof(self)
+
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (
             f"OnlineContactGraphEstimator(nodes={self._num_nodes}, "

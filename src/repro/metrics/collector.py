@@ -385,6 +385,20 @@ class MetricsCollector:
             return ()
         return self._reservoir.samples
 
+    def nbytes(self) -> int:
+        """Deep heap footprint of the collector's per-query state in
+        bytes.
+
+        In exact mode this is dominated by the full query/satisfaction
+        records (O(queries issued)); in streaming mode by the bounded
+        open/satisfied sets, their retirement heaps and the reservoir —
+        making the two modes' footprint difference directly visible in
+        the memory breakdown.
+        """
+        from repro.obs.memory import deep_sizeof
+
+        return deep_sizeof(self)
+
     def finalize(self, name: str, seed: int) -> SimulationResult:
         """Freeze the run into a :class:`SimulationResult`."""
         if self._streaming:

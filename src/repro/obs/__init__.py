@@ -85,6 +85,21 @@ from repro.obs.timeseries import (
     merge_timeseries,
     summarize_timeseries,
 )
+from repro.obs.memory import (
+    NULL_MEMORY_MONITOR,
+    SUBSYSTEMS,
+    MemoryMonitor,
+    MemorySample,
+    NullMemoryMonitor,
+    check_memory_consistency,
+    deep_sizeof,
+    peak_rss_bytes,
+    read_memory_log,
+    render_memory_breakdown,
+    render_memory_gauges,
+    render_memory_table,
+    write_memory_log,
+)
 from repro.obs.provenance import (
     build_manifest,
     config_hash,
@@ -166,6 +181,19 @@ __all__ = [
     "NULL_SAMPLER",
     "merge_timeseries",
     "summarize_timeseries",
+    "SUBSYSTEMS",
+    "peak_rss_bytes",
+    "deep_sizeof",
+    "MemorySample",
+    "MemoryMonitor",
+    "NullMemoryMonitor",
+    "NULL_MEMORY_MONITOR",
+    "check_memory_consistency",
+    "write_memory_log",
+    "read_memory_log",
+    "render_memory_table",
+    "render_memory_breakdown",
+    "render_memory_gauges",
     "build_manifest",
     "config_hash",
     "read_manifest",

@@ -92,9 +92,9 @@ HANDLED_KINDS = frozenset(
 #: move copies), node (re)joins (joining cannot break a chain), the
 #: delivery-classification audit events (the custody chain already
 #: carries the RESPONSE_DELIVERED hop; duplicate/late only label it),
-#: and the live-health annotations (SLO transitions, anomaly flags and
-#: the flash-crowd window are commentary *about* the run, not steps of
-#: any item's custody).
+#: and the live-health annotations (SLO transitions, anomaly flags,
+#: the flash-crowd window and memory-footprint samples are commentary
+#: *about* the run, not steps of any item's custody).
 IGNORED_KINDS = frozenset(
     {
         TraceEventKind.ROUTE_DECISION,
@@ -108,6 +108,7 @@ IGNORED_KINDS = frozenset(
         TraceEventKind.SLO_RECOVERED,
         TraceEventKind.HEALTH_ANOMALY,
         TraceEventKind.WORKLOAD_FLASH_CROWD_WINDOW,
+        TraceEventKind.MEMORY_SAMPLED,
     }
 )
 

@@ -51,6 +51,8 @@ class TraceEventKind(str, Enum):
     SLO_RECOVERED = "slo.recovered"          # a previously violated rule is healthy
     HEALTH_ANOMALY = "health.anomaly"        # EWMA drift / CUSUM change-point fired
     WORKLOAD_FLASH_CROWD_WINDOW = "workload.flash_crowd_window"  # one-time surge-window announcement
+    # memory-footprint telemetry (per-subsystem attribution sampling)
+    MEMORY_SAMPLED = "memory.sampled"        # periodic RSS/heap/breakdown sample
 
 
 @dataclass(frozen=True)

@@ -51,6 +51,7 @@ from typing import (
 from repro.errors import TraceConsistencyError
 from repro.metrics.collector import CollectorTotals
 from repro.obs.events import TraceEvent, TraceEventKind
+from repro.obs.memory import MemorySample, render_memory_gauges
 from repro.obs.slo import SLOEngine, SLORule, SLOTransition
 
 __all__ = [
@@ -120,6 +121,13 @@ class HealthSnapshot:
     ncl_load_cv: float
     # whether this window overlaps the flash-crowd surge (first cycle)
     flash_crowd: bool
+    # memory telemetry sampled at the window end (NaN/empty unless the
+    # run profiled memory; process counters, so deliberately outside the
+    # delta-consistency contract above)
+    rss_mb: float = float("nan")
+    py_heap_mb: float = float("nan")
+    mem_accounted_mb: float = float("nan")
+    mem_top: str = ""
 
     def delta_totals(self) -> CollectorTotals:
         """This window's counter deltas as a :class:`CollectorTotals`."""
@@ -130,7 +138,9 @@ class HealthSnapshot:
 
     @classmethod
     def from_dict(cls, record: Mapping[str, Any]) -> "HealthSnapshot":
-        return cls(**{f: record[f] for f in cls.__dataclass_fields__})
+        # Default-aware: health logs written before the memory fields
+        # existed load with those fields at their defaults.
+        return cls(**{f: record[f] for f in cls.__dataclass_fields__ if f in record})
 
 
 @dataclass(frozen=True)
@@ -366,6 +376,15 @@ class HealthMonitor:
         backlog = int(metrics.pending_queries(end))
         duration = end - start
         loads = self._simulator.ncl_load(end)
+        rss_mb = py_heap_mb = mem_accounted_mb = float("nan")
+        mem_top = ""
+        memory = getattr(self._simulator, "memory", None)
+        if memory is not None and memory.enabled:
+            mem_sample = memory.sample(end)
+            rss_mb = mem_sample.rss_mb
+            py_heap_mb = mem_sample.py_heap_mb
+            mem_accounted_mb = mem_sample.accounted_mb
+            mem_top = mem_sample.top_subsystem
         snapshot = HealthSnapshot(
             index=index,
             start=start,
@@ -388,6 +407,10 @@ class HealthMonitor:
             delay_p99=metrics.delay_p99,
             ncl_load_cv=_coefficient_of_variation(loads),
             flash_crowd=_overlaps(self._flash_window, start, end),
+            rss_mb=rss_mb,
+            py_heap_mb=py_heap_mb,
+            mem_accounted_mb=mem_accounted_mb,
+            mem_top=mem_top,
         )
         self._last_totals = totals
         self._last_backlog = backlog
@@ -622,10 +645,15 @@ def render_health_table(report: HealthReport, limit: Optional[int] = None) -> st
     One row per window plus a flags column: ``flash`` marks windows
     overlapping the flash-crowd surge, ``!rule`` / ``+rule`` mark SLO
     violation/recovery edges, ``~signal`` marks anomaly firings.
+
+    An ``rss_mb`` column appears only when at least one snapshot
+    carries memory telemetry, so unprofiled runs render the historical
+    layout unchanged.
     """
     snapshots = report.snapshots
     if limit is not None and limit > 0:
         snapshots = snapshots[-limit:]
+    has_memory = any(not math.isnan(s.rss_mb) for s in report.snapshots)
     flags: Dict[float, List[str]] = {}
     for transition in report.transitions:
         mark = "!" if transition.kind == "slo.violated" else "+"
@@ -634,13 +662,15 @@ def render_health_table(report: HealthReport, limit: Optional[int] = None) -> st
         flags.setdefault(anomaly.time, []).append(
             f"~{anomaly.signal}[{anomaly.detector}]"
         )
+    mem_header = f" {'rss_mb':>9}" if has_memory else ""
     header = (
         f"{'win':>4} {'start':>10} {'end':>10} {'qps':>8} {'succ':>6} "
-        f"{'hit':>6} {'backlog':>8} {'p95':>10} {'flash':>5}  flags"
+        f"{'hit':>6} {'backlog':>8} {'p95':>10} {'flash':>5}{mem_header}  flags"
     )
     lines = [header, "-" * len(header)]
     for snap in snapshots:
         marks = list(flags.get(snap.end, []))
+        mem_cell = f" {_fmt(snap.rss_mb, 1):>9}" if has_memory else ""
         lines.append(
             f"{snap.index:>4} {snap.start:>10.0f} {snap.end:>10.0f} "
             f"{_fmt(snap.queries_per_sim_second, 4):>8} "
@@ -648,7 +678,7 @@ def render_health_table(report: HealthReport, limit: Optional[int] = None) -> st
             f"{_fmt(snap.cache_hit_ratio):>6} "
             f"{snap.backlog:>8} "
             f"{_fmt(snap.delay_p95, 1):>10} "
-            f"{_fmt(snap.flash_crowd):>5}  "
+            f"{_fmt(snap.flash_crowd):>5}{mem_cell}  "
             f"{' '.join(marks)}".rstrip()
         )
     violated = sum(1 for t in report.transitions if t.kind == "slo.violated")
@@ -700,13 +730,19 @@ def _prom_label(value: str) -> str:
     )
 
 
-def render_prometheus(report: HealthReport, slo: Optional[SLOEngine] = None) -> str:
+def render_prometheus(
+    report: HealthReport,
+    slo: Optional[SLOEngine] = None,
+    memory: Optional[MemorySample] = None,
+) -> str:
     """Prometheus text exposition (one scrape) of the latest health state.
 
     Exports the last snapshot's gauges under ``repro_health_*``, the
     total window/anomaly counters, and — when an SLO engine is given —
     one ``repro_slo_violated{rule=...}`` gauge per rule (1 while the
-    rule is in the violated state).
+    rule is in the violated state).  When a :class:`MemorySample` is
+    given (memory-profiled serves), the ``repro_health_rss_bytes`` and
+    per-subsystem memory gauges are appended.
     """
     lines: List[str] = []
     last = report.snapshots[-1] if report.snapshots else None
@@ -737,4 +773,7 @@ def render_prometheus(report: HealthReport, slo: Optional[SLOEngine] = None) -> 
             lines.append(
                 f'repro_slo_violated{{rule="{_prom_label(rule.name)}"}} {state}'
             )
-    return "\n".join(lines) + "\n"
+    text = "\n".join(lines) + "\n"
+    if memory is not None:
+        text += render_memory_gauges(memory)
+    return text

@@ -117,6 +117,10 @@ SLO_PRESETS: Dict[str, SLORule] = {
     "latency": SLORule("latency", "delay_p95", "<=", 24 * 3600.0, sustain=3),
     "backlog": SLORule("backlog", "backlog", "<=", 10_000.0, sustain=3),
     "hit_ratio": SLORule("hit_ratio", "cache_hit_ratio", ">=", 0.05, sustain=5),
+    # Peak-RSS ceiling matching the documented sim_large end-to-end
+    # budget; rss_mb is NaN on unprofiled runs, which carries no
+    # evidence, so the rule only bites under --mem-profile.
+    "memory": SLORule("memory", "rss_mb", "<=", 24_000.0, sustain=3),
 }
 
 

@@ -55,6 +55,8 @@ SCALAR_COLUMNS: Tuple[str, ...] = (
     "max_buffer_occupancy",
     "delay_p50",
     "delay_p95",
+    "rss_mb",
+    "py_heap_mb",
 )
 
 
@@ -77,6 +79,11 @@ class TimeSeriesSample:
     #: running P² delay-quantile estimates (NaN until deliveries arrive)
     delay_p50: float = float("nan")
     delay_p95: float = float("nan")
+    #: memory telemetry (NaN/empty unless the run sampled with
+    #: ``mem_profile``; process counters, so outside any frozen result)
+    rss_mb: float = float("nan")
+    py_heap_mb: float = float("nan")
+    mem_top: str = ""
 
     @property
     def copies_per_item(self) -> float:
@@ -115,6 +122,7 @@ class TimeSeriesSample:
             row[name] = value
         row["node_occupancy"] = list(self.node_occupancy)
         row["ncl_load"] = {str(k): v for k, v in sorted(self.ncl_load.items())}
+        row["mem_top"] = self.mem_top
         return row
 
 

@@ -145,6 +145,7 @@ def simulator_config(
         timeseries=run.timeseries,
         streaming_metrics=run.streaming_metrics,
         sparse_graph=run.sparse_graph,
+        mem_profile=run.mem_profile,
         dynamics=spec.dynamics if spec.dynamics else None,
     )
 

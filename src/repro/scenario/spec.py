@@ -112,6 +112,9 @@ class RunSpec:
     #: contact-graph storage: True/False force adjacency-list/dense,
     #: ``None`` auto-selects by node count (the scale-out path)
     sparse_graph: Optional[bool] = None
+    #: sample RSS/heap/per-subsystem bytes at each telemetry boundary
+    #: (measurement-only: excluded from the provenance hash)
+    mem_profile: bool = False
 
     def __post_init__(self) -> None:
         if self.repeat < 1:
@@ -202,5 +205,8 @@ class ScenarioSpec:
         run = dict(record["run"])
         run.pop("seed", None)
         run.pop("repeat", None)
+        # Memory profiling observes the process; it cannot change the
+        # frozen results, so it is invocation detail, not identity.
+        run.pop("mem_profile", None)
         record["run"] = run
         return {"scenario": record}

@@ -79,6 +79,17 @@ class EventEngine:
     def processed(self) -> int:
         return self._processed
 
+    def nbytes(self) -> int:
+        """Deep heap footprint of the pending-event queue in bytes.
+
+        Handlers are bound methods — code, not state — and the deep walk
+        fences callables off, so this measures the heap of
+        :class:`Event` records and their payloads only.
+        """
+        from repro.obs.memory import deep_sizeof
+
+        return deep_sizeof(self)
+
     def run(self, until: Optional[float] = None) -> int:
         """Process events in order until the queue drains (or *until*).
 

@@ -200,6 +200,20 @@ class Node:
             del self._bundles[bundle.key]
         return expired
 
+    # --- memory accounting -------------------------------------------------
+
+    def nbytes(self) -> int:
+        """Deep heap footprint of this node's state in bytes: cache
+        buffer, origin store, popularity table, active-query set and
+        bundle carriage/dedup bookkeeping.
+
+        The trace recorder is excluded — it is shared run state owned by
+        the observability subsystem, not by any one node.
+        """
+        from repro.obs.memory import deep_sizeof
+
+        return deep_sizeof(self, seen={id(self.trace)})
+
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (
             f"Node(id={self.node_id}, cached={len(self.buffer)}, "

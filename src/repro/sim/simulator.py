@@ -21,7 +21,7 @@ every random decision draws from a named child stream of the root seed.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Dict, Iterator, List, Optional, Set, Union
+from typing import Callable, Dict, Iterator, List, Optional, Set, Union
 
 from repro.caching.base import CachingScheme, SchemeServices
 from repro.core.data import DataItem, Query
@@ -32,6 +32,7 @@ from repro.metrics.results import SimulationResult
 from repro.metrics.timeline import TimelineRecorder
 from repro.obs.derive import derive_metrics
 from repro.obs.events import TraceEvent, TraceEventKind
+from repro.obs.memory import NULL_MEMORY_MONITOR, MemoryMonitor, MemorySample, deep_sizeof
 from repro.obs.primitives import MetricsRegistry
 from repro.obs.profile import NULL_PROFILER, Profiler, maybe_span, set_active_profiler
 from repro.obs.recorder import (
@@ -111,6 +112,13 @@ class SimulatorConfig:
         full query record.
     reservoir_size:
         Capacity of the streaming mode's uniform delay sample.
+    mem_profile:
+        Sample memory telemetry (peak RSS, tracemalloc heap when
+        tracing, per-subsystem accountant breakdown) at every
+        ``SAMPLE_METRICS`` event via :class:`repro.obs.memory.
+        MemoryMonitor`.  Off by default; the hook guards on
+        ``memory.enabled`` and the samples travel outside the frozen
+        result, so enabling it cannot change any simulation outcome.
     sparse_graph:
         Storage mode of the estimator's contact-graph snapshots:
         ``True``/``False`` force adjacency-list/dense storage, ``None``
@@ -132,6 +140,7 @@ class SimulatorConfig:
     dynamics: Optional[DynamicsConfig] = None
     streaming_metrics: bool = False
     reservoir_size: int = 256
+    mem_profile: bool = False
     sparse_graph: Optional[bool] = None
 
     def __post_init__(self) -> None:
@@ -236,6 +245,16 @@ class Simulator:
             trace.num_nodes,
             self._factory.generator("workload"),
             arrival_rng=self._factory.generator("workload.arrivals"),
+        )
+        # Accountants are always built (cheap closures over existing
+        # attributes) so memory_breakdown() answers at any time; the
+        # *sampling* monitor is opt-in behind the .enabled guard, same
+        # zero-overhead convention as the profiler and sampler above.
+        self._memory_accountants = self._build_memory_accountants()
+        self.memory: MemoryMonitor = (
+            MemoryMonitor(self._memory_accountants)
+            if self.config.mem_profile
+            else NULL_MEMORY_MONITOR
         )
         self._ran = False
         # Serve-mode (long-lived session) state; see start_session().
@@ -473,8 +492,98 @@ class Simulator:
             queries_satisfied=self.metrics.queries_satisfied,
             mean_buffer_occupancy=occupancy / len(self.nodes),
         )
+        mem_sample: Optional[MemorySample] = None
+        if self.memory.enabled:
+            mem_sample = self.memory.sample(now)
+            if self.recorder.enabled:
+                self.recorder.emit(
+                    TraceEvent(
+                        time=now,
+                        kind=TraceEventKind.MEMORY_SAMPLED,
+                        attrs={
+                            "rss_mb": mem_sample.rss_mb,
+                            "accounted_mb": mem_sample.accounted_mb,
+                            "top_subsystem": mem_sample.top_subsystem,
+                        },
+                    )
+                )
         if self.timeseries.enabled:
-            self.timeseries.record(self._build_sample(now, len(live), cached))
+            self.timeseries.record(
+                self._build_sample(now, len(live), cached, mem_sample)
+            )
+
+    # --- memory attribution ------------------------------------------------
+
+    def _build_memory_accountants(self) -> Dict[str, Callable[[], int]]:
+        """Zero-argument byte accountants, one per memory subsystem.
+
+        The literal keys below are the contract that
+        ``scripts/check_memory_accountants.py`` cross-checks against
+        :data:`repro.obs.memory.SUBSYSTEMS`: a new state holder must be
+        added in both places (plus an oracle test) or the lint fails.
+        """
+        from repro.graph.weight_cache import shared_weight_cache
+
+        return {
+            "contact_graph": self.estimator.nbytes,
+            "nodes": lambda: sum(node.nbytes() for node in self.nodes),
+            "scheme": self._scheme_nbytes,
+            "weight_cache": lambda: int(shared_weight_cache().nbytes),
+            "metrics": self.metrics.nbytes,
+            "workload": self.workload_process.nbytes,
+            "events": self.engine.nbytes,
+            "observability": self._obs_nbytes,
+        }
+
+    def _scheme_nbytes(self) -> int:
+        """Bytes of scheme-owned state (NCL selection, routers, response
+        strategy, replacement pools).
+
+        The scheme's attached services reference simulator-owned state
+        (node list, metrics, estimator, …); pre-seeding the deep walk
+        with their ids leaves exactly the containers the scheme itself
+        allocated — no double attribution against the other accountants.
+        """
+        seen = {
+            id(self),
+            id(self.nodes),
+            id(self.metrics),
+            id(self.estimator),
+            id(self.workload_process),
+            id(self.engine),
+            id(self.recorder),
+            id(self.timeline),
+            id(self.registry),
+            id(self.timeseries),
+            id(self.profiler),
+            id(self.workload),
+            id(self.trace),
+        }
+        seen.update(id(node) for node in self.nodes)
+        return deep_sizeof(self.scheme, seen)
+
+    def _obs_nbytes(self) -> int:
+        """Bytes of observability state: recorder buffers, the timeline,
+        registry instruments, extended time-series rows, and the memory
+        samples themselves."""
+        seen: Set[int] = set()
+        total = deep_sizeof(self.recorder, seen)
+        total += deep_sizeof(self.timeline, seen)
+        total += deep_sizeof(self.registry, seen)
+        total += deep_sizeof(self.timeseries, seen)
+        total += deep_sizeof(self.memory.samples, seen)
+        return total
+
+    def memory_breakdown(self) -> Dict[str, int]:
+        """Current per-subsystem byte attribution (accountants only).
+
+        Available whether or not ``mem_profile`` is on — the accountants
+        are plain closures — so tests and ad-hoc debugging can ask
+        "where are the bytes?" without rerunning with sampling enabled.
+        """
+        return {
+            name: int(fn()) for name, fn in sorted(self._memory_accountants.items())
+        }
 
     def ncl_load(self, now: float) -> Dict[int, int]:
         """Live cached copies per NCL basin: central node id → copies
@@ -494,13 +603,29 @@ class Simulator:
         return ncl_load
 
     def _build_sample(
-        self, now: float, live_items: int, cached_copies: int
+        self,
+        now: float,
+        live_items: int,
+        cached_copies: int,
+        mem_sample: Optional[MemorySample] = None,
     ) -> TimeSeriesSample:
-        """Assemble one extended telemetry sample (sampler enabled only)."""
+        """Assemble one extended telemetry sample (sampler enabled only).
+
+        Memory fields stay at their NaN/empty defaults unless this
+        sample coincided with an enabled memory monitor — the sampler's
+        schema is identical either way, only the values fill in.
+        """
         node_occupancy = tuple(
             node.buffer.used / node.buffer.capacity for node in self.nodes
         )
         ncl_load = self.ncl_load(now)
+        memory_fields: Dict[str, object] = {}
+        if mem_sample is not None:
+            memory_fields = {
+                "rss_mb": mem_sample.rss_mb,
+                "py_heap_mb": mem_sample.py_heap_mb,
+                "mem_top": mem_sample.top_subsystem,
+            }
         return TimeSeriesSample(
             time=now,
             live_items=live_items,
@@ -514,6 +639,7 @@ class Simulator:
             ncl_load=ncl_load,
             delay_p50=self.metrics.delay_p50,
             delay_p95=self.metrics.delay_p95,
+            **memory_fields,
         )
 
     # --- run ------------------------------------------------------------

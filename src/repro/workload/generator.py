@@ -150,6 +150,19 @@ class WorkloadProcess:
         """Catalogue lookup by data id (retained items only)."""
         return self._by_id.get(data_id)
 
+    def nbytes(self) -> int:
+        """Deep heap footprint of the workload catalogue in bytes: the
+        retained :class:`DataItem` history, the id/popularity indices,
+        the ordered views and their per-round memos.
+
+        The catalogue owns the canonical item references; copies held in
+        node buffers are attributed to the nodes subsystem (the
+        documented by-holder overcount).
+        """
+        from repro.obs.memory import deep_sizeof
+
+        return deep_sizeof(self)
+
     # --- pruning ---------------------------------------------------------
 
     def _prune(self, now: float) -> None:

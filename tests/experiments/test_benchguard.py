@@ -6,13 +6,18 @@ import pytest
 
 from repro.experiments.benchguard import (
     HEALTH_OVERHEAD_THRESHOLD,
+    MEMORY_FOOTPRINT_THRESHOLD,
+    MEMORY_OVERHEAD_THRESHOLD,
     check_health_overhead,
+    check_memory_footprint,
+    check_memory_overhead,
     check_profiler_overhead,
     check_reelection_overhead,
     check_throughput,
     check_twin_overhead,
     compare_against_baseline,
     load_benchmark_means,
+    load_benchmark_memory,
     load_benchmark_queries,
 )
 
@@ -42,6 +47,7 @@ class TestTwinOverhead:
             (check_profiler_overhead, "k_profiled"),
             (check_reelection_overhead, "k_reelect"),
             (check_health_overhead, "k_health"),
+            (check_memory_overhead, "k_memory"),
         ],
     )
     def test_within_limit_passes(self, check, suffixed):
@@ -54,6 +60,7 @@ class TestTwinOverhead:
             (check_profiler_overhead, "k_profiled"),
             (check_reelection_overhead, "k_reelect"),
             (check_health_overhead, "k_health"),
+            (check_memory_overhead, "k_memory"),
         ],
     )
     def test_beyond_limit_fails(self, check, suffixed):
@@ -153,3 +160,70 @@ class TestThroughput:
             {"b": 1.0, "a": 1.0}, {"b": 10, "a": 10}, {}
         )
         assert [row[0] for row in rows] == ["a", "b"]
+
+
+class TestLoadMemory:
+    def test_extracts_rss_and_subsystem_stamps(self, tmp_path):
+        report = {
+            "benchmarks": [
+                {
+                    "name": "test_bench_large_end_to_end_1e5",
+                    "stats": {"mean": 100.0},
+                    "extra_info": {
+                        "peak_rss_mb": 17500.5,
+                        "mem_subsystems": {"nodes": 9000000, "events": 2000},
+                    },
+                },
+                {
+                    "name": "test_bench_large_setup_1e5",
+                    "stats": {"mean": 10.0},
+                    "extra_info": {"peak_rss_mb": 800.0},
+                },
+                # Plain benchmarks carry no RSS stamp and are excluded.
+                {"name": "test_bench_kernel_y", "stats": {"mean": 1.5}},
+            ]
+        }
+        path = tmp_path / "bench.json"
+        path.write_text(json.dumps(report))
+        assert load_benchmark_memory(path) == {
+            "test_bench_large_end_to_end_1e5": {
+                "peak_rss_mb": 17500.5,
+                "subsystems": {"nodes": 9000000, "events": 2000},
+            },
+            "test_bench_large_setup_1e5": {"peak_rss_mb": 800.0},
+        }
+
+    def test_empty_report_yields_empty_map(self, tmp_path):
+        path = tmp_path / "bench.json"
+        path.write_text("{}")
+        assert load_benchmark_memory(path) == {}
+
+
+class TestMemoryFootprint:
+    def test_synthetic_regression_beyond_ceiling_fails(self):
+        # 1.3x the committed footprint must trip the 1.2x ceiling.
+        rows = check_memory_footprint(
+            {"e2e": {"peak_rss_mb": 1300.0}}, {"e2e": {"peak_rss_mb": 1000.0}}
+        )
+        assert rows == [("e2e", 1300.0, 1000.0, True)]
+        assert MEMORY_FOOTPRINT_THRESHOLD == 1.2
+
+    def test_growth_within_ceiling_passes(self):
+        rows = check_memory_footprint(
+            {"e2e": {"peak_rss_mb": 1100.0}}, {"e2e": {"peak_rss_mb": 1000.0}}
+        )
+        assert rows == [("e2e", 1100.0, 1000.0, False)]
+
+    def test_new_benchmark_without_baseline_never_fails(self):
+        rows = check_memory_footprint({"fresh": {"peak_rss_mb": 9999.0}}, {})
+        assert rows == [("fresh", 9999.0, None, False)]
+
+    def test_parametrised_name_falls_back_to_base_baseline(self):
+        rows = check_memory_footprint(
+            {"e2e[numba]": {"peak_rss_mb": 1500.0}},
+            {"e2e": {"peak_rss_mb": 1000.0}},
+        )
+        assert rows == [("e2e[numba]", 1500.0, 1000.0, True)]
+
+    def test_memory_twin_cap_matches_other_instruments(self):
+        assert MEMORY_OVERHEAD_THRESHOLD == 1.05

@@ -237,8 +237,9 @@ class TestServeRepeated:
         outcomes = serve_repeated(
             serve_trace(), NoCache, wl, seeds=[5], batches=4
         )
-        result, batches, _ = outcomes[0]
+        result, batches = outcomes[0].result, outcomes[0].batches
         assert result.queries_issued == sum(b.queries_issued for b in batches)
+        assert outcomes[0].memory == ()  # no mem_profile: no samples
 
 
 class TestServeHealth:

@@ -1,0 +1,81 @@
+"""Pytest wrapper + unit tests for ``scripts/check_memory_accountants.py``.
+
+The lint's pure core (:func:`check_accountants`) is exercised on
+synthetic inputs; ``test_source_tree_is_clean`` runs the real
+collection so the tier-1 suite fails the moment a subsystem loses its
+accountant or its oracle test.
+"""
+
+import importlib.util
+from pathlib import Path
+
+import pytest
+
+SCRIPT = Path(__file__).resolve().parents[2] / "scripts" / "check_memory_accountants.py"
+
+
+@pytest.fixture(scope="module")
+def lint():
+    spec = importlib.util.spec_from_file_location("check_memory_accountants", SCRIPT)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+SUBSYSTEMS = {"nodes": "per-node state", "events": "event queue"}
+CORPUS = "def oracle_nbytes_nodes(): ...\ndef oracle_nbytes_events(): ..."
+
+
+def test_source_tree_is_clean(lint):
+    assert lint.collect_violations() == []
+
+
+def test_clean_synthetic_input(lint):
+    assert lint.check_accountants(SUBSYSTEMS, ["nodes", "events"], CORPUS) == []
+
+
+def test_missing_oracle_flagged(lint):
+    violations = lint.check_accountants(
+        SUBSYSTEMS, ["nodes", "events"], "def oracle_nbytes_nodes(): ..."
+    )
+    assert [v.subsystem for v in violations] == ["events"]
+    assert "oracle_nbytes_events" in violations[0].message
+
+
+def test_empty_description_flagged(lint):
+    violations = lint.check_accountants(
+        {"nodes": "   "}, ["nodes"], "oracle_nbytes_nodes"
+    )
+    assert any("description" in v.message for v in violations)
+
+
+def test_unregistered_subsystem_flagged(lint):
+    violations = lint.check_accountants(SUBSYSTEMS, ["nodes"], CORPUS)
+    assert [(v.subsystem, v.where) for v in violations] == [("events", "simulator")]
+    assert "invisible" in violations[0].message
+
+
+def test_orphan_accountant_flagged(lint):
+    violations = lint.check_accountants(
+        SUBSYSTEMS, ["nodes", "events", "warp_drive"], CORPUS
+    )
+    assert [v.subsystem for v in violations] == ["warp_drive"]
+    assert "missing from" in violations[0].message
+
+
+def test_duplicate_registration_flagged(lint):
+    violations = lint.check_accountants(
+        SUBSYSTEMS, ["nodes", "events", "nodes"], CORPUS
+    )
+    assert [v.subsystem for v in violations] == ["nodes"]
+    assert "more than once" in violations[0].message
+
+
+def test_unparseable_accountant_dict_flagged(lint):
+    violations = lint.check_accountants(SUBSYSTEMS, None, CORPUS)
+    assert any("dict literal" in v.message for v in violations)
+
+
+def test_violation_renders_location(lint):
+    violation = lint.Violation("simulator", "nodes", "boom")
+    assert "simulator" in str(violation) and "'nodes'" in str(violation)
